@@ -1,0 +1,253 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. A Bechamel micro-suite — one [Test.make] per table/figure whose
+      cost structure rests on a measurable primitive: the §3.2
+      microbenchmark (classic batch verification vs aggregate
+      verification), Fig. 2/3 (batch assembly: Merkle trees over the
+      proposal), §5.1's engineering devices (tree-search invalid shares,
+      sorted-range deduplication vs hash-map deduplication) and the
+      Fig. 11b per-operation application costs.
+
+   2. The figure harness — re-runs every simulated experiment of the
+      evaluation (Figs. 7-11, §3.2, §6.2 silk) and prints the series the
+      paper plots.  Scale with CHOPCHOP_BENCH_SCALE=full (default quick).
+
+   Run with:  dune exec bench/main.exe            (everything)
+              dune exec bench/main.exe micro      (bechamel suite only)
+              dune exec bench/main.exe figures    (simulation harness only) *)
+
+open Bechamel
+module Crypto = Repro_crypto
+
+(* --- corpus ----------------------------------------------------------- *)
+
+let batch_n = 4096
+(* Scaled-down batch for the timed loops (65,536 would make each bechamel
+   sample seconds long); per-item costs are what matters and both sides
+   scale linearly in batch size. *)
+
+let schnorr_entries =
+  lazy
+    (List.init batch_n (fun i ->
+         let sk, pk = Crypto.Schnorr.keygen_deterministic ~seed:("b" ^ string_of_int i) in
+         let msg = Printf.sprintf "payload-%d" i in
+         (pk, msg, Crypto.Schnorr.sign sk msg)))
+
+let multisig_keys =
+  lazy
+    (List.init batch_n (fun i ->
+         Crypto.Multisig.keygen_deterministic ~seed:("mb" ^ string_of_int i)))
+
+let multisig_shares =
+  lazy
+    (let keys = Lazy.force multisig_keys in
+     List.map (fun (sk, _) -> Crypto.Multisig.sign sk "reduction|root") keys)
+
+let merkle_leaves =
+  lazy (Array.init batch_n (fun i -> Printf.sprintf "%d|7|payload-%d" i i))
+
+(* §3.2, classic side: authenticating a batch = batch-verifying one
+   individual signature per message. *)
+let bench_classic_auth =
+  Test.make ~name:"s3.2 classic batch auth (4096 sigs, batched)"
+    (Staged.stage (fun () ->
+         assert (Crypto.Schnorr.batch_verify (Lazy.force schnorr_entries))))
+
+(* §3.2, distilled side: aggregating one public key per message plus one
+   constant-time aggregate verification. *)
+let bench_distilled_auth =
+  Test.make ~name:"s3.2 distilled batch auth (4096 pk agg + 1 verify)"
+    (Staged.stage (fun () ->
+         let keys = Lazy.force multisig_keys in
+         let shares = Lazy.force multisig_shares in
+         let pk = Crypto.Multisig.aggregate_public_keys (List.map snd keys) in
+         let agg = Crypto.Multisig.aggregate_signatures shares in
+         assert (Crypto.Multisig.verify pk "reduction|root" agg)))
+
+(* Fig. 2/3: the broker's batch-assembly cost — a Merkle tree over the
+   proposal plus one inclusion proof per client. *)
+let bench_merkle_batch =
+  Test.make ~name:"fig3 proposal tree (4096 leaves + 4096 proofs)"
+    (Staged.stage (fun () ->
+         let t = Crypto.Merkle.build (Lazy.force merkle_leaves) in
+         for i = 0 to batch_n - 1 do
+           ignore (Crypto.Merkle.prove t i)
+         done))
+
+(* §5.1: logarithmic isolation of invalid multi-signature shares. *)
+let tree_search_entries =
+  lazy
+    (let keys = Lazy.force multisig_keys in
+     List.mapi
+       (fun i (sk, pk) ->
+         ( pk,
+           if i = 1234 then Crypto.Multisig.forge_garbage ()
+           else Crypto.Multisig.sign sk "x" ))
+       keys)
+
+let bench_tree_search =
+  Test.make ~name:"s5.1 tree-search 1 bad share in 4096"
+    (Staged.stage (fun () ->
+         assert (Crypto.Multisig.find_invalid (Lazy.force tree_search_entries) "x" = [ 1234 ])))
+
+let bench_linear_search =
+  Test.make ~name:"s5.1 ablation: linear scan for the bad share"
+    (Staged.stage (fun () ->
+         let bad = ref (-1) in
+         List.iteri
+           (fun i (pk, s) -> if not (Crypto.Multisig.verify pk "x" s) then bad := i)
+           (Lazy.force tree_search_entries);
+         assert (!bad = 1234)))
+
+(* §5.2: identifier-sorted dense deduplication vs a per-message hash map. *)
+let bench_sorted_dedup =
+  Test.make ~name:"s5.2 sorted-range dedup check (dense range)"
+    (Staged.stage (fun () ->
+         let last_seq = 3 and last_tag = 3 in
+         ignore (Sys.opaque_identity (4 > last_seq && 5 <> last_tag))))
+
+let bench_hashmap_dedup =
+  let tbl = Hashtbl.create 100_000 in
+  Test.make ~name:"s5.2 ablation: hash-map dedup (65,536 lookups)"
+    (Staged.stage (fun () ->
+         for i = 0 to 65_535 do
+           match Hashtbl.find_opt tbl i with
+           | Some s when s >= 4 -> ()
+           | _ -> Hashtbl.replace tbl i 4
+         done))
+
+(* Fig. 11b: per-operation cost of the three real applications. *)
+let bench_app name apply =
+  Test.make ~name:(Printf.sprintf "fig11b %s (10k ops)" name) (Staged.stage apply)
+
+let bench_payments =
+  let t = Repro_apps.Payments.create () in
+  let tag = ref 0 in
+  bench_app "payments" (fun () ->
+      incr tag;
+      ignore
+        (Repro_apps.Payments.apply_delivery t
+           (Repro_chopchop.Proto.Bulk { first_id = 0; count = 10_000; tag = !tag; msg_bytes = 8 })))
+
+let bench_auction =
+  let t = Repro_apps.Auction.create () in
+  let tag = ref 0 in
+  bench_app "auction" (fun () ->
+      incr tag;
+      ignore
+        (Repro_apps.Auction.apply_delivery t
+           (Repro_chopchop.Proto.Bulk { first_id = 0; count = 10_000; tag = !tag; msg_bytes = 8 })))
+
+let bench_pixelwar =
+  let t = Repro_apps.Pixelwar.create () in
+  let tag = ref 0 in
+  bench_app "pixelwar" (fun () ->
+      incr tag;
+      ignore
+        (Repro_apps.Pixelwar.apply_delivery t
+           (Repro_chopchop.Proto.Bulk { first_id = 0; count = 10_000; tag = !tag; msg_bytes = 8 })))
+
+(* DESIGN.md "ablation-repr": server-side verification cost of the Dense
+   (range + prefix-sum aggregate) representation vs the equivalent
+   Explicit batch — same semantics (tested), very different constant. *)
+let repr_dir = lazy (Repro_chopchop.Directory.create ~dense_count:8192 ())
+
+let repr_dense =
+  lazy
+    (Repro_chopchop.Batch.forge_dense (Lazy.force repr_dir) ~broker:0 ~number:0
+       ~first_id:0 ~count:4096 ~msg_bytes:8 ~tag:1 ~straggler_count:0)
+
+let repr_explicit =
+  lazy
+    (let module B = Repro_chopchop.Batch in
+     let module T = Repro_chopchop.Types in
+     let d =
+       match (Lazy.force repr_dense).B.entries with
+       | B.Dense d -> d
+       | B.Explicit _ -> assert false
+     in
+     let entries =
+       Array.init 4096 (fun i ->
+           { B.e_id = i; e_msg = B.dense_message d i })
+     in
+     let skeleton =
+       B.make_explicit ~broker:0 ~number:0 ~entries ~agg_seq:1 ~stragglers:[||]
+         ~agg_sig:None
+     in
+     let root = B.reduction_root skeleton in
+     let agg =
+       Crypto.Multisig.aggregate_signatures
+         (List.init 4096 (fun i ->
+              Crypto.Multisig.sign
+                (Repro_chopchop.Directory.dense_keypair i).T.ms_sk
+                (T.reduction_statement ~root)))
+     in
+     B.make_explicit ~broker:0 ~number:0 ~entries ~agg_seq:1 ~stragglers:[||]
+       ~agg_sig:(Some agg))
+
+let bench_verify_dense =
+  Test.make ~name:"ablation-repr: verify Dense batch (4096, prefix sums)"
+    (Staged.stage (fun () ->
+         assert (Repro_chopchop.Batch.verify (Lazy.force repr_dir) (Lazy.force repr_dense))))
+
+let bench_verify_explicit =
+  Test.make ~name:"ablation-repr: verify Explicit batch (4096)"
+    (Staged.stage (fun () ->
+         assert
+           (Repro_chopchop.Batch.verify (Lazy.force repr_dir) (Lazy.force repr_explicit))))
+
+(* Substrate primitives, for the record. *)
+let bench_sha256 =
+  let buf = String.make 4096 'x' in
+  Test.make ~name:"substrate sha256 (4 KB)"
+    (Staged.stage (fun () -> ignore (Crypto.Sha256.digest buf)))
+
+let bench_field_mul =
+  let a = Crypto.Field61.of_int 123456789123 and b = Crypto.Field61.of_int 998877665544 in
+  Test.make ~name:"substrate field61 mul"
+    (Staged.stage (fun () -> ignore (Sys.opaque_identity (Crypto.Field61.mul a b))))
+
+let micro_tests =
+  [ bench_classic_auth; bench_distilled_auth; bench_merkle_batch;
+    bench_tree_search; bench_linear_search; bench_sorted_dedup;
+    bench_hashmap_dedup; bench_verify_dense; bench_verify_explicit;
+    bench_payments; bench_auction; bench_pixelwar;
+    bench_sha256; bench_field_mul ]
+
+let run_bechamel () =
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  print_endline
+    "=== Bechamel micro-suite (one Test.make per cost-bearing table/figure) ===";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name m ->
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock m in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "  %-52s %14.1f ns/run\n%!" name ns
+          | _ -> Printf.printf "  %-52s (no estimate)\n%!" name)
+        results)
+    micro_tests
+
+let () =
+  let scale =
+    match Sys.getenv_opt "CHOPCHOP_BENCH_SCALE" with
+    | Some "full" -> Repro_experiments.Figures.Full
+    | _ -> Repro_experiments.Figures.Quick
+  in
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "micro" || what = "all" then run_bechamel ();
+  if what = "figures" || what = "all" then begin
+    Printf.printf
+      "\n=== Figure harness (scale: %s; set CHOPCHOP_BENCH_SCALE=full for the 64-server setup) ===\n%!"
+      (match scale with Repro_experiments.Figures.Full -> "full" | _ -> "quick");
+    Repro_experiments.Figures.run_all Format.std_formatter scale;
+    Repro_experiments.Future.print Format.std_formatter scale
+  end

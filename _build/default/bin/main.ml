@@ -1,0 +1,90 @@
+(* chopchop — experiment CLI.
+
+   `chopchop list` shows every experiment id; `chopchop run fig7 --scale
+   quick` regenerates one figure; `chopchop all --scale full` regenerates
+   the entire evaluation (EXPERIMENTS.md records a captured run). *)
+
+open Cmdliner
+module F = Repro_experiments.Figures
+
+let experiments : (string * string * (Format.formatter -> F.scale -> unit)) list =
+  [ ("fig1", "context: Internet-scale service rates", F.fig1);
+    ("fig3", "batch layout arithmetic (Figs. 2-3)", F.fig3);
+    ("micro", "§3.2 distillation microbenchmark", F.micro);
+    ("silk", "§6.2 silk vs scp deployment", F.silk_table);
+    ("fig7", "throughput-latency, all systems", F.fig7);
+    ("fig8a", "distillation benefit", F.fig8a);
+    ("fig8b", "message sizes 8-512 B", F.fig8b);
+    ("fig9", "line rate (input/network/output)", F.fig9);
+    ("fig10a", "number of servers", F.fig10a);
+    ("fig10b", "matched total resources", F.fig10b);
+    ("fig11a", "server crash failures", F.fig11a);
+    ("fig11b", "application use cases", F.fig11b);
+    ("ablation-timeout", "reduce-timeout sweep", F.ablation_timeout);
+    ("ablation-margin", "witness-margin sweep", F.ablation_margin);
+    ("ablation-loss", "client/broker packet-loss sweep", F.ablation_loss);
+    ("future", "§8 extensions: sharding + pk-aggregation offload",
+     fun fmt scale -> Repro_experiments.Future.print fmt scale) ]
+
+let scale_arg =
+  let parse = function
+    | "quick" -> Ok F.Quick
+    | "full" -> Ok F.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|full)" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt (match s with F.Quick -> "quick" | F.Full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let scale_term =
+  Arg.(
+    value
+    & opt scale_arg F.Quick
+    & info [ "s"; "scale" ] ~docv:"SCALE"
+        ~doc:"Experiment scale: $(b,quick) (16 servers, short windows) or \
+              $(b,full) (the paper's 64-server setup).")
+
+let run_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see $(b,chopchop list)).")
+  in
+  let run id scale =
+    match List.find_opt (fun (name, _, _) -> name = id) experiments with
+    | Some (_, _, f) ->
+      f Format.std_formatter scale;
+      Ok ()
+    | None -> Error (Printf.sprintf "unknown experiment %S; try `chopchop list`" id)
+  in
+  let term =
+    Term.(
+      const (fun id scale ->
+          match run id scale with
+          | Ok () -> `Ok ()
+          | Error e -> `Error (false, e))
+      $ id_arg $ scale_term)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one experiment") (Term.ret term)
+
+let all_cmd =
+  let term = Term.(const (fun scale -> F.run_all Format.std_formatter scale) $ scale_term) in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure") term
+
+let list_cmd =
+  let term =
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (name, doc, _) -> Printf.printf "  %-18s %s\n" name doc)
+            experiments)
+      $ const ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids") term
+
+let () =
+  let doc = "Chop Chop (OSDI '24) reproduction — experiment driver" in
+  let info = Cmd.info "chopchop" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))

@@ -1,0 +1,1 @@
+examples/payments_demo.ml: Array Client Deployment Format List Repro_apps Repro_chopchop

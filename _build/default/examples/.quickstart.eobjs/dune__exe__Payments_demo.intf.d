@@ -1,0 +1,1 @@
+examples/payments_demo.mli:

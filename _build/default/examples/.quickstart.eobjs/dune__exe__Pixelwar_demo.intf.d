@@ -1,0 +1,1 @@
+examples/pixelwar_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Client Deployment Format List Printf Proto Repro_chopchop Server String

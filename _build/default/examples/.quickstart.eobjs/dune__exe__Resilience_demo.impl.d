@@ -1,0 +1,1 @@
+examples/resilience_demo.ml: Array Client Deployment Format List Proto Repro_chopchop Repro_sim Server String

@@ -1,0 +1,1 @@
+examples/sealed_auction_demo.ml: Array Client Deployment Format Proto Repro_apps Repro_chopchop

@@ -1,0 +1,1 @@
+examples/sealed_auction_demo.mli:

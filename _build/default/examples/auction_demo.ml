@@ -1,0 +1,52 @@
+(* The Auction house on Chop Chop (§6.8).
+
+   Clients bid on a contended token and the owner takes the best offer.
+   Atomic Broadcast's total order is what makes "highest bid" well-defined
+   across replicas; Chop Chop's authentication is what binds a bid to the
+   bidder's account without any signature inside the app.
+
+   Run with:  dune exec examples/auction_demo.exe *)
+
+open Repro_chopchop
+module A = Repro_apps.Auction
+
+let () =
+  let cfg =
+    { Deployment.default_config with n_servers = 4; underlay = Deployment.Pbft }
+  in
+  let d = Deployment.create cfg in
+  let apps = Array.map (fun _ -> A.create ~tokens:4 ()) (Deployment.servers d) in
+  Deployment.server_deliver_hook d (fun server delivery ->
+      ignore (A.apply_delivery apps.(server) delivery));
+
+  let clients = List.init 5 (fun _ -> Deployment.add_client d ()) in
+  List.iter Client.signup clients;
+  Deployment.run d ~until:5.0;
+  let ids = List.filter_map Client.id clients in
+  (match ids with
+   | owner_id :: bidders ->
+     let token = owner_id mod 4 in
+     Format.printf "token %d starts owned by account %d@." token
+       (A.owner apps.(0) token);
+     (* Everyone else bids increasing amounts on the owner's token. *)
+     List.iteri
+       (fun i bidder ->
+         let c = List.nth clients (i + 1) in
+         ignore bidder;
+         Client.broadcast c (A.encode_op (A.Bid { token; amount = 100 * (i + 1) })))
+       bidders;
+     Deployment.run d ~until:20.0;
+     (match A.highest_bid apps.(0) token with
+      | Some (acct, amount) ->
+        Format.printf "highest bid: %d by account %d@." amount acct
+      | None -> Format.printf "no standing bid?!@.");
+     (* The owner takes the offer. *)
+     Client.broadcast (List.hd clients) (A.encode_op (A.Take { token }));
+     Deployment.run d ~until:40.0;
+     Array.iteri
+       (fun i app ->
+         Format.printf "server %d: token %d owner %d, ops %d (rejected %d), funds %s@."
+           i token (A.owner app token) (A.ops_applied app) (A.rejected app)
+           (if A.total_funds app = A.total_funds apps.(0) then "agree" else "DISAGREE"))
+       apps
+   | [] -> ())

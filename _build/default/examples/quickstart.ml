@@ -1,0 +1,60 @@
+(* Quickstart: a minimal Chop Chop system, end to end.
+
+   Builds a 4-server deployment with a PBFT-style underlying Atomic
+   Broadcast and two brokers, signs three clients up through the Rank
+   directory, broadcasts a few messages and watches every server deliver
+   the same sequence — ordered, authenticated, deduplicated.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Repro_chopchop
+
+let () =
+  (* 1. A deployment: 4 geo-distributed servers (f = 1), 2 brokers. *)
+  let cfg = { Deployment.default_config with underlay = Deployment.Pbft } in
+  let d = Deployment.create cfg in
+
+  (* 2. Observe what server 0 delivers to the application. *)
+  let log = ref [] in
+  Deployment.server_deliver_hook d (fun server delivery ->
+      if server = 0 then
+        match delivery with
+        | Proto.Ops ops -> Array.iter (fun op -> log := op :: !log) ops
+        | Proto.Bulk _ -> ());
+
+  (* 3. Three clients sign up (their public keys travel through the
+        underlying Atomic Broadcast; every server assigns the same id). *)
+  let clients =
+    List.init 3 (fun i ->
+        Deployment.add_client d
+          ~on_delivered:(fun msg ~latency ->
+            Format.printf "client %d: %S delivered in %.2f s@." i msg latency)
+          ())
+  in
+  List.iter Client.signup clients;
+  Deployment.run d ~until:5.0;
+  List.iteri
+    (fun i c ->
+      match Client.id c with
+      | Some id -> Format.printf "client %d signed up as id %d@." i id
+      | None -> Format.printf "client %d: sign-up pending?!@." i)
+    clients;
+
+  (* 4. Broadcast. Messages from one client are totally ordered across
+        all servers; duplicates are dropped by sequence number. *)
+  List.iteri
+    (fun i c ->
+      Client.broadcast c (Printf.sprintf "hello-%d" i);
+      Client.broadcast c (Printf.sprintf "world-%d" i))
+    clients;
+  Deployment.run d ~until:30.0;
+
+  (* 5. All servers delivered the same thing. *)
+  let delivered = List.rev !log in
+  Format.printf "@.server 0 delivered %d messages:@." (List.length delivered);
+  List.iter (fun (id, msg) -> Format.printf "  id %d: %S@." id msg) delivered;
+  let counts =
+    Array.map Server.delivered_messages (Deployment.servers d)
+  in
+  Format.printf "deliveries per server: %s@."
+    (String.concat ", " (Array.to_list (Array.map string_of_int counts)))

@@ -1,0 +1,1 @@
+lib/apps/app_intf.ml: Repro_chopchop

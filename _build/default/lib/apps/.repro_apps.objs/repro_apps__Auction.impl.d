@@ -1,0 +1,1 @@
+lib/apps/auction.ml: App_intf Array Bytes Int32 Repro_chopchop String

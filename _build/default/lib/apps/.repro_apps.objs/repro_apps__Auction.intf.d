@@ -1,0 +1,1 @@
+lib/apps/auction.mli: Repro_chopchop

@@ -1,0 +1,1 @@
+lib/apps/payments.mli: Repro_chopchop

@@ -1,0 +1,1 @@
+lib/apps/pixelwar.ml: App_intf Array Bytes Int32 Repro_chopchop String

@@ -1,0 +1,1 @@
+lib/apps/pixelwar.mli: Repro_chopchop

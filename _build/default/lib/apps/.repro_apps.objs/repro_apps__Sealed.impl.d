@@ -1,0 +1,1 @@
+lib/apps/sealed.ml: Char Hashtbl List Printf Repro_chopchop Repro_crypto String

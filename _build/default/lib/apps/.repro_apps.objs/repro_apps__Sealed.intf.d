@@ -1,0 +1,1 @@
+lib/apps/sealed.mli: Repro_chopchop

@@ -1,0 +1,29 @@
+(** Common shape of the §6.8 applications.
+
+    Chop Chop delivers messages already ordered, authenticated and
+    deduplicated, so an application is nothing but a deterministic state
+    machine over (client id, message) pairs — the paper's three demo apps
+    total ~300 lines of logic.  [apply_delivery] consumes either explicit
+    operations or a dense bulk range (whose operations are regenerated
+    deterministically, as the paper's are "generated at random"). *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val apply_op : t -> Repro_chopchop.Types.client_id -> Repro_chopchop.Types.message -> bool
+  (** Apply one operation; [false] if it was rejected by application logic
+      (e.g. insufficient balance) — rejected is still "processed". *)
+
+  val apply_delivery : t -> Repro_chopchop.Proto.delivery -> int
+  (** Apply everything in a delivery; returns operations processed. *)
+
+  val ops_applied : t -> int
+end
+
+(* Cheap deterministic mixing for bulk-op generation. *)
+let mix a b =
+  let x = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) in
+  let x = (x lxor (x lsr 13)) * 0xC2B2AE3D in
+  (x lxor (x lsr 16)) land max_int

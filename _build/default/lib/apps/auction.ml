@@ -1,0 +1,130 @@
+module Proto = Repro_chopchop.Proto
+
+type token = {
+  mutable owner : int;
+  mutable bidder : int; (* -1: none *)
+  mutable bid : int;
+}
+
+type t = {
+  tokens : token array;
+  balances : int array;
+  locked : int array;
+  mutable ops : int;
+  mutable rejected : int;
+}
+
+let name = "auction"
+
+let create ?(tokens = 1024) ?(accounts = 1 lsl 20) ?(initial_balance = 1_000_000) () =
+  { tokens = Array.init tokens (fun k -> { owner = k; bidder = -1; bid = 0 });
+    balances = Array.make accounts initial_balance;
+    locked = Array.make accounts 0;
+    ops = 0; rejected = 0 }
+
+type op = Bid of { token : int; amount : int } | Take of { token : int }
+
+let encode_op op =
+  let b = Bytes.create 8 in
+  (match op with
+   | Bid { token; amount } ->
+     Bytes.set_int32_le b 0 (Int32.of_int (token lor 0x4000_0000));
+     Bytes.set_int32_le b 4 (Int32.of_int amount)
+   | Take { token } ->
+     Bytes.set_int32_le b 0 (Int32.of_int token);
+     Bytes.set_int32_le b 4 0l);
+  Bytes.to_string b
+
+let decode_op msg =
+  if String.length msg < 8 then None
+  else begin
+    let w = Int32.to_int (String.get_int32_le msg 0) in
+    let amount = Int32.to_int (String.get_int32_le msg 4) in
+    if w land 0x4000_0000 <> 0 then
+      let token = w land 0x3FFF_FFFF in
+      if amount > 0 then Some (Bid { token; amount }) else None
+    else if w >= 0 then Some (Take { token = w })
+    else None
+  end
+
+let account t id = id mod Array.length t.balances
+let token t k = t.tokens.(k mod Array.length t.tokens)
+
+let reject t =
+  t.rejected <- t.rejected + 1;
+  false
+
+let apply t id op =
+  t.ops <- t.ops + 1;
+  let acct = account t id in
+  match op with
+  | Bid { token = k; amount } ->
+    let tok = token t k in
+    if tok.owner = acct then reject t
+    else if amount <= tok.bid then reject t
+    else if t.balances.(acct) < amount then reject t
+    else begin
+      (* Refund the outbid party, lock the new bid. *)
+      if tok.bidder >= 0 then begin
+        t.locked.(tok.bidder) <- t.locked.(tok.bidder) - tok.bid;
+        t.balances.(tok.bidder) <- t.balances.(tok.bidder) + tok.bid
+      end;
+      t.balances.(acct) <- t.balances.(acct) - amount;
+      t.locked.(acct) <- t.locked.(acct) + amount;
+      tok.bidder <- acct;
+      tok.bid <- amount;
+      true
+    end
+  | Take { token = k } ->
+    let tok = token t k in
+    if tok.owner <> acct || tok.bidder < 0 then reject t
+    else begin
+      (* Transfer the locked funds to the seller, the token to the buyer. *)
+      t.locked.(tok.bidder) <- t.locked.(tok.bidder) - tok.bid;
+      t.balances.(acct) <- t.balances.(acct) + tok.bid;
+      tok.owner <- tok.bidder;
+      tok.bidder <- -1;
+      tok.bid <- 0;
+      true
+    end
+
+let apply_op t id msg =
+  match decode_op msg with
+  | Some op -> apply t id op
+  | None ->
+    t.ops <- t.ops + 1;
+    reject t
+
+let apply_bulk t ~first_id ~count ~tag =
+  for i = 0 to count - 1 do
+    let id = first_id + i in
+    let h = App_intf.mix id tag in
+    let k = h mod Array.length t.tokens in
+    let op =
+      if h land 7 = 0 then Take { token = k }
+      else Bid { token = k; amount = 1 + ((h lsr 8) land 0xFFFF) }
+    in
+    ignore (apply t id op)
+  done;
+  count
+
+let apply_delivery t = function
+  | Proto.Ops ops ->
+    Array.iter (fun (id, msg) -> ignore (apply_op t id msg)) ops;
+    Array.length ops
+  | Proto.Bulk { first_id; count; tag; msg_bytes = _ } ->
+    apply_bulk t ~first_id ~count ~tag
+
+let ops_applied t = t.ops
+let rejected t = t.rejected
+let owner t k = (token t k).owner
+
+let highest_bid t k =
+  let tok = token t k in
+  if tok.bidder < 0 then None else Some (tok.bidder, tok.bid)
+
+let balance t id = t.balances.(account t id)
+let locked t id = t.locked.(account t id)
+
+let total_funds t =
+  Array.fold_left ( + ) 0 t.balances + Array.fold_left ( + ) 0 t.locked

@@ -1,0 +1,73 @@
+module Proto = Repro_chopchop.Proto
+
+type t = {
+  balances : int array;
+  mutable ops : int;
+  mutable rejected : int;
+}
+
+let name = "payments"
+
+let create ?(accounts = 1 lsl 20) ?(initial_balance = 1_000_000) () =
+  { balances = Array.make accounts initial_balance; ops = 0; rejected = 0 }
+
+let encode_op ~recipient ~amount =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_le b 0 (Int32.of_int recipient);
+  Bytes.set_int32_le b 4 (Int32.of_int amount);
+  Bytes.to_string b
+
+let decode_op msg =
+  if String.length msg < 8 then None
+  else begin
+    let recipient = Int32.to_int (String.get_int32_le msg 0) in
+    let amount = Int32.to_int (String.get_int32_le msg 4) in
+    if recipient < 0 || amount <= 0 then None else Some (recipient, amount)
+  end
+
+let account t id = id mod Array.length t.balances
+
+let transfer t ~sender ~recipient ~amount =
+  let s = account t sender and r = account t recipient in
+  if t.balances.(s) >= amount && s <> r then begin
+    t.balances.(s) <- t.balances.(s) - amount;
+    t.balances.(r) <- t.balances.(r) + amount;
+    true
+  end
+  else begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
+
+let apply_op t id msg =
+  t.ops <- t.ops + 1;
+  match decode_op msg with
+  | Some (recipient, amount) -> transfer t ~sender:id ~recipient ~amount
+  | None ->
+    t.rejected <- t.rejected + 1;
+    false
+
+let apply_bulk t ~first_id ~count ~tag =
+  (* Regenerate the random payments of a dense range without materialising
+     the 8-byte strings. *)
+  for i = 0 to count - 1 do
+    let id = first_id + i in
+    let h = App_intf.mix id tag in
+    let recipient = h mod Array.length t.balances in
+    let amount = 1 + (h lsr 24) land 0xFF in
+    t.ops <- t.ops + 1;
+    ignore (transfer t ~sender:id ~recipient ~amount)
+  done;
+  count
+
+let apply_delivery t = function
+  | Proto.Ops ops ->
+    Array.iter (fun (id, msg) -> ignore (apply_op t id msg)) ops;
+    Array.length ops
+  | Proto.Bulk { first_id; count; tag; msg_bytes = _ } ->
+    apply_bulk t ~first_id ~count ~tag
+
+let ops_applied t = t.ops
+let rejected t = t.rejected
+let balance t id = t.balances.(account t id)
+let total_supply t = Array.fold_left ( + ) 0 t.balances

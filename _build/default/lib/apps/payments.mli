@@ -1,0 +1,35 @@
+(** The Payments application (§2.1, §6.8).
+
+    A payment is (sender, recipient, amount); the sender is the
+    authenticated Chop Chop client id — free, thanks to integrity — and
+    the 8-byte message encodes recipient (4 B) and amount (4 B), exactly
+    the encoding the paper's cost analysis uses (§2.1: 12 B of useful
+    payload, of which 4 B sender ride in the identifier).
+
+    Balances live in a fixed-size account table; ids map to accounts
+    modulo the table size (the paper's 257 M clients map onto synthetic
+    accounts the same way).  Transfers with insufficient funds are
+    rejected but still count as processed operations. *)
+
+type t
+
+val create : ?accounts:int -> ?initial_balance:int -> unit -> t
+(** Defaults: 1,048,576 accounts, 1,000,000 initial balance each. *)
+
+val encode_op : recipient:int -> amount:int -> Repro_chopchop.Types.message
+(** 8-byte message a client broadcasts. *)
+
+val decode_op : Repro_chopchop.Types.message -> (int * int) option
+
+val apply_op : t -> Repro_chopchop.Types.client_id -> Repro_chopchop.Types.message -> bool
+val apply_delivery : t -> Repro_chopchop.Proto.delivery -> int
+val ops_applied : t -> int
+val rejected : t -> int
+
+val balance : t -> int -> int
+(** Balance of the account backing the given client id. *)
+
+val total_supply : t -> int
+(** Invariant under transfers: the sum of all balances.  O(accounts). *)
+
+val name : string

@@ -1,0 +1,64 @@
+module Proto = Repro_chopchop.Proto
+
+type t = {
+  width : int;
+  height : int;
+  board : int array; (* -1 = never painted; else 24-bit RGB *)
+  mutable ops : int;
+  mutable painted : int;
+}
+
+let name = "pixelwar"
+
+let create ?(width = 2048) ?(height = 2048) () =
+  { width; height; board = Array.make (width * height) (-1); ops = 0; painted = 0 }
+
+let encode_op ~x ~y ~rgb =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_le b 0 (Int32.of_int ((y lsl 11) lor x));
+  Bytes.set_int32_le b 4 (Int32.of_int (rgb land 0xFF_FFFF));
+  Bytes.to_string b
+
+let decode_op t msg =
+  if String.length msg < 8 then None
+  else begin
+    let pos = Int32.to_int (String.get_int32_le msg 0) in
+    let rgb = Int32.to_int (String.get_int32_le msg 4) land 0xFF_FFFF in
+    let x = pos land 0x7FF and y = pos lsr 11 in
+    if x < t.width && y >= 0 && y < t.height then Some (x, y, rgb) else None
+  end
+
+let paint t ~x ~y ~rgb =
+  let i = (y * t.width) + x in
+  if t.board.(i) < 0 then t.painted <- t.painted + 1;
+  t.board.(i) <- rgb
+
+let apply_op t _id msg =
+  t.ops <- t.ops + 1;
+  match decode_op t msg with
+  | Some (x, y, rgb) ->
+    paint t ~x ~y ~rgb;
+    true
+  | None -> false
+
+let apply_bulk t ~first_id ~count ~tag =
+  for i = 0 to count - 1 do
+    let h = App_intf.mix (first_id + i) tag in
+    let x = h land (t.width - 1) in
+    let y = (h lsr 11) land (t.height - 1) in
+    let rgb = (h lsr 22) land 0xFF_FFFF in
+    t.ops <- t.ops + 1;
+    paint t ~x ~y ~rgb
+  done;
+  count
+
+let apply_delivery t = function
+  | Proto.Ops ops ->
+    Array.iter (fun (id, msg) -> ignore (apply_op t id msg)) ops;
+    Array.length ops
+  | Proto.Bulk { first_id; count; tag; msg_bytes = _ } ->
+    apply_bulk t ~first_id ~count ~tag
+
+let ops_applied t = t.ops
+let pixel t ~x ~y = t.board.((y * t.width) + x)
+let painted t = t.painted

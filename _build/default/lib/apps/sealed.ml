@@ -1,0 +1,111 @@
+module Sha256 = Repro_crypto.Sha256
+
+let seal_tag = '\x01'
+let reveal_tag = '\x02'
+
+let commitment ~payload ~salt = Sha256.digest ("sealed|" ^ salt ^ "|" ^ payload)
+
+let seal ~payload ~salt = String.make 1 seal_tag ^ commitment ~payload ~salt
+
+let reveal ~payload ~salt =
+  (* tag | salt length | salt | payload *)
+  Printf.sprintf "%c%c%s%s" reveal_tag (Char.chr (String.length salt)) salt payload
+
+let is_frame msg =
+  String.length msg > 0 && (msg.[0] = seal_tag || msg.[0] = reveal_tag)
+
+type status = Pending | Revealed of Repro_chopchop.Types.message | Voided
+
+type entry = {
+  e_client : Repro_chopchop.Types.client_id;
+  e_commitment : string;
+  e_position : int;
+  mutable e_status : status;
+}
+
+type t = {
+  apply : Repro_chopchop.Types.client_id -> Repro_chopchop.Types.message -> unit;
+  ttl : int;
+  (* Seals in delivery order; executed prefix is dropped. *)
+  mutable queue : entry list; (* reversed: newest first *)
+  mutable queue_front : entry list;
+  by_key : (Repro_chopchop.Types.client_id * string, entry) Hashtbl.t;
+  mutable position : int;
+  mutable executed : int;
+  mutable voided : int;
+}
+
+let create ~apply ?(ttl = 64) () =
+  { apply; ttl; queue = []; queue_front = []; by_key = Hashtbl.create 64;
+    position = 0; executed = 0; voided = 0 }
+
+let executed t = t.executed
+let voided t = t.voided
+let pending t = Hashtbl.length t.by_key
+
+(* Apply every head-of-queue entry that is resolved; expire stale heads. *)
+let drain t =
+  let rec go () =
+    let head =
+      match t.queue_front with
+      | e :: _ -> Some e
+      | [] ->
+        (match List.rev t.queue with
+         | [] -> None
+         | xs ->
+           t.queue_front <- xs;
+           t.queue <- [];
+           Some (List.hd xs))
+    in
+    match head with
+    | None -> ()
+    | Some e ->
+      let expired = e.e_status = Pending && t.position - e.e_position > t.ttl in
+      if expired then e.e_status <- Voided;
+      (match e.e_status with
+       | Revealed payload ->
+         t.queue_front <- List.tl t.queue_front;
+         Hashtbl.remove t.by_key (e.e_client, e.e_commitment);
+         t.executed <- t.executed + 1;
+         t.apply e.e_client payload;
+         go ()
+       | Voided ->
+         t.queue_front <- List.tl t.queue_front;
+         Hashtbl.remove t.by_key (e.e_client, e.e_commitment);
+         t.voided <- t.voided + 1;
+         go ()
+       | Pending -> ())
+  in
+  go ()
+
+let on_deliver t client msg =
+  t.position <- t.position + 1;
+  (if String.length msg >= 1 then
+     match msg.[0] with
+     | c when c = seal_tag ->
+       if String.length msg = 33 then begin
+         let com = String.sub msg 1 32 in
+         (* One live seal per (client, commitment); replays ignored. *)
+         if not (Hashtbl.mem t.by_key (client, com)) then begin
+           let e =
+             { e_client = client; e_commitment = com; e_position = t.position;
+               e_status = Pending }
+           in
+           Hashtbl.add t.by_key (client, com) e;
+           t.queue <- e :: t.queue
+         end
+       end
+     | c when c = reveal_tag ->
+       if String.length msg >= 2 then begin
+         let salt_len = Char.code msg.[1] in
+         if String.length msg >= 2 + salt_len then begin
+           let salt = String.sub msg 2 salt_len in
+           let payload = String.sub msg (2 + salt_len) (String.length msg - 2 - salt_len) in
+           let com = commitment ~payload ~salt in
+           match Hashtbl.find_opt t.by_key (client, com) with
+           | Some e when e.e_status = Pending -> e.e_status <- Revealed payload
+           | Some _ | None -> () (* reveal without (live) seal: dropped *)
+         end
+       end
+     | _ -> ());
+  drain t

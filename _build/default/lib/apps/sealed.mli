@@ -1,0 +1,55 @@
+(** Encrypt-order-reveal front-running protection (§4.4.3).
+
+    A Byzantine broker sees message contents before they are ordered and
+    could front-run trades (§4.4.3 "Front-running").  The mitigation the
+    paper points to — compatible with Chop Chop as-is — is to broadcast a
+    {e sealed} commitment first and reveal the operation only after the
+    commitment is ordered:
+
+    + the client broadcasts [seal ~payload ~salt] — a hash commitment the
+      broker cannot invert;
+    + once the seal is delivered (its position in the total order is now
+      fixed), the client broadcasts [reveal ~payload ~salt];
+    + the executor applies revealed operations {e in seal order},
+      regardless of the order in which reveals arrive.
+
+    A seal whose reveal does not arrive within [ttl] subsequent
+    deliveries is voided so it cannot block execution forever (the usual
+    commit-reveal liveness rule; a client that crashes between seal and
+    reveal loses only its own operation).
+
+    The module is an executor wrapping any operation applier; it consumes
+    the (client id, message) stream a Chop Chop server delivers.  Sealing
+    is selective (§4.4.3): messages that are not seal/reveal frames can
+    be passed to the applier directly by the caller. *)
+
+type t
+
+val create :
+  apply:(Repro_chopchop.Types.client_id -> Repro_chopchop.Types.message -> unit) ->
+  ?ttl:int ->
+  unit ->
+  t
+(** [ttl] (default 64): deliveries a seal may wait for its reveal. *)
+
+val seal : payload:Repro_chopchop.Types.message -> salt:string -> Repro_chopchop.Types.message
+(** The commitment frame a client broadcasts first (33 B). *)
+
+val reveal : payload:Repro_chopchop.Types.message -> salt:string -> Repro_chopchop.Types.message
+(** The opening frame, broadcast after the seal is delivered. *)
+
+val is_frame : Repro_chopchop.Types.message -> bool
+(** Whether a delivered message belongs to this protocol (seal or
+    reveal); other messages are the application's own. *)
+
+val on_deliver : t -> Repro_chopchop.Types.client_id -> Repro_chopchop.Types.message -> unit
+(** Feed a delivered seal/reveal frame (in delivery order). *)
+
+val executed : t -> int
+(** Operations applied so far (in seal order). *)
+
+val pending : t -> int
+(** Seals whose reveal has not yet arrived (nor expired). *)
+
+val voided : t -> int
+(** Seals expired without a matching reveal. *)

@@ -1,0 +1,1 @@
+lib/chopchop/batch.ml: Array Directory Int List Printf Repro_crypto Repro_sim String Types Wire

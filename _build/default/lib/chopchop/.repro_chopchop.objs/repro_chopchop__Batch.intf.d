@@ -1,0 +1,1 @@
+lib/chopchop/batch.mli: Directory Repro_crypto Types

@@ -1,0 +1,1 @@
+lib/chopchop/broker.ml: Array Batch Certs Directory Hashtbl Int List Option Proto Queue Repro_crypto Repro_sim Stob_item String Types Wire

@@ -1,0 +1,1 @@
+lib/chopchop/broker.mli: Batch Certs Directory Proto Repro_crypto Repro_sim Stob_item Types

@@ -1,0 +1,1 @@
+lib/chopchop/certs.ml: Int List Printf Repro_crypto Types

@@ -1,0 +1,1 @@
+lib/chopchop/certs.mli: Repro_crypto Types

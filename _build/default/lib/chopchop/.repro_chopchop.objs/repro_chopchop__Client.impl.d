@@ -1,0 +1,1 @@
+lib/chopchop/client.ml: Batch Certs List Proto Queue Repro_crypto Repro_sim String Types Wire

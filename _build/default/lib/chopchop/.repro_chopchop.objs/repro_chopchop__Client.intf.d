@@ -1,0 +1,1 @@
+lib/chopchop/client.mli: Proto Repro_crypto Repro_sim Types

@@ -1,0 +1,1 @@
+lib/chopchop/deployment.ml: Array Broker Client Directory Float Fun Hashtbl List Option Printf Proto Repro_crypto Repro_sim Repro_stob Server Stob_item Types

@@ -1,0 +1,1 @@
+lib/chopchop/deployment.mli: Broker Client Proto Repro_sim Server Types

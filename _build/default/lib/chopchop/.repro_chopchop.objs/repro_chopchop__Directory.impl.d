@@ -1,0 +1,1 @@
+lib/chopchop/directory.ml: Array Hashtbl List Repro_crypto Types

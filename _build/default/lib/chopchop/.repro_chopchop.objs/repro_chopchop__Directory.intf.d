@@ -1,0 +1,1 @@
+lib/chopchop/directory.mli: Repro_crypto Types

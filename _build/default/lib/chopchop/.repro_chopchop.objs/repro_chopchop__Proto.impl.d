@@ -1,0 +1,1 @@
+lib/chopchop/proto.ml: Array Batch Certs Repro_crypto Types

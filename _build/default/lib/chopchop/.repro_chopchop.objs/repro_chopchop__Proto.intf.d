@@ -1,0 +1,1 @@
+lib/chopchop/proto.mli: Batch Certs Repro_crypto Types

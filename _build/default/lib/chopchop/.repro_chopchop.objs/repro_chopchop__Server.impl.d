@@ -1,0 +1,1 @@
+lib/chopchop/server.ml: Array Batch Certs Directory Hashtbl List Option Proto Repro_crypto Repro_sim Stob_item Types Wire

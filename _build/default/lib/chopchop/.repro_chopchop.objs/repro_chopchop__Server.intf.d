@@ -1,0 +1,1 @@
+lib/chopchop/server.mli: Directory Proto Repro_crypto Repro_sim Stob_item

@@ -1,0 +1,1 @@
+lib/chopchop/stob_item.ml: Certs Types Wire

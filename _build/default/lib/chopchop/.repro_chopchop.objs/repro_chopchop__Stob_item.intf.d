@@ -1,0 +1,1 @@
+lib/chopchop/stob_item.mli: Certs Types

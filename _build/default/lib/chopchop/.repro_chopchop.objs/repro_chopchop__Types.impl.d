@@ -1,0 +1,1 @@
+lib/chopchop/types.ml: Printf Repro_crypto

@@ -1,0 +1,1 @@
+lib/chopchop/types.mli: Repro_crypto

@@ -1,0 +1,1 @@
+lib/chopchop/wire.mli:

@@ -1,0 +1,118 @@
+(** Distilled batches (§3).
+
+    A batch carries its entries, one aggregate sequence number, one
+    aggregate multi-signature covering every {e reduced} entry, and an
+    individual (sequence number, signature) exception for every
+    {e straggler} — a client that failed to multi-sign the proposal root
+    in time (§4.2).  A fully distilled batch has no stragglers; a batch
+    where {e every} entry is a straggler degenerates to a classic batch
+    (the two endpoints of Fig. 8a).
+
+    Two entry representations flow through the same server code:
+
+    - [Explicit]: materialised entries, real Merkle roots and inclusion
+      proofs — used by real clients, the examples and the tests;
+    - [Dense]: a contiguous range of pre-provisioned identities sharing
+      one synthetic message generator — the stand-in for the paper's
+      pre-generated load-broker batches (§6.2).  Aggregate verification is
+      real (against the directory's range-aggregated key); roots are
+      synthetic commitments; CPU cost is charged for the full count.
+
+    Two roots are derived from a batch (Appx. B.2.3):
+
+    - the {e reduction root}, over leaves all carrying the aggregate
+      sequence number — this is what reducing clients multi-signed;
+    - the {e identity root}, with each straggler's leaf carrying its own
+      sequence number — this names the batch everywhere else. *)
+
+type straggler = {
+  s_id : Types.client_id;
+  s_seq : Types.sequence_number;
+  s_sig : Repro_crypto.Schnorr.signature; (* over Types.message_statement *)
+}
+
+type entry = { e_id : Types.client_id; e_msg : Types.message }
+
+type dense = {
+  first_id : int;
+  count : int;
+  msg_bytes : int;
+  tag : int; (* differentiates message content between rounds *)
+  straggler_count : int; (* the LAST [straggler_count] ids of the range *)
+  straggler_sample : (Types.client_id * Repro_crypto.Schnorr.signature) array;
+      (* real signatures for a sample of the stragglers; the full
+         verification cost is charged regardless *)
+}
+
+type entries =
+  | Explicit of entry array (* sorted by id, distinct *)
+  | Dense of dense
+
+type t = {
+  broker : int;
+  number : int; (* broker-local batch number *)
+  entries : entries;
+  agg_seq : Types.sequence_number;
+  stragglers : straggler array; (* Explicit only; sorted by id *)
+  agg_sig : Repro_crypto.Multisig.signature option;
+}
+
+val count : t -> int
+val straggler_count : t -> int
+val reduced_count : t -> int
+
+val dense_message : dense -> Types.client_id -> Types.message
+(** Deterministic message content of a dense entry. *)
+
+val leaf : id:Types.client_id -> seq:Types.sequence_number -> Types.message -> string
+
+val reduction_root : t -> string
+val identity_root : t -> string
+
+val reducer_ids : t -> Types.client_id list
+(** Explicit batches only; Dense reducers are the leading range. *)
+
+val wire_bytes : clients:int -> t -> int
+(** Bytes on the wire per {!Wire.distilled_batch_bytes}. *)
+
+val payload_bytes_per_entry : t -> int
+(** Size of one application message in this batch. *)
+
+val verify : Directory.t -> t -> bool
+(** Full well-formedness check, as performed by a witnessing server (#9):
+    identifiers strictly increasing (hence distinct), every straggler's
+    individual signature valid, and the aggregate multi-signature valid
+    over the reduction root for exactly the reduced identities. *)
+
+val witness_cpu_cost : t -> float
+(** Simulated CPU cost of {!verify} on a server, from {!Repro_sim.Cost}. *)
+
+val non_witness_cpu_cost : t -> float
+(** Cost on a server that trusts the witness instead of verifying:
+    deserialization, witness check and deduplication. *)
+
+val make_explicit :
+  broker:int ->
+  number:int ->
+  entries:entry array ->
+  agg_seq:int ->
+  stragglers:straggler array ->
+  agg_sig:Repro_crypto.Multisig.signature option ->
+  t
+(** @raise Invalid_argument if entries are not sorted strictly by id. *)
+
+val forge_dense :
+  Directory.t ->
+  broker:int ->
+  number:int ->
+  first_id:int ->
+  count:int ->
+  msg_bytes:int ->
+  tag:int ->
+  straggler_count:int ->
+  t
+(** Pre-generate a well-formed dense batch: the aggregate multi-signature
+    is materialised from the range's aggregated secret scalar (what the
+    population of simulated clients would have produced), and a sample of
+    straggler signatures is genuinely signed.  This is the equivalent of
+    the paper's 13 TB of pre-generated workload files. *)

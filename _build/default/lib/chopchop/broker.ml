@@ -1,0 +1,494 @@
+module Engine = Repro_sim.Engine
+module Cpu = Repro_sim.Cpu
+module Cost = Repro_sim.Cost
+module Schnorr = Repro_crypto.Schnorr
+module Multisig = Repro_crypto.Multisig
+module Merkle = Repro_crypto.Merkle
+
+type config = {
+  broker_id : int;
+  n_servers : int;
+  clients : int;
+  flush_period : float;
+  reduce_timeout : float;
+  witness_margin : int;
+  witness_timeout : float;
+  submit_timeout : float;
+  max_batch : int;
+}
+
+let default_config ~n_servers ~clients =
+  { broker_id = 0; n_servers; clients;
+    flush_period = 1.0; reduce_timeout = 1.0;
+    witness_margin = 4; witness_timeout = 2.0; submit_timeout = 4.0;
+    max_batch = 65_536 }
+
+type submission = {
+  sub_id : Types.client_id;
+  sub_seq : Types.sequence_number;
+  sub_msg : Types.message;
+  sub_tsig : Schnorr.signature;
+}
+
+type reducing = {
+  r_entries : Batch.entry array; (* sorted by id *)
+  r_subs : (Types.client_id, submission) Hashtbl.t;
+  r_agg_seq : int;
+  r_tree : Merkle.t;
+  r_shares : (Types.client_id, Multisig.signature) Hashtbl.t;
+}
+
+type in_flight = {
+  w_batch : Batch.t;
+  w_root : string; (* identity root *)
+  w_reduction_root : string;
+  w_base : int; (* witness-set rotation offset (batch number mod n) *)
+  mutable w_shards : (int * Multisig.signature) list;
+  mutable w_asked : int; (* how many servers were asked to witness *)
+  mutable w_witness : Certs.quorum_cert option;
+  mutable w_submit_target : int;
+  mutable w_acked : bool;
+  mutable w_completions : (int * string, (int * Multisig.signature) list) Hashtbl.t;
+      (* (counter, exc_hash) -> shards *)
+  mutable w_exceptions : (int * string, (Types.client_id * int) list) Hashtbl.t;
+  mutable w_done : bool;
+  w_on_complete : (Certs.delivery_cert -> unit) option; (* load-broker hook *)
+}
+
+type t = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  cfg : config;
+  f : int;
+  dir : Directory.t;
+  server_ms_pk : int -> Multisig.public_key;
+  send_server : dst:int -> bytes:int -> Proto.broker_to_server -> unit;
+  send_client : client:Types.client_id -> bytes:int -> Proto.broker_to_client -> unit;
+  send_anon : nonce:int -> bytes:int -> Proto.broker_to_client -> unit;
+  stob_signup : Stob_item.t -> unit;
+  (* Submission intake: one live submission per client; extras queue. *)
+  pool : (Types.client_id, submission) Hashtbl.t;
+  overflow : (Types.client_id, submission Queue.t) Hashtbl.t;
+  mutable reducing : (string, reducing) Hashtbl.t; (* keyed by proposal root *)
+  mutable flight : (string, in_flight) Hashtbl.t; (* keyed by identity root *)
+  mutable number : int;
+  mutable evidence : Certs.delivery_cert option; (* best legitimacy proof *)
+  mutable completed : int;
+  mutable entries_launched : int;
+  mutable stragglers_launched : int;
+  mutable crashed : bool;
+  mutable signups_seen : (int, unit) Hashtbl.t;
+}
+
+let create ~engine ~cpu ~config ~directory ~server_ms_pk ~send_server ~send_client
+    ~send_anon ~stob_signup () =
+  { engine; cpu; cfg = config; f = (config.n_servers - 1) / 3;
+    dir = directory; server_ms_pk; send_server; send_client; send_anon; stob_signup;
+    pool = Hashtbl.create 1024; overflow = Hashtbl.create 64;
+    reducing = Hashtbl.create 8; flight = Hashtbl.create 32;
+    number = 0; evidence = None; completed = 0;
+    entries_launched = 0; stragglers_launched = 0; crashed = false;
+    signups_seen = Hashtbl.create 64 }
+
+let batches_in_flight t = Hashtbl.length t.flight + Hashtbl.length t.reducing
+
+let flight_numbers t =
+  Hashtbl.fold (fun _ fl acc -> (fl.w_batch.Batch.number, fl.w_done, fl.w_witness <> None) :: acc) t.flight []
+
+let stage_counts t =
+  let waiting_witness = ref 0 and waiting_completion = ref 0 in
+  Hashtbl.iter
+    (fun _ fl ->
+      if fl.w_witness = None then incr waiting_witness else incr waiting_completion)
+    t.flight;
+  (Hashtbl.length t.reducing, !waiting_witness, !waiting_completion)
+let batches_completed t = t.completed
+
+let distillation_ratio t =
+  if t.entries_launched = 0 then 1.0
+  else
+    1.0
+    -. (float_of_int t.stragglers_launched /. float_of_int t.entries_launched)
+let best_evidence t = t.evidence
+
+let evidence_counter t = match t.evidence with Some e -> e.Certs.counter | None -> 0
+
+(* --- legitimacy cache (§5.1) -------------------------------------------- *)
+
+let note_evidence t (cert : Certs.delivery_cert) =
+  (* Only certificates improving on the best one are verified at all. *)
+  if cert.counter > evidence_counter t then begin
+    Cpu.charge t.cpu ~cost:Cost.bls_verify;
+    if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) cert
+    then t.evidence <- Some cert
+  end
+
+(* --- submission intake (#2) ---------------------------------------------- *)
+
+let accept_submission t (sub : submission) =
+  if Hashtbl.mem t.pool sub.sub_id then begin
+    let q =
+      match Hashtbl.find_opt t.overflow sub.sub_id with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.overflow sub.sub_id q;
+        q
+    in
+    (* Retransmissions of the same (seq, msg) are dropped. *)
+    let dup =
+      (Hashtbl.find t.pool sub.sub_id).sub_seq = sub.sub_seq
+      || Queue.fold (fun acc s -> acc || s.sub_seq = sub.sub_seq) false q
+    in
+    if not dup then Queue.add sub q
+  end
+  else Hashtbl.replace t.pool sub.sub_id sub
+
+(* --- flush: build a proposal and ask for reductions (#3, #4) ------------- *)
+
+let rec flush t =
+  if Hashtbl.length t.pool > 0 && not t.crashed then begin
+    let subs = Hashtbl.fold (fun _ s acc -> s :: acc) t.pool []
+    in
+    let subs =
+      List.sort (fun a b -> Int.compare a.sub_id b.sub_id) subs
+    in
+    let subs =
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      take t.cfg.max_batch subs
+    in
+    List.iter (fun s -> Hashtbl.remove t.pool s.sub_id) subs;
+    (* Refill the pool from per-client overflow queues. *)
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt t.overflow s.sub_id with
+        | Some q when not (Queue.is_empty q) ->
+          Hashtbl.replace t.pool s.sub_id (Queue.pop q)
+        | Some _ | None -> ())
+      subs;
+    (* Bulk-authenticate the submissions (§5.1 EdDSA batch verification);
+       on failure fall back to per-signature checks and drop forgeries. *)
+    let to_verify =
+      List.map
+        (fun s ->
+          ( Directory.sig_pk t.dir s.sub_id,
+            Types.message_statement ~id:s.sub_id ~seq:s.sub_seq s.sub_msg,
+            s.sub_tsig ))
+        subs
+    in
+    Cpu.charge t.cpu ~cost:(Cost.ed25519_batch_verify (List.length subs));
+    let subs =
+      if Schnorr.batch_verify to_verify then subs
+      else begin
+        Cpu.charge t.cpu ~cost:(Cost.ed25519_batch_verify (List.length subs));
+        List.filter
+          (fun s ->
+            Schnorr.verify (Directory.sig_pk t.dir s.sub_id)
+              (Types.message_statement ~id:s.sub_id ~seq:s.sub_seq s.sub_msg)
+              s.sub_tsig)
+          subs
+      end
+    in
+    if subs <> [] then begin
+      let agg_seq = List.fold_left (fun k s -> max k s.sub_seq) 0 subs in
+      let entries =
+        Array.of_list
+          (List.map (fun s -> { Batch.e_id = s.sub_id; e_msg = s.sub_msg }) subs)
+      in
+      let leaves =
+        Array.map (fun e -> Batch.leaf ~id:e.Batch.e_id ~seq:agg_seq e.e_msg) entries
+      in
+      Cpu.charge t.cpu
+        ~cost:(Cost.merkle_build ~leaves:(Array.length leaves)
+                 ~leaf_bytes:(String.length leaves.(0)));
+      let tree = Merkle.build leaves in
+      let root = Merkle.root tree in
+      let r_subs = Hashtbl.create (List.length subs) in
+      List.iter (fun s -> Hashtbl.replace r_subs s.sub_id s) subs;
+      let st =
+        { r_entries = entries; r_subs; r_agg_seq = agg_seq; r_tree = tree;
+          r_shares = Hashtbl.create (List.length subs) }
+      in
+      Hashtbl.replace t.reducing root st;
+      (* #4: send each client its inclusion proof. *)
+      Array.iteri
+        (fun i e ->
+          let proof = Merkle.prove tree i in
+          t.send_client ~client:e.Batch.e_id
+            ~bytes:(Wire.inclusion_bytes ~count:(Array.length entries))
+            (Inclusion { root; proof; agg_seq; evidence = t.evidence }))
+        entries;
+      Engine.schedule t.engine ~delay:t.cfg.reduce_timeout (fun () -> reduce t root)
+    end
+  end
+
+(* --- reduce: aggregate shares, build the distilled batch (#7) ------------ *)
+
+and reduce t root =
+  match Hashtbl.find_opt t.reducing root with
+  | None -> ()
+  | Some st ->
+    if not t.crashed then begin
+      Hashtbl.remove t.reducing root;
+      (* Verify the shares in aggregate; isolate invalid ones in log time
+         (§5.1 tree-search). *)
+      let share_list =
+        Hashtbl.fold
+          (fun id share acc -> (id, Directory.ms_pk t.dir id, share) :: acc)
+          st.r_shares []
+      in
+      Cpu.charge t.cpu
+        ~cost:
+          (Cost.bls_aggregate_sigs (List.length share_list)
+          +. Cost.bls_aggregate_pks (List.length share_list)
+          +. Cost.bls_verify);
+      let statement = Types.reduction_statement ~root in
+      let agg_all =
+        Multisig.aggregate_signatures (List.map (fun (_, _, s) -> s) share_list)
+      in
+      let pk_all =
+        Multisig.aggregate_public_keys (List.map (fun (_, pk, _) -> pk) share_list)
+      in
+      let valid_shares =
+        if share_list = [] then []
+        else if Multisig.verify pk_all statement agg_all then share_list
+        else begin
+          let entries = List.map (fun (_, pk, s) -> (pk, s)) share_list in
+          let bad = Multisig.find_invalid entries statement in
+          Cpu.charge t.cpu
+            ~cost:(float_of_int (List.length bad + 1) *. Cost.bls_verify *. 8.);
+          List.filteri (fun i _ -> not (List.mem i bad)) share_list
+        end
+      in
+      let reduced_ids = List.map (fun (id, _, _) -> id) valid_shares in
+      let reduced = Hashtbl.create (List.length reduced_ids) in
+      List.iter (fun id -> Hashtbl.replace reduced id ()) reduced_ids;
+      let stragglers =
+        Array.of_list
+          (Array.to_list st.r_entries
+          |> List.filter_map (fun e ->
+                 if Hashtbl.mem reduced e.Batch.e_id then None
+                 else
+                   let s = Hashtbl.find st.r_subs e.Batch.e_id in
+                   Some { Batch.s_id = s.sub_id; s_seq = s.sub_seq; s_sig = s.sub_tsig }))
+      in
+      let agg_sig =
+        match valid_shares with
+        | [] -> None
+        | shares ->
+          Some (Multisig.aggregate_signatures (List.map (fun (_, _, s) -> s) shares))
+      in
+      let number = t.number in
+      t.number <- number + 1;
+      let batch =
+        Batch.make_explicit ~broker:t.cfg.broker_id ~number ~entries:st.r_entries
+          ~agg_seq:st.r_agg_seq ~stragglers ~agg_sig
+      in
+      launch t batch ~on_complete:None
+    end
+
+(* --- dissemination & witnessing (#8–#12) --------------------------------- *)
+
+and launch t batch ~on_complete =
+  t.entries_launched <- t.entries_launched + Batch.count batch;
+  t.stragglers_launched <- t.stragglers_launched + Batch.straggler_count batch;
+  let root = Batch.identity_root batch in
+  let fl =
+    { w_batch = batch; w_root = root;
+      w_reduction_root = Batch.reduction_root batch;
+      w_base =
+        (* Hash-spread, not plain [number mod n]: many brokers start their
+           numbering at 0 simultaneously, which would pile the witness
+           load onto the same servers. *)
+        (((batch.Batch.number * 0x9E3779B1) lxor (t.cfg.broker_id * 0x85EBCA77))
+         land max_int)
+        mod t.cfg.n_servers;
+      w_shards = []; w_asked = min t.cfg.n_servers (t.f + 1 + t.cfg.witness_margin);
+      w_witness = None;
+      w_submit_target =
+        (batch.Batch.number + (t.cfg.broker_id * 7)) mod t.cfg.n_servers;
+      w_acked = false;
+      w_completions = Hashtbl.create 4; w_exceptions = Hashtbl.create 4;
+      w_done = false; w_on_complete = on_complete }
+  in
+  Hashtbl.replace t.flight root fl;
+  let bytes = Batch.wire_bytes ~clients:t.cfg.clients batch in
+  Cpu.charge t.cpu
+    ~cost:(float_of_int (bytes * t.cfg.n_servers) *. Cost.serialize_per_byte);
+  for dst = 0 to t.cfg.n_servers - 1 do
+    (* Rotate the witnessing set with the batch number so the verification
+       load spreads over all servers (and degrades gracefully when some
+       crash, Fig. 11a). *)
+    let slot = (dst - fl.w_base + t.cfg.n_servers) mod t.cfg.n_servers in
+    t.send_server ~dst ~bytes
+      (Batch_announce { batch; witness_requested = slot < fl.w_asked })
+  done;
+  arm_witness_extension t root
+
+and arm_witness_extension t root =
+  Engine.schedule t.engine ~delay:t.cfg.witness_timeout (fun () ->
+      match Hashtbl.find_opt t.flight root with
+      | Some fl when fl.w_witness = None && not t.crashed ->
+        if fl.w_asked < t.cfg.n_servers then begin
+          let upto = min t.cfg.n_servers (fl.w_asked + t.f) in
+          for slot = fl.w_asked to upto - 1 do
+            let dst = (fl.w_base + slot) mod t.cfg.n_servers in
+            t.send_server ~dst ~bytes:Wire.witness_request_bytes
+              (Witness_request { root })
+          done;
+          fl.w_asked <- upto;
+          arm_witness_extension t root
+        end
+      | Some _ | None -> ())
+
+and on_witness_shard t ~src fl share =
+  if fl.w_witness = None then begin
+    Cpu.charge t.cpu ~cost:Cost.bls_verify;
+    let statement =
+      Certs.witness_statement ~root:fl.w_root ~broker:t.cfg.broker_id
+        ~number:fl.w_batch.Batch.number
+    in
+    if Multisig.verify (t.server_ms_pk src) statement share
+       && not (List.mem_assoc src fl.w_shards)
+    then begin
+      fl.w_shards <- (src, share) :: fl.w_shards;
+      if List.length fl.w_shards >= t.f + 1 then begin
+        let witness = Certs.assemble fl.w_shards in
+        fl.w_witness <- Some witness;
+        submit_ref t fl witness
+      end
+    end
+  end
+
+and submit_ref t fl witness =
+  (* #12: hand (root, witness) to one server to relay into the STOB;
+     rotate to the next server if no acknowledgement arrives. *)
+  t.send_server ~dst:fl.w_submit_target ~bytes:Wire.stob_submission_bytes
+    (Submit { root = fl.w_root; number = fl.w_batch.Batch.number; witness });
+  Engine.schedule t.engine ~delay:t.cfg.submit_timeout (fun () ->
+      if (not fl.w_acked) && (not fl.w_done) && not t.crashed then begin
+        fl.w_submit_target <- (fl.w_submit_target + 1) mod t.cfg.n_servers;
+        submit_ref t fl witness
+      end)
+
+(* --- completion (#17, #18) ------------------------------------------------ *)
+
+and on_completion_shard t ~src fl ~counter ~exceptions share =
+  if not fl.w_done then begin
+    let exc_hash = Certs.exceptions_hash exceptions in
+    let key = (counter, exc_hash) in
+    Cpu.charge t.cpu ~cost:Cost.bls_verify;
+    let statement = Certs.completion_statement ~root:fl.w_root ~counter ~exc_hash in
+    if Multisig.verify (t.server_ms_pk src) statement share then begin
+      let prev = Option.value (Hashtbl.find_opt fl.w_completions key) ~default:[] in
+      if not (List.mem_assoc src prev) then begin
+        let shards = (src, share) :: prev in
+        Hashtbl.replace fl.w_completions key shards;
+        Hashtbl.replace fl.w_exceptions key exceptions;
+        if List.length shards >= t.f + 1 then finish t fl ~counter ~exceptions shards
+      end
+    end
+  end
+
+and finish t fl ~counter ~exceptions shards =
+  fl.w_done <- true;
+  let qc = Certs.assemble shards in
+  let cert = { Certs.root = fl.w_root; counter; exceptions; qc } in
+  if cert.counter > evidence_counter t then t.evidence <- Some cert;
+  t.completed <- t.completed + 1;
+  (match fl.w_on_complete with
+   | Some k -> k cert
+   | None ->
+     (* #18: distribute the delivery certificate to every client of the
+        batch, with its inclusion proof in the identity root. *)
+     (match fl.w_batch.Batch.entries with
+      | Batch.Explicit entries ->
+        let leaves =
+          Array.map
+            (fun e ->
+              let seq =
+                match
+                  Array.find_opt
+                    (fun s -> s.Batch.s_id = e.Batch.e_id)
+                    fl.w_batch.Batch.stragglers
+                with
+                | Some s -> s.s_seq
+                | None -> fl.w_batch.Batch.agg_seq
+              in
+              (e.Batch.e_id, seq, Batch.leaf ~id:e.Batch.e_id ~seq e.Batch.e_msg))
+            entries
+        in
+        let tree = Merkle.build (Array.map (fun (_, _, l) -> l) leaves) in
+        Array.iteri
+          (fun i (id, seq, _) ->
+            let proof = Merkle.prove tree i in
+            t.send_client ~client:id ~bytes:Wire.delivery_cert_bytes
+              (Deliver_cert { cert; seq; proof = Some proof }))
+          leaves
+      | Batch.Dense _ -> ()));
+  Hashtbl.remove t.flight fl.w_root
+
+(* --- entry points ---------------------------------------------------------- *)
+
+let start t =
+  Engine.every t.engine ~period:t.cfg.flush_period (fun () ->
+      if not t.crashed then flush t)
+
+let receive_client t msg =
+  if not t.crashed then
+    match msg with
+    | Proto.Submission { id; seq; msg; tsig; evidence } ->
+      (* Legitimacy screening with the cached-best rule (§5.1). *)
+      (match evidence with Some e -> note_evidence t e | None -> ());
+      if Certs.legitimizes t.evidence seq then
+        accept_submission t { sub_id = id; sub_seq = seq; sub_msg = msg; sub_tsig = tsig }
+    | Proto.Reduction { id; root; share } ->
+      (match Hashtbl.find_opt t.reducing root with
+       | Some st when Hashtbl.mem st.r_subs id ->
+         (* Shares are stored now, verified in aggregate at reduce time. *)
+         Hashtbl.replace st.r_shares id share
+       | Some _ | None -> ())
+    | Proto.Signup_request { card; nonce } ->
+      if not (Hashtbl.mem t.signups_seen nonce) then begin
+        Hashtbl.add t.signups_seen nonce ();
+        t.stob_signup
+          (Stob_item.Signup { card; reply_broker = t.cfg.broker_id; nonce })
+      end
+
+let receive_server t ~src msg =
+  if not t.crashed then
+    match msg with
+    | Proto.Witness_shard { root; share } ->
+      (match Hashtbl.find_opt t.flight root with
+       | Some fl -> on_witness_shard t ~src fl share
+       | None -> ())
+    | Proto.Completion_shard { root; counter; exceptions; share } ->
+      (match Hashtbl.find_opt t.flight root with
+       | Some fl -> on_completion_shard t ~src fl ~counter ~exceptions share
+       | None -> ())
+    | Proto.Submit_ack { root } ->
+      (match Hashtbl.find_opt t.flight root with
+       | Some fl -> fl.w_acked <- true
+       | None -> ())
+    | Proto.Signup_done { nonce; id } ->
+      if Hashtbl.mem t.signups_seen nonce then begin
+        Hashtbl.remove t.signups_seen nonce;
+        t.send_anon ~nonce ~bytes:(Wire.header_bytes + 16)
+          (Signup_response { nonce; id })
+      end
+
+let submit_prebuilt t batch ~on_complete =
+  if not t.crashed then begin
+    (* Renumber with this broker's own counter: pre-built batches share
+       the (broker, number) namespace with batches distilled from live
+       client submissions, and servers deduplicate on that pair. *)
+    let batch = { batch with Batch.number = t.number } in
+    t.number <- t.number + 1;
+    launch t batch ~on_complete:(Some on_complete)
+  end
+
+let crash t = t.crashed <- true

@@ -1,0 +1,76 @@
+(** Chop Chop broker (Appx. B.2.2, §5.1).
+
+    Brokers are the untrusted distillation workhorses: they collect client
+    submissions, propose a batch (Merkle root + aggregate sequence
+    number), gather the clients' multi-signature shares, aggregate them,
+    ship the distilled batch to the servers, drive the witness round, hand
+    the batch reference to the server-run Atomic Broadcast, and finally
+    distribute delivery certificates back to the clients.
+
+    The §5.1 engineering is implemented: submissions are authenticated in
+    bulk with Schnorr batch verification; reduction shares are verified in
+    aggregate, with logarithmic tree-search isolation of invalid shares
+    ({!Repro_crypto.Multisig.find_invalid}); legitimacy proofs are cached
+    (only a certificate higher than the best seen is ever verified).
+
+    Load brokers (§6.2) reuse the pipeline from {!submit_prebuilt}
+    onwards, skipping the interactive distillation they pre-computed. *)
+
+type t
+
+type config = {
+  broker_id : int;
+  n_servers : int;
+  clients : int; (* directory size, for wire arithmetic *)
+  flush_period : float; (* batch collection window (1 s in §5.1) *)
+  reduce_timeout : float; (* distillation timeout (1 s in §5.1) *)
+  witness_margin : int; (* ask f+1+margin servers for shards (§6.2) *)
+  witness_timeout : float; (* extend the witnessing set after this *)
+  submit_timeout : float; (* re-target the STOB relay after this *)
+  max_batch : int; (* cap on entries per batch (65,536 in §6.2) *)
+}
+
+val default_config : n_servers:int -> clients:int -> config
+
+val create :
+  engine:Repro_sim.Engine.t ->
+  cpu:Repro_sim.Cpu.t ->
+  config:config ->
+  directory:Directory.t ->
+  server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
+  send_server:(dst:int -> bytes:int -> Proto.broker_to_server -> unit) ->
+  send_client:(client:Types.client_id -> bytes:int -> Proto.broker_to_client -> unit) ->
+  send_anon:(nonce:int -> bytes:int -> Proto.broker_to_client -> unit) ->
+  stob_signup:(Stob_item.t -> unit) ->
+  unit ->
+  t
+
+val start : t -> unit
+(** Arm the periodic flush. *)
+
+val receive_client : t -> Proto.client_to_broker -> unit
+val receive_server : t -> src:int -> Proto.server_to_broker -> unit
+
+val submit_prebuilt : t -> Batch.t -> on_complete:(Certs.delivery_cert -> unit) -> unit
+(** Inject a pre-distilled batch (load brokers): runs dissemination,
+    witnessing, submission and completion, then invokes [on_complete]. *)
+
+val crash : t -> unit
+
+(* Introspection. *)
+
+val batches_in_flight : t -> int
+
+val flight_numbers : t -> (int * bool * bool) list
+(** (number, done, witnessed) per in-flight batch — diagnostics. *)
+
+(** [stage_counts t] is (reducing, awaiting witness, awaiting completion)
+    — diagnostics. *)
+val stage_counts : t -> int * int * int
+val batches_completed : t -> int
+val best_evidence : t -> Certs.delivery_cert option
+
+val distillation_ratio : t -> float
+(** Fraction of launched entries covered by the aggregate multi-signature
+    (1.0 = fully distilled; drops when clients miss the reduction window,
+    e.g. under packet loss, §4.2/§5.1). *)

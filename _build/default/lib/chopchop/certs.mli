@@ -1,0 +1,61 @@
+(** Server-signed quorum certificates.
+
+    Three kinds of statements circulate in Chop Chop, all multi-signed by
+    servers and aggregated by brokers into f+1 quorum certificates:
+
+    - {e witness} statements (#10–#11): a batch is well-formed and
+      retrievable;
+    - {e completion} statements (#16–#17): a batch was delivered as the
+      [counter]-th one, with the given per-client exceptions;
+    - {e legitimacy} is carried by completion certificates (§4.2): a
+      certificate with delivery counter [n] proves every sequence number
+      [< n] legitimate, bounding how far a Byzantine client can push the
+      aggregate sequence number. *)
+
+type quorum_cert = {
+  signers : int list; (* distinct server indices *)
+  agg : Repro_crypto.Multisig.signature;
+}
+
+val witness_statement : root:string -> broker:int -> number:int -> string
+
+val completion_statement : root:string -> counter:int -> exc_hash:string -> string
+
+val exceptions_hash : (Types.client_id * Types.sequence_number) list -> string
+
+val sign_shard :
+  Repro_crypto.Multisig.secret_key -> string -> Repro_crypto.Multisig.signature
+
+val assemble : (int * Repro_crypto.Multisig.signature) list -> quorum_cert
+(** Aggregate shards into a certificate (signer list is deduplicated and
+    sorted). *)
+
+val verify :
+  statement:string ->
+  server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
+  quorum:int ->
+  quorum_cert ->
+  bool
+(** At least [quorum] distinct signers and a valid aggregate. *)
+
+type delivery_cert = {
+  root : string;
+  counter : int; (* global batch-delivery counter when signed *)
+  exceptions : (Types.client_id * Types.sequence_number) list;
+  qc : quorum_cert;
+}
+(** Completion certificate (#18): proves delivery of the batch committed
+    to by [root]; doubles as the legitimacy proof [l_counter]. *)
+
+val verify_delivery :
+  server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
+  quorum:int ->
+  delivery_cert ->
+  bool
+
+val legitimizes : delivery_cert option -> Types.sequence_number -> bool
+(** [legitimizes evidence k]: [k = 0] needs no evidence; otherwise the
+    certificate's counter must reach [k].  (§4.2 induction: the largest
+    sequence number submitted to the (n+1)-th batch is n, so a
+    certificate for n batches delivered legitimises k <= n — a strictly
+    smaller bound would deadlock a lone client at its second message.) *)

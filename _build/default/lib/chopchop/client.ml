@@ -1,0 +1,192 @@
+module Engine = Repro_sim.Engine
+module Schnorr = Repro_crypto.Schnorr
+module Multisig = Repro_crypto.Multisig
+module Merkle = Repro_crypto.Merkle
+
+type config = {
+  brokers : int list;
+  resubmit_timeout : float;
+  n_servers : int;
+  clients : int;
+}
+
+type in_flight = {
+  fl_msg : Types.message;
+  fl_seq : int; (* sequence number submitted (#2) *)
+  mutable fl_adopted : int; (* aggregate sequence number adopted, >= fl_seq *)
+  mutable fl_signed_roots : string list;
+  fl_started : float;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  kp : Types.keypair;
+  f : int;
+  server_ms_pk : int -> Multisig.public_key;
+  send_broker : broker:int -> bytes:int -> Proto.client_to_broker -> unit;
+  on_delivered : Types.message -> latency:float -> unit;
+  nonce : int;
+  mutable id : Types.client_id option;
+  mutable broker_idx : int;
+  mutable seq : int; (* next sequence number to use *)
+  mutable evidence : Certs.delivery_cert option;
+  queue : Types.message Queue.t;
+  mutable flight : in_flight option;
+  mutable epoch : int; (* invalidates stale resubmit timers *)
+  mutable completed : int;
+  mutable crashed : bool;
+  mutable bad_share : bool;
+  mutable mute_reduction : bool;
+  mutable signup_in_progress : bool;
+}
+
+let create ~engine ~config ~keypair ~server_ms_pk ~send_broker
+    ?(on_delivered = fun _ ~latency:_ -> ()) ?(nonce = 0) () =
+  { engine; cfg = config; kp = keypair; f = (config.n_servers - 1) / 3;
+    server_ms_pk; send_broker; on_delivered; nonce;
+    id = None; broker_idx = 0; seq = 0; evidence = None;
+    queue = Queue.create (); flight = None; epoch = 0; completed = 0;
+    crashed = false; bad_share = false; mute_reduction = false;
+    signup_in_progress = false }
+
+let id t = t.id
+let pending t = Queue.length t.queue + match t.flight with Some _ -> 1 | None -> 0
+let completed t = t.completed
+let last_sequence t = t.seq - 1
+let crash t = t.crashed <- true
+let misbehave_bad_share t = t.bad_share <- true
+let misbehave_mute_reduction t = t.mute_reduction <- true
+
+let current_broker t = List.nth t.cfg.brokers (t.broker_idx mod List.length t.cfg.brokers)
+
+let next_broker t = t.broker_idx <- t.broker_idx + 1
+
+let msg_bytes t = match t.flight with Some fl -> String.length fl.fl_msg | None -> 8
+
+(* --- sign-up (Appx. C) ---------------------------------------------------- *)
+
+let rec signup t =
+  if t.id = None && not t.crashed then begin
+    t.signup_in_progress <- true;
+    t.send_broker ~broker:(current_broker t)
+      ~bytes:(Wire.header_bytes + (2 * Wire.pk_bytes) + 8)
+      (Signup_request { card = t.kp.card; nonce = t.nonce });
+    let epoch = t.epoch in
+    Engine.schedule t.engine ~delay:t.cfg.resubmit_timeout (fun () ->
+        if t.id = None && t.epoch = epoch && not t.crashed then begin
+          next_broker t;
+          signup t
+        end)
+  end
+
+(* --- submission (#2) ------------------------------------------------------- *)
+
+let rec submit t =
+  match (t.flight, t.id) with
+  | Some fl, Some id when not t.crashed ->
+    let tsig =
+      Schnorr.sign t.kp.sig_sk (Types.message_statement ~id ~seq:fl.fl_seq fl.fl_msg)
+    in
+    t.send_broker ~broker:(current_broker t)
+      ~bytes:(Wire.submission_bytes ~clients:t.cfg.clients ~msg_bytes:(msg_bytes t))
+      (Submission { id; seq = fl.fl_seq; msg = fl.fl_msg; tsig; evidence = t.evidence });
+    let epoch = t.epoch in
+    Engine.schedule t.engine ~delay:t.cfg.resubmit_timeout (fun () ->
+        if t.epoch = epoch && t.flight <> None && not t.crashed then begin
+          (* No progress: fall back on a different broker (§4.4.2). *)
+          next_broker t;
+          submit t
+        end)
+  | _ -> ()
+
+let launch_next t =
+  if t.flight = None && not (Queue.is_empty t.queue) && t.id <> None && not t.crashed
+  then begin
+    let msg = Queue.pop t.queue in
+    t.flight <-
+      Some { fl_msg = msg; fl_seq = t.seq; fl_adopted = t.seq;
+             fl_signed_roots = []; fl_started = Engine.now t.engine };
+    t.epoch <- t.epoch + 1;
+    submit t
+  end
+
+let broadcast t msg =
+  Queue.add msg t.queue;
+  launch_next t
+
+(* --- inclusion & reduction (#4–#6) ----------------------------------------- *)
+
+let on_inclusion t ~root ~proof ~agg_seq ~evidence =
+  match (t.flight, t.id) with
+  | Some fl, Some id when not t.mute_reduction ->
+    (* The proof must commit to exactly our payload under the aggregate
+       sequence number (a forging broker fails here, §4.2). *)
+    let leaf = Batch.leaf ~id ~seq:agg_seq fl.fl_msg in
+    if
+      Merkle.verify root ~leaf proof
+      && agg_seq >= fl.fl_seq
+      && (agg_seq = fl.fl_seq || Certs.legitimizes evidence agg_seq)
+      && (match evidence with
+          | None -> agg_seq = fl.fl_seq
+          | Some e ->
+            Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) e)
+    then begin
+      fl.fl_adopted <- max fl.fl_adopted agg_seq;
+      fl.fl_signed_roots <- root :: fl.fl_signed_roots;
+      let share =
+        if t.bad_share then Multisig.forge_garbage ()
+        else Multisig.sign t.kp.ms_sk (Types.reduction_statement ~root)
+      in
+      t.send_broker ~broker:(current_broker t) ~bytes:Wire.reduction_bytes
+        (Reduction { id; root; share })
+    end
+  | _ -> ()
+
+(* --- completion (#18–#19) --------------------------------------------------- *)
+
+let on_deliver_cert t ~cert ~seq ~proof =
+  match (t.flight, t.id) with
+  | Some fl, Some id ->
+    if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) cert
+    then begin
+      (* Track the freshest legitimacy evidence regardless of whose batch
+         this certifies. *)
+      (match t.evidence with
+       | Some e when e.Certs.counter >= cert.Certs.counter -> ()
+       | Some _ | None -> t.evidence <- Some cert);
+      let ours =
+        match proof with
+        | Some proof ->
+          Merkle.verify cert.Certs.root ~leaf:(Batch.leaf ~id ~seq fl.fl_msg) proof
+        | None -> false
+      in
+      let replayed = List.mem_assoc id cert.Certs.exceptions in
+      if ours || replayed then begin
+        t.seq <- max t.seq (max fl.fl_adopted seq) + 1;
+        t.flight <- None;
+        t.epoch <- t.epoch + 1;
+        t.completed <- t.completed + 1;
+        t.on_delivered fl.fl_msg ~latency:(Engine.now t.engine -. fl.fl_started);
+        launch_next t
+      end
+    end
+  | _ -> ()
+
+let receive t msg =
+  if not t.crashed then
+    match msg with
+    | Proto.Inclusion { root; proof; agg_seq; evidence } ->
+      on_inclusion t ~root ~proof ~agg_seq ~evidence
+    | Proto.Deliver_cert { cert; seq; proof } -> on_deliver_cert t ~cert ~seq ~proof
+    | Proto.Signup_response { nonce; id } ->
+      if nonce = t.nonce && t.id = None then begin
+        t.id <- Some id;
+        t.signup_in_progress <- false;
+        t.epoch <- t.epoch + 1;
+        launch_next t
+      end
+
+let force_identity t id =
+  t.id <- Some id;
+  launch_next t

@@ -1,0 +1,413 @@
+module Engine = Repro_sim.Engine
+module Net = Repro_sim.Net
+module Cpu = Repro_sim.Cpu
+module Region = Repro_sim.Region
+module Multisig = Repro_crypto.Multisig
+
+type underlay = Sequencer | Pbft | Hotstuff
+
+type config = {
+  n_servers : int;
+  n_brokers : int;
+  underlay : underlay;
+  dense_clients : int;
+  gc_period : float;
+  flush_period : float;
+  reduce_timeout : float;
+  witness_margin : int;
+  max_batch : int;
+  net_loss : float;
+  seed : int64;
+  stob_batch_timeout : float; (* underlay leader batching window *)
+}
+
+let default_config =
+  { n_servers = 4; n_brokers = 2; underlay = Sequencer; dense_clients = 0;
+    gc_period = 0.5; flush_period = 0.2; reduce_timeout = 0.2;
+    witness_margin = 1; max_batch = 65_536; net_loss = 0.; seed = 42L;
+    stob_batch_timeout = 0.05 }
+
+let margin_for_size n =
+  if n <= 8 then 0 else if n <= 16 then 1 else if n <= 32 then 2 else 4
+
+let paper_config ~n_servers ~underlay =
+  { n_servers; n_brokers = 6; underlay; dense_clients = 257_000_000;
+    gc_period = 0.5; flush_period = 1.0; reduce_timeout = 1.0;
+    witness_margin = margin_for_size n_servers; max_batch = 65_536;
+    net_loss = 0.; seed = 42L; stob_batch_timeout = 0.1 }
+
+type msg =
+  | C2b_udp of Proto.client_to_broker Repro_sim.Rudp.packet
+  | B2c_udp of Proto.broker_to_client Repro_sim.Rudp.packet
+  | B2s of Proto.broker_to_server
+  | S2b of Proto.server_to_broker
+  | S2s of Proto.server_to_server
+  | Stob_seq of Stob_item.t Repro_stob.Sequencer.msg
+  | Stob_pbft of Stob_item.t Repro_stob.Pbft.msg
+  | Stob_hs of Stob_item.t Repro_stob.Hotstuff.msg
+
+type stob_handle = {
+  sh_broadcast : Stob_item.t -> unit;
+  sh_receive : src:int -> msg -> unit;
+  sh_crash : unit -> unit;
+}
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  net : msg Net.t;
+  mutable servers : Server.t array;
+  server_cpus : Cpu.t array;
+  server_pks : Multisig.public_key array;
+  mutable stobs : stob_handle array;
+  mutable brokers : (Broker.t * int) array; (* (broker, node id) *)
+  broker_of_node : (int, int) Hashtbl.t;
+  client_nodes : (Types.client_id, int) Hashtbl.t; (* client id -> node *)
+  clients_by_node : (int, Client.t) Hashtbl.t;
+  mutable next_node : int;
+  mutable deliver_hook : int -> Proto.delivery -> unit;
+  (* Reliable-UDP channels for client<->broker traffic (§5.1): one sender
+     and one receiver per directed (origin node, peer node) pair, created
+     lazily.  ACKs ride the same union member in the reverse direction. *)
+  c2b_send : (int * int, Proto.client_to_broker Repro_sim.Rudp.sender) Hashtbl.t;
+  c2b_recv : (int * int, Proto.client_to_broker Repro_sim.Rudp.receiver) Hashtbl.t;
+  b2c_send : (int * int, Proto.broker_to_client Repro_sim.Rudp.sender) Hashtbl.t;
+  b2c_recv : (int * int, Proto.broker_to_client Repro_sim.Rudp.receiver) Hashtbl.t;
+}
+
+let get_or_create tbl key mk =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = mk () in
+    Hashtbl.add tbl key v;
+    v
+
+(* client -> broker data channel, from the client's side *)
+let c2b_sender t ~client_node ~broker_node =
+  get_or_create t.c2b_send (client_node, broker_node) (fun () ->
+      Repro_sim.Rudp.sender ~engine:t.engine
+        ~transmit:(fun pkt ->
+          Net.send_lossy t.net ~src:client_node ~dst:broker_node
+            ~bytes:(Repro_sim.Rudp.packet_bytes pkt) (C2b_udp pkt))
+        ())
+
+(* ...and its receiving end at the broker *)
+let c2b_receiver t b ~client_node ~broker_node =
+  get_or_create t.c2b_recv (client_node, broker_node) (fun () ->
+      Repro_sim.Rudp.receiver
+        ~deliver:(fun m -> Broker.receive_client b m)
+        ~send_ack:(fun seq ->
+          Net.send_lossy t.net ~src:broker_node ~dst:client_node
+            ~bytes:Repro_sim.Rudp.ack_wire (C2b_udp (Repro_sim.Rudp.Ack { seq })))
+        ())
+
+let b2c_sender t ~broker_node ~client_node =
+  get_or_create t.b2c_send (broker_node, client_node) (fun () ->
+      Repro_sim.Rudp.sender ~engine:t.engine
+        ~transmit:(fun pkt ->
+          Net.send_lossy t.net ~src:broker_node ~dst:client_node
+            ~bytes:(Repro_sim.Rudp.packet_bytes pkt) (B2c_udp pkt))
+        ())
+
+let b2c_receiver t c ~broker_node ~client_node =
+  get_or_create t.b2c_recv (broker_node, client_node) (fun () ->
+      Repro_sim.Rudp.receiver
+        ~deliver:(fun m ->
+          (match m with
+           | Proto.Signup_response { id; _ } -> Hashtbl.replace t.client_nodes id client_node
+           | Proto.Inclusion _ | Proto.Deliver_cert _ -> ());
+          Client.receive c m)
+        ~send_ack:(fun seq ->
+          Net.send_lossy t.net ~src:client_node ~dst:broker_node
+            ~bytes:Repro_sim.Rudp.ack_wire (B2c_udp (Repro_sim.Rudp.Ack { seq })))
+        ())
+
+let engine t = t.engine
+let config t = t.cfg
+let servers t = t.servers
+let broker t i = fst t.brokers.(i)
+let n_brokers t = Array.length t.brokers
+let broker_node_id t i = snd t.brokers.(i)
+
+let run t ~until = Engine.run ~until t.engine
+
+let server_ingress_bytes t i = Net.bytes_received t.net i
+let server_cpu_utilization t i ~since = Cpu.utilization t.server_cpus.(i) ~since
+let total_delivered_messages t = Server.delivered_messages t.servers.(0)
+
+let server_deliver_hook t hook = t.deliver_hook <- hook
+
+(* --- STOB instantiation ------------------------------------------------- *)
+
+let make_stob t ~self ~deliver =
+  let n = t.cfg.n_servers in
+  let engine = t.engine and net = t.net in
+  match t.cfg.underlay with
+  | Sequencer ->
+    let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_seq m) in
+    let st =
+      Repro_stob.Sequencer.create ~engine ~self ~n ~send ~deliver
+        ~payload_bytes:Stob_item.wire_bytes ()
+    in
+    { sh_broadcast = Repro_stob.Sequencer.broadcast st;
+      sh_receive =
+        (fun ~src m ->
+          match m with
+          | Stob_seq m -> Repro_stob.Sequencer.receive st ~src m
+          | _ -> ());
+      sh_crash = (fun () -> Repro_stob.Sequencer.crash st) }
+  | Pbft ->
+    let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_pbft m) in
+    let st =
+      Repro_stob.Pbft.create ~engine ~self ~n ~send ~deliver
+        ~payload_bytes:Stob_item.wire_bytes
+        ~batch_timeout:t.cfg.stob_batch_timeout ()
+    in
+    { sh_broadcast = Repro_stob.Pbft.broadcast st;
+      sh_receive =
+        (fun ~src m ->
+          match m with Stob_pbft m -> Repro_stob.Pbft.receive st ~src m | _ -> ());
+      sh_crash = (fun () -> Repro_stob.Pbft.crash st) }
+  | Hotstuff ->
+    let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_hs m) in
+    let st =
+      Repro_stob.Hotstuff.create ~engine ~self ~n ~send ~deliver
+        ~payload_bytes:Stob_item.wire_bytes
+        ~batch_timeout:(Float.max 0.3 t.cfg.stob_batch_timeout) ()
+    in
+    { sh_broadcast = Repro_stob.Hotstuff.broadcast st;
+      sh_receive =
+        (fun ~src m ->
+          match m with
+          | Stob_hs m -> Repro_stob.Hotstuff.receive st ~src m
+          | _ -> ());
+      sh_crash = (fun () -> Repro_stob.Hotstuff.crash st) }
+
+(* --- brokers -------------------------------------------------------------- *)
+
+let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch =
+  let broker_id = Array.length t.brokers in
+  let node = t.next_node in
+  t.next_node <- node + 1;
+  let cpu = Cpu.create t.engine () in
+  let cfg_b =
+    { Broker.broker_id; n_servers = t.cfg.n_servers;
+      clients = max t.cfg.dense_clients 1024;
+      flush_period; reduce_timeout;
+      witness_margin = t.cfg.witness_margin;
+      witness_timeout = 2.0; submit_timeout = 4.0; max_batch }
+  in
+  (* Brokers read any server's directory view: all correct servers hold the
+     same one (signups flow through the STOB).  Use server 0's. *)
+  let directory = Server.directory t.servers.(0) in
+  let b =
+    Broker.create ~engine:t.engine ~cpu ~config:cfg_b ~directory
+      ~server_ms_pk:(fun j -> t.server_pks.(j))
+      ~send_server:(fun ~dst ~bytes m -> Net.send t.net ~src:node ~dst ~bytes (B2s m))
+      ~send_client:(fun ~client ~bytes m ->
+        match Hashtbl.find_opt t.client_nodes client with
+        | Some dst ->
+          Repro_sim.Rudp.send (b2c_sender t ~broker_node:node ~client_node:dst) ~bytes m
+        | None -> ())
+      ~send_anon:(fun ~nonce ~bytes m ->
+        (* Sign-up responses route by nonce = the client's node id. *)
+        Repro_sim.Rudp.send (b2c_sender t ~broker_node:node ~client_node:nonce) ~bytes m)
+      ~stob_signup:(fun item ->
+        (* Brokers are clients of the STOB: relay sign-ups via a server. *)
+        match item with
+        | Stob_item.Signup { card; nonce; _ } ->
+          Net.send t.net ~src:node ~dst:(broker_id mod t.cfg.n_servers)
+            ~bytes:(Stob_item.wire_bytes item)
+            (B2s (Proto.Relay_signup { card; nonce }))
+        | Stob_item.Batch_ref _ -> ())
+      ()
+  in
+  Net.add_node t.net ~id:node ~region
+    ~handler:(fun ~src m ->
+      match m with
+      | C2b_udp (Repro_sim.Rudp.Data _ as pkt) ->
+        Repro_sim.Rudp.receiver_on_data
+          (c2b_receiver t b ~client_node:src ~broker_node:node) pkt
+      | B2c_udp (Repro_sim.Rudp.Ack { seq }) ->
+        (match Hashtbl.find_opt t.b2c_send (node, src) with
+         | Some sender -> Repro_sim.Rudp.sender_on_ack sender seq
+         | None -> ())
+      | S2b m -> Broker.receive_server b ~src m
+      | C2b_udp (Repro_sim.Rudp.Ack _) | B2c_udp (Repro_sim.Rudp.Data _)
+      | B2s _ | S2s _ | Stob_seq _ | Stob_pbft _ | Stob_hs _ -> ())
+    ();
+  Hashtbl.replace t.broker_of_node node broker_id;
+  t.brokers <- Array.append t.brokers [| (b, node) |];
+  Broker.start b;
+  broker_id
+
+(* --- construction ----------------------------------------------------------- *)
+
+let create cfg =
+  let engine = Engine.create ~seed:cfg.seed () in
+  let net = Net.create engine ~loss:cfg.net_loss () in
+  let n = cfg.n_servers in
+  let server_regions = Array.of_list (Region.server_regions_for n) in
+  let server_cpus = Array.init n (fun _ -> Cpu.create engine ()) in
+  let server_identities =
+    Array.init n (fun i ->
+        Multisig.keygen_deterministic ~seed:(Printf.sprintf "server-%d" i))
+  in
+  let server_pks = Array.map snd server_identities in
+  let t =
+    { cfg; engine; net;
+      servers = [||]; server_cpus; server_pks; stobs = [||]; brokers = [||];
+      broker_of_node = Hashtbl.create 16;
+      client_nodes = Hashtbl.create 1024;
+      clients_by_node = Hashtbl.create 1024;
+      next_node = n;
+      deliver_hook = (fun _ _ -> ());
+      c2b_send = Hashtbl.create 64; c2b_recv = Hashtbl.create 64;
+      b2c_send = Hashtbl.create 64; b2c_recv = Hashtbl.create 64 }
+  in
+  (* Server network nodes dispatch into the (not yet built) instances via t. *)
+  for i = 0 to n - 1 do
+    Net.add_node net ~id:i ~region:server_regions.(i)
+      ~handler:(fun ~src m ->
+        match m with
+        | B2s m ->
+          (match
+             (Hashtbl.find_opt t.broker_of_node src, Array.length t.servers > i)
+           with
+           | Some b, true -> Server.receive_broker t.servers.(i) ~src_broker:b m
+           | _ -> ())
+        | S2s m ->
+          if Array.length t.servers > i then Server.receive_server t.servers.(i) ~src m
+        | Stob_seq _ | Stob_pbft _ | Stob_hs _ ->
+          if Array.length t.stobs > i then t.stobs.(i).sh_receive ~src m
+        | C2b_udp _ | B2c_udp _ | S2b _ -> ())
+      ()
+  done;
+  let servers = Array.make n None and stobs = Array.make n None in
+  for i = 0 to n - 1 do
+    let deliver item =
+      match servers.(i) with Some sv -> Server.on_stob_deliver sv item | None -> ()
+    in
+    let sh = make_stob t ~self:i ~deliver in
+    stobs.(i) <- Some sh;
+    let directory = Directory.create ~dense_count:cfg.dense_clients () in
+    let sv =
+      Server.create ~engine ~cpu:server_cpus.(i)
+        ~config:{ Server.self = i; n; clients = max cfg.dense_clients 1024;
+                  gc_period = cfg.gc_period }
+        ~directory ~ms_sk:(fst server_identities.(i))
+        ~server_ms_pk:(fun j -> server_pks.(j))
+        ~send_broker:(fun ~broker ~bytes m ->
+          if broker < Array.length t.brokers then
+            Net.send net ~src:i ~dst:(snd t.brokers.(broker)) ~bytes (S2b m))
+        ~send_server:(fun ~dst ~bytes m -> Net.send net ~src:i ~dst ~bytes (S2s m))
+        ~stob_broadcast:(fun item -> sh.sh_broadcast item)
+        ~deliver_app:(fun d -> t.deliver_hook i d)
+        ()
+    in
+    Server.start sv;
+    servers.(i) <- Some sv
+  done;
+  t.servers <- Array.map (function Some s -> s | None -> assert false) servers;
+  t.stobs <- Array.map (function Some s -> s | None -> assert false) stobs;
+  (* Standard brokers, one per continent (§6.2). *)
+  let broker_regions = Array.of_list Region.broker_regions in
+  for b = 0 to cfg.n_brokers - 1 do
+    ignore
+      (install_broker t
+         ~region:broker_regions.(b mod Array.length broker_regions)
+         ~flush_period:cfg.flush_period ~reduce_timeout:cfg.reduce_timeout
+         ~max_batch:cfg.max_batch)
+  done;
+  t
+
+let add_broker t ~region ?flush_period ?reduce_timeout ?max_batch () =
+  install_broker t ~region
+    ~flush_period:(Option.value flush_period ~default:t.cfg.flush_period)
+    ~reduce_timeout:(Option.value reduce_timeout ~default:t.cfg.reduce_timeout)
+    ~max_batch:(Option.value max_batch ~default:t.cfg.max_batch)
+
+(* --- clients ------------------------------------------------------------- *)
+
+let client_region_cycle = Array.of_list Region.client_regions
+let next_client_region = ref 0
+
+let add_client t ?region ?identity ?on_delivered ?brokers () =
+  let region =
+    match region with
+    | Some r -> r
+    | None ->
+      let r = client_region_cycle.(!next_client_region mod Array.length client_region_cycle) in
+      incr next_client_region;
+      r
+  in
+  let node = t.next_node in
+  t.next_node <- node + 1;
+  let broker_list =
+    match brokers with
+    | Some bs -> bs
+    | None ->
+      (* Nearest broker first, then the rest. *)
+      let all = List.init (Array.length t.brokers) Fun.id in
+      List.sort
+        (fun a b ->
+          Float.compare
+            (Region.latency region (Net.node_region t.net (snd t.brokers.(a))))
+            (Region.latency region (Net.node_region t.net (snd t.brokers.(b)))))
+        all
+  in
+  let keypair =
+    match identity with
+    | Some id -> Directory.dense_keypair id
+    | None -> Types.keypair_of_seed (Printf.sprintf "client-node-%d" node)
+  in
+  let cfg_c =
+    { Client.brokers = broker_list; resubmit_timeout = 8.0;
+      n_servers = t.cfg.n_servers; clients = max t.cfg.dense_clients 1024 }
+  in
+  let c =
+    Client.create ~engine:t.engine ~config:cfg_c ~keypair
+      ~server_ms_pk:(fun j -> t.server_pks.(j))
+      ~send_broker:(fun ~broker ~bytes m ->
+        Repro_sim.Rudp.send
+          (c2b_sender t ~client_node:node ~broker_node:(snd t.brokers.(broker)))
+          ~bytes m)
+      ?on_delivered ~nonce:node ()
+  in
+  (* t3.small-class client NIC (its traffic is tiny anyway, §6.2). *)
+  Net.add_node t.net ~id:node ~region ~ingress_bps:5e9 ~egress_bps:5e9
+    ~handler:(fun ~src m ->
+      match m with
+      | B2c_udp (Repro_sim.Rudp.Data _ as pkt) ->
+        Repro_sim.Rudp.receiver_on_data
+          (b2c_receiver t c ~broker_node:src ~client_node:node) pkt
+      | C2b_udp (Repro_sim.Rudp.Ack { seq }) ->
+        (match Hashtbl.find_opt t.c2b_send (node, src) with
+         | Some sender -> Repro_sim.Rudp.sender_on_ack sender seq
+         | None -> ())
+      | C2b_udp (Repro_sim.Rudp.Data _) | B2c_udp (Repro_sim.Rudp.Ack _)
+      | B2s _ | S2b _ | S2s _ | Stob_seq _ | Stob_pbft _ | Stob_hs _ -> ())
+    ();
+  Hashtbl.replace t.clients_by_node node c;
+  (match identity with
+   | Some id ->
+     Hashtbl.replace t.client_nodes id node;
+     Client.force_identity c id
+   | None -> ());
+  c
+
+let rudp_stats t =
+  let retrans = ref 0 and gave_up = ref 0 and dups = ref 0 in
+  Hashtbl.iter (fun _ s -> retrans := !retrans + Repro_sim.Rudp.retransmissions s;
+                           gave_up := !gave_up + Repro_sim.Rudp.give_up_count s) t.c2b_send;
+  Hashtbl.iter (fun _ s -> retrans := !retrans + Repro_sim.Rudp.retransmissions s;
+                           gave_up := !gave_up + Repro_sim.Rudp.give_up_count s) t.b2c_send;
+  Hashtbl.iter (fun _ r -> dups := !dups + Repro_sim.Rudp.duplicates r) t.c2b_recv;
+  Hashtbl.iter (fun _ r -> dups := !dups + Repro_sim.Rudp.duplicates r) t.b2c_recv;
+  (!retrans, !gave_up, !dups)
+
+let crash_server t i =
+  Server.crash t.servers.(i);
+  t.stobs.(i).sh_crash ();
+  Net.disconnect t.net i

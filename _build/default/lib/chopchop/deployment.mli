@@ -1,0 +1,86 @@
+(** Deployment assembly: a full Chop Chop system on the simulator.
+
+    Builds the paper's §6.2 topology — servers balanced across the 14 AWS
+    regions, brokers one per continent, clients near their brokers, load
+    brokers at OVH — wires every component's callbacks into the network
+    model, and instantiates the chosen underlying Atomic Broadcast on the
+    servers.  Experiments and tests drive the system exclusively through
+    this module. *)
+
+type underlay = Sequencer | Pbft | Hotstuff
+
+type config = {
+  n_servers : int;
+  n_brokers : int;
+  underlay : underlay;
+  dense_clients : int; (* pre-provisioned identities (load experiments) *)
+  gc_period : float;
+  flush_period : float;
+  reduce_timeout : float;
+  witness_margin : int;
+  max_batch : int;
+  net_loss : float;
+  seed : int64;
+  stob_batch_timeout : float; (* underlay leader batching window *)
+}
+
+val default_config : config
+(** 4 servers, 2 brokers, sequencer underlay — the unit-test topology. *)
+
+val paper_config : n_servers:int -> underlay:underlay -> config
+(** The §6.2 setup: 6 brokers, witness margin per system size (0/1/2/4 for
+    8/16/32/64 servers), 65,536-message batches, 257 M dense clients. *)
+
+type t
+
+val create : config -> t
+
+val engine : t -> Repro_sim.Engine.t
+val config : t -> config
+val servers : t -> Server.t array
+val broker : t -> int -> Broker.t
+val n_brokers : t -> int
+
+val run : t -> until:float -> unit
+
+val add_client :
+  t ->
+  ?region:Repro_sim.Region.t ->
+  ?identity:Types.client_id ->
+  ?on_delivered:(Types.message -> latency:float -> unit) ->
+  ?brokers:int list ->
+  unit ->
+  Client.t
+(** A fresh client node.  With [identity] the sign-up is skipped (dense,
+    pre-provisioned ids); otherwise call {!Client.signup}. *)
+
+val add_broker :
+  t ->
+  region:Repro_sim.Region.t ->
+  ?flush_period:float ->
+  ?reduce_timeout:float ->
+  ?max_batch:int ->
+  unit ->
+  int
+(** Register an additional broker (load brokers at OVH); returns its
+    broker id, usable with {!broker} and in client broker lists. *)
+
+val crash_server : t -> int -> unit
+(** Crash-stop a server: its Chop Chop layer, its STOB instance, and its
+    network interfaces (Fig. 11a). *)
+
+val server_deliver_hook : t -> (int -> Proto.delivery -> unit) -> unit
+(** Observe application deliveries: [hook server_index delivery].
+    Replaces (not chains) the previous hook. *)
+
+val total_delivered_messages : t -> int
+(** Messages delivered by server 0 (all correct servers agree). *)
+
+val server_ingress_bytes : t -> int -> int
+val server_cpu_utilization : t -> int -> since:float -> float
+val broker_node_id : t -> int -> int
+
+val rudp_stats : t -> int * int * int
+(** (retransmissions, gave-up messages, duplicate deliveries) across all
+    client<->broker reliable-UDP channels (§5.1): non-zero retransmission
+    counts under [net_loss] > 0 show the transport doing its job. *)

@@ -1,0 +1,103 @@
+module Field61 = Repro_crypto.Field61
+module Multisig = Repro_crypto.Multisig
+
+(* Dense identities are deterministic functions of their index, so their
+   prefix sums are process-wide constants: they are cached globally and
+   shared by every directory instance (and every experiment in a bench
+   run).  Only the indices actually touched are ever materialised — a
+   257 M-client directory costs nothing until a range is queried. *)
+
+let zero_sk = Multisig.aggregate_secret_keys []
+
+let pk_prefix = ref (Array.make 1 Field61.zero)
+let sk_prefix = ref (Array.make 1 zero_sk)
+let prefix_len = ref 1
+
+let dense_keypair_cache : (int, Types.keypair) Hashtbl.t = Hashtbl.create 4096
+
+let dense_keypair i =
+  match Hashtbl.find_opt dense_keypair_cache i with
+  | Some kp -> kp
+  | None ->
+    let kp = Types.keypair_of_seed (Types.dense_seed i) in
+    Hashtbl.add dense_keypair_cache i kp;
+    kp
+
+let ensure_prefix upto =
+  if upto + 1 > !prefix_len then begin
+    let needed = upto + 1 in
+    let cap = Array.length !pk_prefix in
+    if needed > cap then begin
+      let newcap = max needed (2 * cap) in
+      let pk = Array.make newcap Field61.zero in
+      let sk = Array.make newcap zero_sk in
+      Array.blit !pk_prefix 0 pk 0 !prefix_len;
+      Array.blit !sk_prefix 0 sk 0 !prefix_len;
+      pk_prefix := pk;
+      sk_prefix := sk
+    end;
+    let pk = !pk_prefix and sk = !sk_prefix in
+    for i = !prefix_len to needed - 1 do
+      (* Prefix building does not need the signature keypair: derive only
+         the multisig scalar to keep first-touch cost down. *)
+      let ms_sk, ms_pk =
+        Multisig.keygen_deterministic ~seed:(Types.dense_seed (i - 1))
+      in
+      pk.(i) <- Field61.add pk.(i - 1) ms_pk;
+      sk.(i) <- Multisig.aggregate_secret_keys [ sk.(i - 1); ms_sk ]
+    done;
+    prefix_len := needed
+  end
+
+type t = {
+  dense : int;
+  explicit : Types.keycard array ref;
+  mutable explicit_len : int;
+}
+
+let create ?(dense_count = 0) () =
+  { dense = dense_count;
+    explicit = ref (Array.make 16 { Types.sig_pk = Field61.zero; ms_pk = Field61.zero });
+    explicit_len = 0 }
+
+let dense_count t = t.dense
+let size t = t.dense + t.explicit_len
+
+let append t card =
+  let id = t.dense + t.explicit_len in
+  let arr = !(t.explicit) in
+  if t.explicit_len = Array.length arr then begin
+    let bigger = Array.make (2 * Array.length arr) card in
+    Array.blit arr 0 bigger 0 t.explicit_len;
+    t.explicit := bigger
+  end;
+  !(t.explicit).(t.explicit_len) <- card;
+  t.explicit_len <- t.explicit_len + 1;
+  id
+
+let find t id =
+  if id < 0 then None
+  else if id < t.dense then Some (dense_keypair id).card
+  else if id - t.dense < t.explicit_len then Some !(t.explicit).(id - t.dense)
+  else None
+
+let sig_pk t id =
+  match find t id with Some c -> c.Types.sig_pk | None -> raise Not_found
+
+let ms_pk t id =
+  match find t id with Some c -> c.Types.ms_pk | None -> raise Not_found
+
+let aggregate_ms_pks t ids =
+  Multisig.aggregate_public_keys (List.map (ms_pk t) ids)
+
+let aggregate_ms_pks_range t ~first ~count =
+  if first < 0 || count < 0 || first + count > t.dense then
+    invalid_arg "Directory.aggregate_ms_pks_range: outside dense population";
+  ensure_prefix (first + count);
+  Field61.sub !pk_prefix.(first + count) !pk_prefix.(first)
+
+let aggregate_dense_ms_sks_range t ~first ~count =
+  if first < 0 || count < 0 || first + count > t.dense then
+    invalid_arg "Directory.aggregate_dense_ms_sks_range: outside dense population";
+  ensure_prefix (first + count);
+  Multisig.diff_secret_keys !sk_prefix.(first + count) !sk_prefix.(first)

@@ -1,0 +1,58 @@
+type client_to_broker =
+  | Submission of {
+      id : Types.client_id;
+      seq : Types.sequence_number;
+      msg : Types.message;
+      tsig : Repro_crypto.Schnorr.signature;
+      evidence : Certs.delivery_cert option;
+    }
+  | Reduction of {
+      id : Types.client_id;
+      root : string;
+      share : Repro_crypto.Multisig.signature;
+    }
+  | Signup_request of { card : Types.keycard; nonce : int }
+
+type broker_to_client =
+  | Inclusion of {
+      root : string;
+      proof : Repro_crypto.Merkle.proof;
+      agg_seq : Types.sequence_number;
+      evidence : Certs.delivery_cert option;
+    }
+  | Deliver_cert of {
+      cert : Certs.delivery_cert;
+      seq : Types.sequence_number;
+      proof : Repro_crypto.Merkle.proof option;
+    }
+  | Signup_response of { nonce : int; id : Types.client_id }
+
+type broker_to_server =
+  | Batch_announce of { batch : Batch.t; witness_requested : bool }
+  | Witness_request of { root : string }
+  | Submit of { root : string; number : int; witness : Certs.quorum_cert }
+  | Relay_signup of { card : Types.keycard; nonce : int }
+
+type server_to_broker =
+  | Witness_shard of { root : string; share : Repro_crypto.Multisig.signature }
+  | Completion_shard of {
+      root : string;
+      counter : int;
+      exceptions : (Types.client_id * Types.sequence_number) list;
+      share : Repro_crypto.Multisig.signature;
+    }
+  | Submit_ack of { root : string }
+  | Signup_done of { nonce : int; id : Types.client_id }
+
+type server_to_server =
+  | Request_batch of { root : string; broker : int; number : int }
+  | Batch_response of { batch : Batch.t }
+  | Gc_status of { delivered_counter : int }
+
+type delivery =
+  | Ops of (Types.client_id * Types.message) array
+  | Bulk of { first_id : int; count : int; tag : int; msg_bytes : int }
+
+let delivery_count = function
+  | Ops a -> Array.length a
+  | Bulk { count; _ } -> count

@@ -1,0 +1,81 @@
+(** Message vocabulary of the Chop Chop protocol (Fig. 5, steps #1–#19).
+
+    These types are carried verbatim inside the deployment's network
+    message union; wire sizes are computed by {!Wire} at the send site. *)
+
+type client_to_broker =
+  | Submission of {
+      id : Types.client_id;
+      seq : Types.sequence_number;
+      msg : Types.message;
+      tsig : Repro_crypto.Schnorr.signature;
+          (* the individual fallback signature t_i over
+             [Types.message_statement] (#2) *)
+      evidence : Certs.delivery_cert option; (* legitimacy proof l_n *)
+    }
+  | Reduction of {
+      id : Types.client_id;
+      root : string;
+      share : Repro_crypto.Multisig.signature; (* s_i on the proposal root (#6) *)
+    }
+  | Signup_request of { card : Types.keycard; nonce : int }
+
+type broker_to_client =
+  | Inclusion of {
+      root : string; (* proposal (reduction) root *)
+      proof : Repro_crypto.Merkle.proof;
+      agg_seq : Types.sequence_number; (* k *)
+      evidence : Certs.delivery_cert option; (* proves k legitimate (#4) *)
+    }
+  | Deliver_cert of {
+      cert : Certs.delivery_cert;
+      seq : Types.sequence_number; (* sequence number the batch carried *)
+      proof : Repro_crypto.Merkle.proof option; (* inclusion in cert.root *)
+    }
+  | Signup_response of { nonce : int; id : Types.client_id }
+
+type broker_to_server =
+  | Batch_announce of {
+      batch : Batch.t;
+      witness_requested : bool; (* #8: only f+1+margin servers verify *)
+    }
+  | Witness_request of { root : string }
+      (* extend the witnessing set after a timeout (§2.2) *)
+  | Submit of {
+      root : string;
+      number : int;
+      witness : Certs.quorum_cert; (* #12: hand to the server-run STOB *)
+    }
+  | Relay_signup of { card : Types.keycard; nonce : int }
+      (* brokers are clients of the server-run STOB: sign-ups enter it
+         through a server relay (Appx. C) *)
+
+type server_to_broker =
+  | Witness_shard of { root : string; share : Repro_crypto.Multisig.signature }
+  | Completion_shard of {
+      root : string;
+      counter : int;
+      exceptions : (Types.client_id * Types.sequence_number) list;
+      share : Repro_crypto.Multisig.signature; (* #16 *)
+    }
+  | Submit_ack of { root : string }
+  | Signup_done of { nonce : int; id : Types.client_id }
+
+type server_to_server =
+  | Request_batch of { root : string; broker : int; number : int } (* #14 *)
+  | Batch_response of { batch : Batch.t }
+  | Gc_status of { delivered_counter : int }
+      (* periodic gossip replacing the pseudocode's per-batch
+         Collection/CollectionAccept exchange: a batch delivered at global
+         position p is collectable once every server reports a counter > p
+         (§5.2 batch garbage collection) *)
+
+(** What a server hands to the application on delivery. *)
+type delivery =
+  | Ops of (Types.client_id * Types.message) array
+  | Bulk of { first_id : int; count : int; tag : int; msg_bytes : int }
+      (* dense ranges: applications regenerate the operations
+         deterministically (they are random operations in the paper's
+         workloads too, §6.8) *)
+
+val delivery_count : delivery -> int

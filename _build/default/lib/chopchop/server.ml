@@ -1,0 +1,327 @@
+module Engine = Repro_sim.Engine
+module Cpu = Repro_sim.Cpu
+module Cost = Repro_sim.Cost
+module Multisig = Repro_crypto.Multisig
+
+type config = { self : int; n : int; clients : int; gc_period : float }
+
+type stored = {
+  batch : Batch.t;
+  bytes : int;
+  mutable position : int option; (* global delivery position, once delivered *)
+}
+
+type t = {
+  engine : Engine.t;
+  cpu : Cpu.t;
+  cfg : config;
+  f : int;
+  dir : Directory.t;
+  ms_sk : Multisig.secret_key;
+  server_ms_pk : int -> Multisig.public_key;
+  send_broker : broker:int -> bytes:int -> Proto.server_to_broker -> unit;
+  send_server : dst:int -> bytes:int -> Proto.server_to_server -> unit;
+  stob_broadcast : Stob_item.t -> unit;
+  deliver_app : Proto.delivery -> unit;
+  batches : (string, stored) Hashtbl.t; (* keyed by identity root *)
+  mutable stored_bytes : int;
+  seen_refs : (int * int, unit) Hashtbl.t; (* (broker, number) de-dup of refs *)
+  submitted_refs : (int * int, unit) Hashtbl.t; (* refs we pushed into STOB *)
+  (* FIFO of ordered batch references whose batches may still be missing:
+     delivery must follow STOB order exactly. *)
+  mutable order_queue : (int * int * string) list; (* (broker, number, root), reversed *)
+  mutable order_queue_front : (int * int * string) list;
+  last_msg : (Types.client_id, Types.sequence_number * string) Hashtbl.t;
+  (* dense ranges: first_id -> (last agg seq, last tag) *)
+  dense_last : (int, int * int) Hashtbl.t;
+  mutable delivery_counter : int;
+  mutable delivered_messages : int;
+  peer_counters : int array;
+  mutable fetching : (string, unit) Hashtbl.t;
+  seen_signups : (int, unit) Hashtbl.t;
+  mutable delivering : bool;
+  mutable crashed : bool;
+}
+
+let create ~engine ~cpu ~config ~directory ~ms_sk ~server_ms_pk ~send_broker
+    ~send_server ~stob_broadcast ~deliver_app () =
+  { engine; cpu; cfg = config; f = (config.n - 1) / 3;
+    dir = directory; ms_sk; server_ms_pk;
+    send_broker; send_server; stob_broadcast; deliver_app;
+    batches = Hashtbl.create 512; stored_bytes = 0;
+    seen_refs = Hashtbl.create 1024; submitted_refs = Hashtbl.create 1024;
+    order_queue = []; order_queue_front = [];
+    last_msg = Hashtbl.create 4096; dense_last = Hashtbl.create 64;
+    delivery_counter = 0; delivered_messages = 0;
+    peer_counters = Array.make config.n 0;
+    fetching = Hashtbl.create 16; seen_signups = Hashtbl.create 64;
+    delivering = false; crashed = false }
+
+let directory t = t.dir
+let delivery_counter t = t.delivery_counter
+let delivered_messages t = t.delivered_messages
+let stored_batches t = Hashtbl.length t.batches
+let stored_bytes t = t.stored_bytes
+
+(* --- storage & GC ------------------------------------------------------- *)
+
+let store_batch t batch =
+  let root = Batch.identity_root batch in
+  if not (Hashtbl.mem t.batches root) then begin
+    let bytes = Batch.wire_bytes ~clients:t.cfg.clients batch in
+    Hashtbl.add t.batches root { batch; bytes; position = None };
+    t.stored_bytes <- t.stored_bytes + bytes
+  end;
+  root
+
+let gc_sweep t =
+  (* A batch delivered at position p is collectable once every server
+     (ourselves included) reports a delivery counter beyond p. *)
+  let horizon = Array.fold_left min max_int t.peer_counters in
+  let victims = ref [] in
+  Hashtbl.iter
+    (fun root stored ->
+      match stored.position with
+      | Some p when p < horizon -> victims := (root, stored) :: !victims
+      | Some _ | None -> ())
+    t.batches;
+  List.iter
+    (fun (root, stored) ->
+      Hashtbl.remove t.batches root;
+      t.stored_bytes <- t.stored_bytes - stored.bytes)
+    !victims
+
+let start t =
+  Engine.every t.engine ~period:t.cfg.gc_period (fun () ->
+      if not t.crashed then begin
+        t.peer_counters.(t.cfg.self) <- t.delivery_counter;
+        for dst = 0 to t.cfg.n - 1 do
+          if dst <> t.cfg.self then
+            t.send_server ~dst ~bytes:(Wire.header_bytes + 8)
+              (Gc_status { delivered_counter = t.delivery_counter })
+        done;
+        gc_sweep t
+      end)
+
+(* --- witnessing (#9, #10) ------------------------------------------------ *)
+
+let witness_batch t batch =
+  let root = Batch.identity_root batch in
+  let cost = Batch.witness_cpu_cost batch in
+  Cpu.submit t.cpu ~cost (fun () ->
+      if (not t.crashed) && Batch.verify t.dir batch then begin
+        let statement =
+          Certs.witness_statement ~root ~broker:batch.Batch.broker
+            ~number:batch.Batch.number
+        in
+        let share = Certs.sign_shard t.ms_sk statement in
+        t.send_broker ~broker:batch.Batch.broker ~bytes:Wire.witness_shard_bytes
+          (Witness_shard { root; share })
+      end)
+
+(* --- delivery (#13–#16) -------------------------------------------------- *)
+
+let deliver_explicit t (batch : Batch.t) entries =
+  let exceptions = ref [] in
+  let delivered = ref [] in
+  let straggler_seq id =
+    match Array.find_opt (fun s -> s.Batch.s_id = id) batch.stragglers with
+    | Some s -> Some s.s_seq
+    | None -> None
+  in
+  Array.iter
+    (fun e ->
+      let id = e.Batch.e_id in
+      let seq = Option.value (straggler_seq id) ~default:batch.agg_seq in
+      let last = Hashtbl.find_opt t.last_msg id in
+      let fresh =
+        match last with
+        | None -> true
+        | Some (last_seq, last_m) -> seq > last_seq && e.e_msg <> last_m
+      in
+      if fresh then begin
+        Hashtbl.replace t.last_msg id (seq, e.e_msg);
+        delivered := (id, e.e_msg) :: !delivered
+      end
+      else begin
+        let last_seq = match last with Some (s, _) -> s | None -> -1 in
+        exceptions := (id, last_seq) :: !exceptions
+      end)
+    entries;
+  let ops = Array.of_list (List.rev !delivered) in
+  if Array.length ops > 0 then t.deliver_app (Proto.Ops ops);
+  t.delivered_messages <- t.delivered_messages + Array.length ops;
+  List.rev !exceptions
+
+let deliver_dense t (batch : Batch.t) (d : Batch.dense) =
+  (* The whole range shares one (sequence number, tag): the usual per-client
+     rule collapses into a single range-level check. *)
+  let last = Hashtbl.find_opt t.dense_last d.first_id in
+  let fresh =
+    match last with
+    | None -> true
+    | Some (last_seq, last_tag) -> batch.agg_seq > last_seq && d.tag <> last_tag
+  in
+  if fresh then begin
+    Hashtbl.replace t.dense_last d.first_id (batch.agg_seq, d.tag);
+    t.deliver_app
+      (Proto.Bulk { first_id = d.first_id; count = d.count; tag = d.tag;
+                    msg_bytes = d.msg_bytes });
+    t.delivered_messages <- t.delivered_messages + d.count;
+    []
+  end
+  else
+    (* Whole-range replay: summarised as a single exception entry. *)
+    [ (d.first_id, match last with Some (s, _) -> s | None -> -1) ]
+
+let deliver_batch t stored =
+  let batch = stored.batch in
+  let root = Batch.identity_root batch in
+  let exceptions =
+    match batch.entries with
+    | Batch.Explicit entries -> deliver_explicit t batch entries
+    | Batch.Dense d -> deliver_dense t batch d
+  in
+  t.delivery_counter <- t.delivery_counter + 1;
+  stored.position <- Some (t.delivery_counter - 1);
+  t.peer_counters.(t.cfg.self) <- t.delivery_counter;
+  let counter = t.delivery_counter in
+  let statement =
+    Certs.completion_statement ~root ~counter
+      ~exc_hash:(Certs.exceptions_hash exceptions)
+  in
+  let share = Certs.sign_shard t.ms_sk statement in
+  t.send_broker ~broker:batch.broker
+    ~bytes:(Wire.completion_shard_bytes ~exceptions:(List.length exceptions))
+    (Completion_shard { root; counter; exceptions; share })
+
+let rec drain_order_queue t =
+  if t.delivering then ()
+  else
+  let next =
+    match t.order_queue_front with
+    | x :: _ -> Some x
+    | [] ->
+      (match List.rev t.order_queue with
+       | [] -> None
+       | xs ->
+         t.order_queue_front <- xs;
+         t.order_queue <- [];
+         Some (List.hd xs))
+  in
+  match next with
+  | None -> ()
+  | Some (broker, number, root) ->
+    (match Hashtbl.find_opt t.batches root with
+     | Some stored when stored.position = None ->
+       t.order_queue_front <- List.tl t.order_queue_front;
+       t.delivering <- true;
+       let cost = Batch.non_witness_cpu_cost stored.batch in
+       Cpu.submit t.cpu ~cost (fun () ->
+           t.delivering <- false;
+           if not t.crashed then begin
+             deliver_batch t stored;
+             drain_order_queue t
+           end)
+     | Some _ ->
+       (* Already delivered through an earlier reference: skip. *)
+       t.order_queue_front <- List.tl t.order_queue_front;
+       drain_order_queue t
+     | None -> fetch_batch t ~broker ~number ~root)
+
+and fetch_batch t ~broker ~number ~root =
+  if not (Hashtbl.mem t.fetching root) then begin
+    Hashtbl.add t.fetching root ();
+    let target = (t.cfg.self + 1 + (number mod (t.cfg.n - 1))) mod t.cfg.n in
+    t.send_server ~dst:target ~bytes:Wire.witness_request_bytes
+      (Request_batch { root; broker; number });
+    (* Retry from another peer if the batch does not show up. *)
+    Engine.schedule t.engine ~delay:1.0 (fun () ->
+        if (not t.crashed) && Hashtbl.mem t.fetching root then begin
+          Hashtbl.remove t.fetching root;
+          fetch_batch t ~broker ~number:(number + 1) ~root
+        end)
+  end
+
+(* --- message handlers ----------------------------------------------------- *)
+
+let receive_broker t ~src_broker msg =
+  if not t.crashed then
+    match msg with
+    | Proto.Batch_announce { batch; witness_requested } ->
+      if batch.Batch.broker = src_broker then begin
+        ignore (store_batch t batch);
+        if witness_requested then witness_batch t batch
+      end
+    | Proto.Witness_request { root } ->
+      (match Hashtbl.find_opt t.batches root with
+       | Some stored -> witness_batch t stored.batch
+       | None -> ())
+    | Proto.Relay_signup { card; nonce } ->
+      t.stob_broadcast (Stob_item.Signup { card; reply_broker = src_broker; nonce })
+    | Proto.Submit { root; number; witness } ->
+      (* #12: relay the batch reference into the server-run STOB, once. *)
+      if not (Hashtbl.mem t.submitted_refs (src_broker, number)) then begin
+        Hashtbl.add t.submitted_refs (src_broker, number) ();
+        Cpu.submit t.cpu ~cost:Cost.bls_verify (fun () ->
+            if not t.crashed then begin
+              let statement =
+                Certs.witness_statement ~root ~broker:src_broker ~number
+              in
+              if
+                Certs.verify ~statement ~server_ms_pk:t.server_ms_pk
+                  ~quorum:(t.f + 1) witness
+              then begin
+                t.stob_broadcast
+                  (Stob_item.Batch_ref { broker = src_broker; number; root; witness });
+                t.send_broker ~broker:src_broker ~bytes:(Wire.header_bytes + 32)
+                  (Submit_ack { root })
+              end
+            end)
+      end
+
+let receive_server t ~src msg =
+  if not t.crashed then
+    match msg with
+    | Proto.Request_batch { root; broker = _; number = _ } ->
+      (match Hashtbl.find_opt t.batches root with
+       | Some stored ->
+         t.send_server ~dst:src ~bytes:stored.bytes
+           (Batch_response { batch = stored.batch })
+       | None -> ())
+    | Proto.Batch_response { batch } ->
+      let root = store_batch t batch in
+      if Hashtbl.mem t.fetching root then begin
+        Hashtbl.remove t.fetching root;
+        drain_order_queue t
+      end
+    | Proto.Gc_status { delivered_counter } ->
+      if delivered_counter > t.peer_counters.(src) then begin
+        t.peer_counters.(src) <- delivered_counter;
+        gc_sweep t
+      end
+
+let on_stob_deliver t item =
+  if not t.crashed then
+    match item with
+    | Stob_item.Signup { card; reply_broker; nonce } ->
+      if not (Hashtbl.mem t.seen_signups nonce) then begin
+        Hashtbl.add t.seen_signups nonce ();
+        let id = Directory.append t.dir card in
+        t.send_broker ~broker:reply_broker ~bytes:(Wire.header_bytes + 16)
+          (Signup_done { nonce; id })
+      end
+    | Stob_item.Batch_ref { broker; number; root; witness } ->
+      if not (Hashtbl.mem t.seen_refs (broker, number)) then begin
+        Hashtbl.add t.seen_refs (broker, number) ();
+        let statement = Certs.witness_statement ~root ~broker ~number in
+        if
+          Certs.verify ~statement ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1)
+            witness
+        then begin
+          t.order_queue <- (broker, number, root) :: t.order_queue;
+          drain_order_queue t
+        end
+      end
+
+let crash t = t.crashed <- true

@@ -1,0 +1,63 @@
+(** Chop Chop server (Appx. B.2.3, §5.2).
+
+    A server stores batches received from brokers, witnesses those it is
+    asked to (after fully verifying well-formedness), trusts witnesses for
+    the rest, delivers batches in the total order decided by the
+    underlying Atomic Broadcast, deduplicates per-client, answers with
+    completion shards, and garbage-collects batches that every server has
+    delivered.
+
+    The module is a state machine over callbacks: the deployment wires
+    [send_*] into the network model, [stob_broadcast] into the local STOB
+    instance, and calls {!on_stob_deliver} from the STOB's deliver
+    upcall.  CPU time for verification, deduplication and serialization is
+    charged on the node's {!Repro_sim.Cpu} queue before effects happen. *)
+
+type t
+
+type config = {
+  self : int;
+  n : int; (* number of servers; f = (n-1)/3 *)
+  clients : int; (* directory size, for wire arithmetic *)
+  gc_period : float; (* GC gossip period, seconds *)
+}
+
+val create :
+  engine:Repro_sim.Engine.t ->
+  cpu:Repro_sim.Cpu.t ->
+  config:config ->
+  directory:Directory.t ->
+  ms_sk:Repro_crypto.Multisig.secret_key ->
+  server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
+  send_broker:(broker:int -> bytes:int -> Proto.server_to_broker -> unit) ->
+  send_server:(dst:int -> bytes:int -> Proto.server_to_server -> unit) ->
+  stob_broadcast:(Stob_item.t -> unit) ->
+  deliver_app:(Proto.delivery -> unit) ->
+  unit ->
+  t
+
+val start : t -> unit
+(** Arm the periodic GC gossip. *)
+
+val receive_broker : t -> src_broker:int -> Proto.broker_to_server -> unit
+val receive_server : t -> src:int -> Proto.server_to_server -> unit
+
+val on_stob_deliver : t -> Stob_item.t -> unit
+(** Upcall from the underlying Atomic Broadcast (#13). *)
+
+val crash : t -> unit
+
+(* Introspection for experiments and tests. *)
+
+val delivery_counter : t -> int
+(** Batches delivered so far. *)
+
+val delivered_messages : t -> int
+(** Application messages delivered (after deduplication). *)
+
+val stored_batches : t -> int
+val stored_bytes : t -> int
+(** Memory pressure: §8 calls out garbage collection under load as a
+    limitation; Fig. 11a's crash experiment makes this grow. *)
+
+val directory : t -> Directory.t

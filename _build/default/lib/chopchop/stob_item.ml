@@ -1,0 +1,12 @@
+type t =
+  | Batch_ref of {
+      broker : int;
+      number : int;
+      root : string;
+      witness : Certs.quorum_cert;
+    }
+  | Signup of { card : Types.keycard; reply_broker : int; nonce : int }
+
+let wire_bytes = function
+  | Batch_ref _ -> Wire.stob_submission_bytes
+  | Signup _ -> Wire.header_bytes + (2 * Wire.pk_bytes) + 8

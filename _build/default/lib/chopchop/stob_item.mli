@@ -1,0 +1,18 @@
+(** Payloads ordered by the server-run Atomic Broadcast.
+
+    Only batch {e references} (a hash and its witness) go through the
+    expensive ordering layer — the batches themselves travel directly from
+    brokers to servers (#8), which is the whole point of the mempool
+    design.  Client sign-ups also ride the STOB so that every server
+    appends new key cards to its directory at the same rank (Appx. C). *)
+
+type t =
+  | Batch_ref of {
+      broker : int;
+      number : int;
+      root : string;
+      witness : Certs.quorum_cert;
+    }
+  | Signup of { card : Types.keycard; reply_broker : int; nonce : int }
+
+val wire_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/crypto/field61.ml: Char Format Int Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/multisig.ml: Array Field61 List Sha256

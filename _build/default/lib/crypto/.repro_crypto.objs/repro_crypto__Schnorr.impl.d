@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Field61 Format List Sha256

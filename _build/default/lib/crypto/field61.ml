@@ -1,0 +1,88 @@
+type t = int
+
+let p = (1 lsl 61) - 1
+
+let zero = 0
+let one = 1
+let two = 2
+
+(* Reduce a value in [0, 2^62) to canonical form using the Mersenne
+   identity 2^61 = 1 (mod p): fold the top bit(s) back into the bottom. *)
+let fold62 x =
+  let x = (x land p) + (x lsr 61) in
+  if x >= p then x - p else x
+
+let of_int n =
+  let r = n mod p in
+  if r < 0 then r + p else r
+
+let to_int x = x
+
+let equal = Int.equal
+let compare = Int.compare
+
+let add a b = fold62 (a + b)
+
+let sub a b = if a >= b then a - b else a - b + p
+
+let neg a = if a = 0 then 0 else p - a
+
+(* a, b < 2^61.  Split a = ah*2^31 + al and b = bh*2^31 + bl with
+   ah, bh < 2^30 and al, bl < 2^31.  Then
+     a*b = ah*bh*2^62 + (ah*bl + al*bh)*2^31 + al*bl
+   and modulo p: 2^62 = 2 and, writing mid = ah*bl + al*bh = mh*2^30 + ml
+   (mh < 2^32, ml < 2^30), mid*2^31 = mh*2^61 + ml*2^31 = mh + ml*2^31.
+   Every partial product fits a 63-bit native int. *)
+let mul a b =
+  let ah = a lsr 31 and al = a land 0x7FFF_FFFF in
+  let bh = b lsr 31 and bl = b land 0x7FFF_FFFF in
+  let hi = fold62 (2 * ah * bh) in
+  let mid = (ah * bl) + (al * bh) in
+  let mh = mid lsr 30 and ml = mid land 0x3FFF_FFFF in
+  let mid' = fold62 (mh + (ml lsl 31)) in
+  let lo = fold62 (al * bl) in
+  add (add hi mid') lo
+
+let mul_slow a b =
+  let rec go acc a b = if b = 0 then acc else go (if b land 1 = 1 then add acc a else acc) (add a a) (b lsr 1) in
+  go 0 a b
+
+let pow b e =
+  if e < 0 then invalid_arg "Field61.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then mul acc b else acc) (mul b b) (e lsr 1)
+  in
+  go 1 b e
+
+let inv a =
+  if a = 0 then raise Division_by_zero;
+  pow a (p - 2)
+
+let div a b = mul a (inv b)
+
+let of_bytes s =
+  (* Fold 8-byte little-endian words of the input into the accumulator with
+     a multiplicative mix so that every byte influences the result. *)
+  let n = String.length s in
+  let acc = ref 0 in
+  let word = ref 0 in
+  for i = 0 to n - 1 do
+    word := !word lor ((Char.code s.[i]) lsl (8 * (i mod 7)));
+    if i mod 7 = 6 || i = n - 1 then begin
+      acc := add (mul !acc 1_099_511_628_211) (of_int !word);
+      word := 0
+    end
+  done;
+  (* Avoid mapping short inputs to zero, which would be an annoying
+     degenerate group element downstream. *)
+  if !acc = 0 then one else !acc
+
+let random next64 =
+  let rec draw () =
+    let x = Int64.to_int (next64 ()) land ((1 lsl 61) - 1) in
+    if x >= p then draw () else x
+  in
+  draw ()
+
+let pp fmt x = Format.fprintf fmt "%d" x

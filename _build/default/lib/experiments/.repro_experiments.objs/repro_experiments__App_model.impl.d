@@ -1,0 +1,1 @@
+lib/experiments/app_model.ml: Float List Repro_apps Repro_chopchop Sys

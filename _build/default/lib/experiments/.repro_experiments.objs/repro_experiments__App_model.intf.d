@@ -1,0 +1,1 @@
+lib/experiments/app_model.mli:

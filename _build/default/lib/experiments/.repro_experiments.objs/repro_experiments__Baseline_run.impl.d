@@ -1,0 +1,1 @@
+lib/experiments/baseline_run.ml: Array Repro_sim Repro_stob

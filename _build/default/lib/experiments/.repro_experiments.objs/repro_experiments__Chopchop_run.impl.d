@@ -1,0 +1,1 @@
+lib/experiments/chopchop_run.ml: Array Float Format Fun List Option Repro_chopchop Repro_sim Repro_workload String

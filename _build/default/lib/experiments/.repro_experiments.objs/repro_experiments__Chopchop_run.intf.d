@@ -1,0 +1,1 @@
+lib/experiments/chopchop_run.mli: Format Repro_chopchop

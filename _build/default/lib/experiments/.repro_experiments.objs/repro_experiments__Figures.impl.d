@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: App_model Baseline_run Chopchop_run Float Format Hashtbl Int64 List Narwhal_run Printf Repro_chopchop Repro_crypto Repro_silk Repro_sim Sys

@@ -1,0 +1,1 @@
+lib/experiments/future.ml: Chopchop_run Figures Format Int64 List Repro_chopchop Repro_sim

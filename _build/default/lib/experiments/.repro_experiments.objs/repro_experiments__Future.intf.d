@@ -1,0 +1,1 @@
+lib/experiments/future.mli: Figures Format

@@ -1,0 +1,1 @@
+lib/experiments/narwhal_run.ml: Array Repro_mempool Repro_sim

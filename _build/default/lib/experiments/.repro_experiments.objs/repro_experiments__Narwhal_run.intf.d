@@ -1,0 +1,1 @@
+lib/experiments/narwhal_run.mli:

@@ -1,0 +1,201 @@
+module Engine = Repro_sim.Engine
+module Region = Repro_sim.Region
+module Stats = Repro_sim.Stats
+module D = Repro_chopchop.Deployment
+module Wire = Repro_chopchop.Wire
+module Server = Repro_chopchop.Server
+module Client = Repro_chopchop.Client
+module Load_broker = Repro_workload.Load_broker
+
+type params = {
+  n_servers : int;
+  underlay : D.underlay;
+  rate : float;
+  batch_count : int;
+  msg_bytes : int;
+  distill_fraction : float;
+  n_load_brokers : int;
+  measure_clients : int;
+  duration : float;
+  warmup : float;
+  cooldown : float;
+  crash : (float * int list) option;
+  dense_clients : int;
+  seed : int64;
+  flush_period : float;
+  reduce_timeout : float;
+  witness_margin : int option; (* None: the paper's per-size default *)
+}
+
+let default =
+  { n_servers = 64; underlay = D.Pbft; rate = 1_000_000.; batch_count = 65_536;
+    msg_bytes = 8; distill_fraction = 1.0; n_load_brokers = 2;
+    measure_clients = 8; duration = 20.; warmup = 6.; cooldown = 4.;
+    crash = None; dense_clients = 257_000_000; seed = 42L;
+    flush_period = 1.0; reduce_timeout = 1.0; witness_margin = None }
+
+type result = {
+  offered : float;
+  throughput : float;
+  latency_mean : float;
+  latency_std : float;
+  input_rate_bps : float;
+  network_rate_bps : float;
+  goodput_bps : float;
+  server_cpu : float;
+  stored_bytes_max : int;
+}
+
+let useful_bytes_per_msg ~clients ~msg_bytes =
+  Wire.distilled_entry_bytes ~clients ~msg_bytes
+
+let run p =
+  let base = D.paper_config ~n_servers:p.n_servers ~underlay:p.underlay in
+  let cfg =
+    { base with
+      dense_clients = p.dense_clients;
+      max_batch = p.batch_count;
+      seed = p.seed;
+      flush_period = p.flush_period;
+      reduce_timeout = p.reduce_timeout;
+      witness_margin = Option.value p.witness_margin ~default:base.witness_margin }
+  in
+  let d = D.create cfg in
+  let engine = D.engine d in
+  (* Load brokers at OVH, splitting the offered rate evenly.  Each one
+     must ship every batch to all servers, so its egress NIC bounds how
+     much load it can generate: provision enough of them (the paper uses
+     up to 64 OVH machines). *)
+  let batches_per_s = p.rate /. float_of_int p.batch_count in
+  let batch_bytes =
+    Wire.distilled_batch_bytes ~clients:p.dense_clients ~count:p.batch_count
+      ~msg_bytes:p.msg_bytes
+      ~stragglers:
+        (int_of_float
+           (ceil ((1. -. p.distill_fraction) *. float_of_int p.batch_count)))
+  in
+  let lb_egress_bps = Repro_sim.Net.server_default_egress_bps in
+  let needed =
+    int_of_float
+      (ceil
+         (batches_per_s *. float_of_int (batch_bytes * 8 * p.n_servers)
+          /. (lb_egress_bps *. 0.7)))
+  in
+  let n_load_brokers = max p.n_load_brokers (max 1 needed) in
+  let lb_regions = Array.of_list Region.load_broker_regions in
+  let loads =
+    List.init n_load_brokers (fun i ->
+        let lb_cfg =
+          (* Few ranges per load broker: replaying a range with a higher
+             round tag is fresh traffic, and a compact id space keeps the
+             directory's lazy prefix sums small. *)
+          { (Load_broker.default_config
+               ~first_id:(i * 4 * p.batch_count)) with
+            rate = batches_per_s /. float_of_int n_load_brokers;
+            batch_count = p.batch_count;
+            msg_bytes = p.msg_bytes;
+            distill_fraction = p.distill_fraction;
+            ranges = 4 }
+        in
+        Load_broker.create ~deployment:d
+          ~region:lb_regions.(i mod Array.length lb_regions)
+          ~config:lb_cfg ())
+  in
+  (* Measurement clients broadcasting back-to-back small messages through
+     the real (distilling) brokers. *)
+  let lat = Stats.Summary.create () in
+  let win_start = p.warmup and win_end = p.duration -. p.cooldown in
+  let clients =
+    List.init p.measure_clients (fun i ->
+        let c =
+          D.add_client d
+            ~identity:(p.dense_clients - 1 - i) (* top of the id space,
+                                                    far from load ranges *)
+            ~on_delivered:(fun _ ~latency ->
+              let now = Engine.now engine in
+              if now >= win_start && now <= win_end then Stats.Summary.add lat latency)
+            ()
+        in
+        c)
+  in
+  let rec pump c () =
+    (* Back-to-back: a new message as soon as the previous one completes
+       would need a completion callback per message; the client queue does
+       it: keep a couple of messages in flight locally. *)
+    if Engine.now engine < p.duration then begin
+      if Client.pending c < 2 then Client.broadcast c (String.make p.msg_bytes 'x');
+      Engine.schedule engine ~delay:0.5 (pump c)
+    end
+  in
+  List.iter (fun c -> Engine.schedule engine ~delay:0.2 (pump c)) clients;
+  (* Throughput window accounting on server 0 deliveries. *)
+  let tp = Stats.Throughput.create engine ~warmup:p.warmup ~cooldown:p.cooldown ~duration:p.duration in
+  D.server_deliver_hook d (fun srv del ->
+      if srv = 0 then Stats.Throughput.record tp (Repro_chopchop.Proto.delivery_count del));
+  (* Crash schedule. *)
+  (match p.crash with
+   | Some (time, victims) ->
+     Engine.schedule engine ~delay:time (fun () ->
+         List.iter (fun i -> D.crash_server d i) victims)
+   | None -> ());
+  (* Ingress byte sampling at the window boundaries (surviving servers). *)
+  let alive i =
+    match p.crash with Some (_, vs) -> not (List.mem i vs) | None -> true
+  in
+  let servers_alive = List.filter alive (List.init p.n_servers Fun.id) in
+  let ingress_at_start = Array.make p.n_servers 0 in
+  Engine.schedule engine ~delay:p.warmup (fun () ->
+      List.iter (fun i -> ingress_at_start.(i) <- D.server_ingress_bytes d i) servers_alive);
+  let ingress_at_end = Array.make p.n_servers 0 in
+  let stored_max = ref 0 in
+  Engine.schedule engine ~delay:(p.duration -. p.cooldown) (fun () ->
+      List.iter (fun i -> ingress_at_end.(i) <- D.server_ingress_bytes d i) servers_alive);
+  Engine.every engine ~period:1.0 ~until:p.duration (fun () ->
+      Array.iter
+        (fun sv -> stored_max := max !stored_max (Server.stored_bytes sv))
+        (D.servers d));
+  (* Start the load. *)
+  List.iteri
+    (fun i lb ->
+      let phase =
+        float_of_int i /. float_of_int n_load_brokers
+        /. Float.max batches_per_s 1.
+        *. float_of_int n_load_brokers
+      in
+      Load_broker.start lb ~until:p.duration ~phase ())
+    loads;
+  D.run d ~until:(p.duration +. 15.);
+  let span = win_end -. win_start in
+  let net_rate =
+    let sum =
+      List.fold_left
+        (fun acc i -> acc + (ingress_at_end.(i) - ingress_at_start.(i)))
+        0 servers_alive
+    in
+    float_of_int sum /. float_of_int (List.length servers_alive) /. span
+  in
+  let per_msg = useful_bytes_per_msg ~clients:p.dense_clients ~msg_bytes:p.msg_bytes in
+  let throughput = Stats.Throughput.rate tp in
+  let cpu =
+    let sum =
+      List.fold_left
+        (fun acc i -> acc +. D.server_cpu_utilization d i ~since:0.)
+        0. servers_alive
+    in
+    sum /. float_of_int (List.length servers_alive)
+  in
+  { offered = p.rate;
+    throughput;
+    latency_mean = Stats.Summary.mean lat;
+    latency_std = Stats.Summary.stddev lat;
+    input_rate_bps = p.rate *. per_msg;
+    network_rate_bps = net_rate;
+    goodput_bps = throughput *. per_msg;
+    server_cpu = cpu;
+    stored_bytes_max = !stored_max }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "offered %.3g op/s -> %.3g op/s, lat %.2f±%.2f s, in %.3g B/s, net %.3g B/s, good %.3g B/s, cpu %.1f%%"
+    r.offered r.throughput r.latency_mean r.latency_std r.input_rate_bps
+    r.network_rate_bps r.goodput_bps (100. *. r.server_cpu)

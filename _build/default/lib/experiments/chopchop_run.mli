@@ -1,0 +1,46 @@
+(** Generic Chop Chop experiment runner.
+
+    Drives a {!Repro_chopchop.Deployment} with load brokers at a target
+    input rate and a handful of real measurement clients (the paper
+    separates load generation from latency measurement, §6.2), then
+    reports the §6 metrics over the warmup/cooldown-trimmed window. *)
+
+type params = {
+  n_servers : int;
+  underlay : Repro_chopchop.Deployment.underlay;
+  rate : float; (* offered load, messages per second *)
+  batch_count : int;
+  msg_bytes : int;
+  distill_fraction : float;
+  n_load_brokers : int;
+  measure_clients : int;
+  duration : float;
+  warmup : float;
+  cooldown : float;
+  crash : (float * int list) option; (* (time, server indices) *)
+  dense_clients : int; (* directory width (257 M in the paper) *)
+  seed : int64;
+  flush_period : float; (* broker collection window (1 s in the paper) *)
+  reduce_timeout : float; (* distillation timeout (1 s in the paper) *)
+  witness_margin : int option; (* None: paper default for the size *)
+}
+
+val default : params
+(** 64 servers, BFT-SMaRt-style underlay, 8 B messages, 65,536-message
+    fully distilled batches, 20 s run with 6 s warmup / 4 s cooldown. *)
+
+type result = {
+  offered : float; (* op/s *)
+  throughput : float; (* delivered op/s at server 0 over the window *)
+  latency_mean : float; (* end-to-end, measurement clients, seconds *)
+  latency_std : float;
+  input_rate_bps : float; (* useful bytes offered per second *)
+  network_rate_bps : float; (* mean server NIC ingress over the window *)
+  goodput_bps : float; (* useful bytes delivered per second *)
+  server_cpu : float; (* mean server utilisation over the window *)
+  stored_bytes_max : int; (* peak batch store across servers (GC pressure) *)
+}
+
+val run : params -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,67 @@
+type shard_result = { shards : int; per_shard : float; aggregate : float }
+
+let shard_params scale =
+  let n, rate, duration, warmup, cooldown =
+    match scale with
+    | Figures.Quick -> (4, 2e6, 12., 4., 3.)
+    | Figures.Full -> (16, 8e6, 16., 5., 4.)
+  in
+  { Chopchop_run.default with
+    n_servers = n; rate; duration; warmup; cooldown; measure_clients = 2 }
+
+let sharding ~scale ~shards =
+  List.map
+    (fun k ->
+      let results =
+        List.init k (fun i ->
+            Chopchop_run.run
+              { (shard_params scale) with seed = Int64.of_int (1000 + i) })
+      in
+      let total =
+        List.fold_left (fun a r -> a +. r.Chopchop_run.throughput) 0. results
+      in
+      { shards = k; per_shard = total /. float_of_int k; aggregate = total })
+    shards
+
+type offload_result = {
+  servers : int;
+  baseline_capacity : float;
+  offloaded_capacity : float;
+}
+
+(* Capacity from the §3.2 anchors: a witnessing server pays aggregation
+   (the dominant per-key term) plus one constant verification; every
+   server pays the delivery pass.  Offloading moves the per-key term to
+   the (untrusted, horizontally scalable) brokers. *)
+let pk_offload ~servers =
+  List.map
+    (fun n ->
+      let margin =
+        Repro_chopchop.Deployment.(paper_config ~n_servers:n ~underlay:Pbft)
+          .witness_margin
+      in
+      let asked = float_of_int (((n - 1) / 3) + 1 + margin) in
+      let delivery = 0.00031 in
+      let with_agg = (asked /. float_of_int n /. 457.1) +. delivery in
+      let verify_only = (asked /. float_of_int n *. Repro_sim.Cost.bls_verify) +. delivery in
+      { servers = n;
+        baseline_capacity = 65_536. /. with_agg;
+        offloaded_capacity = 65_536. /. verify_only })
+    servers
+
+let print fmt scale =
+  Format.fprintf fmt "@.=== §8 future work — sharding (independent instances) ===@.";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %d shard%s -> %10.3g op/s aggregate (%10.3g per shard)@."
+        r.shards (if r.shards > 1 then "s" else " ") r.aggregate r.per_shard)
+    (sharding ~scale ~shards:[ 1; 2; 4 ]);
+  Format.fprintf fmt
+    "@.=== §8 future work — public-key aggregation offload (capacity model) ===@.";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "  %2d servers: %10.3g op/s with server-side aggregation -> %10.3g op/s offloaded (%.1fx)@."
+        r.servers r.baseline_capacity r.offloaded_capacity
+        (r.offloaded_capacity /. r.baseline_capacity))
+    (pk_offload ~servers:[ 8; 16; 32; 64 ])

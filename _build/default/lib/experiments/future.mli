@@ -1,0 +1,34 @@
+(** §8 future-work extensions, made measurable.
+
+    The paper closes with two avenues: sharding ("running multiple,
+    independent, coordinated instances of Chop Chop") and offloading more
+    work — such as public-key aggregation — to the brokers.  This module
+    implements the measurable parts:
+
+    - {!sharding}: run k genuinely independent Chop Chop instances and
+      report the aggregate throughput (the coordination layer is the open
+      research question; independence is what bounds the gain);
+    - {!pk_offload}: the §3.2-anchored capacity model with the per-key
+      aggregation term moved off the witnessing servers, i.e. the
+      throughput ceiling if brokers aggregated public keys and servers
+      only verified (the paper's second suggestion — requires a way for
+      servers to hold brokers accountable for wrong aggregates, hence
+      "model" rather than protocol here). *)
+
+type shard_result = {
+  shards : int;
+  per_shard : float; (* op/s of one instance *)
+  aggregate : float;
+}
+
+val sharding : scale:Figures.scale -> shards:int list -> shard_result list
+
+type offload_result = {
+  servers : int;
+  baseline_capacity : float; (* op/s, aggregation on servers *)
+  offloaded_capacity : float; (* op/s, aggregation on brokers *)
+}
+
+val pk_offload : servers:int list -> offload_result list
+
+val print : Format.formatter -> Figures.scale -> unit

@@ -1,0 +1,1 @@
+lib/mempool/narwhal.ml: Hashtbl Int List Option Repro_sim Set

@@ -1,0 +1,1 @@
+lib/mempool/narwhal.mli: Repro_sim

@@ -1,0 +1,54 @@
+(** Narwhal mempool with Bullshark ordering — the baseline system (§6.1).
+
+    Primary–worker server groups: workers accumulate client transactions
+    into ~500 KB batches, disseminate them to the other groups' workers,
+    and report certified digests to their primary.  Primaries grow a
+    round-based DAG: each round's header carries fresh batch digests and
+    2f+1 parent certificates; 2f+1 votes certify a header.  Bullshark
+    commits the even-round anchor once the DAG advances past it and
+    delivers its causal history in deterministic order.
+
+    The [authenticate] flag selects the Narwhal-Bullshark-sig variant: the
+    receiving worker of every group batch-verifies an Ed25519 signature
+    per message (the paper's "state-of-the-art" authentication), which is
+    precisely what drops throughput by an order of magnitude (Fig. 8a).
+
+    Transactions are injected in bulk ({!inject}) by the workload
+    generator, mirroring how the paper's load clients feed workers; batch
+    contents are synthetic, costs (bytes, CPU) are charged for real. *)
+
+type t
+(** One server group (primary + collocated worker, as deployed in §6.2). *)
+
+type msg
+
+type config = {
+  n : int; (* number of groups; f = (n-1)/3 *)
+  batch_bytes : int; (* 500 KB default *)
+  batch_window : float; (* flush timeout *)
+  msg_bytes : int; (* application message size *)
+  header_bytes : int; (* per-message header: 80 B when authenticating *)
+  authenticate : bool;
+  workers_per_group : int; (* extra workers scale a group's capacity *)
+}
+
+val default_config : n:int -> msg_bytes:int -> authenticate:bool -> config
+
+val create :
+  engine:Repro_sim.Engine.t ->
+  cpu:Repro_sim.Cpu.t ->
+  config:config ->
+  self:int ->
+  send:(dst:int -> bytes:int -> msg -> unit) ->
+  on_deliver:(count:int -> inject_time:float -> unit) ->
+  unit ->
+  t
+
+val inject : t -> count:int -> unit
+(** Hand [count] fresh client transactions to this group's worker. *)
+
+val receive : t -> src:int -> msg -> unit
+val crash : t -> unit
+
+val delivered : t -> int
+(** Transactions delivered by this group's primary. *)

@@ -1,0 +1,1 @@
+lib/silk/silk.ml: Array Float

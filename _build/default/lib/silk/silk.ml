@@ -1,0 +1,89 @@
+type params = {
+  total_bytes : float;
+  destinations : int;
+  chunk_bytes : float;
+  link_bps : float;
+  rtt : float;
+  tcp_window_bytes : float;
+  streams_per_peer : int;
+  replication : int;
+}
+
+(* 13 TB over 320 machines; batches and public-key files are shared by the
+   machines that play the same role, so each unique byte has ~10 copies. *)
+let default_params =
+  { total_bytes = 13e12; destinations = 320; chunk_bytes = 64e6;
+    link_bps = 12.5e9; rtt = 0.150; tcp_window_bytes = 8e6;
+    streams_per_peer = 32; replication = 10 }
+
+let stream_bps p = Float.min (p.link_bps /. 8.) (p.tcp_window_bytes /. p.rtt) *. 8.
+(* expressed in bits/s: window/RTT in bytes/s, capped by the link *)
+
+let scp_hours p =
+  (* One window-limited stream at a time, from a single source, until
+     every destination's files are pushed. *)
+  p.total_bytes *. 8. /. stream_bps p /. 3600.
+
+(* Fluid swarm simulation: groups of [replication] destinations share the
+   same content; the source seeds unique bytes round-robin, peers
+   re-serve what they hold.  Capacities are tracked per step. *)
+let silk_seconds p =
+  let groups = max 1 (p.destinations / p.replication) in
+  let unique = p.total_bytes /. float_of_int p.replication in
+  let v_g = unique /. float_of_int groups in
+  let members = float_of_int p.replication in
+  let link_bytes = p.link_bps /. 8. in
+  (* Aggregated streams lift the per-connection window cap up to the NIC. *)
+  let per_peer_bw =
+    Float.min link_bytes
+      (float_of_int p.streams_per_peer *. p.tcp_window_bytes /. p.rtt)
+  in
+  let seeded = Array.make groups 0. in (* unique bytes present in group *)
+  let received = Array.make groups 0. in (* total bytes across members *)
+  let dt = 1.0 in
+  let t = ref 0. in
+  let finished () =
+    let ok = ref true in
+    for g = 0 to groups - 1 do
+      if received.(g) < (members *. v_g) -. 1. then ok := false
+    done;
+    !ok
+  in
+  while (not (finished ())) && !t < 1e7 do
+    (* Source upload capacity split over groups still missing unique data. *)
+    let needy = ref 0 in
+    for g = 0 to groups - 1 do
+      if seeded.(g) < v_g then incr needy
+    done;
+    if !needy > 0 then begin
+      let share = Float.min per_peer_bw link_bytes *. dt /. float_of_int !needy in
+      for g = 0 to groups - 1 do
+        if seeded.(g) < v_g then begin
+          let add = Float.min share (v_g -. seeded.(g)) in
+          seeded.(g) <- seeded.(g) +. add;
+          received.(g) <- received.(g) +. add
+        end
+      done
+    end;
+    (* Intra-group replication: members holding data re-serve it.  The
+       number of effective uploaders grows with group progress. *)
+    for g = 0 to groups - 1 do
+      let target = members *. v_g in
+      if received.(g) < target && seeded.(g) > 0. then begin
+        let holders = Float.max 1. (received.(g) /. v_g) in
+        let uploaders = Float.min holders members in
+        let up = uploaders *. per_peer_bw *. dt in
+        let down = (members -. (received.(g) /. v_g)) *. per_peer_bw *. dt in
+        (* Cannot replicate content the group does not yet hold. *)
+        let available = (seeded.(g) *. members) -. received.(g) in
+        let add = Float.max 0. (Float.min available (Float.min up down)) in
+        received.(g) <- Float.min target (received.(g) +. add)
+      end
+    done;
+    t := !t +. dt
+  done;
+  !t
+
+let silk_minutes p = silk_seconds p /. 60.
+
+let speedup p = scp_hours p *. 60. /. silk_minutes p

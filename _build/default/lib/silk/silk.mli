@@ -1,0 +1,48 @@
+(** silk — one-to-many peer-to-peer file distribution (§6.2 "Challenges").
+
+    The paper's evaluation needed 13 TB of synthetic workload installed on
+    up to 320 machines per setup; plain [scp] from one machine would take
+    68 hours, silk's peer-to-peer transfer over aggregated TCP connections
+    takes ~30 minutes.  This module reproduces that experiment with a
+    chunk-level swarm simulator:
+
+    - a single WAN TCP stream is window-limited: its throughput is
+      [min(link, window / RTT)] — the reason scp crawls on
+      high-latency paths;
+    - silk opens [streams_per_peer] parallel connections per transfer and,
+      crucially, lets every machine that holds a chunk re-serve it, so
+      aggregate upload capacity grows with the number of completed peers
+      (BitTorrent-style epidemic dissemination).
+
+    The simulation advances in fixed scheduling rounds, moving chunk
+    ownership between peers under per-node upload/download capacity
+    constraints. *)
+
+type params = {
+  total_bytes : float; (* payload to replicate on every destination *)
+  destinations : int;
+  chunk_bytes : float;
+  link_bps : float; (* NIC speed of every machine *)
+  rtt : float; (* mean WAN round-trip *)
+  tcp_window_bytes : float; (* per-connection in-flight cap *)
+  streams_per_peer : int; (* aggregated connections (silk) *)
+  replication : int;
+      (* destinations sharing identical content (key directories, batch
+         pools): the sharing that makes peer-to-peer re-serving pay off *)
+}
+
+val default_params : params
+(** The paper's deployment: 13 TB replicated to 320 machines over
+    ~12.5 Gb/s NICs and a 150 ms mean RTT. *)
+
+val stream_bps : params -> float
+(** Throughput of one TCP stream under the window/RTT cap. *)
+
+val scp_hours : params -> float
+(** Sequential single-stream distribution from one source, in hours. *)
+
+val silk_minutes : params -> float
+(** Simulated swarm completion time (all destinations hold all chunks),
+    in minutes. *)
+
+val speedup : params -> float

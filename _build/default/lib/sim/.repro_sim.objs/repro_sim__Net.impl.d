@@ -1,0 +1,1 @@
+lib/sim/net.ml: Engine Float Hashtbl List Printf Region Rng

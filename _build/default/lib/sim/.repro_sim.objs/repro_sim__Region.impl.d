@@ -1,0 +1,1 @@
+lib/sim/region.ml: Array Float Format List

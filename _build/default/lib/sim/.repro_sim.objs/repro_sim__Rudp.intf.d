@@ -1,0 +1,1 @@
+lib/sim/rudp.mli: Engine

@@ -1,0 +1,53 @@
+let vcpus = 32
+
+(* Anchors from §3.2 of the paper, measured on c6i.8xlarge. *)
+let classic_batch_s = 1. /. 16.2 (* 65,536 Ed25519 sigs, batch verified *)
+let distilled_batch_s = 1. /. 457.1 (* 65,536 pk aggregation + 1 BLS verify *)
+let anchor_batch = 65_536.
+
+let bls_verify = 0.0001
+(* One pairing-based verification (~3 ms single-core over 32 vCPUs); a
+   small constant share of the distilled anchor so that per-key
+   aggregation dominates, as in the paper. *)
+
+let ed25519_batch_verify n = float_of_int n *. classic_batch_s /. anchor_batch
+
+let bls_aggregate_pks n = float_of_int n *. (distilled_batch_s -. bls_verify) /. anchor_batch
+
+let bls_aggregate_sigs n = float_of_int n *. 1e-8
+(* Field additions (uncompressed point additions) — cheaper than pk
+   aggregation, which involves deserialization of directory entries. *)
+
+(* ~70 us single-core Ed25519 verification without batching. *)
+let ed25519_verify = 70e-6 /. float_of_int vcpus
+
+let hash_per_byte = 0.4e-9 /. float_of_int vcpus
+(* blake3-class, ~2.5 GB/s/core. *)
+
+let merkle_build ~leaves ~leaf_bytes =
+  (* Hash every leaf plus the internal nodes (~2x leaf count of 64 B
+     compressions). *)
+  let leaf_cost = float_of_int (leaves * leaf_bytes) *. hash_per_byte in
+  let node_cost = float_of_int (2 * leaves * 64) *. hash_per_byte in
+  leaf_cost +. node_cost
+
+let merkle_verify_proof ~leaves =
+  let depth = max 1 (int_of_float (ceil (log (float_of_int (max 2 leaves)) /. log 2.))) in
+  float_of_int (depth * 64) *. hash_per_byte
+
+let signature_sign = 25e-6 /. float_of_int vcpus
+
+let multisig_sign = 300e-6 /. float_of_int vcpus
+(* BLS signing: one hash-to-curve plus one scalar multiplication. *)
+
+let dedup_per_message = 2e-9
+(* Sorted-range sequence check, parallel across id chunks (§5.2). *)
+
+let serialize_per_byte = 0.1e-9
+
+(* t3.small: 1 core vs the server's 32 vCPUs, and a slower core. *)
+let client_factor = float_of_int vcpus *. 1.5
+
+let client_multisig_sign = multisig_sign *. client_factor
+
+let client_verify_proof ~leaves = merkle_verify_proof ~leaves *. client_factor

@@ -1,0 +1,68 @@
+(** Calibrated CPU cost model.
+
+    All costs are expressed in {e machine-seconds of one reference server}
+    (AWS c6i.8xlarge: 32 vCPU / 16 cores, the machine every server, broker
+    and load client runs on in §6.2).  The two anchor points come straight
+    from the paper's microbenchmark (§3.2):
+
+    - classic batch authentication: 16.2 batches/s of 65,536 Ed25519
+      signatures, batch-verified ⇒ 61.7 ms per batch;
+    - distilled batch authentication: 457.1 batches/s, i.e. aggregation of
+      65,536 BLS12-381 public keys plus one multi-signature verification
+      ⇒ 2.19 ms per batch.
+
+    Remaining constants are standard single-core figures for the named
+    primitives divided by the machine's parallelism.  Clients run on
+    t3.small (1 core, ~3x slower per core); their costs carry a separate
+    factor.  The {!Cpu} queue charges these durations on the virtual
+    clock — the actual OCaml execution time of the simulation-grade
+    crypto never leaks into results. *)
+
+val vcpus : int
+(** Parallelism of the reference server (32). *)
+
+(* Server-side, machine-seconds. *)
+
+val ed25519_batch_verify : int -> float
+(** Cost of batch-verifying [n] individual signatures. *)
+
+val ed25519_verify : float
+(** One isolated verification (no batching amortization). *)
+
+val bls_aggregate_pks : int -> float
+(** Aggregating [n] public keys. *)
+
+val bls_verify : float
+(** One multi-signature verification against an aggregate key. *)
+
+val bls_aggregate_sigs : int -> float
+(** Aggregating [n] multi-signature shares (brokers do this). *)
+
+val hash_per_byte : float
+(** Cryptographic hashing (blake3-class). *)
+
+val merkle_build : leaves:int -> leaf_bytes:int -> float
+(** Building a Merkle tree over a batch. *)
+
+val merkle_verify_proof : leaves:int -> float
+
+val signature_sign : float
+(** Producing one Ed25519 signature. *)
+
+val multisig_sign : float
+(** Producing one BLS share (clients; scaled for t3.small below). *)
+
+val dedup_per_message : float
+(** Sequence-number check + last-message comparison per payload (§5.2,
+    identifier-sorted parallel deduplication). *)
+
+val serialize_per_byte : float
+(** Serialization / memory traffic per byte handled. *)
+
+(* Client-side (t3.small: 1 core, slower clock). *)
+
+val client_factor : float
+(** Multiplier turning a single-core server cost into a t3.small cost. *)
+
+val client_multisig_sign : float
+val client_verify_proof : leaves:int -> float

@@ -1,0 +1,32 @@
+type t = {
+  engine : Engine.t;
+  capacity : float;
+  mutable next_free : float;
+  mutable total_busy : float;
+}
+
+let create engine ?(capacity = 1.0) () =
+  if capacity <= 0. then invalid_arg "Cpu.create: capacity must be positive";
+  { engine; capacity; next_free = 0.; total_busy = 0. }
+
+let submit t ~cost k =
+  if cost < 0. then invalid_arg "Cpu.submit: negative cost";
+  let duration = cost /. t.capacity in
+  let start = Float.max (Engine.now t.engine) t.next_free in
+  let finish = start +. duration in
+  t.next_free <- finish;
+  t.total_busy <- t.total_busy +. duration;
+  Engine.schedule_at t.engine ~time:finish k
+
+let charge t ~cost = submit t ~cost (fun () -> ())
+
+let busy_until t = t.next_free
+
+let backlog t = Float.max 0. (t.next_free -. Engine.now t.engine)
+
+let busy_seconds t = t.total_busy
+
+let utilization t ~since =
+  let elapsed = Engine.now t.engine -. since in
+  if elapsed <= 0. then 0.
+  else Float.min 1. (t.total_busy /. elapsed)

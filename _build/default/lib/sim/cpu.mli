@@ -1,0 +1,35 @@
+(** Per-node CPU accounting.
+
+    A node's CPU is a FIFO work queue with a given capacity relative to the
+    reference machine (1.0 = one c6i.8xlarge).  Submitting a job charges
+    its cost (in reference-machine seconds, see {!Cost}) on the virtual
+    clock; the completion callback fires when the queue drains to it.
+    Utilization statistics feed the resource-efficiency experiment
+    (Fig. 10b reports ~5% server CPU for Chop Chop at matched resources). *)
+
+type t
+
+val create : Engine.t -> ?capacity:float -> unit -> t
+(** [capacity] scales job durations: a 0.5-capacity machine takes twice the
+    reference time.  Default 1.0. *)
+
+val submit : t -> cost:float -> (unit -> unit) -> unit
+(** Enqueue a job costing [cost] reference-machine seconds; the callback
+    runs at completion time. *)
+
+val charge : t -> cost:float -> unit
+(** Fire-and-forget work with no completion action (accounted the same). *)
+
+val busy_until : t -> float
+(** Virtual time at which the current backlog drains. *)
+
+val backlog : t -> float
+(** Seconds of queued work not yet executed. *)
+
+val busy_seconds : t -> float
+(** Total work executed or queued since creation (for utilization:
+    divide by elapsed time). *)
+
+val utilization : t -> since:float -> float
+(** Fraction of wall time spent busy since the given virtual time.
+    Values are clamped to [0, 1]. *)

@@ -1,0 +1,128 @@
+type event = { time : float; seq : int; cell : (unit -> unit) option ref }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  rng : Rng.t;
+}
+
+type timer = (unit -> unit) option ref
+
+let create ?(seed = 1L) () =
+  { heap = Array.make 256 { time = 0.; seq = 0; cell = ref None };
+    size = 0;
+    clock = 0.;
+    next_seq = 0;
+    rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rng
+let pending t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) ev in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- ev;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.heap.(!smallest) in
+        t.heap.(!smallest) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  top
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  let ev = { time; seq = t.next_seq; cell = ref (Some f) } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let timer t ~delay f =
+  let cell = ref (Some f) in
+  if delay < 0. then invalid_arg "Engine.timer: negative delay";
+  let ev = { time = t.clock +. delay; seq = t.next_seq; cell } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev;
+  cell
+
+let cancel cell = cell := None
+
+let rec every t ~period ?until f =
+  schedule t ~delay:period (fun () ->
+      match until with
+      | Some stop when t.clock > stop -> ()
+      | _ ->
+        f ();
+        every t ~period ?until f)
+
+let step t =
+  if t.size = 0 then false
+  else begin
+    let ev = pop t in
+    t.clock <- ev.time;
+    (match !(ev.cell) with
+     | Some f ->
+       ev.cell := None;
+       f ()
+     | None -> ());
+    true
+  end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+    let continue = ref true in
+    while !continue do
+      if t.size = 0 then begin
+        t.clock <- stop;
+        continue := false
+      end
+      else if t.heap.(0).time > stop then begin
+        t.clock <- stop;
+        continue := false
+      end
+      else ignore (step t)
+    done

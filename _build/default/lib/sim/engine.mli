@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    A single virtual clock and a priority queue of callbacks.  Ties are
+    broken by insertion order, so a run is fully deterministic given the
+    seed.  The engine replaces the paper's tokio runtime: every protocol
+    component is written as an event-driven state machine whose timers and
+    message deliveries are engine events. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine with clock at 0.  [seed] (default 1) seeds {!rng}. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root generator; [Rng.split] it for per-node streams. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a callback [delay] seconds from now ([delay >= 0]). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run a callback at an absolute virtual time (clamped to now). *)
+
+type timer
+
+val timer : t -> delay:float -> (unit -> unit) -> timer
+(** A cancellable one-shot timer. *)
+
+val cancel : timer -> unit
+(** Cancelling an expired timer is a no-op. *)
+
+val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit
+(** Periodic callback starting one period from now. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the queue is empty, or the clock
+    would pass [until] (remaining events stay queued and the clock is set
+    to [until]). *)
+
+val step : t -> bool
+(** Process a single event; [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events (diagnostics). *)

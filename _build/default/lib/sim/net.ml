@@ -1,0 +1,87 @@
+type 'msg node = {
+  region : Region.t;
+  ingress_bps : float;
+  egress_bps : float;
+  handler : src:int -> 'msg -> unit;
+  mutable out_free : float;
+  mutable in_free : float;
+  mutable sent : int;
+  mutable received : int;
+  mutable connected : bool;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  loss : float;
+  nodes : (int, 'msg node) Hashtbl.t;
+  rng : Rng.t;
+}
+
+(* c6i.8xlarge NICs are 12.5 Gb/s, but sustained cross-WAN TCP goodput is
+   a fraction of that (AWS upload is half the stated bandwidth, §6.4, and
+   long-haul streams lose more): the effective rates below are calibrated
+   so a server's bulk ingress saturates near 0.6 GB/s — consistent with
+   Fig. 9, where the measured server network rate peaks around 0.5 GB/s. *)
+let server_default_ingress_bps = 5e9
+let server_default_egress_bps = 3.125e9
+
+let create engine ?(loss = 0.) () =
+  { engine; loss; nodes = Hashtbl.create 256; rng = Rng.split (Engine.rng engine) }
+
+let add_node t ~id ~region ?(ingress_bps = server_default_ingress_bps)
+    ?(egress_bps = server_default_egress_bps) ~handler () =
+  if Hashtbl.mem t.nodes id then invalid_arg "Net.add_node: duplicate id";
+  Hashtbl.add t.nodes id
+    { region; ingress_bps; egress_bps; handler;
+      out_free = 0.; in_free = 0.; sent = 0; received = 0; connected = true }
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Net: unknown node %d" id)
+
+let transmit t ~src ~dst ~bytes msg =
+  let s = node t src and d = node t dst in
+  if s.connected && d.connected then begin
+    let now = Engine.now t.engine in
+    s.sent <- s.sent + bytes;
+    let out_start = Float.max now s.out_free in
+    let out_end = out_start +. (float_of_int (8 * bytes) /. s.egress_bps) in
+    s.out_free <- out_end;
+    let arrival = out_end +. Region.latency s.region d.region in
+    (* Ingress occupancy is decided at arrival time: delay the enqueue. *)
+    Engine.schedule_at t.engine ~time:arrival (fun () ->
+        if d.connected then begin
+          let in_start = Float.max arrival d.in_free in
+          let in_end = in_start +. (float_of_int (8 * bytes) /. d.ingress_bps) in
+          d.in_free <- in_end;
+          d.received <- d.received + bytes;
+          Engine.schedule_at t.engine ~time:in_end (fun () ->
+              if d.connected then d.handler ~src msg)
+        end)
+  end
+
+let send t ~src ~dst ~bytes msg = transmit t ~src ~dst ~bytes msg
+
+let send_lossy t ~src ~dst ~bytes msg =
+  if t.loss <= 0. || Rng.float t.rng 1.0 >= t.loss then transmit t ~src ~dst ~bytes msg
+  else begin
+    (* Dropped packets still consume egress bandwidth at the sender. *)
+    let s = node t src in
+    if s.connected then begin
+      let now = Engine.now t.engine in
+      s.sent <- s.sent + bytes;
+      let out_start = Float.max now s.out_free in
+      s.out_free <- out_start +. (float_of_int (8 * bytes) /. s.egress_bps)
+    end
+  end
+
+let multicast t ~src ~dsts ~bytes msg =
+  List.iter (fun dst -> transmit t ~src ~dst ~bytes msg) dsts
+
+let disconnect t id = (node t id).connected <- false
+let is_connected t id = (node t id).connected
+
+let bytes_sent t id = (node t id).sent
+let bytes_received t id = (node t id).received
+let node_region t id = (node t id).region

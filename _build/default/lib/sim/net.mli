@@ -1,0 +1,68 @@
+(** Point-to-point network model.
+
+    Messages are OCaml values; their {e wire size} is supplied by the
+    sender (protocol modules compute it with the paper's encoding
+    constants, see {!Repro_chopchop.Wire}).  Delivery time of a message of
+    [b] bytes from node [s] to node [d] is
+
+    {v egress-queueing(s) + b/egress_bps(s) + latency(region s, region d)
+      + ingress-queueing(d) + b/ingress_bps(d) v}
+
+    i.e. both NICs are modelled as serialising queues, which is what makes
+    servers bandwidth-bottleneck at high load (Fig. 9).  Per-node byte
+    counters expose the "network rate" series of Fig. 9.
+
+    The ['msg] parameter is the deployment's message union type; protocol
+    state machines never see this module directly — they are handed
+    [send] callbacks (dependency inversion keeps {!Repro_stob} and
+    {!Repro_chopchop} independent of each other's wire formats). *)
+
+type 'msg t
+
+val create : Engine.t -> ?loss:float -> unit -> 'msg t
+(** [loss] is the probability a {e lossy} send is dropped (default 0);
+    reliable sends never drop.  Chop Chop's client↔broker traffic is UDP
+    with an in-house retransmission layer (§5.1): we model it as a lossy
+    channel, and the client/broker state machines carry the
+    retransmission logic. *)
+
+val add_node :
+  'msg t ->
+  id:int ->
+  region:Region.t ->
+  ?ingress_bps:float ->
+  ?egress_bps:float ->
+  handler:(src:int -> 'msg -> unit) ->
+  unit ->
+  unit
+(** Register a node.  Default speeds are the {e effective} WAN goodput of
+    a server (5 Gb/s down / 3.125 Gb/s up): the c6i.8xlarge NIC is
+    12.5 Gb/s, AWS upload is half of that (§6.4), and sustained long-haul
+    TCP recovers only a fraction — calibrated against Fig. 9's peak
+    measured server ingress of ~0.5 GB/s.
+    @raise Invalid_argument on duplicate id. *)
+
+val send : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
+(** Reliable delivery (TCP-like). *)
+
+val send_lossy : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
+(** Subject to the network's loss probability (UDP-like). *)
+
+val multicast : 'msg t -> src:int -> dsts:int list -> bytes:int -> 'msg -> unit
+(** Send the same message to many destinations (each serialised separately
+    on the egress NIC, as distinct unicasts would be). *)
+
+val disconnect : 'msg t -> int -> unit
+(** Crash a node: all traffic to and from it is silently dropped from now
+    on (used by the failure experiments, Fig. 11a). *)
+
+val is_connected : 'msg t -> int -> bool
+
+val bytes_sent : 'msg t -> int -> int
+val bytes_received : 'msg t -> int -> int
+(** Cumulative NIC counters (payload bytes). *)
+
+val node_region : 'msg t -> int -> Region.t
+
+val server_default_ingress_bps : float
+val server_default_egress_bps : float

@@ -1,0 +1,54 @@
+(** Geographic model of the paper's cross-cloud deployment (§6.2, Fig. 6).
+
+    The 14 AWS regions hosting servers, the broker/client extras (Tokyo,
+    Sydney) and the OVH sites hosting load brokers.  One-way latency
+    between two regions is derived from great-circle distance at the speed
+    of light in fibre with a routing-inflation factor, plus a fixed local
+    hop — the standard first-order model for WAN latency. *)
+
+type t =
+  | Cape_town
+  | Sao_paulo
+  | Bahrain
+  | Canada
+  | Frankfurt
+  | N_virginia
+  | N_california
+  | Stockholm
+  | Ohio
+  | Milan
+  | Oregon
+  | Ireland
+  | London
+  | Paris
+  | Tokyo
+  | Sydney
+  | Ovh_gravelines
+  | Ovh_beauharnois
+
+val all : t list
+
+val aws_server_regions : t list
+(** The 14 regions across which servers are balanced (§6.2). *)
+
+val server_regions_for : int -> t list
+(** [server_regions_for n] assigns [n] servers round-robin; for n = 8 the
+    paper uses the first 8 regions of the list — "the most adversarial
+    setup with the highest pairwise latency". *)
+
+val broker_regions : t list
+(** One broker per continent (§6.2). *)
+
+val client_regions : t list
+(** One measurement client in each of the 14 server regions plus Tokyo and
+    Sydney. *)
+
+val load_broker_regions : t list
+(** OVH sites. *)
+
+val latency : t -> t -> float
+(** One-way network latency in seconds. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

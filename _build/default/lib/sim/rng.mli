@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    Every experiment draws randomness exclusively from one of these,
+    seeded explicitly, so simulation runs are bit-for-bit reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator. *)
+
+val split : t -> t
+(** Derive an independent generator stream (for per-node RNGs). *)
+
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] in [0, bound).  @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] inclusive range. *)
+
+val float : t -> float -> float
+(** [float t bound] in [0, bound). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample (Poisson inter-arrival times). *)
+
+val shuffle : t -> 'a array -> unit
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,107 @@
+type 'a packet =
+  | Data of { seq : int; payload : 'a; bytes : int }
+  | Ack of { seq : int }
+
+let data_header = 12
+let ack_bytes = 20
+
+let packet_bytes = function
+  | Data { bytes; _ } -> bytes + data_header
+  | Ack _ -> ack_bytes
+
+let ack_wire = ack_bytes
+
+type 'a outstanding = {
+  o_seq : int;
+  o_payload : 'a;
+  o_bytes : int;
+  mutable o_retries : int;
+  mutable o_acked : bool;
+}
+
+type 'a sender = {
+  engine : Engine.t;
+  transmit : 'a packet -> unit;
+  rto : float;
+  window : int;
+  max_retries : int;
+  mutable next_seq : int;
+  flight : (int, 'a outstanding) Hashtbl.t;
+  backlog : (int * 'a) Queue.t; (* (bytes, payload) waiting for a window slot *)
+  mutable retransmissions : int;
+  mutable gave_up : int;
+}
+
+let sender ~engine ~transmit ?(rto = 0.4) ?(window = 64) ?(max_retries = 25) () =
+  { engine; transmit; rto; window; max_retries;
+    next_seq = 0; flight = Hashtbl.create 64; backlog = Queue.create ();
+    retransmissions = 0; gave_up = 0 }
+
+let in_flight t = Hashtbl.length t.flight
+let queued t = Queue.length t.backlog
+let retransmissions t = t.retransmissions
+let give_up_count t = t.gave_up
+
+let rec transmit_outstanding t (o : 'a outstanding) =
+  t.transmit (Data { seq = o.o_seq; payload = o.o_payload; bytes = o.o_bytes });
+  Engine.schedule t.engine ~delay:t.rto (fun () ->
+      if (not o.o_acked) && Hashtbl.mem t.flight o.o_seq then
+        if o.o_retries >= t.max_retries then begin
+          (* Give up: the peer is unreachable; higher-level timeouts
+             (broker rotation) own recovery from here. *)
+          Hashtbl.remove t.flight o.o_seq;
+          t.gave_up <- t.gave_up + 1;
+          pump t
+        end
+        else begin
+          o.o_retries <- o.o_retries + 1;
+          t.retransmissions <- t.retransmissions + 1;
+          transmit_outstanding t o
+        end)
+
+and pump t =
+  while Hashtbl.length t.flight < t.window && not (Queue.is_empty t.backlog) do
+    let bytes, payload = Queue.pop t.backlog in
+    let o =
+      { o_seq = t.next_seq; o_payload = payload; o_bytes = bytes;
+        o_retries = 0; o_acked = false }
+    in
+    t.next_seq <- t.next_seq + 1;
+    Hashtbl.add t.flight o.o_seq o;
+    transmit_outstanding t o
+  done
+
+let send t ~bytes payload =
+  Queue.add (bytes, payload) t.backlog;
+  pump t
+
+let sender_on_ack t seq =
+  match Hashtbl.find_opt t.flight seq with
+  | Some o ->
+    o.o_acked <- true;
+    Hashtbl.remove t.flight seq;
+    pump t
+  | None -> ()
+
+type 'a receiver = {
+  deliver : 'a -> unit;
+  send_ack : int -> unit;
+  seen : (int, unit) Hashtbl.t;
+  mutable dups : int;
+}
+
+let receiver ~deliver ~send_ack () =
+  { deliver; send_ack; seen = Hashtbl.create 256; dups = 0 }
+
+let receiver_on_data t = function
+  | Ack _ -> ()
+  | Data { seq; payload; bytes = _ } ->
+    (* Always re-ACK: the previous ACK may have been the lost packet. *)
+    t.send_ack seq;
+    if Hashtbl.mem t.seen seq then t.dups <- t.dups + 1
+    else begin
+      Hashtbl.add t.seen seq ();
+      t.deliver payload
+    end
+
+let duplicates t = t.dups

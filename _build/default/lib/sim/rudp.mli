@@ -1,0 +1,65 @@
+(** Reliable-UDP transport (§5.1 "Reliable UDP").
+
+    The paper's broker cannot hold hundreds of thousands of TCP
+    connections, so client↔broker traffic runs over UDP with an in-house,
+    ACK-based retransmission layer that also smooths the outgoing packet
+    rate.  This module reproduces that layer over the network model's
+    lossy channel ({!Net.send_lossy}):
+
+    - the {e sender} assigns sequence numbers, keeps a bounded in-flight
+      window (rate smoothing: excess messages queue), retransmits on an
+      RTO timer until acknowledged;
+    - the {e receiver} acknowledges every data packet and suppresses
+      duplicate deliveries.
+
+    Delivery is at-most-once per sequence number and unordered — exactly
+    what the Chop Chop state machines tolerate (submissions, reductions
+    and inclusions are all idempotent or deduplicated one level up). *)
+
+type 'a packet =
+  | Data of { seq : int; payload : 'a; bytes : int }
+  | Ack of { seq : int }
+
+val packet_bytes : 'a packet -> int
+(** Wire size: payload bytes + 12 B of UDP/rudp header for data, 20 B for
+    an ACK. *)
+
+val ack_wire : int
+(** Wire size of a bare ACK (20 B). *)
+
+type 'a sender
+
+val sender :
+  engine:Engine.t ->
+  transmit:('a packet -> unit) ->
+  ?rto:float ->
+  ?window:int ->
+  ?max_retries:int ->
+  unit ->
+  'a sender
+(** [transmit] injects a packet into the (lossy) channel.  Defaults:
+    [rto = 0.4] s, [window = 64] in-flight messages, [max_retries = 25]
+    (a message is dropped — and reported — after that; the higher-level
+    protocol's own broker-rotation timeouts take over). *)
+
+val send : 'a sender -> bytes:int -> 'a -> unit
+(** Queue a message for reliable delivery. *)
+
+val sender_on_ack : 'a sender -> int -> unit
+(** Feed an ACK received from the peer. *)
+
+val in_flight : 'a sender -> int
+val queued : 'a sender -> int
+val retransmissions : 'a sender -> int
+(** Total retransmitted data packets (diagnostics / loss experiments). *)
+
+val give_up_count : 'a sender -> int
+
+type 'a receiver
+
+val receiver : deliver:('a -> unit) -> send_ack:(int -> unit) -> unit -> 'a receiver
+
+val receiver_on_data : 'a receiver -> 'a packet -> unit
+(** Acknowledge and deliver (first copy only). *)
+
+val duplicates : 'a receiver -> int

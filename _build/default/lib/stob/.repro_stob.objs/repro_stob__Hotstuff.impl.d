@@ -1,0 +1,1 @@
+lib/stob/hotstuff.ml: Hashtbl Int List Option Repro_sim Set Stob_intf

@@ -1,0 +1,1 @@
+lib/stob/hotstuff.mli: Repro_sim

@@ -1,0 +1,1 @@
+lib/stob/pbft.mli: Repro_sim

@@ -1,0 +1,1 @@
+lib/stob/sequencer.ml: Hashtbl

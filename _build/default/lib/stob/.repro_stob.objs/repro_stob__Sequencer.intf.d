@@ -1,0 +1,1 @@
+lib/stob/sequencer.mli: Repro_sim

@@ -1,0 +1,1 @@
+lib/stob/stob_intf.ml: Repro_sim

@@ -1,0 +1,63 @@
+type 'p msg =
+  | Forward of 'p          (* any server -> sequencer *)
+  | Ordered of int * 'p    (* sequencer -> all: (slot, payload) *)
+
+type 'p t = {
+  self : int;
+  n : int;
+  send : dst:int -> bytes:int -> 'p msg -> unit;
+  deliver : 'p -> unit;
+  payload_bytes : 'p -> int;
+  mutable next_slot : int;              (* sequencer only *)
+  mutable next_expected : int;          (* delivery cursor *)
+  pending : (int, 'p) Hashtbl.t;        (* out-of-order buffer *)
+  mutable crashed : bool;
+  mutable delivered : int;
+}
+
+let header_bytes = 16
+
+let create ~engine:_ ~self ~n ~send ~deliver ~payload_bytes () =
+  { self; n; send; deliver; payload_bytes;
+    next_slot = 0; next_expected = 0; pending = Hashtbl.create 64;
+    crashed = false; delivered = 0 }
+
+let try_deliver t =
+  let rec go () =
+    match Hashtbl.find_opt t.pending t.next_expected with
+    | Some p ->
+      Hashtbl.remove t.pending t.next_expected;
+      t.next_expected <- t.next_expected + 1;
+      t.delivered <- t.delivered + 1;
+      t.deliver p;
+      go ()
+    | None -> ()
+  in
+  go ()
+
+let order t p =
+  let slot = t.next_slot in
+  t.next_slot <- slot + 1;
+  let bytes = header_bytes + t.payload_bytes p in
+  for dst = 0 to t.n - 1 do
+    if dst <> t.self then t.send ~dst ~bytes (Ordered (slot, p))
+  done;
+  (* Local copy delivered through the same path. *)
+  Hashtbl.replace t.pending slot p;
+  try_deliver t
+
+let broadcast t p =
+  if not t.crashed then
+    if t.self = 0 then order t p
+    else t.send ~dst:0 ~bytes:(header_bytes + t.payload_bytes p) (Forward p)
+
+let receive t ~src:_ msg =
+  if not t.crashed then
+    match msg with
+    | Forward p -> if t.self = 0 then order t p
+    | Ordered (slot, p) ->
+      Hashtbl.replace t.pending slot p;
+      try_deliver t
+
+let crash t = t.crashed <- true
+let delivered_count t = t.delivered

@@ -1,0 +1,26 @@
+(** Idealised STOB: node 0 is a correct, never-failing sequencer that
+    assigns a global order and reflects every payload to every server.
+
+    This is not fault tolerant — it exists so that unit and property tests
+    of the Chop Chop layer (and of applications) can run against an oracle
+    ordering service with two message delays and no quorum logic.  The
+    deployments used by the benchmark harness instantiate {!Pbft} or
+    {!Hotstuff} instead. *)
+
+type 'p t
+type 'p msg
+
+val create :
+  engine:Repro_sim.Engine.t ->
+  self:int ->
+  n:int ->
+  send:(dst:int -> bytes:int -> 'p msg -> unit) ->
+  deliver:('p -> unit) ->
+  payload_bytes:('p -> int) ->
+  unit ->
+  'p t
+
+val broadcast : 'p t -> 'p -> unit
+val receive : 'p t -> src:int -> 'p msg -> unit
+val crash : 'p t -> unit
+val delivered_count : 'p t -> int

@@ -1,0 +1,48 @@
+(** Server Total-Order Broadcast (STOB, Appx. B.1 of the paper).
+
+    Chop Chop is agnostic to the underlying Atomic Broadcast run among the
+    servers: brokers submit batch references to it, and its agreement and
+    total-order properties carry Chop Chop's own agreement (§4.4.1).  The
+    repository provides three interchangeable implementations:
+
+    - {!Repro_stob.Sequencer} — an idealised, fault-free sequencer used to
+      isolate the Chop Chop layer in unit tests;
+    - {!Repro_stob.Pbft} — a PBFT-style three-phase protocol with leader
+      batching and a crash-fault view change (the BFT-SMaRt stand-in);
+    - {!Repro_stob.Hotstuff} — chained HotStuff with a 3-chain commit rule
+      and timeout pacemaker (the libhotstuff stand-in).
+
+    All three share the shape below.  They are written as pure state
+    machines over callbacks: [send] injects a protocol message into the
+    deployment's network (which computes delays from the byte size), and
+    [deliver] hands a totally ordered payload up to the server. *)
+
+module type S = sig
+  type 'p t
+  type 'p msg
+
+  val create :
+    engine:Repro_sim.Engine.t ->
+    self:int ->
+    n:int ->
+    send:(dst:int -> bytes:int -> 'p msg -> unit) ->
+    deliver:('p -> unit) ->
+    payload_bytes:('p -> int) ->
+    unit ->
+    'p t
+  (** One instance per server; [self] in [0, n).  Tolerates
+      [f = (n-1)/3] faults. *)
+
+  val broadcast : 'p t -> 'p -> unit
+  (** Submit a payload for total ordering (STOB [Broadcast]). *)
+
+  val receive : 'p t -> src:int -> 'p msg -> unit
+  (** Feed a protocol message from the network. *)
+
+  val crash : 'p t -> unit
+  (** Stop participating (crash-stop). *)
+
+  val delivered_count : 'p t -> int
+end
+
+let quorum_f n = (n - 1) / 3

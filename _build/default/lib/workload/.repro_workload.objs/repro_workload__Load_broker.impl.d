@@ -1,0 +1,1 @@
+lib/workload/load_broker.ml: Array Repro_chopchop Repro_sim

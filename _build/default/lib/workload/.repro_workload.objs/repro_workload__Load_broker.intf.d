@@ -1,0 +1,1 @@
+lib/workload/load_broker.mli: Repro_chopchop Repro_sim

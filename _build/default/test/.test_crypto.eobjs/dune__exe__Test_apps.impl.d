@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Repro_apps Repro_chopchop String

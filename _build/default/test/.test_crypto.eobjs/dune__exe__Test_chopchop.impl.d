@@ -1,0 +1,1 @@
+test/test_chopchop.ml: Alcotest Array Batch Broker Certs Client Deployment Directory Gen List Printf Proto QCheck QCheck_alcotest Repro_chopchop Repro_crypto Repro_sim Server Stob_item Types Wire

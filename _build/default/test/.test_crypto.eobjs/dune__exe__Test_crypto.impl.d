@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Char Field61 Gen List Merkle Multisig Printf QCheck QCheck_alcotest Repro_crypto Repro_sim Schnorr Sha256 String

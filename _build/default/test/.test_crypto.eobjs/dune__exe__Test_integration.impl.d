@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest App_model Array Baseline_run Chopchop_run Future List Printf Repro_apps Repro_chopchop Repro_experiments Repro_sim Repro_workload

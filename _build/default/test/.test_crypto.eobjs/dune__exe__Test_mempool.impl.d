@@ -1,0 +1,1 @@
+test/test_mempool.ml: Alcotest Array Cpu Engine List Net Printf Region Repro_mempool Repro_sim String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cpu Engine Fun Gen List Net QCheck QCheck_alcotest Region Repro_sim Rng Rudp Stats

@@ -1,0 +1,1 @@
+test/test_stob.ml: Alcotest Array Engine Fun Int64 List Net QCheck QCheck_alcotest Region Repro_sim Repro_stob String

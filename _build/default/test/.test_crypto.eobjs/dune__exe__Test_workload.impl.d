@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Printf Repro_chopchop Repro_sim Repro_workload

@@ -1,0 +1,317 @@
+(* Tests for the three applications: encode/decode roundtrips,
+   state-machine semantics, determinism across replicas, conservation
+   invariants (property-tested), and bulk-delivery equivalence. *)
+
+module Proto = Repro_chopchop.Proto
+module P = Repro_apps.Payments
+module A = Repro_apps.Auction
+module X = Repro_apps.Pixelwar
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Payments ----------------------------------------------------------- *)
+
+let test_payments_encode () =
+  (match P.decode_op (P.encode_op ~recipient:12345 ~amount:678) with
+   | Some (r, a) ->
+     checki "recipient" 12345 r;
+     checki "amount" 678 a
+   | None -> Alcotest.fail "decode failed");
+  checkb "short message rejected" true (P.decode_op "xx" = None);
+  checkb "zero amount rejected" true (P.decode_op (P.encode_op ~recipient:1 ~amount:0) = None);
+  checki "8-byte wire" 8 (String.length (P.encode_op ~recipient:1 ~amount:1))
+
+let test_payments_transfer () =
+  let t = P.create ~accounts:16 ~initial_balance:100 () in
+  checkb "valid transfer applies" true (P.apply_op t 0 (P.encode_op ~recipient:1 ~amount:60));
+  checki "sender debited" 40 (P.balance t 0);
+  checki "recipient credited" 160 (P.balance t 1);
+  checkb "overdraft rejected" false (P.apply_op t 0 (P.encode_op ~recipient:1 ~amount:60));
+  checki "rejected counted" 1 (P.rejected t);
+  checkb "self-payment rejected" false (P.apply_op t 2 (P.encode_op ~recipient:2 ~amount:1))
+
+let test_payments_conservation_bulk () =
+  let t = P.create ~accounts:64 () in
+  let supply = P.total_supply t in
+  ignore (P.apply_delivery t (Proto.Bulk { first_id = 0; count = 10_000; tag = 3; msg_bytes = 8 }));
+  checki "supply conserved under bulk load" supply (P.total_supply t);
+  checki "ops counted" 10_000 (P.ops_applied t)
+
+let suite_payments_props =
+  [ qtest "conservation under arbitrary op sequences"
+      QCheck.(list_of_size (Gen.int_range 1 200) (triple (int_bound 63) (int_bound 63) (int_range 1 500)))
+      (fun ops ->
+        let t = P.create ~accounts:64 ~initial_balance:1000 () in
+        let supply = P.total_supply t in
+        List.iter
+          (fun (sender, recipient, amount) ->
+            ignore (P.apply_op t sender (P.encode_op ~recipient ~amount)))
+          ops;
+        P.total_supply t = supply);
+    qtest "balances never negative"
+      QCheck.(list_of_size (Gen.int_range 1 100) (triple (int_bound 15) (int_bound 15) (int_range 1 2000)))
+      (fun ops ->
+        let t = P.create ~accounts:16 ~initial_balance:1000 () in
+        List.iter
+          (fun (s, r, a) -> ignore (P.apply_op t s (P.encode_op ~recipient:r ~amount:a)))
+          ops;
+        let ok = ref true in
+        for i = 0 to 15 do
+          if P.balance t i < 0 then ok := false
+        done;
+        !ok) ]
+
+let test_payments_determinism () =
+  (* Two replicas fed the same deliveries agree. *)
+  let t1 = P.create () and t2 = P.create () in
+  let bulk = Proto.Bulk { first_id = 5; count = 5000; tag = 9; msg_bytes = 8 } in
+  ignore (P.apply_delivery t1 bulk);
+  ignore (P.apply_delivery t2 bulk);
+  for i = 0 to 100 do
+    checki "balance agrees" (P.balance t1 i) (P.balance t2 i)
+  done
+
+(* --- Auction ------------------------------------------------------------- *)
+
+let test_auction_encode () =
+  (match A.decode_op (A.encode_op (A.Bid { token = 77; amount = 500 })) with
+   | Some (A.Bid { token; amount }) ->
+     checki "token" 77 token;
+     checki "amount" 500 amount
+   | _ -> Alcotest.fail "bid decode");
+  (match A.decode_op (A.encode_op (A.Take { token = 3 })) with
+   | Some (A.Take { token }) -> checki "take token" 3 token
+   | _ -> Alcotest.fail "take decode")
+
+let test_auction_flow () =
+  let t = A.create ~tokens:4 ~accounts:16 ~initial_balance:1000 () in
+  checki "token 1 owned by account 1" 1 (A.owner t 1);
+  (* Account 2 bids 100 on token 1. *)
+  checkb "bid ok" true (A.apply_op t 2 (A.encode_op (A.Bid { token = 1; amount = 100 })));
+  checki "bid locked" 100 (A.locked t 2);
+  checki "balance reduced" 900 (A.balance t 2);
+  (* Account 3 outbids: 2 gets refunded. *)
+  checkb "outbid ok" true (A.apply_op t 3 (A.encode_op (A.Bid { token = 1; amount = 150 })));
+  checki "loser refunded" 1000 (A.balance t 2);
+  checki "loser unlocked" 0 (A.locked t 2);
+  (* Lower bid rejected. *)
+  checkb "lower bid rejected" false (A.apply_op t 4 (A.encode_op (A.Bid { token = 1; amount = 120 })));
+  (* Owner takes: money moves, token moves. *)
+  checkb "take ok" true (A.apply_op t 1 (A.encode_op (A.Take { token = 1 })));
+  checki "new owner" 3 (A.owner t 1);
+  checki "seller paid" 1150 (A.balance t 1);
+  checki "buyer spent" 850 (A.balance t 3);
+  checkb "no standing bid" true (A.highest_bid t 1 = None)
+
+let test_auction_guards () =
+  let t = A.create ~tokens:4 ~accounts:16 ~initial_balance:100 () in
+  checkb "owner cannot bid on own token" false
+    (A.apply_op t 1 (A.encode_op (A.Bid { token = 1; amount = 10 })));
+  checkb "cannot bid beyond balance" false
+    (A.apply_op t 2 (A.encode_op (A.Bid { token = 1; amount = 500 })));
+  checkb "cannot take without a bid" false (A.apply_op t 1 (A.encode_op (A.Take { token = 1 })));
+  checkb "non-owner cannot take" false
+    (let _ = A.apply_op t 2 (A.encode_op (A.Bid { token = 1; amount = 10 })) in
+     A.apply_op t 3 (A.encode_op (A.Take { token = 1 })))
+
+let suite_auction_props =
+  [ qtest ~count:100 "funds conserved under arbitrary auction activity"
+      QCheck.(list_of_size (Gen.int_range 1 300)
+                (triple (int_bound 31) (int_bound 7) (int_range 0 400)))
+      (fun ops ->
+        let t = A.create ~tokens:8 ~accounts:32 ~initial_balance:1000 () in
+        let funds = A.total_funds t in
+        List.iter
+          (fun (actor, token, amount) ->
+            let op = if amount = 0 then A.Take { token } else A.Bid { token; amount } in
+            ignore (A.apply_op t actor (A.encode_op op)))
+          ops;
+        A.total_funds t = funds);
+    qtest ~count:100 "highest bid only increases until taken"
+      QCheck.(list_of_size (Gen.int_range 1 100) (pair (int_bound 31) (int_range 1 400)))
+      (fun bids ->
+        let t = A.create ~tokens:1 ~accounts:32 ~initial_balance:10_000 () in
+        let last = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun (actor, amount) ->
+            ignore (A.apply_op t actor (A.encode_op (A.Bid { token = 0; amount })));
+            match A.highest_bid t 0 with
+            | Some (_, b) ->
+              if b < !last then ok := false;
+              last := b
+            | None -> ())
+          bids;
+        !ok) ]
+
+(* --- Pixelwar ------------------------------------------------------------- *)
+
+let test_pixelwar_paint () =
+  let t = X.create () in
+  checki "unpainted" (-1) (X.pixel t ~x:5 ~y:5);
+  checkb "paint applies" true (X.apply_op t 0 (X.encode_op ~x:5 ~y:5 ~rgb:0xABCDEF));
+  checki "colour stored" 0xABCDEF (X.pixel t ~x:5 ~y:5);
+  checkb "overwrite wins" true (X.apply_op t 1 (X.encode_op ~x:5 ~y:5 ~rgb:0x111111));
+  checki "last writer wins" 0x111111 (X.pixel t ~x:5 ~y:5);
+  checki "painted counts distinct pixels" 1 (X.painted t)
+
+let test_pixelwar_encode_bounds () =
+  let t = X.create ~width:2048 ~height:2048 () in
+  (match X.decode_op t (X.encode_op ~x:2047 ~y:2047 ~rgb:0xFFFFFF) with
+   | Some (x, y, rgb) ->
+     checki "x" 2047 x;
+     checki "y" 2047 y;
+     checki "rgb" 0xFFFFFF rgb
+   | None -> Alcotest.fail "decode failed");
+  checkb "short message rejected" true (X.decode_op t "zz" = None)
+
+let suite_pixelwar_props =
+  [ qtest "encode/decode roundtrip"
+      QCheck.(triple (int_bound 2047) (int_bound 2047) (int_bound 0xFFFFFF))
+      (fun (x, y, rgb) ->
+        let t = X.create () in
+        X.decode_op t (X.encode_op ~x ~y ~rgb) = Some (x, y, rgb));
+    qtest "painted counter bounded by ops"
+      QCheck.(list_of_size (Gen.int_range 1 50) (pair (int_bound 63) (int_bound 63)))
+      (fun pixels ->
+        let t = X.create ~width:64 ~height:64 () in
+        List.iter (fun (x, y) -> ignore (X.apply_op t 0 (X.encode_op ~x ~y ~rgb:1))) pixels;
+        X.painted t <= List.length pixels
+        && X.painted t = List.length (List.sort_uniq compare pixels)) ]
+
+let test_pixelwar_bulk_deterministic () =
+  let t1 = X.create () and t2 = X.create () in
+  let bulk = Proto.Bulk { first_id = 0; count = 5000; tag = 2; msg_bytes = 8 } in
+  ignore (X.apply_delivery t1 bulk);
+  ignore (X.apply_delivery t2 bulk);
+  checki "same painted count" (X.painted t1) (X.painted t2);
+  for i = 0 to 50 do
+    checki "same pixels" (X.pixel t1 ~x:i ~y:i) (X.pixel t2 ~x:i ~y:i)
+  done
+
+(* --- Sealed (encrypt-order-reveal, §4.4.3) -------------------------------- *)
+
+module S = Repro_apps.Sealed
+
+let mk_sealed ?ttl () =
+  let log = ref [] in
+  let t = S.create ~apply:(fun id msg -> log := (id, msg) :: !log) ?ttl () in
+  (t, log)
+
+let test_sealed_roundtrip () =
+  let t, log = mk_sealed () in
+  let s = S.seal ~payload:"BUY 100" ~salt:"s1" in
+  checkb "frames recognised" true (S.is_frame s);
+  checkb "plain ops are not frames" false (S.is_frame "BUY 100");
+  S.on_deliver t 7 s;
+  checki "not executed before reveal" 0 (S.executed t);
+  checki "pending" 1 (S.pending t);
+  S.on_deliver t 7 (S.reveal ~payload:"BUY 100" ~salt:"s1");
+  checki "executed after reveal" 1 (S.executed t);
+  checkb "applied payload" true (!log = [ (7, "BUY 100") ])
+
+let test_sealed_order_is_seal_order () =
+  (* Reveals arrive in the opposite order; execution follows seal order. *)
+  let t, log = mk_sealed () in
+  S.on_deliver t 1 (S.seal ~payload:"first" ~salt:"a");
+  S.on_deliver t 2 (S.seal ~payload:"second" ~salt:"b");
+  S.on_deliver t 2 (S.reveal ~payload:"second" ~salt:"b");
+  checki "second waits for first" 0 (S.executed t);
+  S.on_deliver t 1 (S.reveal ~payload:"first" ~salt:"a");
+  checki "both executed" 2 (S.executed t);
+  Alcotest.(check (list (pair int string))) "in seal order"
+    [ (1, "first"); (2, "second") ] (List.rev !log)
+
+let test_sealed_commitment_binds () =
+  (* A reveal with different content than sealed is ignored. *)
+  let t, _ = mk_sealed () in
+  S.on_deliver t 3 (S.seal ~payload:"real-op" ~salt:"x");
+  S.on_deliver t 3 (S.reveal ~payload:"forged-op" ~salt:"x");
+  checki "forged reveal ignored" 0 (S.executed t);
+  (* Nor can another client steal the reveal. *)
+  S.on_deliver t 4 (S.reveal ~payload:"real-op" ~salt:"x");
+  checki "cross-client reveal ignored" 0 (S.executed t);
+  S.on_deliver t 3 (S.reveal ~payload:"real-op" ~salt:"x");
+  checki "true reveal executes" 1 (S.executed t)
+
+let test_sealed_expiry () =
+  let t, _ = mk_sealed ~ttl:3 () in
+  S.on_deliver t 1 (S.seal ~payload:"never-revealed" ~salt:"z");
+  S.on_deliver t 2 (S.seal ~payload:"op2" ~salt:"w");
+  S.on_deliver t 2 (S.reveal ~payload:"op2" ~salt:"w");
+  checki "blocked behind the head seal" 0 (S.executed t);
+  (* Deliveries pass; the head seal expires and op2 unblocks. *)
+  for i = 0 to 3 do
+    S.on_deliver t 9 (Printf.sprintf "noise%d" i)
+  done;
+  checki "expired head voided" 1 (S.voided t);
+  checki "op2 executed" 1 (S.executed t)
+
+let test_sealed_reveal_without_seal () =
+  let t, _ = mk_sealed () in
+  S.on_deliver t 5 (S.reveal ~payload:"orphan" ~salt:"q");
+  checki "orphan reveal dropped" 0 (S.executed t)
+
+let suite_sealed_props =
+  [ qtest ~count:100 "commitment never leaks payload equality"
+      QCheck.(pair small_string small_string)
+      (fun (a, b) ->
+        (* Distinct payloads (or salts) give distinct seal frames. *)
+        QCheck.assume (a <> b);
+        S.seal ~payload:a ~salt:"s" <> S.seal ~payload:b ~salt:"s"
+        && S.seal ~payload:a ~salt:"s" <> S.seal ~payload:a ~salt:"t");
+    qtest ~count:100 "executed = longest fully-revealed seal prefix, in order"
+      QCheck.(list_of_size (Gen.int_range 1 20) (pair (int_bound 5) bool))
+      (fun plan ->
+        let t, log = mk_sealed ~ttl:1_000 () in
+        List.iteri
+          (fun i (client, _) ->
+            S.on_deliver t client
+              (S.seal ~payload:(string_of_int i) ~salt:(string_of_int i)))
+          plan;
+        (* Reveal the chosen subset in reverse delivery order. *)
+        let indexed = List.mapi (fun i (c, r) -> (i, c, r)) plan in
+        List.iter
+          (fun (i, client, revealed) ->
+            if revealed then
+              S.on_deliver t client
+                (S.reveal ~payload:(string_of_int i) ~salt:(string_of_int i)))
+          (List.rev indexed);
+        let rec prefix = function
+          | (_, true) :: rest -> 1 + prefix rest
+          | _ -> 0
+        in
+        let expect = prefix plan in
+        S.executed t = expect
+        && List.rev !log
+           = List.filteri (fun i _ -> i < expect)
+               (List.map (fun (i, c, _) -> (c, string_of_int i)) indexed)) ]
+
+let () =
+  Alcotest.run "apps"
+    [ ("payments",
+       Alcotest.test_case "encode/decode" `Quick test_payments_encode
+       :: Alcotest.test_case "transfer semantics" `Quick test_payments_transfer
+       :: Alcotest.test_case "bulk conservation" `Quick test_payments_conservation_bulk
+       :: Alcotest.test_case "replica determinism" `Quick test_payments_determinism
+       :: suite_payments_props);
+      ("auction",
+       Alcotest.test_case "encode/decode" `Quick test_auction_encode
+       :: Alcotest.test_case "bid/outbid/take flow" `Quick test_auction_flow
+       :: Alcotest.test_case "guards" `Quick test_auction_guards
+       :: suite_auction_props);
+      ("pixelwar",
+       Alcotest.test_case "paint" `Quick test_pixelwar_paint
+       :: Alcotest.test_case "encode bounds" `Quick test_pixelwar_encode_bounds
+       :: Alcotest.test_case "bulk deterministic" `Quick test_pixelwar_bulk_deterministic
+       :: suite_pixelwar_props);
+      ("sealed",
+       [ Alcotest.test_case "roundtrip" `Quick test_sealed_roundtrip;
+         Alcotest.test_case "seal order execution" `Quick test_sealed_order_is_seal_order;
+         Alcotest.test_case "commitment binds" `Quick test_sealed_commitment_binds;
+         Alcotest.test_case "expiry unblocks" `Quick test_sealed_expiry;
+         Alcotest.test_case "orphan reveal" `Quick test_sealed_reveal_without_seal;
+         List.hd suite_sealed_props ]) ]

@@ -1,0 +1,623 @@
+(* Tests for the Chop Chop core: wire arithmetic, the Rank directory,
+   quorum certificates, distilled batches (explicit and dense), and the
+   full client/broker/server protocol including its Byzantine cases:
+   forged batches, replay attempts, illegitimate sequence numbers,
+   stragglers, garbage collection and crash faults. *)
+
+open Repro_chopchop
+module Schnorr = Repro_crypto.Schnorr
+module Multisig = Repro_crypto.Multisig
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Wire ------------------------------------------------------------- *)
+
+let test_wire_paper_numbers () =
+  checki "classic payload is 112 B for 8 B messages" 112
+    (Wire.classic_payload_bytes ~msg_bytes:8);
+  checki "28 bits identify 257M clients" 28 (Wire.id_bits ~clients:257_000_000);
+  checkb "distilled entry is 11.5 B" true
+    (abs_float (Wire.distilled_entry_bytes ~clients:257_000_000 ~msg_bytes:8 -. 11.5)
+     < 1e-9);
+  let classic = Wire.classic_batch_bytes ~count:65_536 ~msg_bytes:8 in
+  checki "classic batch is exactly 7 MB" (65_536 * 112) classic;
+  let distilled =
+    Wire.distilled_batch_bytes ~clients:257_000_000 ~count:65_536 ~msg_bytes:8
+      ~stragglers:0
+  in
+  checkb "fully distilled batch ~736 KB" true
+    (distilled > 700_000 && distilled < 780_000);
+  checkb "distillation shrinks ~9.7x" true
+    (let ratio = float_of_int classic /. float_of_int distilled in
+     ratio > 9.0 && ratio < 10.5)
+
+let test_wire_stragglers_cost () =
+  let d s =
+    Wire.distilled_batch_bytes ~clients:1_000_000 ~count:1000 ~msg_bytes:8
+      ~stragglers:s
+  in
+  checkb "stragglers add seq+sig bytes" true (d 100 - d 0 = 100 * (8 + 64));
+  checkb "all-straggler approaches classic size" true
+    (d 1000 > Wire.classic_batch_bytes ~count:1000 ~msg_bytes:8 / 2)
+
+let suite_wire_props =
+  [ qtest "distilled always smaller than classic for small messages"
+      QCheck.(pair (int_range 1 100_000) (int_range 1 64))
+      (fun (count, msg_bytes) ->
+        Wire.distilled_batch_bytes ~clients:257_000_000 ~count ~msg_bytes ~stragglers:0
+        < Wire.classic_batch_bytes ~count ~msg_bytes + 300);
+    qtest "id_bits monotone" QCheck.(int_range 2 1_000_000_000) (fun c ->
+        Wire.id_bits ~clients:c <= Wire.id_bits ~clients:(2 * c)) ]
+
+(* --- Directory ---------------------------------------------------------- *)
+
+let test_directory_ranks () =
+  let d = Directory.create () in
+  let kp i = (Types.keypair_of_seed ("c" ^ string_of_int i)).card in
+  checki "first id 0" 0 (Directory.append d (kp 0));
+  checki "second id 1" 1 (Directory.append d (kp 1));
+  checki "size" 2 (Directory.size d);
+  checkb "find returns the card" true (Directory.find d 1 = Some (kp 1));
+  checkb "unknown id" true (Directory.find d 2 = None);
+  checkb "negative id" true (Directory.find d (-1) = None)
+
+let test_directory_dense () =
+  let d = Directory.create ~dense_count:1000 () in
+  checki "dense ids pre-provisioned" 1000 (Directory.size d);
+  checkb "dense card deterministic" true
+    (Directory.find d 42 = Some (Directory.dense_keypair 42).card);
+  checki "explicit appended after the dense range" 1000
+    (Directory.append d (Types.keypair_of_seed "x").card)
+
+let test_directory_range_aggregation () =
+  let d = Directory.create ~dense_count:500 () in
+  let range_agg = Directory.aggregate_ms_pks_range d ~first:100 ~count:50 in
+  let list_agg = Directory.aggregate_ms_pks d (List.init 50 (fun i -> 100 + i)) in
+  checkb "prefix-sum range = explicit aggregation" true
+    (Repro_crypto.Field61.equal range_agg list_agg)
+
+let test_directory_sk_range () =
+  let d = Directory.create ~dense_count:200 () in
+  let agg_sk = Directory.aggregate_dense_ms_sks_range d ~first:10 ~count:20 in
+  let shares =
+    List.init 20 (fun i -> Multisig.sign (Directory.dense_keypair (10 + i)).ms_sk "stmt")
+  in
+  checkb "aggregated secret signs like the population" true
+    (Multisig.signature_equal (Multisig.sign agg_sk "stmt")
+       (Multisig.aggregate_signatures shares))
+
+let test_directory_range_bounds () =
+  let d = Directory.create ~dense_count:10 () in
+  Alcotest.check_raises "outside dense population"
+    (Invalid_argument "Directory.aggregate_ms_pks_range: outside dense population")
+    (fun () -> ignore (Directory.aggregate_ms_pks_range d ~first:5 ~count:10))
+
+(* --- Certs ------------------------------------------------------------------ *)
+
+let server_keys n =
+  Array.init n (fun i -> Multisig.keygen_deterministic ~seed:("srv" ^ string_of_int i))
+
+let test_certs_quorum () =
+  let keys = server_keys 4 in
+  let stmt = Certs.witness_statement ~root:"r" ~broker:1 ~number:7 in
+  let shards = List.init 2 (fun i -> (i, Certs.sign_shard (fst keys.(i)) stmt)) in
+  let qc = Certs.assemble shards in
+  let pk i = snd keys.(i) in
+  checkb "f+1 distinct shards verify" true
+    (Certs.verify ~statement:stmt ~server_ms_pk:pk ~quorum:2 qc);
+  checkb "insufficient quorum rejected" false
+    (Certs.verify ~statement:stmt ~server_ms_pk:pk ~quorum:3 qc);
+  checkb "wrong statement rejected" false
+    (Certs.verify
+       ~statement:(Certs.witness_statement ~root:"r" ~broker:1 ~number:8)
+       ~server_ms_pk:pk ~quorum:2 qc)
+
+let test_certs_dedup_signers () =
+  let keys = server_keys 4 in
+  let stmt = "s" in
+  let sh = Certs.sign_shard (fst keys.(0)) stmt in
+  let qc = Certs.assemble [ (0, sh); (0, sh) ] in
+  checki "duplicate signers collapse" 1 (List.length qc.Certs.signers)
+
+let test_certs_forged_signer_list () =
+  (* A Byzantine broker cannot claim signers that did not sign. *)
+  let keys = server_keys 4 in
+  let stmt = "s" in
+  let qc = Certs.assemble [ (0, Certs.sign_shard (fst keys.(0)) stmt) ] in
+  let forged = { qc with Certs.signers = [ 0; 1 ] } in
+  checkb "padded signer list fails verification" false
+    (Certs.verify ~statement:stmt ~server_ms_pk:(fun i -> snd keys.(i)) ~quorum:2
+       forged)
+
+let test_legitimizes () =
+  checkb "seq 0 needs no evidence" true (Certs.legitimizes None 0);
+  checkb "positive seq needs evidence" false (Certs.legitimizes None 5);
+  let dc = { Certs.root = "r"; counter = 10; exceptions = []; qc = Certs.assemble [] } in
+  checkb "counter > seq legitimizes" true (Certs.legitimizes (Some dc) 9);
+  checkb "counter = seq legitimizes (paper's induction bound)" true
+    (Certs.legitimizes (Some dc) 10);
+  checkb "counter < seq does not" false (Certs.legitimizes (Some dc) 11)
+
+(* --- Batch -------------------------------------------------------------------- *)
+
+let mk_entries ids =
+  Array.of_list (List.map (fun id -> { Batch.e_id = id; e_msg = Printf.sprintf "m%d" id }) ids)
+
+let explicit_batch dir ~ids ~agg_seq ~straggler_ids =
+  let entries = mk_entries ids in
+  (* First build with the reducers' aggregate signature. *)
+  let stragglers =
+    Array.of_list
+      (List.map
+         (fun id ->
+           let kp = Directory.dense_keypair id in
+           let msg = Printf.sprintf "m%d" id in
+           { Batch.s_id = id; s_seq = 0;
+             s_sig = Schnorr.sign kp.Types.sig_sk (Types.message_statement ~id ~seq:0 msg) })
+         straggler_ids)
+  in
+  let skeleton =
+    Batch.make_explicit ~broker:0 ~number:0 ~entries ~agg_seq ~stragglers ~agg_sig:None
+  in
+  let root = Batch.reduction_root skeleton in
+  let reducers = List.filter (fun id -> not (List.mem id straggler_ids)) ids in
+  let agg_sig =
+    match reducers with
+    | [] -> None
+    | _ ->
+      Some
+        (Multisig.aggregate_signatures
+           (List.map
+              (fun id ->
+                Multisig.sign (Directory.dense_keypair id).ms_sk
+                  (Types.reduction_statement ~root))
+              reducers))
+  in
+  ignore dir;
+  Batch.make_explicit ~broker:0 ~number:0 ~entries ~agg_seq ~stragglers ~agg_sig
+
+let test_batch_explicit_verifies () =
+  let dir = Directory.create ~dense_count:100 () in
+  let b = explicit_batch dir ~ids:[ 1; 5; 9; 42 ] ~agg_seq:3 ~straggler_ids:[] in
+  checkb "fully distilled verifies" true (Batch.verify dir b);
+  checki "count" 4 (Batch.count b);
+  checki "no stragglers" 0 (Batch.straggler_count b)
+
+let test_batch_with_stragglers () =
+  let dir = Directory.create ~dense_count:100 () in
+  let b = explicit_batch dir ~ids:[ 1; 5; 9; 42 ] ~agg_seq:3 ~straggler_ids:[ 5; 42 ] in
+  checkb "partially distilled verifies" true (Batch.verify dir b);
+  checki "stragglers" 2 (Batch.straggler_count b);
+  checki "reduced" 2 (Batch.reduced_count b);
+  checkb "identity root differs from reduction root" false
+    (Batch.identity_root b = Batch.reduction_root b)
+
+let test_batch_all_stragglers () =
+  let dir = Directory.create ~dense_count:100 () in
+  let b = explicit_batch dir ~ids:[ 2; 3 ] ~agg_seq:1 ~straggler_ids:[ 2; 3 ] in
+  checkb "classic (all-straggler) batch verifies" true (Batch.verify dir b)
+
+let test_batch_rejects_unsorted () =
+  Alcotest.check_raises "unsorted entries"
+    (Invalid_argument "Batch.make_explicit: entries must be sorted strictly by id")
+    (fun () ->
+      ignore
+        (Batch.make_explicit ~broker:0 ~number:0 ~entries:(mk_entries [ 5; 1 ])
+           ~agg_seq:0 ~stragglers:[||] ~agg_sig:None));
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Batch.make_explicit: entries must be sorted strictly by id")
+    (fun () ->
+      ignore
+        (Batch.make_explicit ~broker:0 ~number:0 ~entries:(mk_entries [ 1; 1 ])
+           ~agg_seq:0 ~stragglers:[||] ~agg_sig:None))
+
+let test_batch_rejects_forgery () =
+  let dir = Directory.create ~dense_count:100 () in
+  let good = explicit_batch dir ~ids:[ 1; 5; 9 ] ~agg_seq:2 ~straggler_ids:[] in
+  (* Garbage aggregate signature *)
+  let bad1 = { good with Batch.agg_sig = Some (Multisig.forge_garbage ()) } in
+  checkb "garbage aggregate rejected" false (Batch.verify dir bad1);
+  (* Missing aggregate for reduced entries *)
+  let bad2 = { good with Batch.agg_sig = None } in
+  checkb "missing aggregate rejected" false (Batch.verify dir bad2);
+  (* Tampered message: the aggregate no longer covers the root *)
+  let entries = mk_entries [ 1; 5; 9 ] in
+  entries.(1) <- { entries.(1) with Batch.e_msg = "EVIL" };
+  let bad3 = { good with Batch.entries = Batch.Explicit entries } in
+  checkb "tampered message rejected" false (Batch.verify dir bad3)
+
+let test_batch_rejects_bad_straggler_sig () =
+  let dir = Directory.create ~dense_count:100 () in
+  let good = explicit_batch dir ~ids:[ 1; 5 ] ~agg_seq:2 ~straggler_ids:[ 5 ] in
+  let bad_strag =
+    Array.map (fun s -> { s with Batch.s_sig = Schnorr.forge_garbage () }) good.Batch.stragglers
+  in
+  let bad = { good with Batch.stragglers = bad_strag } in
+  checkb "forged straggler signature rejected" false (Batch.verify dir bad)
+
+let test_batch_dense_verifies () =
+  let dir = Directory.create ~dense_count:10_000 () in
+  let b =
+    Batch.forge_dense dir ~broker:3 ~number:0 ~first_id:100 ~count:1000 ~msg_bytes:8
+      ~tag:1 ~straggler_count:0
+  in
+  checkb "dense fully distilled verifies" true (Batch.verify dir b);
+  let b2 =
+    Batch.forge_dense dir ~broker:3 ~number:1 ~first_id:100 ~count:1000 ~msg_bytes:8
+      ~tag:2 ~straggler_count:100
+  in
+  checkb "dense with stragglers verifies" true (Batch.verify dir b2);
+  checki "dense straggler count" 100 (Batch.straggler_count b2);
+  let b3 =
+    Batch.forge_dense dir ~broker:3 ~number:2 ~first_id:0 ~count:500 ~msg_bytes:8
+      ~tag:1 ~straggler_count:500
+  in
+  checkb "dense all-straggler verifies" true (Batch.verify dir b3)
+
+let test_batch_dense_rejects () =
+  let dir = Directory.create ~dense_count:1000 () in
+  let b =
+    Batch.forge_dense dir ~broker:0 ~number:0 ~first_id:0 ~count:100 ~msg_bytes:8
+      ~tag:1 ~straggler_count:0
+  in
+  checkb "garbage aggregate rejected" false
+    (Batch.verify dir { b with Batch.agg_sig = Some (Multisig.forge_garbage ()) });
+  checkb "out-of-directory range rejected" false
+    (Batch.verify dir
+       { b with
+         Batch.entries =
+           (match b.Batch.entries with
+            | Batch.Dense d -> Batch.Dense { d with Batch.first_id = 950 }
+            | e -> e) })
+
+let test_batch_dense_explicit_equivalence () =
+  (* Ablation (DESIGN.md): the two representations describe the same
+     batch; the explicit rebuild of a dense batch verifies too. *)
+  let dir = Directory.create ~dense_count:1000 () in
+  let dense =
+    Batch.forge_dense dir ~broker:0 ~number:0 ~first_id:10 ~count:32 ~msg_bytes:8
+      ~tag:4 ~straggler_count:0
+  in
+  checkb "dense verifies" true (Batch.verify dir dense);
+  let d = match dense.Batch.entries with Batch.Dense d -> d | _ -> assert false in
+  let entries =
+    Array.init 32 (fun i ->
+        let id = 10 + i in
+        { Batch.e_id = id; e_msg = Batch.dense_message d id })
+  in
+  let skeleton =
+    Batch.make_explicit ~broker:0 ~number:0 ~entries ~agg_seq:dense.Batch.agg_seq
+      ~stragglers:[||] ~agg_sig:None
+  in
+  let root = Batch.reduction_root skeleton in
+  let agg =
+    Multisig.aggregate_signatures
+      (List.init 32 (fun i ->
+           Multisig.sign (Directory.dense_keypair (10 + i)).ms_sk
+             (Types.reduction_statement ~root)))
+  in
+  let explicit =
+    Batch.make_explicit ~broker:0 ~number:0 ~entries ~agg_seq:dense.Batch.agg_seq
+      ~stragglers:[||] ~agg_sig:(Some agg)
+  in
+  checkb "equivalent explicit verifies" true (Batch.verify dir explicit);
+  checki "same count" (Batch.count dense) (Batch.count explicit);
+  checkb "same wire size" true
+    (Batch.wire_bytes ~clients:1000 dense = Batch.wire_bytes ~clients:1000 explicit)
+
+let test_batch_costs_monotone () =
+  let dir = Directory.create ~dense_count:200_000 () in
+  let full =
+    Batch.forge_dense dir ~broker:0 ~number:0 ~first_id:0 ~count:65_536 ~msg_bytes:8
+      ~tag:1 ~straggler_count:0
+  in
+  let classic =
+    Batch.forge_dense dir ~broker:0 ~number:1 ~first_id:0 ~count:65_536 ~msg_bytes:8
+      ~tag:2 ~straggler_count:65_536
+  in
+  checkb "classic witness cost ~28x distilled (paper §3.2)" true
+    (let r = Batch.witness_cpu_cost classic /. Batch.witness_cpu_cost full in
+     r > 20. && r < 35.);
+  checkb "non-witness cheaper than witness" true
+    (Batch.non_witness_cpu_cost full < Batch.witness_cpu_cost full)
+
+(* --- protocol integration over the idealised sequencer ----------------------- *)
+
+let mk_deployment ?(underlay = Deployment.Sequencer) ?(n_servers = 4) ?(dense = 0) () =
+  Deployment.create
+    { Deployment.default_config with underlay; n_servers; dense_clients = dense }
+
+let test_e2e_agreement_nodup () =
+  let d = mk_deployment () in
+  let per_server = Array.make 4 [] in
+  Deployment.server_deliver_hook d (fun srv del ->
+      match del with
+      | Proto.Ops ops -> per_server.(srv) <- Array.to_list ops @ per_server.(srv)
+      | Proto.Bulk _ -> ());
+  let clients = List.init 5 (fun _ -> Deployment.add_client d ()) in
+  List.iter Client.signup clients;
+  Deployment.run d ~until:3.0;
+  List.iteri
+    (fun i c ->
+      Client.broadcast c (Printf.sprintf "a%d" i);
+      Client.broadcast c (Printf.sprintf "b%d" i))
+    clients;
+  Deployment.run d ~until:40.0;
+  let logs = Array.map List.rev per_server in
+  checki "all 10 delivered" 10 (List.length logs.(0));
+  Array.iter (fun l -> checkb "agreement" true (l = logs.(0))) logs;
+  checkb "no duplication" true
+    (List.length (List.sort_uniq compare logs.(0)) = 10);
+  List.iteri
+    (fun i c -> checki (Printf.sprintf "client %d completed" i) 2 (Client.completed c))
+    clients
+
+let test_signup_ranks_agree () =
+  let d = mk_deployment () in
+  let clients = List.init 6 (fun _ -> Deployment.add_client d ()) in
+  List.iter Client.signup clients;
+  Deployment.run d ~until:5.0;
+  let ids = List.filter_map Client.id clients in
+  checki "all signed up" 6 (List.length ids);
+  checkb "ids are a permutation of 0..5" true
+    (List.sort compare ids = [ 0; 1; 2; 3; 4; 5 ]);
+  Array.iter
+    (fun sv -> checki "directory size agrees" 6 (Directory.size (Server.directory sv)))
+    (Deployment.servers d)
+
+let test_sequence_numbers_increase () =
+  let d = mk_deployment () in
+  let c = Deployment.add_client d () in
+  Client.signup c;
+  Deployment.run d ~until:3.0;
+  for i = 0 to 4 do
+    Client.broadcast c (Printf.sprintf "msg%d" i)
+  done;
+  Deployment.run d ~until:60.0;
+  checki "five completions" 5 (Client.completed c);
+  checkb "sequence advanced at least 5" true (Client.last_sequence c >= 4)
+
+let test_consecutive_duplicate_dropped () =
+  (* The no-duplication rule (§4.2): a server delivers m iff seq > last
+     and m <> last message — a client violating CR2 (same message twice
+     in a row) has the second copy treated as a replay, and its delivery
+     certificate arrives through the exceptions path. *)
+  let d = mk_deployment () in
+  let delivered = ref 0 in
+  Deployment.server_deliver_hook d (fun srv del ->
+      if srv = 0 then delivered := !delivered + Proto.delivery_count del);
+  let c = Deployment.add_client d () in
+  Client.signup c;
+  Deployment.run d ~until:3.0;
+  Client.broadcast c "same";
+  Client.broadcast c "same";
+  Client.broadcast c "different";
+  Deployment.run d ~until:60.0;
+  checki "replay suppressed: 2 of 3 delivered" 2 !delivered;
+  checki "client still completed all three" 3 (Client.completed c)
+
+let test_byzantine_clients_straggle () =
+  let d = mk_deployment () in
+  let delivered = ref [] in
+  Deployment.server_deliver_hook d (fun srv del ->
+      if srv = 2 then
+        match del with
+        | Proto.Ops ops -> Array.iter (fun (_, m) -> delivered := m :: !delivered) ops
+        | Proto.Bulk _ -> ());
+  let bad = Deployment.add_client d () in
+  let mute = Deployment.add_client d () in
+  let good = Deployment.add_client d () in
+  List.iter Client.signup [ bad; mute; good ];
+  Deployment.run d ~until:3.0;
+  Client.misbehave_bad_share bad;
+  Client.misbehave_mute_reduction mute;
+  Client.broadcast bad "from-bad";
+  Client.broadcast mute "from-mute";
+  Client.broadcast good "from-good";
+  Deployment.run d ~until:60.0;
+  List.iter
+    (fun m -> checkb ("delivered " ^ m) true (List.mem m !delivered))
+    [ "from-bad"; "from-mute"; "from-good" ];
+  checki "bad client completed (as straggler)" 1 (Client.completed bad);
+  checki "mute client completed (as straggler)" 1 (Client.completed mute)
+
+let test_forged_batch_never_delivered () =
+  (* A Byzantine (load) broker submits a malformed batch: no correct
+     server witnesses it, so it cannot enter the total order. *)
+  let d = mk_deployment ~dense:10_000 () in
+  let delivered = ref 0 in
+  Deployment.server_deliver_hook d (fun _ del ->
+      delivered := !delivered + Proto.delivery_count del);
+  let dir = Server.directory (Deployment.servers d).(0) in
+  let good =
+    Batch.forge_dense dir ~broker:0 ~number:0 ~first_id:0 ~count:64 ~msg_bytes:8
+      ~tag:1 ~straggler_count:0
+  in
+  let forged = { good with Batch.agg_sig = Some (Multisig.forge_garbage ()) } in
+  Broker.submit_prebuilt (Deployment.broker d 0) forged ~on_complete:(fun _ ->
+      Alcotest.fail "forged batch must not complete");
+  Deployment.run d ~until:30.0;
+  checki "nothing delivered" 0 !delivered
+
+let test_replayed_batch_deduplicated () =
+  (* A faulty broker replays the same distilled batch (same range, same
+     tag): the second copy is ignored by every server. *)
+  let d = mk_deployment ~dense:10_000 () in
+  let delivered = ref 0 in
+  Deployment.server_deliver_hook d (fun srv del ->
+      if srv = 0 then delivered := !delivered + Proto.delivery_count del);
+  let dir = Server.directory (Deployment.servers d).(0) in
+  let b1 =
+    Batch.forge_dense dir ~broker:0 ~number:0 ~first_id:0 ~count:64 ~msg_bytes:8
+      ~tag:1 ~straggler_count:0
+  in
+  let b2 =
+    (* Same content, different broker-local number: a genuine replay. *)
+    Batch.forge_dense dir ~broker:0 ~number:1 ~first_id:0 ~count:64 ~msg_bytes:8
+      ~tag:1 ~straggler_count:0
+  in
+  Broker.submit_prebuilt (Deployment.broker d 0) b1 ~on_complete:(fun _ -> ());
+  Repro_sim.Engine.schedule (Deployment.engine d) ~delay:5.0 (fun () ->
+      Broker.submit_prebuilt (Deployment.broker d 0) b2 ~on_complete:(fun _ -> ()));
+  Deployment.run d ~until:40.0;
+  checki "64 messages delivered exactly once" 64 !delivered
+
+let test_illegitimate_sequence_rejected () =
+  (* A Byzantine client pushes a far-future sequence number without a
+     legitimacy certificate: brokers must not batch it (§4.2). *)
+  let d = mk_deployment ~dense:1000 () in
+  let delivered = ref 0 in
+  Deployment.server_deliver_hook d (fun _ del ->
+      delivered := !delivered + Proto.delivery_count del);
+  let id = 7 in
+  let kp = Directory.dense_keypair id in
+  let msg = "evil" in
+  let seq = 1_000_000 in
+  let tsig = Schnorr.sign kp.Types.sig_sk (Types.message_statement ~id ~seq msg) in
+  Broker.receive_client (Deployment.broker d 0)
+    (Proto.Submission { id; seq; msg; tsig; evidence = None });
+  Deployment.run d ~until:20.0;
+  checki "illegitimate submission dropped" 0 !delivered;
+  (* The same submission with seq 0 is accepted. *)
+  let tsig0 = Schnorr.sign kp.Types.sig_sk (Types.message_statement ~id ~seq:0 msg) in
+  Broker.receive_client (Deployment.broker d 0)
+    (Proto.Submission { id; seq = 0; msg; tsig = tsig0; evidence = None });
+  Deployment.run d ~until:40.0;
+  checki "legitimate first message delivered (as straggler)" 4 !delivered
+
+let test_gc_collects () =
+  let d = mk_deployment ~dense:100_000 () in
+  let dir = Server.directory (Deployment.servers d).(0) in
+  for k = 0 to 9 do
+    let b =
+      Batch.forge_dense dir ~broker:0 ~number:k ~first_id:0 ~count:256 ~msg_bytes:8
+        ~tag:(k + 1) ~straggler_count:0
+    in
+    Repro_sim.Engine.schedule (Deployment.engine d) ~delay:(0.5 *. float_of_int k)
+      (fun () -> Broker.submit_prebuilt (Deployment.broker d 0) b ~on_complete:(fun _ -> ()))
+  done;
+  Deployment.run d ~until:60.0;
+  Array.iter
+    (fun sv ->
+      checki "all batches delivered" 10 (Server.delivery_counter sv);
+      checkb "garbage collected" true (Server.stored_batches sv <= 1))
+    (Deployment.servers d)
+
+let test_gc_blocked_by_crashed_server () =
+  (* §5.2 / §8: if one server stops delivering, the others cannot collect
+     — memory grows.  (The crashed server stops gossiping its counter.) *)
+  let d = mk_deployment ~dense:100_000 () in
+  let dir = Server.directory (Deployment.servers d).(0) in
+  Deployment.crash_server d 3;
+  for k = 0 to 9 do
+    let b =
+      Batch.forge_dense dir ~broker:0 ~number:k ~first_id:0 ~count:256 ~msg_bytes:8
+        ~tag:(k + 1) ~straggler_count:0
+    in
+    Repro_sim.Engine.schedule (Deployment.engine d) ~delay:(0.5 *. float_of_int k)
+      (fun () -> Broker.submit_prebuilt (Deployment.broker d 0) b ~on_complete:(fun _ -> ()))
+  done;
+  Deployment.run d ~until:60.0;
+  checkb "survivors hold all batches" true
+    (Server.stored_batches (Deployment.servers d).(0) >= 10)
+
+let test_crash_f_servers_liveness () =
+  (* f = 1 of 4 servers crash: clients still complete. *)
+  let d = mk_deployment ~underlay:Deployment.Pbft () in
+  let c = Deployment.add_client d () in
+  Client.signup c;
+  Deployment.run d ~until:4.0;
+  Deployment.crash_server d 3;
+  Client.broadcast c "survives";
+  Deployment.run d ~until:90.0;
+  checki "completed despite crash" 1 (Client.completed c)
+
+let test_stob_item_bytes () =
+  let qc = Certs.assemble [] in
+  checkb "batch ref fits a hash + witness" true
+    (Stob_item.wire_bytes
+       (Stob_item.Batch_ref { broker = 0; number = 0; root = "r"; witness = qc })
+     < 400);
+  checkb "signup carries two keys" true
+    (Stob_item.wire_bytes
+       (Stob_item.Signup
+          { card = (Types.keypair_of_seed "s").card; reply_broker = 0; nonce = 1 })
+     >= 64)
+
+let suite_batch_props =
+  [ qtest ~count:40 "random straggler subsets verify; any corruption fails"
+      QCheck.(pair (list_of_size (Gen.int_range 1 12) (int_bound 60)) (int_bound 2))
+      (fun (raw_ids, mutation) ->
+        let dir = Directory.create ~dense_count:100 () in
+        let ids = List.sort_uniq compare raw_ids in
+        let k = List.length ids / 2 in
+        let stragglers = List.filteri (fun i _ -> i < k) ids in
+        let b = explicit_batch dir ~ids ~agg_seq:5 ~straggler_ids:stragglers in
+        let ok = Batch.verify dir b in
+        let corrupted =
+          match mutation with
+          | 0 when b.Batch.agg_sig <> None ->
+            Some { b with Batch.agg_sig = Some (Multisig.forge_garbage ()) }
+          | 1 ->
+            (* A different aggregate sequence number breaks the root the
+               reducers signed (unless everyone straggled). *)
+            if Batch.reduced_count b > 0 then Some { b with Batch.agg_seq = 6 }
+            else None
+          | _ -> None
+        in
+        ok
+        && (match corrupted with
+            | Some bad -> not (Batch.verify dir bad)
+            | None -> true));
+    qtest ~count:40 "wire size grows monotonically with stragglers"
+      QCheck.(pair (int_range 1 1000) (int_range 0 1000))
+      (fun (count, s) ->
+        let s = min s count in
+        Wire.distilled_batch_bytes ~clients:1_000_000 ~count ~msg_bytes:8 ~stragglers:s
+        >= Wire.distilled_batch_bytes ~clients:1_000_000 ~count ~msg_bytes:8 ~stragglers:0) ]
+
+let () =
+  Alcotest.run "chopchop"
+    [ ("wire",
+       Alcotest.test_case "paper numbers" `Quick test_wire_paper_numbers
+       :: Alcotest.test_case "straggler cost" `Quick test_wire_stragglers_cost
+       :: suite_wire_props);
+      ("directory",
+       [ Alcotest.test_case "ranks" `Quick test_directory_ranks;
+         Alcotest.test_case "dense population" `Quick test_directory_dense;
+         Alcotest.test_case "range aggregation" `Quick test_directory_range_aggregation;
+         Alcotest.test_case "secret range aggregation" `Quick test_directory_sk_range;
+         Alcotest.test_case "range bounds" `Quick test_directory_range_bounds ]);
+      ("certs",
+       [ Alcotest.test_case "quorum" `Quick test_certs_quorum;
+         Alcotest.test_case "signer dedup" `Quick test_certs_dedup_signers;
+         Alcotest.test_case "forged signer list" `Quick test_certs_forged_signer_list;
+         Alcotest.test_case "legitimizes" `Quick test_legitimizes ]);
+      ("batch",
+       [ Alcotest.test_case "explicit verifies" `Quick test_batch_explicit_verifies;
+         Alcotest.test_case "with stragglers" `Quick test_batch_with_stragglers;
+         Alcotest.test_case "all stragglers (classic)" `Quick test_batch_all_stragglers;
+         Alcotest.test_case "rejects unsorted/duplicate" `Quick test_batch_rejects_unsorted;
+         Alcotest.test_case "rejects forgery" `Quick test_batch_rejects_forgery;
+         Alcotest.test_case "rejects bad straggler sig" `Quick test_batch_rejects_bad_straggler_sig;
+         Alcotest.test_case "dense verifies" `Quick test_batch_dense_verifies;
+         Alcotest.test_case "dense rejects" `Quick test_batch_dense_rejects;
+         Alcotest.test_case "dense/explicit equivalence" `Quick test_batch_dense_explicit_equivalence;
+         Alcotest.test_case "cost model monotone" `Quick test_batch_costs_monotone ]
+       @ suite_batch_props);
+      ("protocol",
+       [ Alcotest.test_case "e2e agreement + no-dup" `Quick test_e2e_agreement_nodup;
+         Alcotest.test_case "signup ranks agree" `Quick test_signup_ranks_agree;
+         Alcotest.test_case "sequence numbers increase" `Quick test_sequence_numbers_increase;
+         Alcotest.test_case "consecutive duplicate dropped" `Quick test_consecutive_duplicate_dropped;
+         Alcotest.test_case "byzantine clients straggle" `Quick test_byzantine_clients_straggle;
+         Alcotest.test_case "forged batch never delivered" `Quick test_forged_batch_never_delivered;
+         Alcotest.test_case "replayed batch deduplicated" `Quick test_replayed_batch_deduplicated;
+         Alcotest.test_case "illegitimate sequence rejected" `Quick test_illegitimate_sequence_rejected;
+         Alcotest.test_case "gc collects" `Quick test_gc_collects;
+         Alcotest.test_case "gc blocked by crash" `Quick test_gc_blocked_by_crashed_server;
+         Alcotest.test_case "liveness under f crashes" `Quick test_crash_f_servers_liveness;
+         Alcotest.test_case "stob item bytes" `Quick test_stob_item_bytes ]) ]

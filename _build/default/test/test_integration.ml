@@ -1,0 +1,196 @@
+(* Full-stack integration tests: Chop Chop over each underlying Atomic
+   Broadcast, applications replicated across servers under load, crash
+   faults mid-stream, and the experiment runner end to end. *)
+
+module D = Repro_chopchop.Deployment
+module Server = Repro_chopchop.Server
+module Client = Repro_chopchop.Client
+module Broker = Repro_chopchop.Broker
+module Batch = Repro_chopchop.Batch
+module Proto = Repro_chopchop.Proto
+module LB = Repro_workload.Load_broker
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Chop Chop on each underlay: real clients + load broker together. *)
+let run_underlay underlay () =
+  let d =
+    D.create
+      { D.default_config with underlay; n_servers = 4; dense_clients = 100_000 }
+  in
+  let lb =
+    LB.create ~deployment:d ~region:Repro_sim.Region.Ovh_gravelines
+      ~config:{ rate = 2.0; batch_count = 256; msg_bytes = 8;
+                distill_fraction = 1.0; ranges = 2; first_id = 0 }
+      ()
+  in
+  let completions = ref 0 in
+  let clients =
+    List.init 3 (fun _ ->
+        D.add_client d ~on_delivered:(fun _ ~latency:_ -> incr completions) ())
+  in
+  List.iter Client.signup clients;
+  D.run d ~until:6.0;
+  LB.start lb ~until:10. ();
+  List.iter (fun c -> Client.broadcast c "mixed-traffic") clients;
+  D.run d ~until:80.0;
+  checki "clients completed" 3 !completions;
+  checki "load completed" (LB.submitted lb) (LB.completed lb);
+  let counts = Array.map Server.delivered_messages (D.servers d) in
+  Array.iter (fun c -> checki "servers agree on message count" counts.(0) c) counts;
+  checkb "load actually flowed" true (counts.(0) > 256)
+
+(* Payments replicated across all servers under dense + explicit load. *)
+let test_payments_replicated () =
+  let d =
+    D.create { D.default_config with underlay = D.Pbft; dense_clients = 100_000 }
+  in
+  let apps = Array.map (fun _ -> Repro_apps.Payments.create ()) (D.servers d) in
+  D.server_deliver_hook d (fun srv del ->
+      ignore (Repro_apps.Payments.apply_delivery apps.(srv) del));
+  let lb =
+    LB.create ~deployment:d ~region:Repro_sim.Region.Ovh_beauharnois
+      ~config:{ rate = 2.0; batch_count = 128; msg_bytes = 8;
+                distill_fraction = 1.0; ranges = 2; first_id = 0 }
+      ()
+  in
+  let c = D.add_client d () in
+  Client.signup c;
+  D.run d ~until:5.0;
+  LB.start lb ~until:8. ();
+  Client.broadcast c (Repro_apps.Payments.encode_op ~recipient:3 ~amount:17);
+  D.run d ~until:60.0;
+  let supply = Repro_apps.Payments.total_supply apps.(0) in
+  Array.iteri
+    (fun i app ->
+      checki (Printf.sprintf "server %d ops" i)
+        (Repro_apps.Payments.ops_applied apps.(0))
+        (Repro_apps.Payments.ops_applied app);
+      checki (Printf.sprintf "server %d supply" i) supply
+        (Repro_apps.Payments.total_supply app))
+    apps;
+  checkb "the explicit payment applied" true
+    (Repro_apps.Payments.ops_applied apps.(0) > 128)
+
+(* Crash f servers mid-load: delivery continues on survivors. *)
+let test_crash_under_load () =
+  let d =
+    D.create { D.default_config with underlay = D.Pbft; dense_clients = 100_000 }
+  in
+  let lb =
+    LB.create ~deployment:d ~region:Repro_sim.Region.Ovh_gravelines
+      ~config:{ rate = 2.0; batch_count = 128; msg_bytes = 8;
+                distill_fraction = 1.0; ranges = 2; first_id = 0 }
+      ()
+  in
+  LB.start lb ~until:20. ();
+  Repro_sim.Engine.schedule (D.engine d) ~delay:8.0 (fun () -> D.crash_server d 2);
+  D.run d ~until:80.0;
+  let before_crash = 8.0 *. 2.0 *. 128. in
+  checkb
+    (Printf.sprintf "survivors delivered past the crash point (%d)"
+       (Server.delivered_messages (D.servers d).(0)))
+    true
+    (float_of_int (Server.delivered_messages (D.servers d).(0)) > before_crash);
+  checkb "most load completed" true
+    (LB.completed lb > LB.submitted lb * 8 / 10)
+
+(* The experiment runner produces coherent metrics at a tiny scale. *)
+let test_runner_coherent () =
+  let open Repro_experiments in
+  let p =
+    { Chopchop_run.default with
+      n_servers = 4; rate = 100_000.; batch_count = 4096;
+      duration = 10.; warmup = 4.; cooldown = 2.; measure_clients = 2;
+      dense_clients = 1_000_000 }
+  in
+  let r = Chopchop_run.run p in
+  checkb
+    (Printf.sprintf "throughput near offered (%.0f)" r.Chopchop_run.throughput)
+    true
+    (r.Chopchop_run.throughput > 60_000. && r.Chopchop_run.throughput < 120_000.);
+  checkb "latency positive and bounded" true
+    (r.Chopchop_run.latency_mean > 0.1 && r.Chopchop_run.latency_mean < 10.);
+  checkb "network rate >= input rate (overhead exists)" true
+    (r.Chopchop_run.network_rate_bps >= r.Chopchop_run.input_rate_bps *. 0.9);
+  checkb "goodput tracks input at this load" true
+    (r.Chopchop_run.goodput_bps > r.Chopchop_run.input_rate_bps *. 0.6)
+
+let test_baseline_runner () =
+  let open Repro_experiments in
+  let r =
+    Baseline_run.run
+      { (Baseline_run.default Baseline_run.Bftsmart) with
+        n_servers = 4; rate = 500.; duration = 20.; warmup = 5.; cooldown = 3. }
+  in
+  checkb
+    (Printf.sprintf "bft-smart-style delivers offered 500 (%.0f)" r.Baseline_run.throughput)
+    true
+    (r.Baseline_run.throughput > 350. && r.Baseline_run.throughput < 600.);
+  checkb "latency sub-5s" true (r.Baseline_run.latency_mean < 5.)
+
+let test_app_calibration () =
+  let open Repro_experiments in
+  let cal = App_model.calibrate () in
+  checki "three apps" 3 (List.length cal);
+  List.iter
+    (fun c ->
+      checkb (c.App_model.app ^ " measured cost positive") true
+        (c.App_model.measured_op_ns > 0.);
+      checkb (c.App_model.app ^ " capacity positive") true (c.App_model.capacity > 0.))
+    cal;
+  let find n = List.find (fun c -> c.App_model.app = n) cal in
+  checkb "auction (1 core) slower than payments (16 cores)" true
+    ((find "Auction").App_model.capacity < (find "Payments").App_model.capacity)
+
+(* Packet loss on the client<->broker path: reliable UDP recovers, and
+   stragglers (missed reduction windows) still get through via their
+   fallback signatures (§5.1, §4.2). *)
+let test_lossy_network () =
+  let d =
+    D.create { D.default_config with underlay = D.Pbft; net_loss = 0.25 }
+  in
+  let clients =
+    List.init 4 (fun _ -> D.add_client d ())
+  in
+  List.iter Client.signup clients;
+  D.run d ~until:20.0;
+  List.iteri
+    (fun i c ->
+      for k = 0 to 1 do
+        Client.broadcast c (Printf.sprintf "lossy-%d-%d" i k)
+      done)
+    clients;
+  D.run d ~until:150.0;
+  let completed = List.fold_left (fun a c -> a + Client.completed c) 0 clients in
+  checki "all broadcasts completed despite 25% loss" 8 completed;
+  checki "all delivered exactly once" 8
+    (Server.delivered_messages (D.servers d).(0));
+  let retrans, _, _ = D.rudp_stats d in
+  checkb "the transport actually retransmitted" true (retrans > 0)
+
+let test_future_pk_offload_model () =
+  let open Repro_experiments in
+  List.iter
+    (fun r ->
+      checkb "offload raises the capacity ceiling" true
+        (r.Future.offloaded_capacity > r.Future.baseline_capacity))
+    (Future.pk_offload ~servers:[ 8; 64 ])
+
+let () =
+  Alcotest.run "integration"
+    [ ("underlays",
+       [ Alcotest.test_case "chopchop over sequencer" `Quick (run_underlay D.Sequencer);
+         Alcotest.test_case "chopchop over pbft" `Quick (run_underlay D.Pbft);
+         Alcotest.test_case "chopchop over hotstuff" `Slow (run_underlay D.Hotstuff) ]);
+      ("apps",
+       [ Alcotest.test_case "payments replicated" `Quick test_payments_replicated ]);
+      ("faults",
+       [ Alcotest.test_case "crash under load" `Quick test_crash_under_load;
+         Alcotest.test_case "lossy network" `Quick test_lossy_network ]);
+      ("runners",
+       [ Alcotest.test_case "chopchop runner coherent" `Slow test_runner_coherent;
+         Alcotest.test_case "baseline runner" `Slow test_baseline_runner;
+         Alcotest.test_case "app calibration" `Quick test_app_calibration;
+         Alcotest.test_case "pk-offload capacity model" `Quick test_future_pk_offload_model ]) ]

@@ -1,0 +1,131 @@
+(* Tests for the Narwhal-Bullshark baseline model: delivery of injected
+   load, agreement on delivered counts across groups, authentication cost
+   effect, crash tolerance, latency sanity. *)
+
+open Repro_sim
+module N = Repro_mempool.Narwhal
+
+let checkb = Alcotest.check Alcotest.bool
+
+type run_result = {
+  delivered : int array;
+  in_window : int; (* delivered at group 0 before load ended *)
+  latency_mean : float;
+  elapsed : float; (* duration of load *)
+}
+
+let run ?(n = 4) ?(authenticate = false) ?(workers = 1) ?(rate = 1000)
+    ?(dur = 10.) ?(crash = []) ?(seed = 9L) () =
+  let in_window = ref 0 in
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine () in
+  let regions = Array.of_list (Region.server_regions_for n) in
+  let groups = Array.make n None in
+  let lat_sum = ref 0. and lat_n = ref 0 in
+  for i = 0 to n - 1 do
+    Net.add_node net ~id:i ~region:regions.(i)
+      ~handler:(fun ~src m ->
+        match groups.(i) with Some g -> N.receive g ~src m | None -> ())
+      ()
+  done;
+  for i = 0 to n - 1 do
+    let cpu = Cpu.create engine () in
+    let cfg =
+      { (N.default_config ~n ~msg_bytes:8 ~authenticate) with
+        workers_per_group = workers }
+    in
+    let g =
+      N.create ~engine ~cpu ~config:cfg ~self:i
+        ~send:(fun ~dst ~bytes m -> Net.send net ~src:i ~dst ~bytes m)
+        ~on_deliver:(fun ~count ~inject_time ->
+          if i = 0 then begin
+            lat_sum := !lat_sum +. ((Engine.now engine -. inject_time) *. float_of_int count);
+            lat_n := !lat_n + count;
+            (* In-window deliveries only: the post-load drain would let an
+               overloaded configuration catch up and mask saturation. *)
+            if Engine.now engine <= dur then in_window := !in_window + count
+          end)
+        ()
+    in
+    groups.(i) <- Some g
+  done;
+  let chunk = max 1 (rate / 10) in
+  Engine.every engine ~period:0.1 ~until:dur (fun () ->
+      Array.iteri
+        (fun i g ->
+          match g with
+          | Some g when not (List.mem i crash) -> N.inject g ~count:chunk
+          | _ -> ())
+        groups);
+  List.iter
+    (fun i ->
+      Engine.schedule engine ~delay:(dur /. 2.) (fun () ->
+          match groups.(i) with Some g -> N.crash g | None -> ()))
+    crash;
+  Engine.run ~until:(dur +. 20.) engine;
+  { delivered = Array.map (function Some g -> N.delivered g | None -> 0) groups;
+    in_window = !in_window;
+    latency_mean = (if !lat_n = 0 then 0. else !lat_sum /. float_of_int !lat_n);
+    elapsed = dur }
+
+let test_delivers_everything () =
+  let r = run () in
+  (* ~1000 op/s per group x 4 groups x 10 s *)
+  let expect = 4 * 1000 * 10 in
+  Array.iteri
+    (fun i d ->
+      checkb (Printf.sprintf "group %d delivered all (got %d)" i d) true
+        (d >= expect - (4 * 100) && d <= expect))
+    r.delivered
+
+let test_agreement_across_groups () =
+  let r = run ~rate:5000 () in
+  let counts = Array.to_list r.delivered |> List.sort_uniq compare in
+  (* All groups commit the same DAG prefix; allow the in-flight tail. *)
+  match counts with
+  | [ _ ] -> ()
+  | [ a; b ] -> checkb "within one round of each other" true (b - a < 3 * 5000)
+  | _ -> Alcotest.failf "groups diverged: %s"
+           (String.concat "," (List.map string_of_int counts))
+
+let test_latency_sane () =
+  let r = run () in
+  checkb
+    (Printf.sprintf "latency within [0.3, 5] s (got %.2f)" r.latency_mean)
+    true
+    (r.latency_mean > 0.3 && r.latency_mean < 5.)
+
+let test_authentication_throttles () =
+  (* At a per-group rate far above the signature-verification budget, the
+     sig variant delivers an order of magnitude less (in-window). *)
+  let plain = run ~rate:500_000 ~dur:10. () in
+  let signed = run ~authenticate:true ~rate:500_000 ~dur:10. () in
+  let p = plain.in_window and s = signed.in_window in
+  checkb (Printf.sprintf "sig drops throughput (%d vs %d)" p s) true
+    (float_of_int p > 4. *. float_of_int s)
+
+let test_workers_scale () =
+  let w1 = run ~authenticate:true ~rate:500_000 ~dur:10. () in
+  let w2 = run ~authenticate:true ~workers:2 ~rate:500_000 ~dur:10. () in
+  checkb
+    (Printf.sprintf "2 workers > 1.5x of 1 worker (%d vs %d)" w2.in_window w1.in_window)
+    true
+    (float_of_int w2.in_window > 1.5 *. float_of_int w1.in_window)
+
+let test_crash_tolerance () =
+  (* n = 4 tolerates one crashed group: the rest keep committing. *)
+  let r = run ~rate:1000 ~dur:10. ~crash:[ 3 ] () in
+  checkb
+    (Printf.sprintf "survivors keep delivering (%d)" r.delivered.(0))
+    true
+    (r.delivered.(0) > 3 * 1000 * 4)
+
+let () =
+  Alcotest.run "mempool"
+    [ ("narwhal-bullshark",
+       [ Alcotest.test_case "delivers injected load" `Quick test_delivers_everything;
+         Alcotest.test_case "agreement across groups" `Quick test_agreement_across_groups;
+         Alcotest.test_case "latency sane" `Quick test_latency_sane;
+         Alcotest.test_case "authentication throttles" `Slow test_authentication_throttles;
+         Alcotest.test_case "workers scale a group" `Slow test_workers_scale;
+         Alcotest.test_case "crash tolerance" `Quick test_crash_tolerance ]) ]

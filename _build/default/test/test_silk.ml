@@ -1,0 +1,47 @@
+(* Tests for the silk deployment-tool model (§6.2). *)
+
+module S = Repro_silk.Silk
+
+let checkb = Alcotest.check Alcotest.bool
+
+let test_stream_throughput () =
+  let p = S.default_params in
+  (* 8 MB window over 150 ms RTT = ~53 MB/s = ~0.43 Gb/s. *)
+  let gbps = S.stream_bps p /. 1e9 in
+  checkb (Printf.sprintf "single stream ~0.43 Gb/s (got %.2f)" gbps) true
+    (gbps > 0.3 && gbps < 0.6)
+
+let test_scp_matches_paper () =
+  let h = S.scp_hours S.default_params in
+  checkb (Printf.sprintf "scp ~68 h (got %.1f)" h) true (h > 55. && h < 80.)
+
+let test_silk_matches_paper () =
+  let m = S.silk_minutes S.default_params in
+  checkb (Printf.sprintf "silk ~30 min (got %.1f)" m) true (m > 5. && m < 60.)
+
+let test_speedup () =
+  checkb "silk is at least 60x faster than scp" true (S.speedup S.default_params > 60.)
+
+let test_window_sensitivity () =
+  (* A larger TCP window speeds up scp (the window is its whole problem)
+     but barely moves silk (already NIC-bound). *)
+  let p = S.default_params in
+  let big = { p with S.tcp_window_bytes = 64e6 } in
+  checkb "bigger window helps scp" true (S.scp_hours big < S.scp_hours p /. 4.);
+  checkb "silk roughly unchanged" true
+    (S.silk_minutes big < S.silk_minutes p *. 2.)
+
+let test_more_replication_faster () =
+  let p = S.default_params in
+  let more = { p with S.replication = 40 } in
+  checkb "more sharing -> faster silk" true (S.silk_minutes more < S.silk_minutes p)
+
+let () =
+  Alcotest.run "silk"
+    [ ("silk",
+       [ Alcotest.test_case "stream throughput" `Quick test_stream_throughput;
+         Alcotest.test_case "scp ~68h" `Quick test_scp_matches_paper;
+         Alcotest.test_case "silk ~30min" `Quick test_silk_matches_paper;
+         Alcotest.test_case "speedup" `Quick test_speedup;
+         Alcotest.test_case "window sensitivity" `Quick test_window_sensitivity;
+         Alcotest.test_case "replication helps" `Quick test_more_replication_faster ]) ]

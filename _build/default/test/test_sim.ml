@@ -1,0 +1,436 @@
+(* Tests for the simulation substrate: deterministic RNG, event engine
+   semantics, the geographic model, network timing, CPU accounting and
+   statistics. *)
+
+open Repro_sim
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg a b = Alcotest.check (Alcotest.float 1e-9) msg a b
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 99L and b = Rng.create 99L in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Rng.next64 a = Rng.next64 b)
+  done;
+  let c = Rng.create 100L in
+  checkb "different seed different stream" false (Rng.next64 a = Rng.next64 c)
+
+let test_rng_split_independent () =
+  let root = Rng.create 1L in
+  let a = Rng.split root and b = Rng.split root in
+  checkb "split streams differ" false (Rng.next64 a = Rng.next64 b)
+
+let test_rng_bounds () =
+  let r = Rng.create 5L in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    assert (x >= 0 && x < 17);
+    let y = Rng.int_in r 3 9 in
+    assert (y >= 3 && y <= 9);
+    let f = Rng.float r 2.5 in
+    assert (f >= 0. && f < 2.5);
+    let e = Rng.exponential r ~mean:1.0 in
+    assert (e >= 0.)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11L in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "empirical mean near 3" true (abs_float (mean -. 3.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 2L in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  Array.sort compare b;
+  checkb "shuffle is a permutation" true (a = b)
+
+(* --- Engine ------------------------------------------------------------- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:2.0 (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  checkf "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:10.0 (fun () -> fired := true);
+  Engine.run ~until:5.0 e;
+  checkb "not fired before until" false !fired;
+  checkf "clock clamped" 5.0 (Engine.now e);
+  Engine.run ~until:20.0 e;
+  checkb "fires later" true !fired
+
+let test_engine_timer_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let tm = Engine.timer e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel tm;
+  Engine.run e;
+  checkb "cancelled timer silent" false !fired;
+  Engine.cancel tm (* cancelling twice is fine *)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick n () =
+    if n > 0 then begin
+      incr count;
+      Engine.schedule e ~delay:1.0 (tick (n - 1))
+    end
+  in
+  Engine.schedule e ~delay:0.0 (tick 10);
+  Engine.run e;
+  checki "chained events" 10 !count;
+  checkf "clock advanced" 10.0 (Engine.now e)
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.every e ~period:1.0 ~until:5.5 (fun () -> incr count);
+  Engine.run e;
+  checki "periodic fires floor(5.5)" 5 !count
+
+let test_engine_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.) (fun () -> ()))
+
+let test_engine_heap_stress () =
+  let e = Engine.create () in
+  let r = Rng.create 3L in
+  let last = ref (-1.0) in
+  let ok = ref true in
+  for _ = 1 to 5000 do
+    let t = Rng.float r 1000. in
+    Engine.schedule_at e ~time:t (fun () ->
+        if Engine.now e < !last then ok := false;
+        last := Engine.now e)
+  done;
+  Engine.run e;
+  checkb "monotone processing" true !ok
+
+(* --- Region ------------------------------------------------------------- *)
+
+let test_region_symmetric () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          checkb "latency symmetric" true
+            (Region.latency a b = Region.latency b a))
+        Region.all)
+    Region.all
+
+let test_region_plausible () =
+  let lat = Region.latency Region.Sydney Region.Ireland in
+  checkb "Sydney-Ireland one-way 80-200 ms" true (lat > 0.08 && lat < 0.2);
+  let local = Region.latency Region.Paris Region.Paris in
+  checkb "intra-region sub-millisecond" true (local <= 0.0005);
+  checkb "London-Paris < London-Tokyo" true
+    (Region.latency Region.London Region.Paris
+     < Region.latency Region.London Region.Tokyo)
+
+let test_region_server_assignment () =
+  checki "8 servers in 8 regions" 8
+    (List.length (List.sort_uniq compare (Region.server_regions_for 8)));
+  checki "64 servers round-robin over 14" 14
+    (List.length (List.sort_uniq compare (Region.server_regions_for 64)));
+  checki "64 assignments" 64 (List.length (Region.server_regions_for 64))
+
+(* --- Net ------------------------------------------------------------------ *)
+
+let test_net_delivery_time () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  let got = ref (-1.0) in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ _ -> ()) ();
+  Net.add_node net ~id:1 ~region:Region.London
+    ~handler:(fun ~src:_ () -> got := Engine.now e)
+    ();
+  Net.send net ~src:0 ~dst:1 ~bytes:1000 ();
+  Engine.run e;
+  let expect =
+    (8. *. 1000. /. Net.server_default_egress_bps)
+    +. Region.latency Region.Paris Region.London
+    +. (8. *. 1000. /. Net.server_default_ingress_bps)
+  in
+  checkb "latency + serialisation both ends" true (abs_float (!got -. expect) < 1e-9)
+
+let test_net_egress_serializes () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  let times = ref [] in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ _ -> ()) ();
+  Net.add_node net ~id:1 ~region:Region.Paris
+    ~handler:(fun ~src:_ () -> times := Engine.now e :: !times)
+    ();
+  let big = 10_000_000 in
+  Net.send net ~src:0 ~dst:1 ~bytes:big ();
+  Net.send net ~src:0 ~dst:1 ~bytes:big ();
+  Engine.run e;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    let service = 8. *. float_of_int big /. Net.server_default_egress_bps in
+    checkb "second waits for first" true (t2 -. t1 >= service *. 0.99)
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_net_disconnect () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  let got = ref 0 in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ _ -> ()) ();
+  Net.add_node net ~id:1 ~region:Region.Paris ~handler:(fun ~src:_ () -> incr got) ();
+  Net.send net ~src:0 ~dst:1 ~bytes:10 ();
+  Net.disconnect net 1;
+  Net.send net ~src:0 ~dst:1 ~bytes:10 ();
+  Engine.run e;
+  checki "nothing delivered to crashed node" 0 !got;
+  checkb "is_connected reflects state" false (Net.is_connected net 1)
+
+let test_net_counters () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ _ -> ()) ();
+  Net.add_node net ~id:1 ~region:Region.Paris ~handler:(fun ~src:_ () -> ()) ();
+  Net.send net ~src:0 ~dst:1 ~bytes:123 ();
+  Net.multicast net ~src:0 ~dsts:[ 1; 1 ] ~bytes:10 ();
+  Engine.run e;
+  checki "sent" 143 (Net.bytes_sent net 0);
+  checki "received" 143 (Net.bytes_received net 1)
+
+let test_net_loss () =
+  let e = Engine.create () in
+  let net = Net.create e ~loss:1.0 () in
+  let got = ref 0 in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ _ -> ()) ();
+  Net.add_node net ~id:1 ~region:Region.Paris ~handler:(fun ~src:_ () -> incr got) ();
+  Net.send_lossy net ~src:0 ~dst:1 ~bytes:10 ();
+  Net.send net ~src:0 ~dst:1 ~bytes:10 ();
+  Engine.run e;
+  checki "lossy dropped, reliable passed" 1 !got
+
+let test_net_duplicate_node () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ () -> ()) ();
+  Alcotest.check_raises "duplicate id" (Invalid_argument "Net.add_node: duplicate id")
+    (fun () ->
+      Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ () -> ()) ())
+
+(* --- Cpu -------------------------------------------------------------------- *)
+
+let test_cpu_fifo () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e () in
+  let log = ref [] in
+  Cpu.submit cpu ~cost:2.0 (fun () -> log := (1, Engine.now e) :: !log);
+  Cpu.submit cpu ~cost:1.0 (fun () -> log := (2, Engine.now e) :: !log);
+  Engine.run e;
+  (match List.rev !log with
+   | [ (1, t1); (2, t2) ] ->
+     checkf "first job at its cost" 2.0 t1;
+     checkf "second queues behind" 3.0 t2
+   | _ -> Alcotest.fail "two completions expected");
+  checkf "busy seconds" 3.0 (Cpu.busy_seconds cpu)
+
+let test_cpu_capacity () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~capacity:0.5 () in
+  let t = ref 0. in
+  Cpu.submit cpu ~cost:1.0 (fun () -> t := Engine.now e);
+  Engine.run e;
+  checkf "half capacity doubles duration" 2.0 !t
+
+let test_cpu_utilization () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e () in
+  Cpu.charge cpu ~cost:1.0;
+  Engine.schedule e ~delay:4.0 (fun () -> ());
+  Engine.run e;
+  checkf "25% busy over 4s" 0.25 (Cpu.utilization cpu ~since:0.)
+
+(* --- Stats -------------------------------------------------------------------- *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.; 2.; 3.; 4. ];
+  checkf "mean" 2.5 (Stats.Summary.mean s);
+  checkb "stddev" true (abs_float (Stats.Summary.stddev s -. 1.1180339887) < 1e-6);
+  checkf "min" 1. (Stats.Summary.min s);
+  checkf "max" 4. (Stats.Summary.max s);
+  checki "count" 4 (Stats.Summary.count s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  checkf "empty mean 0" 0. (Stats.Summary.mean s);
+  checkf "empty percentile 0" 0. (Stats.Summary.percentile s 0.9)
+
+let test_throughput_window () =
+  let e = Engine.create () in
+  let tp = Stats.Throughput.create e ~warmup:2.0 ~cooldown:2.0 ~duration:10.0 in
+  for i = 0 to 9 do
+    Engine.schedule e ~delay:(float_of_int i +. 0.5) (fun () -> Stats.Throughput.record tp 10)
+  done;
+  Engine.run e;
+  checki "only window counted" 60 (Stats.Throughput.total_in_window tp);
+  checkf "rate over 6s window" 10.0 (Stats.Throughput.rate tp)
+
+let suite_stats_props =
+  [ qtest "percentile is monotone" QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0. 100.))
+      (fun xs ->
+        let s = Stats.Summary.create () in
+        List.iter (Stats.Summary.add s) xs;
+        Stats.Summary.percentile s 0.1 <= Stats.Summary.percentile s 0.9);
+    qtest "mean within min/max" QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-50.) 50.))
+      (fun xs ->
+        let s = Stats.Summary.create () in
+        List.iter (Stats.Summary.add s) xs;
+        Stats.Summary.mean s >= Stats.Summary.min s -. 1e-9
+        && Stats.Summary.mean s <= Stats.Summary.max s +. 1e-9) ]
+
+(* --- Rudp -------------------------------------------------------------------- *)
+
+let mk_rudp_pair ~loss ~seed =
+  (* A loopback lossy channel between one sender and one receiver. *)
+  let e = Engine.create ~seed () in
+  let r = Rng.create seed in
+  let delivered = ref [] in
+  let recv_cell = ref None in
+  let ack_to_sender = ref (fun (_ : int) -> ()) in
+  let sender_cell = ref None in
+  let transmit pkt =
+    (* Simulate the lossy link with a delay. *)
+    if Rng.float r 1.0 >= loss then
+      Engine.schedule e ~delay:0.05 (fun () ->
+          match !recv_cell with Some rc -> Rudp.receiver_on_data rc pkt | None -> ())
+  in
+  let send_ack seq =
+    if Rng.float r 1.0 >= loss then
+      Engine.schedule e ~delay:0.05 (fun () -> !ack_to_sender seq)
+  in
+  let sender = Rudp.sender ~engine:e ~transmit ~rto:0.2 () in
+  sender_cell := Some sender;
+  ack_to_sender := (fun seq -> Rudp.sender_on_ack sender seq);
+  let receiver = Rudp.receiver ~deliver:(fun m -> delivered := m :: !delivered) ~send_ack () in
+  recv_cell := Some receiver;
+  (e, sender, receiver, delivered)
+
+let test_rudp_reliable () =
+  let e, sender, _, delivered = mk_rudp_pair ~loss:0.0 ~seed:1L in
+  for i = 0 to 99 do
+    Rudp.send sender ~bytes:16 i
+  done;
+  Engine.run ~until:30. e;
+  checki "all delivered" 100 (List.length !delivered);
+  checki "no retransmissions without loss" 0 (Rudp.retransmissions sender)
+
+let test_rudp_under_loss () =
+  let e, sender, receiver, delivered = mk_rudp_pair ~loss:0.3 ~seed:2L in
+  for i = 0 to 199 do
+    Rudp.send sender ~bytes:16 i
+  done;
+  Engine.run ~until:120. e;
+  checki "all delivered despite 30% loss" 200 (List.length !delivered);
+  checkb "exactly once" true
+    (List.length (List.sort_uniq compare !delivered) = 200);
+  checkb "retransmissions happened" true (Rudp.retransmissions sender > 0);
+  checkb "duplicates were suppressed" true (Rudp.duplicates receiver >= 0);
+  checki "nothing abandoned" 0 (Rudp.give_up_count sender)
+
+let test_rudp_window_smoothing () =
+  (* More messages than the window: the backlog queues and drains. *)
+  let e, sender, _, delivered = mk_rudp_pair ~loss:0.0 ~seed:3L in
+  for i = 0 to 499 do
+    Rudp.send sender ~bytes:16 i
+  done;
+  checkb "window bounds in-flight" true (Rudp.in_flight sender <= 64);
+  checkb "rest queued" true (Rudp.queued sender > 0);
+  Engine.run ~until:60. e;
+  checki "all delivered" 500 (List.length !delivered)
+
+let test_rudp_gives_up () =
+  (* A dead peer: the sender abandons after max_retries. *)
+  let e = Engine.create ~seed:4L () in
+  let sender =
+    Rudp.sender ~engine:e ~transmit:(fun _ -> ()) ~rto:0.05 ~max_retries:3 ()
+  in
+  Rudp.send sender ~bytes:8 0;
+  Engine.run ~until:10. e;
+  checki "gave up" 1 (Rudp.give_up_count sender);
+  checki "flight drained" 0 (Rudp.in_flight sender)
+
+let test_rudp_packet_bytes () =
+  checki "data framing" 28 (Rudp.packet_bytes (Rudp.Data { seq = 0; payload = (); bytes = 16 }));
+  checki "ack framing" Rudp.ack_wire (Rudp.packet_bytes (Rudp.Ack { seq = 0 }))
+
+let () =
+  Alcotest.run "sim"
+    [ ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+         Alcotest.test_case "bounds" `Quick test_rng_bounds;
+         Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+         Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes ]);
+      ("engine",
+       [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
+         Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+         Alcotest.test_case "until" `Quick test_engine_until;
+         Alcotest.test_case "timer cancel" `Quick test_engine_timer_cancel;
+         Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+         Alcotest.test_case "every" `Quick test_engine_every;
+         Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+         Alcotest.test_case "heap stress" `Quick test_engine_heap_stress ]);
+      ("region",
+       [ Alcotest.test_case "symmetric" `Quick test_region_symmetric;
+         Alcotest.test_case "plausible latencies" `Quick test_region_plausible;
+         Alcotest.test_case "server assignment" `Quick test_region_server_assignment ]);
+      ("net",
+       [ Alcotest.test_case "delivery time" `Quick test_net_delivery_time;
+         Alcotest.test_case "egress serialises" `Quick test_net_egress_serializes;
+         Alcotest.test_case "disconnect" `Quick test_net_disconnect;
+         Alcotest.test_case "byte counters" `Quick test_net_counters;
+         Alcotest.test_case "loss" `Quick test_net_loss;
+         Alcotest.test_case "duplicate node" `Quick test_net_duplicate_node ]);
+      ("cpu",
+       [ Alcotest.test_case "fifo" `Quick test_cpu_fifo;
+         Alcotest.test_case "capacity" `Quick test_cpu_capacity;
+         Alcotest.test_case "utilization" `Quick test_cpu_utilization ]);
+      ("stats",
+       Alcotest.test_case "summary" `Quick test_summary
+       :: Alcotest.test_case "summary empty" `Quick test_summary_empty
+       :: Alcotest.test_case "throughput window" `Quick test_throughput_window
+       :: suite_stats_props);
+      ("rudp",
+       [ Alcotest.test_case "reliable without loss" `Quick test_rudp_reliable;
+         Alcotest.test_case "exactly-once under 30% loss" `Quick test_rudp_under_loss;
+         Alcotest.test_case "window smoothing" `Quick test_rudp_window_smoothing;
+         Alcotest.test_case "gives up on dead peer" `Quick test_rudp_gives_up;
+         Alcotest.test_case "packet framing" `Quick test_rudp_packet_bytes ]) ]
