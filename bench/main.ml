@@ -16,7 +16,11 @@
 
    Run with:  dune exec bench/main.exe            (everything)
               dune exec bench/main.exe micro      (bechamel suite only)
-              dune exec bench/main.exe figures    (simulation harness only) *)
+              dune exec bench/main.exe figures    (simulation harness only)
+              dune exec bench/main.exe trace      (traced-run smoke check)
+
+   With CHOPCHOP_TRACE=1 a traced quick run and its per-phase latency
+   breakdown are appended to the default output. *)
 
 open Bechamel
 module Crypto = Repro_crypto
@@ -236,6 +240,42 @@ let run_bechamel () =
         results)
     micro_tests
 
+(* Traced quick run: the smoke check behind `bench trace` and
+   CHOPCHOP_TRACE=1.  Asserts the sink is non-empty, that every layer of
+   the stack emitted events, and that the breakdown decomposed messages. *)
+let run_trace_smoke () =
+  let module Trace = Repro_trace.Trace in
+  let module R = Repro_experiments.Chopchop_run in
+  let module LB = Repro_experiments.Latency_breakdown in
+  print_endline "\n=== Traced run (quick scale) ===";
+  let params =
+    { R.default with
+      n_servers = 4; underlay = Repro_chopchop.Deployment.Pbft;
+      rate = 100_000.; batch_count = 4096; n_load_brokers = 1;
+      measure_clients = 4; duration = 10.; warmup = 4.; cooldown = 2.;
+      dense_clients = 1_000_000 }
+  in
+  let result, breakdown, sink = LB.capture ~params () in
+  assert (Trace.Sink.length sink > 0);
+  let cats =
+    List.fold_left
+      (fun acc (e : Trace.event) ->
+        if List.mem e.ev_cat acc then acc else e.ev_cat :: acc)
+      [] (Trace.Sink.events sink)
+  in
+  List.iter
+    (fun cat ->
+      if not (List.mem cat cats) then
+        failwith (Printf.sprintf "trace smoke: no %S events captured" cat))
+    [ "client"; "broker"; "server"; "stob" ];
+  if LB.complete breakdown = 0 then
+    failwith "trace smoke: no message fully decomposed";
+  Format.printf "%a@.@." R.pp_result result;
+  Format.printf "%a@." LB.pp breakdown;
+  Printf.printf "trace smoke ok: %d events, cats: %s\n%!"
+    (Trace.Sink.length sink)
+    (String.concat " " (List.sort compare cats))
+
 let () =
   let scale =
     match Sys.getenv_opt "CHOPCHOP_BENCH_SCALE" with
@@ -250,4 +290,6 @@ let () =
       (match scale with Repro_experiments.Figures.Full -> "full" | _ -> "quick");
     Repro_experiments.Figures.run_all Format.std_formatter scale;
     Repro_experiments.Future.print Format.std_formatter scale
-  end
+  end;
+  if what = "trace" || Sys.getenv_opt "CHOPCHOP_TRACE" = Some "1" then
+    run_trace_smoke ()

@@ -2,10 +2,14 @@
 
    `chopchop list` shows every experiment id; `chopchop run fig7 --scale
    quick` regenerates one figure; `chopchop all --scale full` regenerates
-   the entire evaluation (EXPERIMENTS.md records a captured run). *)
+   the entire evaluation (EXPERIMENTS.md records a captured run);
+   `chopchop trace -o t.json` runs a traced deployment and dumps a
+   Chrome-loadable trace plus the per-phase latency breakdown. *)
 
 open Cmdliner
 module F = Repro_experiments.Figures
+module R = Repro_experiments.Chopchop_run
+module LB = Repro_experiments.Latency_breakdown
 
 let experiments : (string * string * (Format.formatter -> F.scale -> unit)) list =
   [ ("fig1", "context: Internet-scale service rates", F.fig1);
@@ -73,6 +77,47 @@ let all_cmd =
   let term = Term.(const (fun scale -> F.run_all Format.std_formatter scale) $ scale_term) in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure") term
 
+let trace_params = function
+  | F.Quick ->
+    { R.default with
+      n_servers = 4; underlay = Repro_chopchop.Deployment.Pbft;
+      rate = 100_000.; batch_count = 4096; n_load_brokers = 1;
+      measure_clients = 4; duration = 10.; warmup = 4.; cooldown = 2.;
+      dense_clients = 1_000_000 }
+  | F.Full ->
+    { R.default with
+      n_servers = 16; rate = 1_000_000.; batch_count = 16_384;
+      duration = 12.; warmup = 4.; cooldown = 3.;
+      dense_clients = 10_000_000 }
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "chopchop-trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace_event JSON here (load it in \
+                chrome://tracing or ui.perfetto.dev).")
+  in
+  let run scale out =
+    let result, breakdown, sink = LB.capture ~params:(trace_params scale) () in
+    Format.printf "%a@.@." R.pp_result result;
+    Format.printf "%a@." LB.pp breakdown;
+    match Repro_trace.Chrome.to_file sink out with
+    | () ->
+      Format.printf "trace: %d events (%d dropped) -> %s@."
+        (Repro_trace.Trace.Sink.length sink)
+        (Repro_trace.Trace.Sink.dropped sink)
+        out;
+      `Ok ()
+    | exception Sys_error e -> `Error (false, e)
+  in
+  let term = Term.(ret (const run $ scale_term $ out_arg)) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a traced deployment: Chrome trace + latency breakdown")
+    term
+
 let list_cmd =
   let term =
     Term.(
@@ -87,4 +132,4 @@ let list_cmd =
 let () =
   let doc = "Chop Chop (OSDI '24) reproduction — experiment driver" in
   let info = Cmd.info "chopchop" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd ]))

@@ -4,6 +4,7 @@ module Cost = Repro_sim.Cost
 module Schnorr = Repro_crypto.Schnorr
 module Multisig = Repro_crypto.Multisig
 module Merkle = Repro_crypto.Merkle
+module Trace = Repro_trace.Trace
 
 type config = {
   broker_id : int;
@@ -89,6 +90,11 @@ let create ~engine ~cpu ~config ~directory ~server_ms_pk ~send_server ~send_clie
     number = 0; evidence = None; completed = 0;
     entries_launched = 0; stragglers_launched = 0; crashed = false;
     signups_seen = Hashtbl.create 64 }
+
+(* Trace actors: servers are [0, n); brokers shift by 1000 so their rows
+   stay distinct in a Chrome timeline. *)
+let tr t = Engine.trace t.engine
+let tr_actor t = 1000 + t.cfg.broker_id
 
 let batches_in_flight t = Hashtbl.length t.flight + Hashtbl.length t.reducing
 
@@ -214,6 +220,11 @@ let rec flush t =
           r_shares = Hashtbl.create (List.length subs) }
       in
       Hashtbl.replace t.reducing root st;
+      (let s = tr t in
+       if Trace.enabled s then
+         Trace.span_begin s ~now:(Engine.now t.engine) ~actor:(tr_actor t)
+           ~cat:"broker" ~name:"distill" ~id:(Trace.key root)
+           ~attrs:[ ("entries", Trace.A_int (Array.length entries)) ]);
       (* #4: send each client its inclusion proof. *)
       Array.iteri
         (fun i e ->
@@ -288,6 +299,11 @@ and reduce t root =
         Batch.make_explicit ~broker:t.cfg.broker_id ~number ~entries:st.r_entries
           ~agg_seq:st.r_agg_seq ~stragglers ~agg_sig
       in
+      (let s = tr t in
+       if Trace.enabled s then
+         Trace.span_end s ~now:(Engine.now t.engine) ~actor:(tr_actor t)
+           ~cat:"broker" ~name:"distill" ~id:(Trace.key root)
+           ~attrs:[ ("stragglers", Trace.A_int (Array.length stragglers)) ]);
       launch t batch ~on_complete:None
     end
 
@@ -316,6 +332,21 @@ and launch t batch ~on_complete =
       w_done = false; w_on_complete = on_complete }
   in
   Hashtbl.replace t.flight root fl;
+  (let s = tr t in
+   if Trace.enabled s then begin
+     let now = Engine.now t.engine and actor = tr_actor t in
+     let id = Trace.key root in
+     (* The "reduction" attr links this identity-rooted flight back to the
+        proposal-rooted distill span, so a batch can be followed end to
+        end across the root change. *)
+     Trace.instant s ~now ~actor ~cat:"broker" ~name:"launch" ~id
+       ~attrs:
+         [ ("reduction", Trace.A_int (Trace.key fl.w_reduction_root));
+           ("number", Trace.A_int batch.Batch.number);
+           ("entries", Trace.A_int (Batch.count batch));
+           ("stragglers", Trace.A_int (Batch.straggler_count batch)) ];
+     Trace.span_begin s ~now ~actor ~cat:"broker" ~name:"witness" ~id
+   end);
   let bytes = Batch.wire_bytes ~clients:t.cfg.clients batch in
   Cpu.charge t.cpu
     ~cost:(float_of_int (bytes * t.cfg.n_servers) *. Cost.serialize_per_byte);
@@ -359,6 +390,13 @@ and on_witness_shard t ~src fl share =
       if List.length fl.w_shards >= t.f + 1 then begin
         let witness = Certs.assemble fl.w_shards in
         fl.w_witness <- Some witness;
+        (let s = tr t in
+         if Trace.enabled s then begin
+           let now = Engine.now t.engine and actor = tr_actor t in
+           let id = Trace.key fl.w_root in
+           Trace.span_end s ~now ~actor ~cat:"broker" ~name:"witness" ~id;
+           Trace.span_begin s ~now ~actor ~cat:"broker" ~name:"certify" ~id
+         end);
         submit_ref t fl witness
       end
     end
@@ -396,6 +434,16 @@ and on_completion_shard t ~src fl ~counter ~exceptions share =
 
 and finish t fl ~counter ~exceptions shards =
   fl.w_done <- true;
+  (let s = tr t in
+   if Trace.enabled s then begin
+     let now = Engine.now t.engine and actor = tr_actor t in
+     let id = Trace.key fl.w_root in
+     Trace.span_end s ~now ~actor ~cat:"broker" ~name:"certify" ~id;
+     Trace.instant s ~now ~actor ~cat:"broker" ~name:"complete" ~id
+       ~attrs:
+         [ ("counter", Trace.A_int counter);
+           ("exceptions", Trace.A_int (List.length exceptions)) ]
+   end);
   let qc = Certs.assemble shards in
   let cert = { Certs.root = fl.w_root; counter; exceptions; qc } in
   if cert.counter > evidence_counter t then t.evidence <- Some cert;

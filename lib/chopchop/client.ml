@@ -2,6 +2,7 @@ module Engine = Repro_sim.Engine
 module Schnorr = Repro_crypto.Schnorr
 module Multisig = Repro_crypto.Multisig
 module Merkle = Repro_crypto.Merkle
+module Trace = Repro_trace.Trace
 
 type config = {
   brokers : int list;
@@ -58,6 +59,13 @@ let crash t = t.crashed <- true
 let misbehave_bad_share t = t.bad_share <- true
 let misbehave_mute_reduction t = t.mute_reduction <- true
 
+(* Correlation id of one (client, sequence-number) message attempt: the
+   same key is emitted at send time and at delivery-certificate time, so a
+   message's end-to-end path can be joined from the trace alone. *)
+let msg_key ~id ~seq = Hashtbl.hash (id, seq) land 0x3FFFFFFF
+
+let tr_actor ~id = 2000 + id
+
 let current_broker t = List.nth t.cfg.brokers (t.broker_idx mod List.length t.cfg.brokers)
 
 let next_broker t = t.broker_idx <- t.broker_idx + 1
@@ -107,6 +115,14 @@ let launch_next t =
     t.flight <-
       Some { fl_msg = msg; fl_seq = t.seq; fl_adopted = t.seq;
              fl_signed_roots = []; fl_started = Engine.now t.engine };
+    (let s = Engine.trace t.engine in
+     if Trace.enabled s then
+       match t.id with
+       | Some id ->
+         Trace.instant s ~now:(Engine.now t.engine) ~actor:(tr_actor ~id)
+           ~cat:"client" ~name:"send" ~id:(msg_key ~id ~seq:t.seq)
+           ~attrs:[ ("seq", Trace.A_int t.seq) ]
+       | None -> ());
     t.epoch <- t.epoch + 1;
     submit t
   end
@@ -163,11 +179,19 @@ let on_deliver_cert t ~cert ~seq ~proof =
       in
       let replayed = List.mem_assoc id cert.Certs.exceptions in
       if ours || replayed then begin
+        let latency = Engine.now t.engine -. fl.fl_started in
+        (let s = Engine.trace t.engine in
+         if Trace.enabled s then
+           Trace.instant s ~now:(Engine.now t.engine) ~actor:(tr_actor ~id)
+             ~cat:"client" ~name:"deliver" ~id:(msg_key ~id ~seq:fl.fl_seq)
+             ~attrs:
+               [ ("root", Trace.A_int (Trace.key cert.Certs.root));
+                 ("latency", Trace.A_float latency) ]);
         t.seq <- max t.seq (max fl.fl_adopted seq) + 1;
         t.flight <- None;
         t.epoch <- t.epoch + 1;
         t.completed <- t.completed + 1;
-        t.on_delivered fl.fl_msg ~latency:(Engine.now t.engine -. fl.fl_started);
+        t.on_delivered fl.fl_msg ~latency;
         launch_next t
       end
     end

@@ -19,13 +19,14 @@ type config = {
   net_loss : float;
   seed : int64;
   stob_batch_timeout : float; (* underlay leader batching window *)
+  trace : Repro_trace.Trace.Sink.t;
 }
 
 let default_config =
   { n_servers = 4; n_brokers = 2; underlay = Sequencer; dense_clients = 0;
     gc_period = 0.5; flush_period = 0.2; reduce_timeout = 0.2;
     witness_margin = 1; max_batch = 65_536; net_loss = 0.; seed = 42L;
-    stob_batch_timeout = 0.05 }
+    stob_batch_timeout = 0.05; trace = Repro_trace.Trace.Sink.null () }
 
 let margin_for_size n =
   if n <= 8 then 0 else if n <= 16 then 1 else if n <= 32 then 2 else 4
@@ -34,7 +35,8 @@ let paper_config ~n_servers ~underlay =
   { n_servers; n_brokers = 6; underlay; dense_clients = 257_000_000;
     gc_period = 0.5; flush_period = 1.0; reduce_timeout = 1.0;
     witness_margin = margin_for_size n_servers; max_batch = 65_536;
-    net_loss = 0.; seed = 42L; stob_batch_timeout = 0.1 }
+    net_loss = 0.; seed = 42L; stob_batch_timeout = 0.1;
+    trace = Repro_trace.Trace.Sink.null () }
 
 type msg =
   | C2b_udp of Proto.client_to_broker Repro_sim.Rudp.packet
@@ -65,6 +67,7 @@ type t = {
   client_nodes : (Types.client_id, int) Hashtbl.t; (* client id -> node *)
   clients_by_node : (int, Client.t) Hashtbl.t;
   mutable next_node : int;
+  mutable next_client_region : int;
   mutable deliver_hook : int -> Proto.delivery -> unit;
   (* Reliable-UDP channels for client<->broker traffic (§5.1): one sender
      and one receiver per directed (origin node, peer node) pair, created
@@ -245,7 +248,7 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch =
 (* --- construction ----------------------------------------------------------- *)
 
 let create cfg =
-  let engine = Engine.create ~seed:cfg.seed () in
+  let engine = Engine.create ~seed:cfg.seed ~trace:cfg.trace () in
   let net = Net.create engine ~loss:cfg.net_loss () in
   let n = cfg.n_servers in
   let server_regions = Array.of_list (Region.server_regions_for n) in
@@ -262,6 +265,7 @@ let create cfg =
       client_nodes = Hashtbl.create 1024;
       clients_by_node = Hashtbl.create 1024;
       next_node = n;
+      next_client_region = 0;
       deliver_hook = (fun _ _ -> ());
       c2b_send = Hashtbl.create 64; c2b_recv = Hashtbl.create 64;
       b2c_send = Hashtbl.create 64; b2c_recv = Hashtbl.create 64 }
@@ -331,15 +335,17 @@ let add_broker t ~region ?flush_period ?reduce_timeout ?max_batch () =
 (* --- clients ------------------------------------------------------------- *)
 
 let client_region_cycle = Array.of_list Region.client_regions
-let next_client_region = ref 0
 
 let add_client t ?region ?identity ?on_delivered ?brokers () =
   let region =
     match region with
     | Some r -> r
     | None ->
-      let r = client_region_cycle.(!next_client_region mod Array.length client_region_cycle) in
-      incr next_client_region;
+      (* Round-robin per deployment, not per process: a global cursor
+         would make the region assignment — and therefore the trace —
+         depend on how many deployments ran earlier in the process. *)
+      let r = client_region_cycle.(t.next_client_region mod Array.length client_region_cycle) in
+      t.next_client_region <- t.next_client_region + 1;
       r
   in
   let node = t.next_node in

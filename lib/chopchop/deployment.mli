@@ -22,6 +22,8 @@ type config = {
   net_loss : float;
   seed : int64;
   stob_batch_timeout : float; (* underlay leader batching window *)
+  trace : Repro_trace.Trace.Sink.t;
+      (* observability sink shared by every component (default: null) *)
 }
 
 val default_config : config

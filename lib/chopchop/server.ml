@@ -2,6 +2,7 @@ module Engine = Repro_sim.Engine
 module Cpu = Repro_sim.Cpu
 module Cost = Repro_sim.Cost
 module Multisig = Repro_crypto.Multisig
+module Trace = Repro_trace.Trace
 
 type config = { self : int; n : int; clients : int; gc_period : float }
 
@@ -57,6 +58,8 @@ let create ~engine ~cpu ~config ~directory ~ms_sk ~server_ms_pk ~send_broker
     fetching = Hashtbl.create 16; seen_signups = Hashtbl.create 64;
     delivering = false; crashed = false }
 
+let tr t = Engine.trace t.engine
+
 let directory t = t.dir
 let delivery_counter t = t.delivery_counter
 let delivered_messages t = t.delivered_messages
@@ -108,7 +111,15 @@ let start t =
 let witness_batch t batch =
   let root = Batch.identity_root batch in
   let cost = Batch.witness_cpu_cost batch in
+  let s = tr t in
+  if Trace.enabled s then
+    Trace.span_begin s ~now:(Engine.now t.engine) ~actor:t.cfg.self
+      ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root)
+      ~attrs:[ ("cost", Trace.A_float cost) ];
   Cpu.submit t.cpu ~cost (fun () ->
+      if Trace.enabled s then
+        Trace.span_end s ~now:(Engine.now t.engine) ~actor:t.cfg.self
+          ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root);
       if (not t.crashed) && Batch.verify t.dir batch then begin
         let statement =
           Certs.witness_statement ~root ~broker:batch.Batch.broker
@@ -217,10 +228,17 @@ let rec drain_order_queue t =
        t.order_queue_front <- List.tl t.order_queue_front;
        t.delivering <- true;
        let cost = Batch.non_witness_cpu_cost stored.batch in
+       let s = tr t in
+       if Trace.enabled s then
+         Trace.span_begin s ~now:(Engine.now t.engine) ~actor:t.cfg.self
+           ~cat:"server" ~name:"deliver" ~id:(Trace.key root);
        Cpu.submit t.cpu ~cost (fun () ->
            t.delivering <- false;
            if not t.crashed then begin
              deliver_batch t stored;
+             if Trace.enabled s then
+               Trace.span_end s ~now:(Engine.now t.engine) ~actor:t.cfg.self
+                 ~cat:"server" ~name:"deliver" ~id:(Trace.key root);
              drain_order_queue t
            end)
      | Some _ ->
@@ -319,6 +337,11 @@ let on_stob_deliver t item =
           Certs.verify ~statement ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1)
             witness
         then begin
+          (let s = tr t in
+           if Trace.enabled s then
+             Trace.instant s ~now:(Engine.now t.engine) ~actor:t.cfg.self
+               ~cat:"server" ~name:"ordered" ~id:(Trace.key root)
+               ~attrs:[ ("number", Trace.A_int number) ]);
           t.order_queue <- (broker, number, root) :: t.order_queue;
           drain_order_queue t
         end

@@ -25,6 +25,7 @@ type params = {
   flush_period : float;
   reduce_timeout : float;
   witness_margin : int option; (* None: the paper's per-size default *)
+  trace : Repro_trace.Trace.Sink.t;
 }
 
 let default =
@@ -32,7 +33,8 @@ let default =
     msg_bytes = 8; distill_fraction = 1.0; n_load_brokers = 2;
     measure_clients = 8; duration = 20.; warmup = 6.; cooldown = 4.;
     crash = None; dense_clients = 257_000_000; seed = 42L;
-    flush_period = 1.0; reduce_timeout = 1.0; witness_margin = None }
+    flush_period = 1.0; reduce_timeout = 1.0; witness_margin = None;
+    trace = Repro_trace.Trace.Sink.null () }
 
 type result = {
   offered : float;
@@ -58,7 +60,8 @@ let run p =
       seed = p.seed;
       flush_period = p.flush_period;
       reduce_timeout = p.reduce_timeout;
-      witness_margin = Option.value p.witness_margin ~default:base.witness_margin }
+      witness_margin = Option.value p.witness_margin ~default:base.witness_margin;
+      trace = p.trace }
   in
   let d = D.create cfg in
   let engine = D.engine d in

@@ -23,6 +23,7 @@ type params = {
   flush_period : float; (* broker collection window (1 s in the paper) *)
   reduce_timeout : float; (* distillation timeout (1 s in the paper) *)
   witness_margin : int option; (* None: paper default for the size *)
+  trace : Repro_trace.Trace.Sink.t; (* observability sink (default: null) *)
 }
 
 val default : params

@@ -1,6 +1,7 @@
 module Engine = Repro_sim.Engine
 module Cpu = Repro_sim.Cpu
 module Cost = Repro_sim.Cost
+module Trace = Repro_trace.Trace
 
 type config = {
   n : int;
@@ -75,6 +76,12 @@ let create ~engine ~cpu ~config ~self ~send ~on_deliver () =
 let delivered t = t.delivered
 let crash t = t.crashed <- true
 
+let c_batches t =
+  Trace.Sink.counter (Engine.trace t.engine) ~cat:"mempool" ~name:"batches"
+
+let c_certs t =
+  Trace.Sink.counter (Engine.trace t.engine) ~cat:"mempool" ~name:"certs"
+
 let w t = float_of_int t.cfg.workers_per_group
 
 let per_msg_cpu t =
@@ -99,6 +106,7 @@ let rec flush_worker t =
     t.pending_count <- 0;
     let bid = t.next_bid in
     t.next_bid <- bid + 1;
+    Trace.Counter.incr (c_batches t);
     Cpu.submit t.cpu ~cost:(float_of_int count *. per_msg_cpu t) (fun () ->
         if not t.crashed then begin
           broadcast t ~bytes:(batch_wire t count) (Batch { origin = t.self; bid; count; inject });
@@ -193,6 +201,7 @@ and note_vote t ~round ~author ~voter ~digests =
     if Iset.cardinal !voters >= (2 * t.f) + 1 then begin
       Hashtbl.remove t.votes key;
       let ds = Option.value (Hashtbl.find_opt t.certs key) ~default:[] in
+      Trace.Counter.incr (c_certs t);
       let bytes = 48 + (List.length ds * 36) + (((2 * t.f) + 1) * 8) + 192 in
       broadcast t ~bytes (Cert { round; author; digests = ds });
       note_cert t ~round ~author ~digests:ds
@@ -223,6 +232,10 @@ and advance_rounds t =
          one-anchor-per-two-rounds commit latency). *)
       t.round <- t.round + 1;
       t.header_sent <- false;
+      (let sink = Engine.trace t.engine in
+       if Trace.enabled sink then
+         Trace.instant sink ~now:(Engine.now t.engine) ~actor:t.self
+           ~cat:"mempool" ~name:"round" ~id:t.round);
       commit_upto t (t.round - 2);
       loop ()
     | Some _ | None -> ()

@@ -6,20 +6,29 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   rng : Rng.t;
+  mutable trace : Repro_trace.Trace.Sink.t;
+  mutable c_steps : Repro_trace.Trace.Counter.t;
 }
 
 type timer = (unit -> unit) option ref
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?(trace = Repro_trace.Trace.Sink.null ()) () =
   { heap = Array.make 256 { time = 0.; seq = 0; cell = ref None };
     size = 0;
     clock = 0.;
     next_seq = 0;
-    rng = Rng.create seed }
+    rng = Rng.create seed;
+    trace;
+    c_steps = Repro_trace.Trace.Sink.counter trace ~cat:"sim" ~name:"steps" }
 
 let now t = t.clock
 let rng t = t.rng
 let pending t = t.size
+let trace t = t.trace
+
+let set_trace t sink =
+  t.trace <- sink;
+  t.c_steps <- Repro_trace.Trace.Sink.counter sink ~cat:"sim" ~name:"steps"
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -105,6 +114,7 @@ let step t =
     (match !(ev.cell) with
      | Some f ->
        ev.cell := None;
+       Repro_trace.Trace.Counter.incr t.c_steps;
        f ()
      | None -> ());
     true

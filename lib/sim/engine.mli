@@ -8,8 +8,17 @@
 
 type t
 
-val create : ?seed:int64 -> unit -> t
-(** Fresh engine with clock at 0.  [seed] (default 1) seeds {!rng}. *)
+val create : ?seed:int64 -> ?trace:Repro_trace.Trace.Sink.t -> unit -> t
+(** Fresh engine with clock at 0.  [seed] (default 1) seeds {!rng};
+    [trace] (default a null sink) receives instrumentation events from
+    every component built on this engine. *)
+
+val trace : t -> Repro_trace.Trace.Sink.t
+(** The engine's trace sink; components reach instrumentation through it. *)
+
+val set_trace : t -> Repro_trace.Trace.Sink.t -> unit
+(** Replace the sink.  Install before constructing components: counters
+    are registered at component-creation time against the current sink. *)
 
 val now : t -> float
 (** Current virtual time, in seconds. *)

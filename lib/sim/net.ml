@@ -15,6 +15,9 @@ type 'msg t = {
   loss : float;
   nodes : (int, 'msg node) Hashtbl.t;
   rng : Rng.t;
+  c_msgs : Repro_trace.Trace.Counter.t;
+  c_bytes : Repro_trace.Trace.Counter.t;
+  c_lost : Repro_trace.Trace.Counter.t;
 }
 
 (* c6i.8xlarge NICs are 12.5 Gb/s, but sustained cross-WAN TCP goodput is
@@ -26,7 +29,11 @@ let server_default_ingress_bps = 5e9
 let server_default_egress_bps = 3.125e9
 
 let create engine ?(loss = 0.) () =
-  { engine; loss; nodes = Hashtbl.create 256; rng = Rng.split (Engine.rng engine) }
+  let sink = Engine.trace engine in
+  { engine; loss; nodes = Hashtbl.create 256; rng = Rng.split (Engine.rng engine);
+    c_msgs = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"msgs";
+    c_bytes = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"bytes";
+    c_lost = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"lost" }
 
 let add_node t ~id ~region ?(ingress_bps = server_default_ingress_bps)
     ?(egress_bps = server_default_egress_bps) ~handler () =
@@ -45,6 +52,8 @@ let transmit t ~src ~dst ~bytes msg =
   if s.connected && d.connected then begin
     let now = Engine.now t.engine in
     s.sent <- s.sent + bytes;
+    Repro_trace.Trace.Counter.incr t.c_msgs;
+    Repro_trace.Trace.Counter.add t.c_bytes bytes;
     let out_start = Float.max now s.out_free in
     let out_end = out_start +. (float_of_int (8 * bytes) /. s.egress_bps) in
     s.out_free <- out_end;
@@ -67,6 +76,7 @@ let send_lossy t ~src ~dst ~bytes msg =
   if t.loss <= 0. || Rng.float t.rng 1.0 >= t.loss then transmit t ~src ~dst ~bytes msg
   else begin
     (* Dropped packets still consume egress bandwidth at the sender. *)
+    Repro_trace.Trace.Counter.incr t.c_lost;
     let s = node t src in
     if s.connected then begin
       let now = Engine.now t.engine in

@@ -30,12 +30,17 @@ type 'a sender = {
   backlog : (int * 'a) Queue.t; (* (bytes, payload) waiting for a window slot *)
   mutable retransmissions : int;
   mutable gave_up : int;
+  c_retx : Repro_trace.Trace.Counter.t;
+  c_gave_up : Repro_trace.Trace.Counter.t;
 }
 
 let sender ~engine ~transmit ?(rto = 0.4) ?(window = 64) ?(max_retries = 25) () =
+  let sink = Engine.trace engine in
   { engine; transmit; rto; window; max_retries;
     next_seq = 0; flight = Hashtbl.create 64; backlog = Queue.create ();
-    retransmissions = 0; gave_up = 0 }
+    retransmissions = 0; gave_up = 0;
+    c_retx = Repro_trace.Trace.Sink.counter sink ~cat:"rudp" ~name:"retransmissions";
+    c_gave_up = Repro_trace.Trace.Sink.counter sink ~cat:"rudp" ~name:"gave_up" }
 
 let in_flight t = Hashtbl.length t.flight
 let queued t = Queue.length t.backlog
@@ -51,11 +56,13 @@ let rec transmit_outstanding t (o : 'a outstanding) =
              (broker rotation) own recovery from here. *)
           Hashtbl.remove t.flight o.o_seq;
           t.gave_up <- t.gave_up + 1;
+          Repro_trace.Trace.Counter.incr t.c_gave_up;
           pump t
         end
         else begin
           o.o_retries <- o.o_retries + 1;
           t.retransmissions <- t.retransmissions + 1;
+          Repro_trace.Trace.Counter.incr t.c_retx;
           transmit_outstanding t o
         end)
 

@@ -1,6 +1,7 @@
 module Summary = struct
   type t = {
     mutable samples : float list;
+    mutable sorted : float array option; (* cache, invalidated by add *)
     mutable count : int;
     mutable sum : float;
     mutable sumsq : float;
@@ -9,10 +10,12 @@ module Summary = struct
   }
 
   let create () =
-    { samples = []; count = 0; sum = 0.; sumsq = 0.; min = infinity; max = neg_infinity }
+    { samples = []; sorted = None; count = 0; sum = 0.; sumsq = 0.;
+      min = infinity; max = neg_infinity }
 
   let add t x =
     t.samples <- x :: t.samples;
+    t.sorted <- None;
     t.count <- t.count + 1;
     t.sum <- t.sum +. x;
     t.sumsq <- t.sumsq +. (x *. x);
@@ -33,11 +36,19 @@ module Summary = struct
   let min t = if t.count = 0 then 0. else t.min
   let max t = if t.count = 0 then 0. else t.max
 
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+      let a = Array.of_list t.samples in
+      Array.sort Float.compare a;
+      t.sorted <- Some a;
+      a
+
   let percentile t q =
     if t.count = 0 then 0.
     else begin
-      let a = Array.of_list t.samples in
-      Array.sort Float.compare a;
+      let a = sorted t in
       let idx = int_of_float (q *. float_of_int (Array.length a - 1)) in
       a.(Stdlib.max 0 (Stdlib.min (Array.length a - 1) idx))
     end

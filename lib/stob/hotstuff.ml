@@ -1,4 +1,5 @@
 module Engine = Repro_sim.Engine
+module Trace = Repro_trace.Trace
 
 type rid = int * int
 
@@ -81,6 +82,11 @@ let create ~engine ~self ~n ~send ~deliver ~payload_bytes ?(batch_max = 400)
 let leader_of ~n v = v mod n
 let is_leader t v = leader_of ~n:t.n v = t.self
 
+let trace_instant t name ~id =
+  let sink = Engine.trace t.engine in
+  if Trace.enabled sink then
+    Trace.instant sink ~now:(Engine.now t.engine) ~actor:t.self ~cat:"stob" ~name ~id
+
 let item_bytes t it = 16 + t.payload_bytes it.payload
 
 let block_bytes t b =
@@ -124,6 +130,7 @@ let rec chain_to t id stop_height acc =
   | Some _ | None -> acc
 
 let deliver_block t b =
+  trace_instant t "commit" ~id:b.height;
   t.last_committed <- Some b.id;
   t.last_committed_height <- b.height;
   List.iter
@@ -293,6 +300,7 @@ and propose t =
   let parent = Option.map (fun qc -> qc.qc_block) t.high_qc in
   let b = { id; height = t.view; parent; justify = t.high_qc; batch } in
   Hashtbl.replace t.blocks id b;
+  trace_instant t "propose" ~id:t.view;
   let bytes = block_bytes t b in
   broadcast_all t ~bytes (Proposal b);
   on_proposal t ~src:t.self b
@@ -325,6 +333,7 @@ and note_vote t ~src ~view ~block =
     voters := Iset.add src !voters;
     if Iset.cardinal !voters = t.n - t.f then begin
       let qc = { qc_view = view; qc_block = block } in
+      trace_instant t "qc" ~id:view;
       t.high_qc <- qc_newer (Some qc) t.high_qc;
       try_commit t qc;
       broadcast_all t ~bytes:(qc_bytes + 16) (Qc_announce qc);

@@ -1,4 +1,5 @@
 module Engine = Repro_sim.Engine
+module Trace = Repro_trace.Trace
 
 type rid = int * int
 (* (origin server, origin-local counter): unique payload identity used for
@@ -78,6 +79,11 @@ let create ~engine ~self ~n ~send ~deliver ~payload_bytes ?(batch_max = 400)
 
 let is_leader t = leader_of_view ~n:t.n t.view = t.self
 
+let trace_instant t name ~id =
+  let sink = Engine.trace t.engine in
+  if Trace.enabled sink then
+    Trace.instant sink ~now:(Engine.now t.engine) ~actor:t.self ~cat:"stob" ~name ~id
+
 let slot_of t seq =
   match Hashtbl.find_opt t.slots seq with
   | Some s -> s
@@ -110,6 +116,9 @@ let rec arm_progress t =
 
 and start_view_change t new_view =
   if not t.crashed && new_view > t.view then begin
+    Trace.Counter.incr
+      (Trace.Sink.counter (Engine.trace t.engine) ~cat:"stob" ~name:"view_changes");
+    trace_instant t "view_change" ~id:new_view;
     t.view <- new_view;
     (* Collect every slot we prepared (2f+1 prepare quorum reached) but not
        yet delivered: the new leader must carry these over. *)
@@ -246,6 +255,7 @@ and handle_pre_prepare t ~view ~seq ~batch =
       slot.commits <- Iset.empty;
       slot.sent_commit <- false
     end;
+    trace_instant t "pre_prepare" ~id:seq;
     (* Everyone, leader included, contributes a prepare vote. *)
     broadcast_all t ~bytes:vote_bytes (Prepare { view; seq });
     note_prepare t ~src:t.self ~view ~seq;
@@ -261,6 +271,7 @@ and note_prepare t ~src ~view ~seq =
          && slot.batch <> None
       then begin
         slot.sent_commit <- true;
+        trace_instant t "prepared" ~id:seq;
         broadcast_all t ~bytes:vote_bytes (Commit { view; seq });
         note_commit t ~src:t.self ~view ~seq
       end
@@ -275,6 +286,7 @@ and note_commit t ~src ~view:_ ~seq =
        && slot.batch <> None
     then begin
       slot.committed <- true;
+      trace_instant t "committed" ~id:seq;
       try_deliver t
     end
   end
@@ -283,6 +295,7 @@ and try_deliver t =
   let rec go () =
     match Hashtbl.find_opt t.slots t.next_deliver with
     | Some ({ committed = true; batch = Some batch; _ } as _slot) ->
+      trace_instant t "deliver" ~id:t.next_deliver;
       Hashtbl.remove t.slots t.next_deliver;
       t.next_deliver <- t.next_deliver + 1;
       List.iter

@@ -1,8 +1,12 @@
+module Engine = Repro_sim.Engine
+module Trace = Repro_trace.Trace
+
 type 'p msg =
   | Forward of 'p          (* any server -> sequencer *)
   | Ordered of int * 'p    (* sequencer -> all: (slot, payload) *)
 
 type 'p t = {
+  engine : Engine.t;
   self : int;
   n : int;
   send : dst:int -> bytes:int -> 'p msg -> unit;
@@ -17,15 +21,21 @@ type 'p t = {
 
 let header_bytes = 16
 
-let create ~engine:_ ~self ~n ~send ~deliver ~payload_bytes () =
-  { self; n; send; deliver; payload_bytes;
+let create ~engine ~self ~n ~send ~deliver ~payload_bytes () =
+  { engine; self; n; send; deliver; payload_bytes;
     next_slot = 0; next_expected = 0; pending = Hashtbl.create 64;
     crashed = false; delivered = 0 }
+
+let trace_instant t name ~id =
+  let sink = Engine.trace t.engine in
+  if Trace.enabled sink then
+    Trace.instant sink ~now:(Engine.now t.engine) ~actor:t.self ~cat:"stob" ~name ~id
 
 let try_deliver t =
   let rec go () =
     match Hashtbl.find_opt t.pending t.next_expected with
     | Some p ->
+      trace_instant t "deliver" ~id:t.next_expected;
       Hashtbl.remove t.pending t.next_expected;
       t.next_expected <- t.next_expected + 1;
       t.delivered <- t.delivered + 1;
@@ -38,6 +48,7 @@ let try_deliver t =
 let order t p =
   let slot = t.next_slot in
   t.next_slot <- slot + 1;
+  trace_instant t "order" ~id:slot;
   let bytes = header_bytes + t.payload_bytes p in
   for dst = 0 to t.n - 1 do
     if dst <> t.self then t.send ~dst ~bytes (Ordered (slot, p))

@@ -1,0 +1,158 @@
+(** Deterministic observability: spans, counters and histograms keyed to
+    {e simulated} time.
+
+    The simulation engine replaces wall clocks with a virtual clock, so a
+    trace taken with the same seed is bit-identical across runs — every
+    latency claim in the experiment harness can be decomposed into
+    per-phase events and re-derived exactly.  The subsystem is
+    dependency-free and allocation-conscious: with the default null sink,
+    instrumentation sites reduce to one load and one branch
+    ({!enabled}), and counters are plain integer cells.
+
+    Producers emit {!event}s into a per-run {!Sink.t} (a no-op, a growable
+    buffer, or a fixed ring); consumers pair begin/end events into
+    {!Span.t}s, fold durations into {!Hist} histograms, or export the raw
+    stream as Chrome [trace_event] JSON via {!Chrome}. *)
+
+type attr =
+  | A_int of int
+  | A_float of float
+  | A_str of string
+  | A_bool of bool
+
+type phase =
+  | B  (** span begin *)
+  | E  (** span end *)
+  | I  (** instant *)
+  | C of float  (** counter sample *)
+
+type event = {
+  ev_time : float;  (** simulated seconds *)
+  ev_actor : int;  (** emitting node / component instance *)
+  ev_cat : string;  (** subsystem category, e.g. ["broker"] *)
+  ev_name : string;  (** event name within the category *)
+  ev_id : int;  (** correlation id (batch root hash, slot, …) *)
+  ev_phase : phase;
+  ev_attrs : (string * attr) list;
+}
+
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  (** A free-standing counter; {!Sink.counter} registers named ones. *)
+
+  val add : t -> int -> unit
+  val incr : t -> unit
+  val value : t -> int
+end
+
+module Hist : sig
+  (** Fixed 64-bucket log₂ histogram: adding a sample touches one array
+      cell and four scalar fields — no allocation, any range.  Bucket [i]
+      holds values in [[2^(i-31), 2^(i-30))] seconds, so sub-nanosecond
+      to ~100-year durations are representable; exact count/sum/min/max
+      ride along for error-free means. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** Exact (tracked outside the buckets); 0 when empty. *)
+
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.99]: the midpoint of the bucket holding that rank,
+      clamped to the observed range (bucket resolution: a factor of 2). *)
+
+  val bucket_of : float -> int
+  (** Bucket index for a value; non-positive values map to bucket 0. *)
+
+  val bucket_lo : int -> float
+  val bucket_hi : int -> float
+  (** Closed-open bucket bounds: value [v] is in bucket [i] iff
+      [bucket_lo i <= v < bucket_hi i] (within the clamped range). *)
+
+  val buckets : t -> int array
+end
+
+module Sink : sig
+  type t
+
+  val null : unit -> t
+  (** Disabled sink: {!emit} is a no-op, {!enabled} is [false].  The
+      default everywhere — tracing costs one branch per site. *)
+
+  val memory : unit -> t
+  (** Unbounded growable buffer (doubling array, no per-event boxing
+      beyond the event itself). *)
+
+  val ring : capacity:int -> t
+  (** Fixed-capacity ring: once full, each emit overwrites the oldest
+      event and bumps {!dropped}. *)
+
+  val enabled : t -> bool
+  val emit : t -> event -> unit
+  val events : t -> event list
+  (** Stored events, oldest first. *)
+
+  val length : t -> int
+  val dropped : t -> int
+  val clear : t -> unit
+
+  val counter : t -> cat:string -> name:string -> Counter.t
+  (** The named counter, created on first use.  Counters accumulate even
+      on a null sink (an integer add); they are read via {!counters}. *)
+
+  val counters : t -> (string * string * int) list
+  (** All registered counters as [(cat, name, value)], sorted. *)
+end
+
+val enabled : Sink.t -> bool
+(** Guard for instrumentation sites: skip attribute construction when the
+    sink is disabled. *)
+
+val span_begin :
+  ?attrs:(string * attr) list ->
+  Sink.t -> now:float -> actor:int -> cat:string -> name:string -> id:int -> unit
+
+val span_end :
+  ?attrs:(string * attr) list ->
+  Sink.t -> now:float -> actor:int -> cat:string -> name:string -> id:int -> unit
+
+val instant :
+  ?attrs:(string * attr) list ->
+  Sink.t -> now:float -> actor:int -> cat:string -> name:string -> id:int -> unit
+
+val count : Sink.t -> now:float -> actor:int -> cat:string -> name:string -> float -> unit
+
+val key : string -> int
+(** Stable non-negative correlation id for a string key (batch roots). *)
+
+val attr_int : (string * attr) list -> string -> int option
+val attr_float : (string * attr) list -> string -> float option
+
+module Span : sig
+  type t = {
+    sp_cat : string;
+    sp_name : string;
+    sp_actor : int;
+    sp_id : int;
+    sp_begin : float;
+    sp_end : float;
+    sp_attrs : (string * attr) list;
+  }
+
+  val duration : t -> float
+
+  val pair : event list -> t list
+  (** Match [B]/[E] events by [(cat, name, actor, id)] (LIFO for nested
+      re-entries of the same key), in event order.  Unmatched begins and
+      ends are dropped; begin attributes are concatenated with end
+      attributes. *)
+end

@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI entry point: full build, the complete test suite, and a
+# trace-enabled bench smoke run (quick scale) that asserts a non-empty
+# trace with every pipeline layer present and a telescoping latency
+# breakdown.  Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== trace-enabled bench smoke =="
+CHOPCHOP_BENCH_SCALE=quick dune exec bench/main.exe -- trace
+
+echo "ci ok"

@@ -293,6 +293,18 @@ let test_summary_empty () =
   checkf "empty mean 0" 0. (Stats.Summary.mean s);
   checkf "empty percentile 0" 0. (Stats.Summary.percentile s 0.9)
 
+let test_summary_percentile_cache () =
+  (* The sorted array is cached between queries and must be invalidated
+     by add, or interleaved add/percentile returns stale ranks. *)
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 5.; 1.; 3. ];
+  checkf "p50 before" 3. (Stats.Summary.percentile s 0.5);
+  checkf "p100 before" 5. (Stats.Summary.percentile s 1.0);
+  List.iter (Stats.Summary.add s) [ 9.; 7. ];
+  checkf "p50 sees new samples" 5. (Stats.Summary.percentile s 0.5);
+  checkf "p100 sees new max" 9. (Stats.Summary.percentile s 1.0);
+  checkf "repeat query stable" 9. (Stats.Summary.percentile s 1.0)
+
 let test_throughput_window () =
   let e = Engine.create () in
   let tp = Stats.Throughput.create e ~warmup:2.0 ~cooldown:2.0 ~duration:10.0 in
@@ -426,6 +438,8 @@ let () =
       ("stats",
        Alcotest.test_case "summary" `Quick test_summary
        :: Alcotest.test_case "summary empty" `Quick test_summary_empty
+       :: Alcotest.test_case "summary percentile cache" `Quick
+            test_summary_percentile_cache
        :: Alcotest.test_case "throughput window" `Quick test_throughput_window
        :: suite_stats_props);
       ("rudp",

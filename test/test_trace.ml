@@ -1,0 +1,377 @@
+(* Tests for the trace subsystem: histogram bucket arithmetic, sink
+   semantics (null / memory / ring), span pairing, Chrome export
+   well-formedness, and the two end-to-end properties the ISSUE pins
+   down — bit-identical traces across same-seed runs, and the
+   telescoping per-phase latency decomposition. *)
+
+open Repro_trace
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg a b = Alcotest.check (Alcotest.float 1e-9) msg a b
+
+(* --- Hist ------------------------------------------------------------- *)
+
+let test_hist_buckets () =
+  (* bucket_lo/bucket_hi must bracket every value bucket_of assigns. *)
+  List.iter
+    (fun v ->
+      let i = Trace.Hist.bucket_of v in
+      checkb
+        (Printf.sprintf "value %g in [lo, hi) of bucket %d" v i)
+        true
+        (Trace.Hist.bucket_lo i <= v
+        && (v < Trace.Hist.bucket_hi i || i = 63)))
+    [ 1e-9; 1e-6; 0.001; 0.5; 1.0; 1.5; 2.0; 3.9; 4.0; 1000.; 1e6 ];
+  (* Exact powers of two start a fresh bucket. *)
+  checki "2.0 one past 1.0" (Trace.Hist.bucket_of 1.0 + 1) (Trace.Hist.bucket_of 2.0);
+  checki "1.0 and 1.99 share" (Trace.Hist.bucket_of 1.0) (Trace.Hist.bucket_of 1.99);
+  checkf "lo of 1.0's bucket" 1.0 (Trace.Hist.bucket_lo (Trace.Hist.bucket_of 1.0));
+  checkf "hi of 1.0's bucket" 2.0 (Trace.Hist.bucket_hi (Trace.Hist.bucket_of 1.0));
+  (* Degenerate inputs clamp instead of escaping the array. *)
+  checki "zero clamps to bucket 0" 0 (Trace.Hist.bucket_of 0.);
+  checki "negative clamps to bucket 0" 0 (Trace.Hist.bucket_of (-3.));
+  checkb "huge clamps below 64" true (Trace.Hist.bucket_of 1e30 < 64)
+
+let test_hist_stats () =
+  let h = Trace.Hist.create () in
+  checkf "empty mean" 0. (Trace.Hist.mean h);
+  List.iter (Trace.Hist.add h) [ 0.5; 1.5; 2.5; 3.5 ];
+  checki "count" 4 (Trace.Hist.count h);
+  checkf "sum exact" 8.0 (Trace.Hist.sum h);
+  checkf "mean exact" 2.0 (Trace.Hist.mean h);
+  checkf "min exact" 0.5 (Trace.Hist.min h);
+  checkf "max exact" 3.5 (Trace.Hist.max h);
+  let p99 = Trace.Hist.percentile h 0.99 in
+  checkb "p99 within observed range" true (p99 >= 0.5 && p99 <= 3.5);
+  let p0 = Trace.Hist.percentile h 0.0 in
+  checkb "p0 near min (bucket resolution)" true (p0 >= 0.5 && p0 <= 1.0);
+  checki "buckets hold every sample" 4
+    (Array.fold_left ( + ) 0 (Trace.Hist.buckets h))
+
+(* --- Counters --------------------------------------------------------- *)
+
+let test_counters () =
+  let sink = Trace.Sink.null () in
+  let c = Trace.Sink.counter sink ~cat:"net" ~name:"msgs" in
+  Trace.Counter.incr c;
+  Trace.Counter.add c 41;
+  checki "accumulates on null sink" 42 (Trace.Counter.value c);
+  let c' = Trace.Sink.counter sink ~cat:"net" ~name:"msgs" in
+  Trace.Counter.incr c';
+  checki "same (cat,name) is the same cell" 43 (Trace.Counter.value c);
+  ignore (Trace.Sink.counter sink ~cat:"cpu" ~name:"jobs");
+  Alcotest.(check (list (triple string string int)))
+    "counters sorted" [ ("cpu", "jobs", 0); ("net", "msgs", 43) ]
+    (Trace.Sink.counters sink)
+
+(* --- Sinks ------------------------------------------------------------ *)
+
+let emit_n sink n =
+  for i = 0 to n - 1 do
+    Trace.instant sink ~now:(float_of_int i) ~actor:0 ~cat:"t" ~name:"e" ~id:i
+  done
+
+let test_null_sink () =
+  let sink = Trace.Sink.null () in
+  checkb "disabled" false (Trace.Sink.enabled sink);
+  emit_n sink 10;
+  checki "stores nothing" 0 (Trace.Sink.length sink);
+  checki "drops nothing (no-op, not a full ring)" 0 (Trace.Sink.dropped sink);
+  checkb "no events" true (Trace.Sink.events sink = [])
+
+let test_memory_sink () =
+  let sink = Trace.Sink.memory () in
+  checkb "enabled" true (Trace.Sink.enabled sink);
+  emit_n sink 100;
+  checki "keeps all" 100 (Trace.Sink.length sink);
+  let ids = List.map (fun e -> e.Trace.ev_id) (Trace.Sink.events sink) in
+  checkb "oldest first" true (ids = List.init 100 Fun.id);
+  Trace.Sink.clear sink;
+  checki "clear empties" 0 (Trace.Sink.length sink)
+
+let test_ring_sink () =
+  let sink = Trace.Sink.ring ~capacity:8 in
+  emit_n sink 20;
+  checki "capped at capacity" 8 (Trace.Sink.length sink);
+  checki "dropped counts overwrites" 12 (Trace.Sink.dropped sink);
+  let ids = List.map (fun e -> e.Trace.ev_id) (Trace.Sink.events sink) in
+  checkb "retains the newest, oldest first" true
+    (ids = [ 12; 13; 14; 15; 16; 17; 18; 19 ])
+
+(* --- Span pairing ----------------------------------------------------- *)
+
+let test_span_pair () =
+  let sink = Trace.Sink.memory () in
+  let b ?attrs now id =
+    Trace.span_begin ?attrs sink ~now ~actor:1 ~cat:"x" ~name:"s" ~id
+  and e ?attrs now id =
+    Trace.span_end ?attrs sink ~now ~actor:1 ~cat:"x" ~name:"s" ~id
+  in
+  b 1.0 7 ~attrs:[ ("k", Trace.A_int 1) ];
+  b 2.0 7 (* nested re-entry of the same key *);
+  e 3.0 7;
+  e 5.0 7 ~attrs:[ ("k2", Trace.A_bool true) ];
+  b 6.0 9 (* unmatched begin: dropped *);
+  e 6.5 99 (* unmatched end: dropped *);
+  let spans = Trace.Span.pair (Trace.Sink.events sink) in
+  checki "two spans paired" 2 (List.length spans);
+  let s1 = List.nth spans 0 and s2 = List.nth spans 1 in
+  (* LIFO: the inner [2,3] closes first, the outer [1,5] second. *)
+  checkf "inner begin" 2.0 s1.Trace.Span.sp_begin;
+  checkf "inner duration" 1.0 (Trace.Span.duration s1);
+  checkf "outer begin" 1.0 s2.Trace.Span.sp_begin;
+  checkf "outer duration" 4.0 (Trace.Span.duration s2);
+  checkb "begin attrs concatenated with end attrs" true
+    (s2.Trace.Span.sp_attrs
+    = [ ("k", Trace.A_int 1); ("k2", Trace.A_bool true) ])
+
+let test_key () =
+  checkb "stable" true (Trace.key "root-a" = Trace.key "root-a");
+  checkb "non-negative" true (Trace.key "anything" >= 0)
+
+(* --- Chrome export ---------------------------------------------------- *)
+
+(* Minimal JSON reader — just enough to check the exporter round-trips.
+   No external deps allowed, so the test carries its own parser. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let next () = let c = peek () in incr pos; c in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' -> incr pos; skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if next () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          go ()
+        | '\000' -> raise (Bad "eof in string")
+        | c -> Buffer.add_char b c; go ()
+      in
+      go ()
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = '}' then (incr pos; Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> Obj (List.rev ((k, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object char %c" c))
+          in
+          members []
+        end
+      | '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = ']' then (incr pos; List [])
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elems (v :: acc)
+            | ']' -> List (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array char %c" c))
+          in
+          elems []
+        end
+      | 't' -> pos := !pos + 4; Bool true
+      | 'f' -> pos := !pos + 5; Bool false
+      | 'n' -> pos := !pos + 4; Null
+      | _ ->
+        let start = !pos in
+        let num_char c =
+          (c >= '0' && c <= '9')
+          || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        in
+        while num_char (peek ()) do incr pos done;
+        if !pos = start then raise (Bad (Printf.sprintf "bad value at %d" start));
+        Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc k kvs
+    | _ -> raise (Bad (k ^ ": not an object"))
+end
+
+let chrome_fixture () =
+  let sink = Trace.Sink.memory () in
+  Trace.span_begin sink ~now:0.001 ~actor:3 ~cat:"broker" ~name:"distill" ~id:42
+    ~attrs:[ ("entries", Trace.A_int 5) ];
+  Trace.instant sink ~now:0.002 ~actor:3 ~cat:"broker" ~name:"launch" ~id:42
+    ~attrs:[ ("note", Trace.A_str "quote \" and \\ back\nslash") ];
+  Trace.span_end sink ~now:0.004 ~actor:3 ~cat:"broker" ~name:"distill" ~id:42;
+  Trace.count sink ~now:0.004 ~actor:3 ~cat:"net" ~name:"bytes" 1024.;
+  Trace.Counter.add (Trace.Sink.counter sink ~cat:"sim" ~name:"steps") 17;
+  sink
+
+let test_chrome_json () =
+  let sink = chrome_fixture () in
+  let json = Json.parse (Chrome.to_string sink) in
+  let events =
+    match Json.member "traceEvents" json with
+    | Json.List l -> l
+    | _ -> Alcotest.fail "traceEvents not an array"
+  in
+  let phs =
+    List.map (fun e -> match Json.member "ph" e with Json.Str s -> s | _ -> "?") events
+  in
+  (* 1 paired span as X, 1 instant, 1 counter sample, 1 final counter total. *)
+  checki "one complete event" 1 (List.length (List.filter (( = ) "X") phs));
+  checki "one instant" 1 (List.length (List.filter (( = ) "i") phs));
+  checki "counter sample + final total" 2 (List.length (List.filter (( = ) "C") phs));
+  checkb "no unpaired B/E leak into the export" true
+    (not (List.mem "B" phs || List.mem "E" phs));
+  let x = List.find (fun e -> Json.member "ph" e = Json.Str "X") events in
+  (match Json.member "ts" x, Json.member "dur" x with
+  | Json.Num ts, Json.Num dur ->
+    checkf "ts in microseconds" 1000. ts;
+    checkf "dur in microseconds" 3000. dur
+  | _ -> Alcotest.fail "ts/dur not numbers");
+  (match Json.member "args" x with
+  | Json.Obj kvs ->
+    checkb "span args carry attrs" true (List.mem_assoc "entries" kvs)
+  | _ -> Alcotest.fail "args not an object");
+  let i = List.find (fun e -> Json.member "ph" e = Json.Str "i") events in
+  (match Json.member "args" i with
+  | Json.Obj kvs ->
+    (match List.assoc "note" kvs with
+    | Json.Str s ->
+      Alcotest.(check string) "string attr escapes round-trip"
+        "quote \" and \\ back\nslash" s
+    | _ -> Alcotest.fail "note not a string")
+  | _ -> Alcotest.fail "instant args not an object")
+
+let test_chrome_jsonl () =
+  let sink = chrome_fixture () in
+  let lines =
+    String.split_on_char '\n' (String.trim (Chrome.jsonl sink))
+  in
+  checki "one line per raw event" (Trace.Sink.length sink) (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Json.Obj _ -> ()
+      | _ -> Alcotest.fail "jsonl line not an object")
+    lines
+
+(* --- End-to-end: determinism + telescoping decomposition -------------- *)
+
+let quick_params =
+  { Repro_experiments.Chopchop_run.default with
+    n_servers = 4; underlay = Repro_chopchop.Deployment.Pbft;
+    rate = 100_000.; batch_count = 4096; n_load_brokers = 1;
+    measure_clients = 2; duration = 6.; warmup = 4.; cooldown = 2.;
+    dense_clients = 1_000_000 }
+
+let captured =
+  lazy
+    (let module LB = Repro_experiments.Latency_breakdown in
+    let a = LB.capture ~params:quick_params () in
+    let b = LB.capture ~params:quick_params () in
+    (a, b))
+
+let test_trace_deterministic () =
+  let (_, _, sink_a), (_, _, sink_b) = Lazy.force captured in
+  checkb "same-seed runs emit non-empty traces" true
+    (Trace.Sink.length sink_a > 0);
+  checki "same event count" (Trace.Sink.length sink_a) (Trace.Sink.length sink_b);
+  checkb "event streams bit-identical" true
+    (Trace.Sink.events sink_a = Trace.Sink.events sink_b)
+
+let test_breakdown_telescopes () =
+  let (_, breakdown, _), _ = Lazy.force captured in
+  let module LB = Repro_experiments.Latency_breakdown in
+  checkb "decomposed at least one message" true (LB.complete breakdown > 0);
+  let e2e = Trace.Hist.mean (LB.e2e breakdown) in
+  let phase_sum = LB.sum_of_phase_means breakdown in
+  checkb
+    (Printf.sprintf "phase means sum to e2e within 5%% (%.4f vs %.4f)"
+       phase_sum e2e)
+    true
+    (e2e > 0. && abs_float (phase_sum -. e2e) /. e2e < 0.05);
+  checki "five paper phases" 5 (List.length (LB.phases breakdown));
+  List.iter
+    (fun (name, h) ->
+      checkb (name ^ " phase non-negative") true (Trace.Hist.min h >= 0.))
+    (LB.phases breakdown)
+
+let () =
+  Alcotest.run "trace"
+    [ ( "hist",
+        [ Alcotest.test_case "bucket boundaries" `Quick test_hist_buckets;
+          Alcotest.test_case "exact stats + percentile" `Quick test_hist_stats ] );
+      ( "counters",
+        [ Alcotest.test_case "memoized, accumulate when disabled" `Quick
+            test_counters ] );
+      ( "sinks",
+        [ Alcotest.test_case "null is a no-op" `Quick test_null_sink;
+          Alcotest.test_case "memory keeps order" `Quick test_memory_sink;
+          Alcotest.test_case "ring overwrites and counts drops" `Quick
+            test_ring_sink ] );
+      ( "spans",
+        [ Alcotest.test_case "pairing (LIFO, unmatched dropped)" `Quick
+            test_span_pair;
+          Alcotest.test_case "correlation keys" `Quick test_key ] );
+      ( "chrome",
+        [ Alcotest.test_case "trace_event JSON parses back" `Quick
+            test_chrome_json;
+          Alcotest.test_case "jsonl one object per line" `Quick
+            test_chrome_jsonl ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "same seed, same trace" `Slow
+            test_trace_deterministic;
+          Alcotest.test_case "phase breakdown telescopes to e2e" `Slow
+            test_breakdown_telescopes ] ) ]
