@@ -18,6 +18,7 @@
               dune exec bench/main.exe micro      (bechamel suite only)
               dune exec bench/main.exe figures    (simulation harness only)
               dune exec bench/main.exe trace      (traced-run smoke check)
+              dune exec bench/main.exe chaos      (fault-injection scenarios)
 
    With CHOPCHOP_TRACE=1 a traced quick run and its per-phase latency
    breakdown are appended to the default output. *)
@@ -292,4 +293,22 @@ let () =
     Repro_experiments.Future.print Format.std_formatter scale
   end;
   if what = "trace" || Sys.getenv_opt "CHOPCHOP_TRACE" = Some "1" then
-    run_trace_smoke ()
+    run_trace_smoke ();
+  if what = "chaos" then begin
+    let module C = Repro_chaos.Chaos in
+    let chaos_scale =
+      match scale with
+      | Repro_experiments.Figures.Full -> C.Full
+      | _ -> C.Quick
+    in
+    Printf.printf "\n=== Chaos scenarios (scale: %s) ===\n%!"
+      (C.scale_to_string chaos_scale);
+    let verdicts = C.run_all ~seed:42L ~scale:chaos_scale in
+    List.iter (fun v -> Format.printf "%a@." C.pp_verdict v) verdicts;
+    let failed = List.filter (fun v -> not v.C.v_pass) verdicts in
+    if failed <> [] then
+      failwith
+        (Printf.sprintf "chaos: %d scenario(s) failed" (List.length failed));
+    Printf.printf "chaos ok: %d/%d scenarios passed\n%!" (List.length verdicts)
+      (List.length verdicts)
+  end

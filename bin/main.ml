@@ -118,6 +118,84 @@ let trace_cmd =
        ~doc:"Run a traced deployment: Chrome trace + latency breakdown")
     term
 
+let chaos_cmd =
+  let module C = Repro_chaos.Chaos in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario name, or $(b,all) (see $(b,--list)).")
+  in
+  let chaos_scale_arg =
+    let parse s =
+      match C.scale_of_string s with
+      | Some sc -> Ok sc
+      | None -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|full)" s))
+    in
+    let print fmt s = Format.pp_print_string fmt (C.scale_to_string s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) C.Quick
+      & info [ "s"; "scale" ] ~docv:"SCALE"
+          ~doc:"Scenario scale: $(b,quick) (4 servers) or $(b,full) (7).")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int64 42L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Simulation seed; identical seeds give bit-identical \
+                verdicts and traces.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenario names and exit.")
+  in
+  let run scenario scale seed list =
+    if list then begin
+      List.iter
+        (fun s -> Printf.printf "  %-20s %s\n" s.C.sc_name s.C.sc_summary)
+        C.scenarios;
+      `Ok ()
+    end
+    else
+      let verdicts =
+        if scenario = "all" then Some (C.run_all ~seed ~scale)
+        else
+          match C.find scenario with
+          | Some s -> Some [ s.C.sc_run ~seed ~scale ]
+          | None -> None
+      in
+      match verdicts with
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown scenario %S; try `chopchop chaos --list`"
+              scenario )
+      | Some vs ->
+        List.iter (fun v -> Format.printf "%a@." C.pp_verdict v) vs;
+        let failed = List.filter (fun v -> not v.C.v_pass) vs in
+        if failed = [] then begin
+          Format.printf "chaos: %d/%d scenarios passed@." (List.length vs)
+            (List.length vs);
+          `Ok ()
+        end
+        else
+          `Error
+            ( false,
+              Printf.sprintf "chaos: %d scenario(s) FAILED: %s"
+                (List.length failed)
+                (String.concat ", "
+                   (List.map (fun v -> v.C.v_name) failed)) )
+  in
+  let term =
+    Term.(ret (const run $ scenario_arg $ chaos_scale_arg $ seed_arg $ list_arg))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run fault-injection scenarios with invariant checking")
+    term
+
 let list_cmd =
   let term =
     Term.(
@@ -132,4 +210,6 @@ let list_cmd =
 let () =
   let doc = "Chop Chop (OSDI '24) reproduction — experiment driver" in
   let info = Cmd.info "chopchop" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; chaos_cmd ]))

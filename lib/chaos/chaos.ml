@@ -1,0 +1,505 @@
+module Engine = Repro_sim.Engine
+module Trace = Repro_trace.Trace
+module Deployment = Repro_chopchop.Deployment
+module Client = Repro_chopchop.Client
+module Server = Repro_chopchop.Server
+module Broker = Repro_chopchop.Broker
+module Proto = Repro_chopchop.Proto
+
+(* --- fault schedule ------------------------------------------------------- *)
+
+type event =
+  | Crash_server of int
+  | Recover_server of int
+  | Crash_broker of int
+  | Recover_broker of int
+  | Crash_client of int
+  | Partition of int list list
+  | Heal
+  | Set_link_loss of int * int * float
+  | Degrade_link of int * int * float
+  | Byz_broker_equivocate of int
+  | Byz_broker_garble of int
+  | Byz_broker_malform of int
+  | Byz_broker_withhold of int
+  | Byz_server_bad_shares of int
+  | Byz_server_refuse_witness of int
+  | Byz_client_bad_share of int
+  | Byz_client_mute of int
+
+type schedule = (float * event) list
+
+let describe = function
+  | Crash_server i -> Printf.sprintf "crash-server %d" i
+  | Recover_server i -> Printf.sprintf "recover-server %d" i
+  | Crash_broker i -> Printf.sprintf "crash-broker %d" i
+  | Recover_broker i -> Printf.sprintf "recover-broker %d" i
+  | Crash_client i -> Printf.sprintf "crash-client %d" i
+  | Partition groups ->
+    Printf.sprintf "partition %s"
+      (String.concat "|"
+         (List.map
+            (fun g -> String.concat "," (List.map string_of_int g))
+            groups))
+  | Heal -> "heal"
+  | Set_link_loss (s, d, p) -> Printf.sprintf "link-loss %d->%d %.2f" s d p
+  | Degrade_link (s, d, l) -> Printf.sprintf "degrade %d->%d +%.3fs" s d l
+  | Byz_broker_equivocate i -> Printf.sprintf "byz-broker-equivocate %d" i
+  | Byz_broker_garble i -> Printf.sprintf "byz-broker-garble %d" i
+  | Byz_broker_malform i -> Printf.sprintf "byz-broker-malform %d" i
+  | Byz_broker_withhold i -> Printf.sprintf "byz-broker-withhold %d" i
+  | Byz_server_bad_shares i -> Printf.sprintf "byz-server-bad-shares %d" i
+  | Byz_server_refuse_witness i -> Printf.sprintf "byz-server-refuse-witness %d" i
+  | Byz_client_bad_share i -> Printf.sprintf "byz-client-bad-share %d" i
+  | Byz_client_mute i -> Printf.sprintf "byz-client-mute %d" i
+
+(* Trace actor for chaos injections: far above servers (0..), brokers
+   (1000+) and clients (2000+). *)
+let chaos_actor = 9000
+
+let apply d ~clients = function
+  | Crash_server i -> Deployment.crash_server d i
+  | Recover_server i -> Deployment.recover_server d i
+  | Crash_broker i -> Deployment.crash_broker d i
+  | Recover_broker i -> Deployment.recover_broker d i
+  | Crash_client i -> Deployment.crash_client d clients.(i)
+  | Partition groups -> Deployment.partition d groups
+  | Heal -> Deployment.heal d
+  | Set_link_loss (src, dst, p) -> Deployment.set_link_loss d ~src ~dst p
+  | Degrade_link (src, dst, extra_latency) ->
+    Deployment.degrade_link d ~src ~dst ~extra_latency
+  | Byz_broker_equivocate i -> Broker.misbehave_equivocate (Deployment.broker d i)
+  | Byz_broker_garble i -> Broker.misbehave_garble_reduction (Deployment.broker d i)
+  | Byz_broker_malform i -> Broker.misbehave_malform (Deployment.broker d i)
+  | Byz_broker_withhold i -> Broker.misbehave_withhold_certs (Deployment.broker d i)
+  | Byz_server_bad_shares i -> Server.misbehave_bad_shares (Deployment.servers d).(i)
+  | Byz_server_refuse_witness i ->
+    Server.misbehave_refuse_witness (Deployment.servers d).(i)
+  | Byz_client_bad_share i -> Client.misbehave_bad_share clients.(i)
+  | Byz_client_mute i -> Client.misbehave_mute_reduction clients.(i)
+
+let install d ~clients schedule =
+  let engine = Deployment.engine d in
+  List.iter
+    (fun (time, ev) ->
+      Engine.schedule_at engine ~time (fun () ->
+          (let s = Engine.trace engine in
+           if Trace.enabled s then
+             Trace.instant s ~now:(Engine.now engine) ~actor:chaos_actor
+               ~cat:"chaos" ~name:"inject" ~id:0
+               ~attrs:[ ("event", Trace.A_str (describe ev)) ]);
+          apply d ~clients ev))
+    schedule
+
+(* --- invariant checking ---------------------------------------------------- *)
+
+module Invariant = struct
+  type op = Op of int * string | Bulk of int * int * int
+
+  type vec = { mutable arr : op array; mutable len : int }
+
+  let vec_push v x =
+    if v.len = Array.length v.arr then begin
+      let a = Array.make (max 16 (2 * Array.length v.arr)) x in
+      Array.blit v.arr 0 a 0 v.len;
+      v.arr <- a
+    end;
+    v.arr.(v.len) <- x;
+    v.len <- v.len + 1
+
+  type t = {
+    n : int;
+    logs : vec array; (* per-server delivery log, in delivery order *)
+    seen : (int * string, unit) Hashtbl.t array; (* (client, msg) per server *)
+    msgs : (string, unit) Hashtbl.t array; (* payloads per server *)
+    mutable violations : string list; (* newest first *)
+  }
+
+  let create ~n_servers =
+    { n = n_servers;
+      logs = Array.init n_servers (fun _ -> { arr = [||]; len = 0 });
+      seen = Array.init n_servers (fun _ -> Hashtbl.create 256);
+      msgs = Array.init n_servers (fun _ -> Hashtbl.create 256);
+      violations = [] }
+
+  let violate t msg = t.violations <- msg :: t.violations
+
+  let observe t ~server (d : Proto.delivery) =
+    let ops =
+      match d with
+      | Proto.Ops arr ->
+        Array.to_list (Array.map (fun (id, m) -> Op (id, m)) arr)
+      | Proto.Bulk { first_id; count; tag; msg_bytes = _ } ->
+        [ Bulk (first_id, count, tag) ]
+    in
+    List.iter
+      (fun op ->
+        (* Integrity / no-duplication: each (client, message) is delivered
+           at most once per server.  (Scenarios use globally unique
+           payloads, so this subsumes the per-(client, seq) rule.) *)
+        (match op with
+         | Op (id, m) ->
+           if Hashtbl.mem t.seen.(server) (id, m) then
+             violate t
+               (Printf.sprintf
+                  "no-duplication: server %d delivered (client %d, %S) twice"
+                  server id m)
+           else Hashtbl.add t.seen.(server) (id, m) ();
+           Hashtbl.replace t.msgs.(server) m ()
+         | Bulk _ -> ());
+        (* Agreement: every log is a prefix of a common total order.  Each
+           append is compared against the longest log that already covers
+           this position; pairwise-vs-longest is transitive because the
+           longest log itself grew under the same check. *)
+        let idx = t.logs.(server).len in
+        let longest = ref (-1) and best = ref idx in
+        for s = 0 to t.n - 1 do
+          if s <> server && t.logs.(s).len > !best then begin
+            best := t.logs.(s).len;
+            longest := s
+          end
+        done;
+        (if !longest >= 0 && t.logs.(!longest).arr.(idx) <> op then
+           violate t
+             (Printf.sprintf
+                "agreement: server %d delivery %d diverges from server %d"
+                server idx !longest));
+        vec_push t.logs.(server) op)
+      ops
+
+  let attach t d =
+    Deployment.server_deliver_hook d (fun server dl -> observe t ~server dl)
+
+  let check_validity t ~expected ~correct_servers =
+    List.iter
+      (fun (label, msg) ->
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem t.msgs.(s) msg) then
+              violate t
+                (Printf.sprintf "validity: %s not delivered by server %d" label
+                   s))
+          correct_servers)
+      expected
+
+  let violations t = List.rev t.violations
+  let ok t = t.violations = []
+  let log_length t server = t.logs.(server).len
+end
+
+(* --- verdicts --------------------------------------------------------------- *)
+
+type scale = Quick | Full
+
+let scale_of_string = function
+  | "quick" -> Some Quick
+  | "full" -> Some Full
+  | _ -> None
+
+let scale_to_string = function Quick -> "quick" | Full -> "full"
+
+type verdict = {
+  v_name : string;
+  v_pass : bool;
+  v_violations : string list;
+  v_expected : int; (* client broadcasts that must complete *)
+  v_completed : int; (* client broadcasts that did complete *)
+  v_delivered : int array; (* per-server delivered message counts *)
+  v_rejections : (string * int) list; (* rejection instants, by name *)
+  v_notes : string list;
+}
+
+let reject_names =
+  [ "reject_batch"; "reject_witness"; "reject_shard"; "reject_completion";
+    "reject_cert"; "dup_ref" ]
+
+let rejection_counts sink =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.ev_phase with
+      | Trace.I when List.mem e.ev_name reject_names ->
+        Hashtbl.replace tbl e.ev_name
+          (1 + Option.value (Hashtbl.find_opt tbl e.ev_name) ~default:0)
+      | _ -> ())
+    (Trace.Sink.events sink);
+  List.filter_map
+    (fun n ->
+      match Hashtbl.find_opt tbl n with Some c -> Some (n, c) | None -> None)
+    reject_names
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "@[<v>%s: %s@," v.v_name (if v.v_pass then "PASS" else "FAIL");
+  Fmt.pf ppf "  completed %d/%d broadcasts; delivered per server: %a@,"
+    v.v_completed v.v_expected
+    Fmt.(array ~sep:(any " ") int)
+    v.v_delivered;
+  (match v.v_rejections with
+   | [] -> ()
+   | rs ->
+     Fmt.pf ppf "  rejections: %a@,"
+       Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string int))
+       rs);
+  List.iter (fun n -> Fmt.pf ppf "  note: %s@," n) v.v_notes;
+  List.iter (fun viol -> Fmt.pf ppf "  VIOLATION: %s@," viol) v.v_violations;
+  Fmt.pf ppf "@]"
+
+(* --- scenario harness -------------------------------------------------------- *)
+
+type scenario = {
+  sc_name : string;
+  sc_summary : string;
+  sc_run : seed:int64 -> scale:scale -> verdict;
+}
+
+(* Scenario dimensions: servers / interactive clients / messages each /
+   simulated duration.  Quick is the CI size; full trades minutes of wall
+   clock for n = 3f+1 with f = 2. *)
+let dims = function Quick -> (4, 6, 2, 90.) | Full -> (7, 12, 3, 150.)
+
+(* Build a deployment + clients, arm the schedule and the invariant
+   checker, drive staggered client traffic through the faults, and reduce
+   everything to a verdict.
+
+   [make_schedule] runs after clients exist so it can resolve node ids;
+   [crashed_clients]'s messages are excluded from the completion and
+   validity expectations; [degraded_servers] (crashed, partitioned or
+   recovered-with-a-gap nodes) are held to agreement/no-duplication but
+   not to full delivery; [expect_rejects] are instants that must appear —
+   an attack scenario where nobody rejected anything means the attack
+   never fired, which is itself a failure; [post] contributes extra
+   scenario-specific violations at the end. *)
+let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
+    ~make_schedule ?(crashed_clients = []) ?(degraded_servers = [])
+    ?(expect_rejects = []) ?(post = fun _ _ -> []) () =
+  let n_servers, n_clients, msgs_each, duration = dims scale in
+  let trace = Trace.Sink.memory () in
+  let cfg =
+    { Deployment.default_config with n_servers; n_brokers; underlay; seed; trace }
+  in
+  let d = Deployment.create cfg in
+  let inv = Invariant.create ~n_servers in
+  Invariant.attach inv d;
+  let clients =
+    Array.init n_clients (fun _ -> Deployment.add_client d ?brokers:client_brokers ())
+  in
+  Array.iter Client.signup clients;
+  (* Staggered waves keep traffic flowing while the faults are active:
+     wave [j] enters every client's queue at [25 j] seconds, so mid-run
+     crashes and partitions (injected between waves) always see traffic
+     arriving after them. *)
+  let engine = Deployment.engine d in
+  let expected = ref [] in
+  Array.iteri
+    (fun i c ->
+      for j = 0 to msgs_each - 1 do
+        let m = Printf.sprintf "%s:c%d:m%d" name i j in
+        if not (List.mem i crashed_clients) then
+          expected := (Printf.sprintf "client %d message %d" i j, m) :: !expected;
+        Engine.schedule_at engine
+          ~time:(25. *. float_of_int j)
+          (fun () -> Client.broadcast c m)
+      done)
+    clients;
+  let expected = List.rev !expected in
+  install d ~clients (make_schedule d clients);
+  Deployment.run d ~until:duration;
+  let correct_servers =
+    List.filter
+      (fun s -> not (List.mem s degraded_servers))
+      (List.init n_servers Fun.id)
+  in
+  Invariant.check_validity inv ~expected ~correct_servers;
+  let completed =
+    Array.to_list clients
+    |> List.mapi (fun i c -> if List.mem i crashed_clients then 0 else Client.completed c)
+    |> List.fold_left ( + ) 0
+  in
+  let n_expected = List.length expected in
+  if completed < n_expected then
+    Invariant.violate inv
+      (Printf.sprintf
+         "liveness: only %d of %d client broadcasts completed within %.0f s"
+         completed n_expected duration);
+  let rejections = rejection_counts trace in
+  List.iter
+    (fun rn ->
+      if not (List.mem_assoc rn rejections) then
+        Invariant.violate inv
+          (Printf.sprintf "expected \"%s\" rejections, observed none" rn))
+    expect_rejects;
+  List.iter (Invariant.violate inv) (post d inv);
+  let violations = Invariant.violations inv in
+  { v_name = name;
+    v_pass = violations = [];
+    v_violations = violations;
+    v_expected = n_expected;
+    v_completed = completed;
+    v_delivered =
+      Array.map Server.delivered_messages (Deployment.servers d);
+    v_rejections = rejections;
+    v_notes = [] }
+
+(* --- the scenarios ----------------------------------------------------------- *)
+
+let sc_fig11a_crash =
+  { sc_name = "fig11a-crash";
+    sc_summary =
+      "crash one PBFT server mid-run; the remaining 2f+1 keep delivering \
+       (Fig. 11a)";
+    sc_run =
+      (fun ~seed ~scale ->
+        let n_servers, _, _, _ = dims scale in
+        run_case ~name:"fig11a-crash" ~seed ~scale ~underlay:Deployment.Pbft
+          ~n_brokers:2
+          ~make_schedule:(fun _ _ -> [ (15., Crash_server (n_servers - 1)) ])
+          ~degraded_servers:[ n_servers - 1 ] ()) }
+
+let sc_broker_equivocation =
+  { sc_name = "broker-equivocation";
+    sc_summary =
+      "broker 0 shows different halves of the server set conflicting \
+       batches for the same (broker, number) slot; (broker, number) dedup \
+       delivers exactly one, orphaned clients fail over (§4.4)";
+    sc_run =
+      (fun ~seed ~scale ->
+        run_case ~name:"broker-equivocation" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~client_brokers:[ 0; 1 ]
+          ~make_schedule:(fun _ _ -> [ (0., Byz_broker_equivocate 0) ])
+          ~expect_rejects:[ "dup_ref" ] ()) }
+
+let sc_broker_garble =
+  { sc_name = "broker-garble";
+    sc_summary =
+      "all brokers but one are Byzantine (forged reduction multisig; \
+       tampered payloads); servers refuse to witness and clients complete \
+       through the last correct broker (§4.4.2 validity)";
+    sc_run =
+      (fun ~seed ~scale ->
+        run_case ~name:"broker-garble" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:3
+          ~client_brokers:[ 0; 1; 2 ]
+          ~make_schedule:(fun _ _ ->
+            [ (0., Byz_broker_garble 0); (0., Byz_broker_malform 1) ])
+          ~expect_rejects:[ "reject_batch" ] ()) }
+
+let sc_broker_withhold =
+  { sc_name = "broker-withhold";
+    sc_summary =
+      "broker 0 completes batches but withholds delivery certificates; \
+       clients resubmit elsewhere and complete via the exceptions path, \
+       still delivered exactly once";
+    sc_run =
+      (fun ~seed ~scale ->
+        run_case ~name:"broker-withhold" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~client_brokers:[ 0; 1 ]
+          ~make_schedule:(fun _ _ -> [ (0., Byz_broker_withhold 0) ])
+          ()) }
+
+let sc_server_bad_shares =
+  { sc_name = "server-bad-shares";
+    sc_summary =
+      "one server signs garbage witness shards and another refuses to \
+       witness; brokers reject the bad shards and still assemble f+1 \
+       quorums from honest servers";
+    sc_run =
+      (fun ~seed ~scale ->
+        run_case ~name:"server-bad-shares" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~make_schedule:(fun _ _ ->
+            [ (0., Byz_server_bad_shares 1); (0., Byz_server_refuse_witness 2) ])
+          ~expect_rejects:[ "reject_shard" ] ()) }
+
+let sc_partition_heal =
+  { sc_name = "partition-heal";
+    sc_summary =
+      "isolate one PBFT server behind a partition, then heal; the \
+       majority side keeps delivering, the isolated server stays a \
+       correct prefix";
+    sc_run =
+      (fun ~seed ~scale ->
+        let n_servers, _, _, _ = dims scale in
+        let majority = List.init (n_servers - 1) Fun.id in
+        run_case ~name:"partition-heal" ~seed ~scale ~underlay:Deployment.Pbft
+          ~n_brokers:2
+          ~make_schedule:(fun _ _ ->
+            [ (12., Partition [ majority; [ n_servers - 1 ] ]); (30., Heal) ])
+          ~degraded_servers:[ n_servers - 1 ] ()) }
+
+let sc_lossy_wan =
+  { sc_name = "lossy-wan";
+    sc_summary =
+      "heavy asymmetric loss on client links plus degraded inter-server \
+       latency; the reliable-UDP layer retransmits and everything still \
+       completes";
+    sc_run =
+      (fun ~seed ~scale ->
+        run_case ~name:"lossy-wan" ~seed ~scale ~underlay:Deployment.Sequencer
+          ~n_brokers:2
+          ~make_schedule:(fun d clients ->
+            let b0 = Deployment.broker_node_id d 0 in
+            let b1 = Deployment.broker_node_id d 1 in
+            let links =
+              Array.to_list clients
+              |> List.concat_map (fun c ->
+                     match Deployment.node_of_client d c with
+                     | None -> []
+                     | Some node ->
+                       [ (0., Set_link_loss (node, b0, 0.25));
+                         (0., Set_link_loss (b0, node, 0.25));
+                         (0., Set_link_loss (node, b1, 0.10)) ])
+            in
+            (0., Degrade_link (0, 1, 0.03))
+            :: (0., Degrade_link (1, 0, 0.03))
+            :: links)
+          ~post:(fun d _ ->
+            let retrans, _, _ = Deployment.rudp_stats d in
+            if retrans = 0 then
+              [ "expected reliable-UDP retransmissions under 25% loss, saw 0" ]
+            else [])
+          ()) }
+
+let sc_kitchen_sink =
+  { sc_name = "kitchen-sink";
+    sc_summary =
+      "everything at once: bad witness shards, withheld certificates, a \
+       partition, a crash with recovery, and a lossy client link — \
+       safety invariants hold and correct clients still complete";
+    sc_run =
+      (fun ~seed ~scale ->
+        let n_servers, _, _, _ = dims scale in
+        let victim = n_servers - 1 in
+        let majority = List.init (n_servers - 1) Fun.id in
+        run_case ~name:"kitchen-sink" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:3
+          ~client_brokers:[ 0; 1; 2 ]
+          ~make_schedule:(fun d clients ->
+            let b0 = Deployment.broker_node_id d 0 in
+            let loss =
+              match Deployment.node_of_client d clients.(0) with
+              | Some node ->
+                [ (0., Set_link_loss (node, b0, 0.2));
+                  (0., Set_link_loss (b0, node, 0.2)) ]
+              | None -> []
+            in
+            loss
+            @ [ (0., Byz_server_bad_shares 1);
+                (0., Byz_broker_withhold 0);
+                (8., Partition [ majority; [ victim ] ]);
+                (12., Crash_server victim);
+                (20., Heal);
+                (30., Recover_server victim) ])
+          ~degraded_servers:[ victim ]
+          ~expect_rejects:[ "reject_shard" ] ()) }
+
+let scenarios =
+  [ sc_fig11a_crash; sc_broker_equivocation; sc_broker_garble;
+    sc_broker_withhold; sc_server_bad_shares; sc_partition_heal; sc_lossy_wan;
+    sc_kitchen_sink ]
+
+let find name = List.find_opt (fun s -> s.sc_name = name) scenarios
+
+let run_all ~seed ~scale =
+  List.map (fun s -> s.sc_run ~seed ~scale) scenarios

@@ -1,0 +1,136 @@
+(** Chaos harness: scheduled Byzantine and network fault injection with
+    safety and liveness invariant checking.
+
+    The paper's trust model (§4.3–§4.4) makes three falsifiable claims:
+    servers tolerate f Byzantine failures out of n = 3f+1; brokers are
+    {e entirely} untrusted — a Byzantine broker can delay messages but
+    never forge, duplicate or reorder them; and clients make progress as
+    long as one correct broker is reachable.  This module turns those
+    claims into executable scenarios: a declarative timed {!schedule} of
+    faults is injected into a {!Repro_chopchop.Deployment}, an
+    {!Invariant} checker observes every server delivery, and each named
+    {!scenario} reduces to a {!verdict}.
+
+    Everything is deterministic: with the same seed and scale a scenario
+    produces a bit-identical verdict and trace. *)
+
+(** {1 Fault schedule} *)
+
+type event =
+  | Crash_server of int  (** server index *)
+  | Recover_server of int
+      (** un-crash; the server stays a prefix (no state transfer) *)
+  | Crash_broker of int  (** broker id *)
+  | Recover_broker of int
+  | Crash_client of int  (** index into the scenario's client array *)
+  | Partition of int list list
+      (** network groups of {e node ids}; unlisted nodes join group 0 *)
+  | Heal  (** remove the partition *)
+  | Set_link_loss of int * int * float
+      (** [(src node, dst node, probability)], lossy traffic only *)
+  | Degrade_link of int * int * float
+      (** [(src node, dst node, extra seconds)] on all traffic *)
+  | Byz_broker_equivocate of int
+      (** conflicting batches for one (broker, number) slot *)
+  | Byz_broker_garble of int  (** forged reduction multi-signatures *)
+  | Byz_broker_malform of int  (** tampered client payloads *)
+  | Byz_broker_withhold of int  (** delivery certificates never sent *)
+  | Byz_server_bad_shares of int  (** garbage witness shards *)
+  | Byz_server_refuse_witness of int  (** fail-silent witnessing *)
+  | Byz_client_bad_share of int  (** garbage reduction shares *)
+  | Byz_client_mute of int  (** never answers inclusion proofs *)
+
+type schedule = (float * event) list
+(** Events paired with absolute injection times (simulated seconds). *)
+
+val describe : event -> string
+
+val install :
+  Repro_chopchop.Deployment.t ->
+  clients:Repro_chopchop.Client.t array ->
+  schedule ->
+  unit
+(** Arm every event on the deployment's engine.  Client-indexed events
+    resolve against [clients].  Each injection emits a "chaos"/"inject"
+    trace instant, so fault timing is visible in the same timeline as the
+    protocol's reaction to it. *)
+
+(** {1 Invariant checking} *)
+
+module Invariant : sig
+  (** Continuous safety checking over the deployment's
+      [server_deliver_hook], plus end-of-run validity.
+
+      - {b Agreement}: all server delivery logs are prefixes of one total
+        order (each append is compared against the longest log covering
+        that position; transitive, so pairwise-vs-longest suffices).
+      - {b Integrity / no-duplication}: no server delivers the same
+        (client, message) twice.
+      - {b Validity}: at the end of the run, every expected message was
+        delivered by every correct server ({!check_validity}). *)
+
+  type op = Op of int * string | Bulk of int * int * int
+
+  type t
+
+  val create : n_servers:int -> t
+
+  val attach : t -> Repro_chopchop.Deployment.t -> unit
+  (** Installs the deployment's [server_deliver_hook] (replacing any
+      previous hook). *)
+
+  val observe : t -> server:int -> Repro_chopchop.Proto.delivery -> unit
+  (** Feed one delivery directly — lets tests violate invariants on
+      purpose and watch the checker fire. *)
+
+  val check_validity :
+    t -> expected:(string * string) list -> correct_servers:int list -> unit
+  (** [(label, payload)] pairs each correct server must have delivered. *)
+
+  val violate : t -> string -> unit
+  (** Record an externally detected violation (harness plumbing). *)
+
+  val violations : t -> string list
+  (** Oldest first; empty means all invariants held. *)
+
+  val ok : t -> bool
+
+  val log_length : t -> int -> int
+  (** Deliveries observed from one server (diagnostics). *)
+end
+
+(** {1 Scenarios} *)
+
+type scale = Quick | Full
+
+val scale_of_string : string -> scale option
+val scale_to_string : scale -> string
+
+type verdict = {
+  v_name : string;
+  v_pass : bool;
+  v_violations : string list;
+  v_expected : int;  (** client broadcasts that must complete *)
+  v_completed : int;  (** client broadcasts that did complete *)
+  v_delivered : int array;  (** per-server delivered message counts *)
+  v_rejections : (string * int) list;
+      (** "reject_*" / "dup_ref" trace instants observed, by name — the
+          correct nodes catching the injected misbehavior in the act *)
+  v_notes : string list;
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type scenario = {
+  sc_name : string;
+  sc_summary : string;
+  sc_run : seed:int64 -> scale:scale -> verdict;
+}
+
+val scenarios : scenario list
+(** fig11a-crash, broker-equivocation, broker-garble, broker-withhold,
+    server-bad-shares, partition-heal, lossy-wan, kitchen-sink. *)
+
+val find : string -> scenario option
+
+val run_all : seed:int64 -> scale:scale -> verdict list

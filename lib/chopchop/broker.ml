@@ -79,6 +79,12 @@ type t = {
   mutable stragglers_launched : int;
   mutable crashed : bool;
   mutable signups_seen : (int, unit) Hashtbl.t;
+  (* Byzantine fault injection (lib/chaos), mirroring the client's
+     misbehave_* hooks.  All default to honest. *)
+  mutable mis_equivocate : bool;
+  mutable mis_garble : bool;
+  mutable mis_malform : bool;
+  mutable mis_withhold : bool;
 }
 
 let create ~engine ~cpu ~config ~directory ~server_ms_pk ~send_server ~send_client
@@ -89,7 +95,9 @@ let create ~engine ~cpu ~config ~directory ~server_ms_pk ~send_server ~send_clie
     reducing = Hashtbl.create 8; flight = Hashtbl.create 32;
     number = 0; evidence = None; completed = 0;
     entries_launched = 0; stragglers_launched = 0; crashed = false;
-    signups_seen = Hashtbl.create 64 }
+    signups_seen = Hashtbl.create 64;
+    mis_equivocate = false; mis_garble = false; mis_malform = false;
+    mis_withhold = false }
 
 (* Trace actors: servers are [0, n); brokers shift by 1000 so their rows
    stay distinct in a Chrome timeline. *)
@@ -304,12 +312,63 @@ and reduce t root =
          Trace.span_end s ~now:(Engine.now t.engine) ~actor:(tr_actor t)
            ~cat:"broker" ~name:"distill" ~id:(Trace.key root)
            ~attrs:[ ("stragglers", Trace.A_int (Array.length stragglers)) ]);
-      launch t batch ~on_complete:None
+      if t.mis_equivocate && Array.length st.r_entries >= 2 then
+        launch_equivocal t st number
+      else begin
+        let batch =
+          (* Forged reduction multi-signature: the batch structure is
+             intact but the aggregate does not verify against the
+             reduction root, so correct servers refuse to witness. *)
+          if t.mis_garble then
+            { batch with Batch.agg_sig = Some (Multisig.forge_garbage ()) }
+          else batch
+        in
+        let batch = if t.mis_malform then malform batch else batch in
+        launch t batch ~on_complete:None
+      end
     end
+
+(* Tamper with one entry's message after the clients signed.  Roots are
+   recomputed from the record, so the batch is self-consistent — but no
+   client signature nor reduction multi-signature covers the new payload,
+   which is exactly what [Batch.verify] exists to catch. *)
+and malform batch =
+  match batch.Batch.entries with
+  | Batch.Explicit es when Array.length es > 0 ->
+    let es = Array.copy es in
+    es.(0) <- { es.(0) with Batch.e_msg = "\xff" ^ es.(0).Batch.e_msg };
+    { batch with Batch.entries = Batch.Explicit es }
+  | _ -> batch
+
+(* Byzantine equivocation (§4.4, trustless brokers): two valid
+   all-straggler batches claim the same (broker, number) slot, and each
+   half of the server set is shown a different one.  Every individual
+   signature checks out, so both variants can gather f+1 witness shards —
+   only the servers' (broker, number) deduplication at STOB delivery
+   guarantees that at most one of them is ever delivered. *)
+and launch_equivocal t st number =
+  let half lo len =
+    let entries = Array.sub st.r_entries lo len in
+    let stragglers =
+      Array.map
+        (fun e ->
+          let s = Hashtbl.find st.r_subs e.Batch.e_id in
+          { Batch.s_id = s.sub_id; s_seq = s.sub_seq; s_sig = s.sub_tsig })
+        entries
+    in
+    Batch.make_explicit ~broker:t.cfg.broker_id ~number ~entries
+      ~agg_seq:st.r_agg_seq ~stragglers ~agg_sig:None
+  in
+  let k = Array.length st.r_entries / 2 in
+  let a = half 0 k and b = half k (Array.length st.r_entries - k) in
+  launch t a ~on_complete:None ~only:(fun dst -> dst land 1 = 0)
+    ~force_witness:true;
+  launch t b ~on_complete:None ~only:(fun dst -> dst land 1 = 1)
+    ~force_witness:true
 
 (* --- dissemination & witnessing (#8–#12) --------------------------------- *)
 
-and launch t batch ~on_complete =
+and launch ?(only = fun _ -> true) ?(force_witness = false) t batch ~on_complete =
   t.entries_launched <- t.entries_launched + Batch.count batch;
   t.stragglers_launched <- t.stragglers_launched + Batch.straggler_count batch;
   let root = Batch.identity_root batch in
@@ -355,8 +414,9 @@ and launch t batch ~on_complete =
        load spreads over all servers (and degrades gracefully when some
        crash, Fig. 11a). *)
     let slot = (dst - fl.w_base + t.cfg.n_servers) mod t.cfg.n_servers in
-    t.send_server ~dst ~bytes
-      (Batch_announce { batch; witness_requested = slot < fl.w_asked })
+    if only dst then
+      t.send_server ~dst ~bytes
+        (Batch_announce { batch; witness_requested = force_witness || slot < fl.w_asked })
   done;
   arm_witness_extension t root
 
@@ -383,9 +443,14 @@ and on_witness_shard t ~src fl share =
       Certs.witness_statement ~root:fl.w_root ~broker:t.cfg.broker_id
         ~number:fl.w_batch.Batch.number
     in
-    if Multisig.verify (t.server_ms_pk src) statement share
-       && not (List.mem_assoc src fl.w_shards)
-    then begin
+    if not (Multisig.verify (t.server_ms_pk src) statement share) then begin
+      let s = tr t in
+      if Trace.enabled s then
+        Trace.instant s ~now:(Engine.now t.engine) ~actor:(tr_actor t)
+          ~cat:"broker" ~name:"reject_shard" ~id:(Trace.key fl.w_root)
+          ~attrs:[ ("src", Trace.A_int src) ]
+    end
+    else if not (List.mem_assoc src fl.w_shards) then begin
       fl.w_shards <- (src, share) :: fl.w_shards;
       if List.length fl.w_shards >= t.f + 1 then begin
         let witness = Certs.assemble fl.w_shards in
@@ -430,6 +495,13 @@ and on_completion_shard t ~src fl ~counter ~exceptions share =
         if List.length shards >= t.f + 1 then finish t fl ~counter ~exceptions shards
       end
     end
+    else begin
+      let s = tr t in
+      if Trace.enabled s then
+        Trace.instant s ~now:(Engine.now t.engine) ~actor:(tr_actor t)
+          ~cat:"broker" ~name:"reject_completion" ~id:(Trace.key fl.w_root)
+          ~attrs:[ ("src", Trace.A_int src) ]
+    end
   end
 
 and finish t fl ~counter ~exceptions shards =
@@ -450,6 +522,13 @@ and finish t fl ~counter ~exceptions shards =
   t.completed <- t.completed + 1;
   (match fl.w_on_complete with
    | Some k -> k cert
+   | None when t.mis_withhold ->
+     (* Byzantine broker: sit on the delivery certificates.  The messages
+        are ordered and delivered server-side regardless; clients time
+        out, resubmit via another broker, and complete through the
+        exceptions path (§4.4 — brokers are trustless for liveness too,
+        as long as one correct broker exists). *)
+     ()
    | None ->
      (* #18: distribute the delivery certificate to every client of the
         batch, with its inclusion proof in the identity root. *)
@@ -540,3 +619,16 @@ let submit_prebuilt t batch ~on_complete =
   end
 
 let crash t = t.crashed <- true
+
+let recover t = t.crashed <- false
+(* The broker keeps no server-side state: its periodic flush loop is still
+   armed (the callback is guarded on [crashed]), so submissions simply
+   start batching again.  In-flight batches from before the crash resume
+   too — their retry timers are likewise guarded. *)
+
+(* Byzantine switches (lib/chaos).  One-way by design, like Client's. *)
+
+let misbehave_equivocate t = t.mis_equivocate <- true
+let misbehave_garble_reduction t = t.mis_garble <- true
+let misbehave_malform t = t.mis_malform <- true
+let misbehave_withhold_certs t = t.mis_withhold <- true

@@ -57,6 +57,37 @@ val submit_prebuilt : t -> Batch.t -> on_complete:(Certs.delivery_cert -> unit) 
 
 val crash : t -> unit
 
+val recover : t -> unit
+(** Undo {!crash}.  Brokers are stateless from the system's point of view
+    (§4.4): the flush loop and retry timers were merely gated while down,
+    so the broker resumes batching and driving its in-flight work. *)
+
+(** {2 Byzantine fault injection}
+
+    Switches flipped by [lib/chaos] to exercise the trustless-broker
+    claims of §4.4.  They mirror {!Client.misbehave_bad_share}: one-way,
+    default honest.  Each attack is observable through "reject_*" /
+    "dup_ref" trace instants on the correct nodes that catch it. *)
+
+val misbehave_equivocate : t -> unit
+(** Distill each proposal into {e two} valid all-straggler batches that
+    claim the same (broker, number) slot, announcing one to even-numbered
+    servers and the other to odd-numbered ones.  Both can be witnessed —
+    the servers' (broker, number) deduplication at STOB delivery is what
+    keeps at most one on the totally ordered log. *)
+
+val misbehave_garble_reduction : t -> unit
+(** Replace the aggregate reduction multi-signature with garbage; correct
+    servers fail [Batch.verify] and refuse to witness. *)
+
+val misbehave_malform : t -> unit
+(** Tamper with one client message after signing; no signature covers the
+    altered payload, so correct servers refuse to witness. *)
+
+val misbehave_withhold_certs : t -> unit
+(** Complete batches but never distribute delivery certificates; clients
+    must fall back to resubmitting through another broker. *)
+
 (* Introspection. *)
 
 val batches_in_flight : t -> int

@@ -1,4 +1,5 @@
 module Engine = Repro_sim.Engine
+module Rng = Repro_sim.Rng
 module Schnorr = Repro_crypto.Schnorr
 module Multisig = Repro_crypto.Multisig
 module Merkle = Repro_crypto.Merkle
@@ -7,6 +8,7 @@ module Trace = Repro_trace.Trace
 type config = {
   brokers : int list;
   resubmit_timeout : float;
+  max_resubmit_timeout : float;
   n_servers : int;
   clients : int;
 }
@@ -35,6 +37,8 @@ type t = {
   queue : Types.message Queue.t;
   mutable flight : in_flight option;
   mutable epoch : int; (* invalidates stale resubmit timers *)
+  rng : Rng.t; (* private stream: jitter draws never touch engine randomness *)
+  mutable backoff : float; (* current resubmission delay *)
   mutable completed : int;
   mutable crashed : bool;
   mutable bad_share : bool;
@@ -47,7 +51,13 @@ let create ~engine ~config ~keypair ~server_ms_pk ~send_broker
   { engine; cfg = config; kp = keypair; f = (config.n_servers - 1) / 3;
     server_ms_pk; send_broker; on_delivered; nonce;
     id = None; broker_idx = 0; seq = 0; evidence = None;
-    queue = Queue.create (); flight = None; epoch = 0; completed = 0;
+    queue = Queue.create (); flight = None; epoch = 0;
+    rng =
+      Rng.create
+        (Int64.logxor 0x6A09E667F3BCC909L
+           (Int64.mul (Int64.of_int (nonce + 1)) 0x9E3779B97F4A7C15L));
+    backoff = config.resubmit_timeout;
+    completed = 0;
     crashed = false; bad_share = false; mute_reduction = false;
     signup_in_progress = false }
 
@@ -72,6 +82,19 @@ let next_broker t = t.broker_idx <- t.broker_idx + 1
 
 let msg_bytes t = match t.flight with Some fl -> String.length fl.fl_msg | None -> 8
 
+(* Exponential backoff with deterministic seeded jitter: each retry draws
+   the next delay from the client's private stream as ±25% around the
+   current backoff value, then doubles it up to [max_resubmit_timeout].
+   Without the jitter, every client that lost the same broker would fail
+   over in lockstep and hammer the fallback broker with a synchronized
+   resubmission storm. *)
+let resubmit_delay t =
+  let d = t.backoff in
+  t.backoff <- Float.min t.cfg.max_resubmit_timeout (t.backoff *. 2.0);
+  d *. (0.75 +. Rng.float t.rng 0.5)
+
+let reset_backoff t = t.backoff <- t.cfg.resubmit_timeout
+
 (* --- sign-up (Appx. C) ---------------------------------------------------- *)
 
 let rec signup t =
@@ -81,7 +104,7 @@ let rec signup t =
       ~bytes:(Wire.header_bytes + (2 * Wire.pk_bytes) + 8)
       (Signup_request { card = t.kp.card; nonce = t.nonce });
     let epoch = t.epoch in
-    Engine.schedule t.engine ~delay:t.cfg.resubmit_timeout (fun () ->
+    Engine.schedule t.engine ~delay:(resubmit_delay t) (fun () ->
         if t.id = None && t.epoch = epoch && not t.crashed then begin
           next_broker t;
           signup t
@@ -100,7 +123,7 @@ let rec submit t =
       ~bytes:(Wire.submission_bytes ~clients:t.cfg.clients ~msg_bytes:(msg_bytes t))
       (Submission { id; seq = fl.fl_seq; msg = fl.fl_msg; tsig; evidence = t.evidence });
     let epoch = t.epoch in
-    Engine.schedule t.engine ~delay:t.cfg.resubmit_timeout (fun () ->
+    Engine.schedule t.engine ~delay:(resubmit_delay t) (fun () ->
         if t.epoch = epoch && t.flight <> None && not t.crashed then begin
           (* No progress: fall back on a different broker (§4.4.2). *)
           next_broker t;
@@ -124,6 +147,7 @@ let launch_next t =
            ~attrs:[ ("seq", Trace.A_int t.seq) ]
        | None -> ());
     t.epoch <- t.epoch + 1;
+    reset_backoff t;
     submit t
   end
 
@@ -195,6 +219,13 @@ let on_deliver_cert t ~cert ~seq ~proof =
         launch_next t
       end
     end
+    else
+      (* Forged or sub-quorum certificate (a Byzantine broker at work):
+         ignore it and let the resubmission timer route around. *)
+      let s = Engine.trace t.engine in
+      if Trace.enabled s then
+        Trace.instant s ~now:(Engine.now t.engine) ~actor:(tr_actor ~id)
+          ~cat:"client" ~name:"reject_cert" ~id:(msg_key ~id ~seq:fl.fl_seq)
   | _ -> ()
 
 let receive t msg =
@@ -208,6 +239,7 @@ let receive t msg =
         t.id <- Some id;
         t.signup_in_progress <- false;
         t.epoch <- t.epoch + 1;
+        reset_backoff t;
         launch_next t
       end
 

@@ -52,6 +52,7 @@ type stob_handle = {
   sh_broadcast : Stob_item.t -> unit;
   sh_receive : src:int -> msg -> unit;
   sh_crash : unit -> unit;
+  sh_recover : unit -> unit;
 }
 
 type t = {
@@ -159,7 +160,8 @@ let make_stob t ~self ~deliver =
           match m with
           | Stob_seq m -> Repro_stob.Sequencer.receive st ~src m
           | _ -> ());
-      sh_crash = (fun () -> Repro_stob.Sequencer.crash st) }
+      sh_crash = (fun () -> Repro_stob.Sequencer.crash st);
+      sh_recover = (fun () -> Repro_stob.Sequencer.recover st) }
   | Pbft ->
     let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_pbft m) in
     let st =
@@ -171,7 +173,8 @@ let make_stob t ~self ~deliver =
       sh_receive =
         (fun ~src m ->
           match m with Stob_pbft m -> Repro_stob.Pbft.receive st ~src m | _ -> ());
-      sh_crash = (fun () -> Repro_stob.Pbft.crash st) }
+      sh_crash = (fun () -> Repro_stob.Pbft.crash st);
+      sh_recover = (fun () -> Repro_stob.Pbft.recover st) }
   | Hotstuff ->
     let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_hs m) in
     let st =
@@ -185,7 +188,8 @@ let make_stob t ~self ~deliver =
           match m with
           | Stob_hs m -> Repro_stob.Hotstuff.receive st ~src m
           | _ -> ());
-      sh_crash = (fun () -> Repro_stob.Hotstuff.crash st) }
+      sh_crash = (fun () -> Repro_stob.Hotstuff.crash st);
+      sh_recover = (fun () -> Repro_stob.Hotstuff.recover st) }
 
 (* --- brokers -------------------------------------------------------------- *)
 
@@ -370,6 +374,7 @@ let add_client t ?region ?identity ?on_delivered ?brokers () =
   in
   let cfg_c =
     { Client.brokers = broker_list; resubmit_timeout = 8.0;
+      max_resubmit_timeout = 60.0;
       n_servers = t.cfg.n_servers; clients = max t.cfg.dense_clients 1024 }
   in
   let c =
@@ -417,3 +422,37 @@ let crash_server t i =
   Server.crash t.servers.(i);
   t.stobs.(i).sh_crash ();
   Net.disconnect t.net i
+
+let recover_server t i =
+  Net.reconnect t.net i;
+  t.stobs.(i).sh_recover ();
+  Server.recover t.servers.(i)
+
+let crash_broker t i =
+  Broker.crash (fst t.brokers.(i));
+  Net.disconnect t.net (snd t.brokers.(i))
+
+let recover_broker t i =
+  Net.reconnect t.net (snd t.brokers.(i));
+  Broker.recover (fst t.brokers.(i))
+
+let node_of_client t c =
+  Hashtbl.fold
+    (fun node c' acc -> if c' == c then Some node else acc)
+    t.clients_by_node None
+
+let crash_client t c =
+  Client.crash c;
+  match node_of_client t c with
+  | Some node -> Net.disconnect t.net node
+  | None -> ()
+
+(* Network fault passthroughs (lib/chaos): node ids are servers
+   [0, n_servers), then {!broker_node_id}, then {!node_of_client}. *)
+
+let partition t groups = Net.partition t.net groups
+let heal t = Net.heal t.net
+let set_link_loss t ~src ~dst p = Net.set_link_loss t.net ~src ~dst p
+
+let degrade_link t ~src ~dst ~extra_latency =
+  Net.degrade_link t.net ~src ~dst ~extra_latency

@@ -71,6 +71,35 @@ val crash_server : t -> int -> unit
 (** Crash-stop a server: its Chop Chop layer, its STOB instance, and its
     network interfaces (Fig. 11a). *)
 
+val recover_server : t -> int -> unit
+(** Un-crash a server: NIC, STOB instance and Chop Chop layer come back.
+    STOB slots it missed while down are not replayed (no state transfer),
+    so the recovered server is a correct prefix but may not catch up. *)
+
+val crash_broker : t -> int -> unit
+(** Crash-stop a broker (by broker id): its state machine and NIC.
+    Clients waiting on it time out and fail over (§4.4.2). *)
+
+val recover_broker : t -> int -> unit
+(** Un-crash a broker: it resumes batching from its surviving state. *)
+
+val crash_client : t -> Client.t -> unit
+(** Crash-stop a client and its network node. *)
+
+val node_of_client : t -> Client.t -> int option
+(** The client's network node id (for per-link fault injection). *)
+
+(** {2 Network fault injection}
+
+    Passthroughs to {!Repro_sim.Net} used by [lib/chaos].  Node ids:
+    servers occupy [0, n_servers), brokers are found with
+    {!broker_node_id}, clients with {!node_of_client}. *)
+
+val partition : t -> int list list -> unit
+val heal : t -> unit
+val set_link_loss : t -> src:int -> dst:int -> float -> unit
+val degrade_link : t -> src:int -> dst:int -> extra_latency:float -> unit
+
 val server_deliver_hook : t -> (int -> Proto.delivery -> unit) -> unit
 (** Observe application deliveries: [hook server_index delivery].
     Replaces (not chains) the previous hook. *)

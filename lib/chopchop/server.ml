@@ -42,6 +42,9 @@ type t = {
   seen_signups : (int, unit) Hashtbl.t;
   mutable delivering : bool;
   mutable crashed : bool;
+  (* Byzantine fault injection (lib/chaos). *)
+  mutable mis_bad_shares : bool;
+  mutable mis_refuse_witness : bool;
 }
 
 let create ~engine ~cpu ~config ~directory ~ms_sk ~server_ms_pk ~send_broker
@@ -56,9 +59,16 @@ let create ~engine ~cpu ~config ~directory ~ms_sk ~server_ms_pk ~send_broker
     delivery_counter = 0; delivered_messages = 0;
     peer_counters = Array.make config.n 0;
     fetching = Hashtbl.create 16; seen_signups = Hashtbl.create 64;
-    delivering = false; crashed = false }
+    delivering = false; crashed = false;
+    mis_bad_shares = false; mis_refuse_witness = false }
 
 let tr t = Engine.trace t.engine
+
+let reject_instant t name ~id attrs =
+  let s = tr t in
+  if Trace.enabled s then
+    Trace.instant s ~now:(Engine.now t.engine) ~actor:t.cfg.self ~cat:"server"
+      ~name ~id ~attrs
 
 let directory t = t.dir
 let delivery_counter t = t.delivery_counter
@@ -109,26 +119,39 @@ let start t =
 (* --- witnessing (#9, #10) ------------------------------------------------ *)
 
 let witness_batch t batch =
-  let root = Batch.identity_root batch in
-  let cost = Batch.witness_cpu_cost batch in
-  let s = tr t in
-  if Trace.enabled s then
-    Trace.span_begin s ~now:(Engine.now t.engine) ~actor:t.cfg.self
-      ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root)
-      ~attrs:[ ("cost", Trace.A_float cost) ];
-  Cpu.submit t.cpu ~cost (fun () ->
-      if Trace.enabled s then
-        Trace.span_end s ~now:(Engine.now t.engine) ~actor:t.cfg.self
-          ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root);
-      if (not t.crashed) && Batch.verify t.dir batch then begin
-        let statement =
-          Certs.witness_statement ~root ~broker:batch.Batch.broker
-            ~number:batch.Batch.number
-        in
-        let share = Certs.sign_shard t.ms_sk statement in
-        t.send_broker ~broker:batch.Batch.broker ~bytes:Wire.witness_shard_bytes
-          (Witness_shard { root; share })
-      end)
+  if not t.mis_refuse_witness then begin
+    let root = Batch.identity_root batch in
+    let cost = Batch.witness_cpu_cost batch in
+    let s = tr t in
+    if Trace.enabled s then
+      Trace.span_begin s ~now:(Engine.now t.engine) ~actor:t.cfg.self
+        ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root)
+        ~attrs:[ ("cost", Trace.A_float cost) ];
+    Cpu.submit t.cpu ~cost (fun () ->
+        if Trace.enabled s then
+          Trace.span_end s ~now:(Engine.now t.engine) ~actor:t.cfg.self
+            ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root);
+        if not t.crashed then begin
+          if Batch.verify t.dir batch then begin
+            let statement =
+              Certs.witness_statement ~root ~broker:batch.Batch.broker
+                ~number:batch.Batch.number
+            in
+            let share =
+              if t.mis_bad_shares then Multisig.forge_garbage ()
+              else Certs.sign_shard t.ms_sk statement
+            in
+            t.send_broker ~broker:batch.Batch.broker ~bytes:Wire.witness_shard_bytes
+              (Witness_shard { root; share })
+          end
+          else
+            (* Garbled / malformed batch from a Byzantine broker: refuse to
+               witness, loudly. *)
+            reject_instant t "reject_batch" ~id:(Trace.key root)
+              [ ("broker", Trace.A_int batch.Batch.broker);
+                ("number", Trace.A_int batch.Batch.number) ]
+        end)
+  end
 
 (* --- delivery (#13–#16) -------------------------------------------------- *)
 
@@ -295,6 +318,10 @@ let receive_broker t ~src_broker msg =
                 t.send_broker ~broker:src_broker ~bytes:(Wire.header_bytes + 32)
                   (Submit_ack { root })
               end
+              else
+                reject_instant t "reject_witness" ~id:(Trace.key root)
+                  [ ("broker", Trace.A_int src_broker);
+                    ("number", Trace.A_int number) ]
             end)
       end
 
@@ -330,7 +357,14 @@ let on_stob_deliver t item =
           (Signup_done { nonce; id })
       end
     | Stob_item.Batch_ref { broker; number; root; witness } ->
-      if not (Hashtbl.mem t.seen_refs (broker, number)) then begin
+      if Hashtbl.mem t.seen_refs (broker, number) then
+        (* A second batch reference for the same (broker, number) slot:
+           either a redundant relay or an equivocating broker.  Exactly
+           the first ordered reference wins (§4.4 — this deduplication is
+           what makes broker equivocation harmless). *)
+        reject_instant t "dup_ref" ~id:(Trace.key root)
+          [ ("broker", Trace.A_int broker); ("number", Trace.A_int number) ]
+      else begin
         Hashtbl.add t.seen_refs (broker, number) ();
         let statement = Certs.witness_statement ~root ~broker ~number in
         if
@@ -345,6 +379,20 @@ let on_stob_deliver t item =
           t.order_queue <- (broker, number, root) :: t.order_queue;
           drain_order_queue t
         end
+        else
+          reject_instant t "reject_witness" ~id:(Trace.key root)
+            [ ("broker", Trace.A_int broker); ("number", Trace.A_int number) ]
       end
 
 let crash t = t.crashed <- true
+
+let recover t = t.crashed <- false
+(* The chopchop layer above the STOB resumes where it stopped; batches and
+   references that were exchanged while down are re-obtainable through the
+   fetch path, but STOB slots missed during the outage are not (see
+   {!Repro_stob}), so a recovered server is prefix-correct, not live. *)
+
+(* Byzantine switches (lib/chaos). *)
+
+let misbehave_bad_shares t = t.mis_bad_shares <- true
+let misbehave_refuse_witness t = t.mis_refuse_witness <- true

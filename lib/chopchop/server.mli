@@ -47,6 +47,28 @@ val on_stob_deliver : t -> Stob_item.t -> unit
 
 val crash : t -> unit
 
+val recover : t -> unit
+(** Undo {!crash}.  Messages and STOB slots missed while down are not
+    replayed: the recovered server remains a correct {e prefix} of the
+    system but may stall at its delivery gap (lib/chaos marks such nodes
+    degraded when checking liveness). *)
+
+(** {2 Byzantine fault injection}
+
+    Switches flipped by [lib/chaos]; one-way, default honest.  Up to [f]
+    servers may misbehave without affecting safety or liveness
+    (n = 3f+1, witness quorum f+1, §4.3). *)
+
+val misbehave_bad_shares : t -> unit
+(** Witness normally but emit garbage multi-signature shares; correct
+    brokers reject them ("reject_shard" instants) and gather the quorum
+    from honest servers. *)
+
+val misbehave_refuse_witness : t -> unit
+(** Ignore all witness requests (fail-silent on the witnessing path while
+    still ordering and delivering).  Brokers route around it via the
+    witness-set extension timeout. *)
+
 (* Introspection for experiments and tests. *)
 
 val delivery_counter : t -> int

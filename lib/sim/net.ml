@@ -15,9 +15,18 @@ type 'msg t = {
   loss : float;
   nodes : (int, 'msg node) Hashtbl.t;
   rng : Rng.t;
+  (* Fault-injection state (lib/chaos).  [groups] maps node id -> partition
+     group; unlisted nodes implicitly belong to group 0.  The per-link
+     tables hold directed (src, dst) overrides; [faults_active] gates the
+     lookups so the fault-free hot path costs one load. *)
+  mutable groups : (int, int) Hashtbl.t option;
+  link_loss : (int * int, float) Hashtbl.t;
+  link_delay : (int * int, float) Hashtbl.t;
+  mutable faults_active : bool;
   c_msgs : Repro_trace.Trace.Counter.t;
   c_bytes : Repro_trace.Trace.Counter.t;
   c_lost : Repro_trace.Trace.Counter.t;
+  c_cut : Repro_trace.Trace.Counter.t;
 }
 
 (* c6i.8xlarge NICs are 12.5 Gb/s, but sustained cross-WAN TCP goodput is
@@ -31,9 +40,12 @@ let server_default_egress_bps = 3.125e9
 let create engine ?(loss = 0.) () =
   let sink = Engine.trace engine in
   { engine; loss; nodes = Hashtbl.create 256; rng = Rng.split (Engine.rng engine);
+    groups = None; link_loss = Hashtbl.create 16; link_delay = Hashtbl.create 16;
+    faults_active = false;
     c_msgs = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"msgs";
     c_bytes = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"bytes";
-    c_lost = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"lost" }
+    c_lost = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"lost";
+    c_cut = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"cut" }
 
 let add_node t ~id ~region ?(ingress_bps = server_default_ingress_bps)
     ?(egress_bps = server_default_egress_bps) ~handler () =
@@ -47,50 +59,112 @@ let node t id =
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Net: unknown node %d" id)
 
+let reachable t src dst =
+  match t.groups with
+  | None -> true
+  | Some tbl ->
+    let g n = Option.value (Hashtbl.find_opt tbl n) ~default:0 in
+    g src = g dst
+
+(* A partitioned packet leaves the sender's NIC and dies in the WAN: the
+   egress bandwidth is consumed, nothing arrives. *)
+let charge_egress_only t s bytes =
+  let now = Engine.now t.engine in
+  s.sent <- s.sent + bytes;
+  let out_start = Float.max now s.out_free in
+  s.out_free <- out_start +. (float_of_int (8 * bytes) /. s.egress_bps)
+
 let transmit t ~src ~dst ~bytes msg =
   let s = node t src and d = node t dst in
   if s.connected && d.connected then begin
-    let now = Engine.now t.engine in
-    s.sent <- s.sent + bytes;
-    Repro_trace.Trace.Counter.incr t.c_msgs;
-    Repro_trace.Trace.Counter.add t.c_bytes bytes;
-    let out_start = Float.max now s.out_free in
-    let out_end = out_start +. (float_of_int (8 * bytes) /. s.egress_bps) in
-    s.out_free <- out_end;
-    let arrival = out_end +. Region.latency s.region d.region in
-    (* Ingress occupancy is decided at arrival time: delay the enqueue. *)
-    Engine.schedule_at t.engine ~time:arrival (fun () ->
-        if d.connected then begin
-          let in_start = Float.max arrival d.in_free in
-          let in_end = in_start +. (float_of_int (8 * bytes) /. d.ingress_bps) in
-          d.in_free <- in_end;
-          d.received <- d.received + bytes;
-          Engine.schedule_at t.engine ~time:in_end (fun () ->
-              if d.connected then d.handler ~src msg)
-        end)
+    if t.faults_active && not (reachable t src dst) then begin
+      Repro_trace.Trace.Counter.incr t.c_cut;
+      charge_egress_only t s bytes
+    end
+    else begin
+      let now = Engine.now t.engine in
+      s.sent <- s.sent + bytes;
+      Repro_trace.Trace.Counter.incr t.c_msgs;
+      Repro_trace.Trace.Counter.add t.c_bytes bytes;
+      let out_start = Float.max now s.out_free in
+      let out_end = out_start +. (float_of_int (8 * bytes) /. s.egress_bps) in
+      s.out_free <- out_end;
+      let extra =
+        if t.faults_active then
+          Option.value (Hashtbl.find_opt t.link_delay (src, dst)) ~default:0.
+        else 0.
+      in
+      let arrival = out_end +. Region.latency s.region d.region +. extra in
+      (* Ingress occupancy is decided at arrival time: delay the enqueue. *)
+      Engine.schedule_at t.engine ~time:arrival (fun () ->
+          if d.connected then begin
+            let in_start = Float.max arrival d.in_free in
+            let in_end = in_start +. (float_of_int (8 * bytes) /. d.ingress_bps) in
+            d.in_free <- in_end;
+            d.received <- d.received + bytes;
+            Engine.schedule_at t.engine ~time:in_end (fun () ->
+                if d.connected then d.handler ~src msg)
+          end)
+    end
   end
 
 let send t ~src ~dst ~bytes msg = transmit t ~src ~dst ~bytes msg
 
 let send_lossy t ~src ~dst ~bytes msg =
-  if t.loss <= 0. || Rng.float t.rng 1.0 >= t.loss then transmit t ~src ~dst ~bytes msg
+  (* Uniform and per-link loss compose as independent drop events.  The
+     RNG is only consulted when some loss applies, so fault-free runs keep
+     the exact event stream (and traces) they had before link faults
+     existed. *)
+  let link =
+    if t.faults_active then
+      Option.value (Hashtbl.find_opt t.link_loss (src, dst)) ~default:0.
+    else 0.
+  in
+  let p = 1. -. ((1. -. t.loss) *. (1. -. link)) in
+  if p <= 0. || Rng.float t.rng 1.0 >= p then transmit t ~src ~dst ~bytes msg
   else begin
     (* Dropped packets still consume egress bandwidth at the sender. *)
     Repro_trace.Trace.Counter.incr t.c_lost;
     let s = node t src in
-    if s.connected then begin
-      let now = Engine.now t.engine in
-      s.sent <- s.sent + bytes;
-      let out_start = Float.max now s.out_free in
-      s.out_free <- out_start +. (float_of_int (8 * bytes) /. s.egress_bps)
-    end
+    if s.connected then charge_egress_only t s bytes
   end
 
 let multicast t ~src ~dsts ~bytes msg =
   List.iter (fun dst -> transmit t ~src ~dst ~bytes msg) dsts
 
 let disconnect t id = (node t id).connected <- false
+let reconnect t id = (node t id).connected <- true
 let is_connected t id = (node t id).connected
+
+(* --- scheduled fault injection (lib/chaos) ------------------------------- *)
+
+let partition t groups =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun g nodes -> List.iter (fun n -> Hashtbl.replace tbl n g) nodes) groups;
+  t.groups <- Some tbl;
+  t.faults_active <- true
+
+let refresh_faults_active t =
+  t.faults_active <-
+    t.groups <> None
+    || Hashtbl.length t.link_loss > 0
+    || Hashtbl.length t.link_delay > 0
+
+let heal t =
+  t.groups <- None;
+  refresh_faults_active t
+
+let set_link_loss t ~src ~dst loss =
+  if loss <= 0. then Hashtbl.remove t.link_loss (src, dst)
+  else Hashtbl.replace t.link_loss (src, dst) (Float.min loss 1.0);
+  refresh_faults_active t
+
+let degrade_link t ~src ~dst ~extra_latency =
+  if extra_latency <= 0. then Hashtbl.remove t.link_delay (src, dst)
+  else Hashtbl.replace t.link_delay (src, dst) extra_latency;
+  refresh_faults_active t
+
+let partitioned t = t.groups <> None
 
 let bytes_sent t id = (node t id).sent
 let bytes_received t id = (node t id).received

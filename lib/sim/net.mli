@@ -56,7 +56,44 @@ val disconnect : 'msg t -> int -> unit
 (** Crash a node: all traffic to and from it is silently dropped from now
     on (used by the failure experiments, Fig. 11a). *)
 
+val reconnect : 'msg t -> int -> unit
+(** Undo {!disconnect}: the node's NIC comes back up.  Messages dropped
+    while it was down are gone; whether the node catches up is the
+    protocol's problem (crash-recovery scenarios, lib/chaos). *)
+
 val is_connected : 'msg t -> int -> bool
+
+(** {2 Scheduled fault injection}
+
+    The knobs behind [lib/chaos]'s network events.  They extend the single
+    uniform [loss] probability with partitions, per-link asymmetric loss
+    and per-link latency degradation.  All of them are cheap to leave
+    unused: the fault-free send path performs one extra boolean load. *)
+
+val partition : 'msg t -> int list list -> unit
+(** [partition t groups] splits the network: nodes in different groups
+    cannot exchange any traffic (reliable or lossy); packets crossing the
+    cut consume sender egress bandwidth and vanish.  Nodes not listed in
+    any group implicitly belong to group 0 (so a minority can be isolated
+    by listing only it as a second group).  A new call replaces the
+    previous partition. *)
+
+val heal : 'msg t -> unit
+(** Remove the partition.  In-flight messages are unaffected; traffic sent
+    across the former cut while it existed is lost for good. *)
+
+val partitioned : 'msg t -> bool
+
+val set_link_loss : 'msg t -> src:int -> dst:int -> float -> unit
+(** Directed per-link loss probability for {e lossy} sends, composed
+    independently with the uniform [loss] knob ([p = 1-(1-u)(1-l)]).
+    Asymmetric by construction: set (a,b) without (b,a) to degrade one
+    direction only.  A value [<= 0] clears the override. *)
+
+val degrade_link : 'msg t -> src:int -> dst:int -> extra_latency:float -> unit
+(** Directed extra propagation latency on {e all} traffic (reliable and
+    lossy) over the link — a congested or rerouted WAN path.  A value
+    [<= 0] clears the override. *)
 
 val bytes_sent : 'msg t -> int -> int
 val bytes_received : 'msg t -> int -> int

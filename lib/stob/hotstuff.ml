@@ -394,5 +394,7 @@ let crash t =
   let pd = ref t.proposal_deadline in
   cancel_timer pd
 
+let recover t = t.crashed <- false
+
 let delivered_count t = t.delivered
 let current_view t = t.view

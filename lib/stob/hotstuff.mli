@@ -36,6 +36,10 @@ val create :
 val broadcast : 'p t -> 'p -> unit
 val receive : 'p t -> src:int -> 'p msg -> unit
 val crash : 'p t -> unit
+
+val recover : 'p t -> unit
+(** Undo {!crash}; same caveats as {!Pbft.recover}. *)
+
 val delivered_count : 'p t -> int
 
 val current_view : 'p t -> int

@@ -357,5 +357,7 @@ let crash t =
   t.crashed <- true;
   cancel_progress t
 
+let recover t = t.crashed <- false
+
 let delivered_count t = t.delivered
 let view t = t.view

@@ -43,6 +43,12 @@ val create :
 val broadcast : 'p t -> 'p -> unit
 val receive : 'p t -> src:int -> 'p msg -> unit
 val crash : 'p t -> unit
+
+val recover : 'p t -> unit
+(** Undo {!crash}: the replica rejoins the protocol from its current
+    state.  Consensus messages missed while down are not replayed, so the
+    replica may stall at its delivery gap — safe (prefix), not live. *)
+
 val delivered_count : 'p t -> int
 
 val view : 'p t -> int

@@ -71,4 +71,10 @@ let receive t ~src:_ msg =
       try_deliver t
 
 let crash t = t.crashed <- true
+
+let recover t = t.crashed <- false
+(* Slots ordered while down were broadcast once and are gone: the replica
+   resumes at its delivery gap and stays a correct prefix (lib/chaos
+   treats recovered nodes as degraded for liveness). *)
+
 let delivered_count t = t.delivered

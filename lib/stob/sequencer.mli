@@ -23,4 +23,9 @@ val create :
 val broadcast : 'p t -> 'p -> unit
 val receive : 'p t -> src:int -> 'p msg -> unit
 val crash : 'p t -> unit
+
+val recover : 'p t -> unit
+(** Undo {!crash}: resume participating.  Slots missed while down are
+    never re-sent; delivery stalls at the gap (a correct prefix). *)
+
 val delivered_count : 'p t -> int

@@ -13,6 +13,9 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+echo "== chaos fault-injection smoke =="
+dune exec bin/main.exe -- chaos --scenario kitchen-sink --scale quick
+
 echo "== trace-enabled bench smoke =="
 CHOPCHOP_BENCH_SCALE=quick dune exec bench/main.exe -- trace
 

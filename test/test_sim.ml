@@ -237,6 +237,76 @@ let test_net_loss () =
   Engine.run e;
   checki "lossy dropped, reliable passed" 1 !got
 
+let test_net_reconnect () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  let got = ref 0 in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ _ -> ()) ();
+  Net.add_node net ~id:1 ~region:Region.Paris ~handler:(fun ~src:_ () -> incr got) ();
+  Net.disconnect net 1;
+  Net.send net ~src:0 ~dst:1 ~bytes:10 ();
+  Net.reconnect net 1;
+  checkb "is_connected after reconnect" true (Net.is_connected net 1);
+  Net.send net ~src:0 ~dst:1 ~bytes:10 ();
+  Engine.run e;
+  checki "dropped while down, delivered after reconnect" 1 !got
+
+let test_net_partition_heal () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  let got = Array.make 3 0 in
+  for i = 0 to 2 do
+    Net.add_node net ~id:i ~region:Region.Paris
+      ~handler:(fun ~src:_ () -> got.(i) <- got.(i) + 1) ()
+  done;
+  (* Node 2 isolated; 0 and 1 (implicit group 0) still talk. *)
+  Net.partition net [ []; [ 2 ] ];
+  checkb "partitioned" true (Net.partitioned net);
+  Net.send net ~src:0 ~dst:1 ~bytes:10 ();
+  Net.send net ~src:0 ~dst:2 ~bytes:10 ();
+  Net.send_lossy net ~src:2 ~dst:0 ~bytes:10 ();
+  Engine.run e;
+  checki "same side delivered" 1 got.(1);
+  checki "cross cut dropped (to minority)" 0 got.(2);
+  checki "cross cut dropped (from minority)" 0 got.(0);
+  Net.heal net;
+  checkb "healed" false (Net.partitioned net);
+  Net.send net ~src:0 ~dst:2 ~bytes:10 ();
+  Engine.run e;
+  checki "delivered after heal" 1 got.(2)
+
+let test_net_link_loss () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  let got = ref 0 in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ _ -> ()) ();
+  Net.add_node net ~id:1 ~region:Region.Paris ~handler:(fun ~src:_ () -> incr got) ();
+  (* Directed: only the 0 -> 1 direction loses packets. *)
+  Net.set_link_loss net ~src:0 ~dst:1 1.0;
+  Net.send_lossy net ~src:0 ~dst:1 ~bytes:10 ();
+  Net.send_lossy net ~src:1 ~dst:0 ~bytes:10 ();
+  Net.send net ~src:0 ~dst:1 ~bytes:10 ();
+  Engine.run e;
+  checki "reliable send unaffected by link loss" 1 !got;
+  Net.set_link_loss net ~src:0 ~dst:1 0.0;
+  Net.send_lossy net ~src:0 ~dst:1 ~bytes:10 ();
+  Engine.run e;
+  checki "cleared override delivers again" 2 !got
+
+let test_net_degrade_link () =
+  let e = Engine.create () in
+  let net = Net.create e () in
+  let at = ref 0. in
+  Net.add_node net ~id:0 ~region:Region.Paris ~handler:(fun ~src:_ _ -> ()) ();
+  Net.add_node net ~id:1 ~region:Region.Paris ~handler:(fun ~src:_ () -> at := Engine.now e) ();
+  Net.send net ~src:0 ~dst:1 ~bytes:1000 ();
+  Engine.run e;
+  let baseline = !at in
+  Net.degrade_link net ~src:0 ~dst:1 ~extra_latency:0.25;
+  Net.send net ~src:0 ~dst:1 ~bytes:1000 ();
+  Engine.run e;
+  checkf "exactly the extra latency added" (baseline +. 0.25) (!at -. baseline)
+
 let test_net_duplicate_node () =
   let e = Engine.create () in
   let net = Net.create e () in
@@ -430,6 +500,10 @@ let () =
          Alcotest.test_case "disconnect" `Quick test_net_disconnect;
          Alcotest.test_case "byte counters" `Quick test_net_counters;
          Alcotest.test_case "loss" `Quick test_net_loss;
+         Alcotest.test_case "reconnect" `Quick test_net_reconnect;
+         Alcotest.test_case "partition + heal" `Quick test_net_partition_heal;
+         Alcotest.test_case "per-link loss" `Quick test_net_link_loss;
+         Alcotest.test_case "degrade link" `Quick test_net_degrade_link;
          Alcotest.test_case "duplicate node" `Quick test_net_duplicate_node ]);
       ("cpu",
        [ Alcotest.test_case "fifo" `Quick test_cpu_fifo;
