@@ -1,0 +1,38 @@
+(* Baseline diff: `compare.exe BASELINE.json CURRENT.json`.
+
+   Prints one verdict line per metric and exits non-zero when any gated
+   metric regressed beyond its recorded tolerance.  scripts/bench_compare
+   wraps this for the CI gate. *)
+
+module B = Repro_metrics.Baseline
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: compare.exe BASELINE.json CURRENT.json";
+    exit 2
+  end;
+  let read path =
+    try B.read ~path with
+    | Sys_error e ->
+      prerr_endline e;
+      exit 2
+    | Failure e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 2
+  in
+  let baseline = read Sys.argv.(1) in
+  let current = read Sys.argv.(2) in
+  let verdicts = B.compare_docs ~baseline ~current in
+  List.iter (fun v -> Format.printf "%a@." B.pp_verdict v) verdicts;
+  let gated = List.filter (fun v -> v.B.v_gated) verdicts in
+  let failed = List.filter (fun v -> not v.B.v_ok) verdicts in
+  if failed = [] then begin
+    Format.printf "bench_compare: ok (%d gated / %d metrics)@."
+      (List.length gated) (List.length verdicts);
+    exit 0
+  end
+  else begin
+    Format.printf "bench_compare: %d metric(s) regressed beyond tolerance@."
+      (List.length failed);
+    exit 1
+  end

@@ -19,6 +19,7 @@
               dune exec bench/main.exe figures    (simulation harness only)
               dune exec bench/main.exe trace      (traced-run smoke check)
               dune exec bench/main.exe chaos      (fault-injection scenarios)
+              dune exec bench/main.exe json       (machine-readable baseline)
 
    With CHOPCHOP_TRACE=1 a traced quick run and its per-phase latency
    breakdown are appended to the default output. *)
@@ -277,6 +278,109 @@ let run_trace_smoke () =
     (Trace.Sink.length sink)
     (String.concat " " (List.sort compare cats))
 
+(* `bench json`: the machine-readable baseline behind the CI regression
+   gate.  Runs the standard quick-scale configs under a memory trace sink,
+   derives the paper's efficiency metrics, and writes a
+   [Repro_metrics.Baseline] doc.  The sim is deterministic, so every gated
+   metric reproduces exactly; the tolerances are slack for intentional,
+   bounded behaviour changes. *)
+let run_bench_json () =
+  let module Trace = Repro_trace.Trace in
+  let module R = Repro_experiments.Chopchop_run in
+  let module LB = Repro_experiments.Latency_breakdown in
+  let module B = Repro_metrics.Baseline in
+  let quick underlay =
+    { R.default with
+      n_servers = 4; underlay;
+      rate = 100_000.; batch_count = 4096; n_load_brokers = 1;
+      measure_clients = 4; duration = 10.; warmup = 4.; cooldown = 2.;
+      dense_clients = 1_000_000 }
+  in
+  let configs =
+    [ ("quick-pbft", quick Repro_chopchop.Deployment.Pbft);
+      ("quick-hotstuff", quick Repro_chopchop.Deployment.Hotstuff) ]
+  in
+  let counter counters cat name =
+    match
+      List.find_opt (fun (c, n, _) -> c = cat && n = name) counters
+    with
+    | Some (_, _, v) -> float_of_int v
+    | None -> 0.
+  in
+  let bench_config (name, params) =
+    let t0 = Sys.time () in
+    let result, breakdown, sink = LB.capture ~params () in
+    let wall = Sys.time () -. t0 in
+    let dropped = Trace.Sink.dropped sink in
+    if dropped > 0 then
+      Printf.eprintf
+        "warning: %s: trace sink dropped %d events; latency percentiles may \
+         be incomplete\n%!"
+        name dropped;
+    let counters = Trace.Sink.counters sink in
+    let e2e = LB.e2e breakdown in
+    let decisions = float_of_int (max 1 result.R.decisions) in
+    let payload_bytes =
+      float_of_int (max 1 (result.R.delivered_messages * params.R.msg_bytes))
+    in
+    let gated tol direction value = { B.value; tolerance = Some tol; direction } in
+    let info value = { B.value; tolerance = None; direction = B.Lower_better } in
+    ( name,
+      [ ("throughput_ops", gated 0.05 B.Higher_better result.R.throughput);
+        ("latency_p50_s", gated 0.10 B.Lower_better (Trace.Hist.percentile e2e 0.50));
+        ("latency_p99_s", gated 0.15 B.Lower_better (Trace.Hist.percentile e2e 0.99));
+        ( "sig_verifies_per_decision",
+          gated 0.10 B.Lower_better
+            (counter counters "crypto" "verify_ops" /. decisions) );
+        ( "wire_bytes_per_payload_byte",
+          gated 0.10 B.Lower_better
+            (counter counters "net" "bytes" /. payload_bytes) );
+        ("wall_time_s", info wall) ] )
+  in
+  print_endline "=== Bench baseline (quick-scale, deterministic) ===";
+  let doc =
+    { B.version = 1;
+      readme =
+        [ "BENCH_chopchop.json -- machine-readable bench baseline.";
+          "Schema: {_readme, version, configs: {<config>: {<metric>:";
+          "  {value, tolerance, direction}}}}.  direction is";
+          "  higher_better or lower_better; tolerance is a relative";
+          "  fraction of the baseline value, or null.";
+          "Tolerance policy: tolerance null = informational only";
+          "  (wall_time_s is machine-dependent); otherwise CI fails when";
+          "  the new value is worse than baseline by more than the";
+          "  fraction (worse = lower for higher_better, higher for";
+          "  lower_better; improvements never fail).  The sim is";
+          "  seeded and deterministic, so gated drift is a real code";
+          "  behaviour change: regenerate with `dune exec bench/main.exe";
+          "  -- json` and commit the new file alongside the change that";
+          "  explains it.";
+          "Compared by scripts/bench_compare (bench/compare.ml), which";
+          "  scripts/ci.sh runs against a fresh `bench json` run." ];
+      configs = List.map bench_config configs }
+  in
+  let out =
+    match Sys.getenv_opt "CHOPCHOP_BENCH_OUT" with
+    | Some p -> p
+    | None -> "BENCH_chopchop.json"
+  in
+  B.write ~path:out doc;
+  List.iter
+    (fun (cfg, metrics) ->
+      Printf.printf "  %s\n" cfg;
+      List.iter
+        (fun (m, { B.value; tolerance; direction }) ->
+          Printf.printf "    %-28s %14.6g  %s%s\n" m value
+            (match direction with
+             | B.Higher_better -> "higher-better"
+             | B.Lower_better -> "lower-better")
+            (match tolerance with
+             | Some t -> Printf.sprintf ", tol %g%%" (100. *. t)
+             | None -> ", info only"))
+        metrics)
+    doc.B.configs;
+  Printf.printf "baseline -> %s\n%!" out
+
 let () =
   let scale =
     match Sys.getenv_opt "CHOPCHOP_BENCH_SCALE" with
@@ -294,6 +398,7 @@ let () =
   end;
   if what = "trace" || Sys.getenv_opt "CHOPCHOP_TRACE" = Some "1" then
     run_trace_smoke ();
+  if what = "json" then run_bench_json ();
   if what = "chaos" then begin
     let module C = Repro_chaos.Chaos in
     let chaos_scale =

@@ -10,6 +10,17 @@ open Cmdliner
 module F = Repro_experiments.Figures
 module R = Repro_experiments.Chopchop_run
 module LB = Repro_experiments.Latency_breakdown
+module CP = Repro_experiments.Causal_path
+module M = Repro_metrics.Metrics
+
+(* Satellite: truncated traces must not silently skew what we export. *)
+let warn_drops sink =
+  let d = Repro_trace.Trace.Sink.dropped sink in
+  if d > 0 then
+    Format.eprintf
+      "warning: trace sink dropped %d events (ring full) — histograms and \
+       causal paths may be incomplete@."
+      d
 
 let experiments : (string * string * (Format.formatter -> F.scale -> unit)) list =
   [ ("fig1", "context: Internet-scale service rates", F.fig1);
@@ -99,23 +110,118 @@ let trace_cmd =
           ~doc:"Write the Chrome trace_event JSON here (load it in \
                 chrome://tracing or ui.perfetto.dev).")
   in
-  let run scale out =
-    let result, breakdown, sink = LB.capture ~params:(trace_params scale) () in
-    Format.printf "%a@.@." R.pp_result result;
-    Format.printf "%a@." LB.pp breakdown;
-    match Repro_trace.Chrome.to_file sink out with
-    | () ->
-      Format.printf "trace: %d events (%d dropped) -> %s@."
-        (Repro_trace.Trace.Sink.length sink)
-        (Repro_trace.Trace.Sink.dropped sink)
-        out;
-      `Ok ()
-    | exception Sys_error e -> `Error (false, e)
+  let follow_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"ID"
+          ~doc:"Follow one message: print its causal hop tree \
+                (client → broker reduction → witness → order → deliver) \
+                with per-hop latencies.  $(docv) is a correlation key \
+                from the candidate list, or $(b,auto) for the first \
+                fully-reconstructable one.")
   in
-  let term = Term.(ret (const run $ scale_term $ out_arg)) in
+  let run scale out follow =
+    let result, breakdown, sink = LB.capture ~params:(trace_params scale) () in
+    warn_drops sink;
+    let events = Repro_trace.Trace.Sink.events sink in
+    match follow with
+    | Some spec ->
+      let path =
+        if spec = "auto" then CP.first events
+        else
+          match int_of_string_opt spec with
+          | Some key -> CP.follow events ~key
+          | None -> None
+      in
+      (match path with
+       | Some p ->
+         Format.printf "%a" CP.pp p;
+         `Ok ()
+       | None ->
+         `Error
+           ( false,
+             Printf.sprintf
+               "cannot follow %S: not a delivered message key (try \
+                `chopchop trace` to list candidates, or --follow auto)"
+               spec ))
+    | None ->
+      Format.printf "%a@.@." R.pp_result result;
+      Format.printf "%a@." LB.pp breakdown;
+      (match Repro_trace.Chrome.to_file sink out with
+       | () ->
+         Format.printf "trace: %d events (%d dropped) -> %s@."
+           (Repro_trace.Trace.Sink.length sink)
+           (Repro_trace.Trace.Sink.dropped sink)
+           out;
+         let cands = CP.candidates events in
+         let show = List.filteri (fun i _ -> i < 8) cands in
+         if show <> [] then
+           Format.printf "follow a message with --follow <id>: %s%s@."
+             (String.concat ", " (List.map (Printf.sprintf "%#x") show))
+             (if List.length cands > List.length show then ", ..." else "");
+         `Ok ()
+       | exception Sys_error e -> `Error (false, e))
+  in
+  let term = Term.(ret (const run $ scale_term $ out_arg $ follow_arg)) in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Run a traced deployment: Chrome trace + latency breakdown")
+       ~doc:"Run a traced deployment: Chrome trace + latency breakdown + \
+             causal message paths")
+    term
+
+let metrics_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the snapshot and all time series as JSONL here.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the aligned time series as CSV here.")
+  in
+  let period_arg =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "period" ] ~docv:"SECONDS" ~doc:"Sampling period (sim time).")
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let run scale out csv period =
+    let m = M.create ~period () in
+    let sink = Repro_trace.Trace.Sink.memory () in
+    let params = { (trace_params scale) with R.trace = sink; metrics = Some m } in
+    let result = R.run params in
+    warn_drops sink;
+    Format.printf "%a@.@." R.pp_result result;
+    Format.printf "metrics (%d samples @@ %gs)@." (M.ticks m) period;
+    Format.printf "%a" M.pp_table m;
+    (try
+       Option.iter (fun path ->
+           write_file path (M.to_jsonl m);
+           Format.printf "metrics jsonl -> %s@." path)
+         out;
+       Option.iter (fun path ->
+           write_file path (M.series_csv m);
+           Format.printf "series csv -> %s@." path)
+         csv;
+       `Ok ()
+     with Sys_error e -> `Error (false, e))
+  in
+  let term = Term.(ret (const run $ scale_term $ out_arg $ csv_arg $ period_arg)) in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a metrics-instrumented deployment: end-of-run table, \
+             JSONL/CSV export")
     term
 
 let chaos_cmd =
@@ -212,4 +318,5 @@ let () =
   let info = Cmd.info "chopchop" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; all_cmd; trace_cmd; chaos_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; trace_cmd; metrics_cmd; chaos_cmd ]))

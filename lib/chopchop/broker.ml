@@ -29,6 +29,7 @@ type submission = {
   sub_seq : Types.sequence_number;
   sub_msg : Types.message;
   sub_tsig : Schnorr.signature;
+  sub_ctx : Trace.Ctx.t; (* causal context carried since the client *)
 }
 
 type reducing = {
@@ -85,6 +86,7 @@ type t = {
   mutable mis_garble : bool;
   mutable mis_malform : bool;
   mutable mis_withhold : bool;
+  c_verify : Trace.Counter.t; (* signature-verification operations *)
 }
 
 let create ~engine ~cpu ~config ~directory ~server_ms_pk ~send_server ~send_client
@@ -97,7 +99,9 @@ let create ~engine ~cpu ~config ~directory ~server_ms_pk ~send_server ~send_clie
     entries_launched = 0; stragglers_launched = 0; crashed = false;
     signups_seen = Hashtbl.create 64;
     mis_equivocate = false; mis_garble = false; mis_malform = false;
-    mis_withhold = false }
+    mis_withhold = false;
+    c_verify =
+      Trace.Sink.counter (Engine.trace engine) ~cat:"crypto" ~name:"verify_ops" }
 
 (* Trace actors: servers are [0, n); brokers shift by 1000 so their rows
    stay distinct in a Chrome timeline. *)
@@ -105,6 +109,8 @@ let tr t = Engine.trace t.engine
 let tr_actor t = 1000 + t.cfg.broker_id
 
 let batches_in_flight t = Hashtbl.length t.flight + Hashtbl.length t.reducing
+
+let pool_depth t = Hashtbl.length t.pool
 
 let flight_numbers t =
   Hashtbl.fold (fun _ fl acc -> (fl.w_batch.Batch.number, fl.w_done, fl.w_witness <> None) :: acc) t.flight []
@@ -133,6 +139,7 @@ let note_evidence t (cert : Certs.delivery_cert) =
   (* Only certificates improving on the best one are verified at all. *)
   if cert.counter > evidence_counter t then begin
     Cpu.charge t.cpu ~cost:Cost.bls_verify;
+    Trace.Counter.incr t.c_verify;
     if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) cert
     then t.evidence <- Some cert
   end
@@ -195,10 +202,12 @@ let rec flush t =
         subs
     in
     Cpu.charge t.cpu ~cost:(Cost.ed25519_batch_verify (List.length subs));
+    Trace.Counter.incr t.c_verify;
     let subs =
       if Schnorr.batch_verify to_verify then subs
       else begin
         Cpu.charge t.cpu ~cost:(Cost.ed25519_batch_verify (List.length subs));
+        Trace.Counter.add t.c_verify (List.length subs);
         List.filter
           (fun s ->
             Schnorr.verify (Directory.sig_pk t.dir s.sub_id)
@@ -229,10 +238,24 @@ let rec flush t =
       in
       Hashtbl.replace t.reducing root st;
       (let s = tr t in
-       if Trace.enabled s then
-         Trace.span_begin s ~now:(Engine.now t.engine) ~actor:(tr_actor t)
+       if Trace.enabled s then begin
+         let now = Engine.now t.engine and actor = tr_actor t in
+         Trace.span_begin s ~now ~actor
            ~cat:"broker" ~name:"distill" ~id:(Trace.key root)
-           ~attrs:[ ("entries", Trace.A_int (Array.length entries)) ]);
+           ~attrs:[ ("entries", Trace.A_int (Array.length entries)) ];
+         (* One hop per included message, keyed by the propagated causal
+            context, pointing at the proposal this broker folded it into —
+            the client→broker link of the [--follow] tree. *)
+         List.iter
+           (fun sub ->
+             let ctx = Trace.Ctx.child sub.sub_ctx in
+             Trace.instant s ~now ~actor ~cat:"broker" ~name:"include"
+               ~id:(Trace.Ctx.root ctx)
+               ~attrs:
+                 [ ("proposal", Trace.A_int (Trace.key root));
+                   ("hop", Trace.A_int (Trace.Ctx.hop ctx)) ])
+           subs
+       end);
       (* #4: send each client its inclusion proof. *)
       Array.iteri
         (fun i e ->
@@ -265,6 +288,7 @@ and reduce t root =
           (Cost.bls_aggregate_sigs (List.length share_list)
           +. Cost.bls_aggregate_pks (List.length share_list)
           +. Cost.bls_verify);
+      Trace.Counter.incr t.c_verify;
       let statement = Types.reduction_statement ~root in
       let agg_all =
         Multisig.aggregate_signatures (List.map (fun (_, _, s) -> s) share_list)
@@ -280,6 +304,7 @@ and reduce t root =
           let bad = Multisig.find_invalid entries statement in
           Cpu.charge t.cpu
             ~cost:(float_of_int (List.length bad + 1) *. Cost.bls_verify *. 8.);
+          Trace.Counter.add t.c_verify ((List.length bad + 1) * 8);
           List.filteri (fun i _ -> not (List.mem i bad)) share_list
         end
       in
@@ -439,6 +464,7 @@ and arm_witness_extension t root =
 and on_witness_shard t ~src fl share =
   if fl.w_witness = None then begin
     Cpu.charge t.cpu ~cost:Cost.bls_verify;
+    Trace.Counter.incr t.c_verify;
     let statement =
       Certs.witness_statement ~root:fl.w_root ~broker:t.cfg.broker_id
         ~number:fl.w_batch.Batch.number
@@ -485,6 +511,7 @@ and on_completion_shard t ~src fl ~counter ~exceptions share =
     let exc_hash = Certs.exceptions_hash exceptions in
     let key = (counter, exc_hash) in
     Cpu.charge t.cpu ~cost:Cost.bls_verify;
+    Trace.Counter.incr t.c_verify;
     let statement = Certs.completion_statement ~root:fl.w_root ~counter ~exc_hash in
     if Multisig.verify (t.server_ms_pk src) statement share then begin
       let prev = Option.value (Hashtbl.find_opt fl.w_completions key) ~default:[] in
@@ -568,11 +595,12 @@ let start t =
 let receive_client t msg =
   if not t.crashed then
     match msg with
-    | Proto.Submission { id; seq; msg; tsig; evidence } ->
+    | Proto.Submission { id; seq; msg; tsig; evidence; ctx } ->
       (* Legitimacy screening with the cached-best rule (§5.1). *)
       (match evidence with Some e -> note_evidence t e | None -> ());
       if Certs.legitimizes t.evidence seq then
-        accept_submission t { sub_id = id; sub_seq = seq; sub_msg = msg; sub_tsig = tsig }
+        accept_submission t
+          { sub_id = id; sub_seq = seq; sub_msg = msg; sub_tsig = tsig; sub_ctx = ctx }
     | Proto.Reduction { id; root; share } ->
       (match Hashtbl.find_opt t.reducing root with
        | Some st when Hashtbl.mem st.r_subs id ->

@@ -92,6 +92,9 @@ val misbehave_withhold_certs : t -> unit
 
 val batches_in_flight : t -> int
 
+val pool_depth : t -> int
+(** Live submissions waiting for the next flush (one per client). *)
+
 val flight_numbers : t -> (int * bool * bool) list
 (** (number, done, witnessed) per in-flight batch — diagnostics. *)
 

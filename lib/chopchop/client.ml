@@ -44,6 +44,7 @@ type t = {
   mutable bad_share : bool;
   mutable mute_reduction : bool;
   mutable signup_in_progress : bool;
+  c_verify : Trace.Counter.t; (* signature verifications (certificates) *)
 }
 
 let create ~engine ~config ~keypair ~server_ms_pk ~send_broker
@@ -59,7 +60,9 @@ let create ~engine ~config ~keypair ~server_ms_pk ~send_broker
     backoff = config.resubmit_timeout;
     completed = 0;
     crashed = false; bad_share = false; mute_reduction = false;
-    signup_in_progress = false }
+    signup_in_progress = false;
+    c_verify =
+      Trace.Sink.counter (Engine.trace engine) ~cat:"crypto" ~name:"verify_ops" }
 
 let id t = t.id
 let pending t = Queue.length t.queue + match t.flight with Some _ -> 1 | None -> 0
@@ -119,9 +122,11 @@ let rec submit t =
     let tsig =
       Schnorr.sign t.kp.sig_sk (Types.message_statement ~id ~seq:fl.fl_seq fl.fl_msg)
     in
+    let ctx = Trace.Ctx.make ~root:(msg_key ~id ~seq:fl.fl_seq) in
     t.send_broker ~broker:(current_broker t)
       ~bytes:(Wire.submission_bytes ~clients:t.cfg.clients ~msg_bytes:(msg_bytes t))
-      (Submission { id; seq = fl.fl_seq; msg = fl.fl_msg; tsig; evidence = t.evidence });
+      (Submission
+         { id; seq = fl.fl_seq; msg = fl.fl_msg; tsig; evidence = t.evidence; ctx });
     let epoch = t.epoch in
     Engine.schedule t.engine ~delay:(resubmit_delay t) (fun () ->
         if t.epoch = epoch && t.flight <> None && not t.crashed then begin
@@ -170,6 +175,7 @@ let on_inclusion t ~root ~proof ~agg_seq ~evidence =
       && (match evidence with
           | None -> agg_seq = fl.fl_seq
           | Some e ->
+            Trace.Counter.incr t.c_verify;
             Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) e)
     then begin
       fl.fl_adopted <- max fl.fl_adopted agg_seq;
@@ -188,6 +194,7 @@ let on_inclusion t ~root ~proof ~agg_seq ~evidence =
 let on_deliver_cert t ~cert ~seq ~proof =
   match (t.flight, t.id) with
   | Some fl, Some id ->
+    Trace.Counter.incr t.c_verify;
     if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) cert
     then begin
       (* Track the freshest legitimacy evidence regardless of whose batch

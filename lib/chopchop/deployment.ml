@@ -138,6 +138,7 @@ let run t ~until = Engine.run ~until t.engine
 
 let server_ingress_bytes t i = Net.bytes_received t.net i
 let server_cpu_utilization t i ~since = Cpu.utilization t.server_cpus.(i) ~since
+let server_cpu_backlog t i = Cpu.backlog t.server_cpus.(i)
 let total_delivered_messages t = Server.delivered_messages t.servers.(0)
 
 let server_deliver_hook t hook = t.deliver_hook <- hook

@@ -109,6 +109,10 @@ val total_delivered_messages : t -> int
 
 val server_ingress_bytes : t -> int -> int
 val server_cpu_utilization : t -> int -> since:float -> float
+
+(** [server_cpu_backlog t i]: seconds of queued CPU work at server [i]
+    (sampler probe). *)
+val server_cpu_backlog : t -> int -> float
 val broker_node_id : t -> int -> int
 
 val rudp_stats : t -> int * int * int

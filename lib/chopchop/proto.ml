@@ -5,6 +5,7 @@ type client_to_broker =
       msg : Types.message;
       tsig : Repro_crypto.Schnorr.signature;
       evidence : Certs.delivery_cert option;
+      ctx : Repro_trace.Trace.Ctx.t;
     }
   | Reduction of {
       id : Types.client_id;

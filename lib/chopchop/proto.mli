@@ -12,6 +12,10 @@ type client_to_broker =
           (* the individual fallback signature t_i over
              [Types.message_statement] (#2) *)
       evidence : Certs.delivery_cert option; (* legitimacy proof l_n *)
+      ctx : Repro_trace.Trace.Ctx.t;
+          (* causal trace context (root id + hop), propagated so one
+             broadcast's path is reconstructable end to end; charged as
+             [Wire.trace_ctx_bytes] *)
     }
   | Reduction of {
       id : Types.client_id;

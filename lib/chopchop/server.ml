@@ -45,6 +45,9 @@ type t = {
   (* Byzantine fault injection (lib/chaos). *)
   mutable mis_bad_shares : bool;
   mutable mis_refuse_witness : bool;
+  c_verify : Trace.Counter.t; (* signature-verification operations *)
+  c_deliveries : Trace.Counter.t; (* batches delivered (all servers) *)
+  c_messages : Trace.Counter.t; (* messages delivered (all servers) *)
 }
 
 let create ~engine ~cpu ~config ~directory ~ms_sk ~server_ms_pk ~send_broker
@@ -60,7 +63,13 @@ let create ~engine ~cpu ~config ~directory ~ms_sk ~server_ms_pk ~send_broker
     peer_counters = Array.make config.n 0;
     fetching = Hashtbl.create 16; seen_signups = Hashtbl.create 64;
     delivering = false; crashed = false;
-    mis_bad_shares = false; mis_refuse_witness = false }
+    mis_bad_shares = false; mis_refuse_witness = false;
+    c_verify =
+      Trace.Sink.counter (Engine.trace engine) ~cat:"crypto" ~name:"verify_ops";
+    c_deliveries =
+      Trace.Sink.counter (Engine.trace engine) ~cat:"server" ~name:"deliveries";
+    c_messages =
+      Trace.Sink.counter (Engine.trace engine) ~cat:"server" ~name:"messages" }
 
 let tr t = Engine.trace t.engine
 
@@ -75,6 +84,9 @@ let delivery_counter t = t.delivery_counter
 let delivered_messages t = t.delivered_messages
 let stored_batches t = Hashtbl.length t.batches
 let stored_bytes t = t.stored_bytes
+
+let order_queue_depth t =
+  List.length t.order_queue_front + List.length t.order_queue
 
 (* --- storage & GC ------------------------------------------------------- *)
 
@@ -132,6 +144,8 @@ let witness_batch t batch =
           Trace.span_end s ~now:(Engine.now t.engine) ~actor:t.cfg.self
             ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root);
         if not t.crashed then begin
+          (* Aggregate check plus one per-straggler fallback signature. *)
+          Trace.Counter.add t.c_verify (1 + Batch.straggler_count batch);
           if Batch.verify t.dir batch then begin
             let statement =
               Certs.witness_statement ~root ~broker:batch.Batch.broker
@@ -211,11 +225,14 @@ let deliver_dense t (batch : Batch.t) (d : Batch.dense) =
 let deliver_batch t stored =
   let batch = stored.batch in
   let root = Batch.identity_root batch in
+  let before_msgs = t.delivered_messages in
   let exceptions =
     match batch.entries with
     | Batch.Explicit entries -> deliver_explicit t batch entries
     | Batch.Dense d -> deliver_dense t batch d
   in
+  Trace.Counter.incr t.c_deliveries;
+  Trace.Counter.add t.c_messages (t.delivered_messages - before_msgs);
   t.delivery_counter <- t.delivery_counter + 1;
   stored.position <- Some (t.delivery_counter - 1);
   t.peer_counters.(t.cfg.self) <- t.delivery_counter;
@@ -306,6 +323,7 @@ let receive_broker t ~src_broker msg =
         Hashtbl.add t.submitted_refs (src_broker, number) ();
         Cpu.submit t.cpu ~cost:Cost.bls_verify (fun () ->
             if not t.crashed then begin
+              Trace.Counter.incr t.c_verify;
               let statement =
                 Certs.witness_statement ~root ~broker:src_broker ~number
               in
@@ -367,6 +385,7 @@ let on_stob_deliver t item =
       else begin
         Hashtbl.add t.seen_refs (broker, number) ();
         let statement = Certs.witness_statement ~root ~broker ~number in
+        Trace.Counter.incr t.c_verify;
         if
           Certs.verify ~statement ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1)
             witness

@@ -77,6 +77,10 @@ val delivery_counter : t -> int
 val delivered_messages : t -> int
 (** Application messages delivered (after deduplication). *)
 
+val order_queue_depth : t -> int
+(** Ordered batch references not yet delivered (missing batch, or CPU
+    busy) — the STOB→delivery backlog. *)
+
 val stored_batches : t -> int
 val stored_bytes : t -> int
 (** Memory pressure: §8 calls out garbage collection under load as a

@@ -31,10 +31,14 @@ let header_bytes = 16
    counter and a signer bitmap (f+1 out of n servers). *)
 let legitimacy_cert_bytes = multisig_bytes + seqno_bytes + 8
 
+(* Causal trace context piggybacked on submissions: 4 B root id + 1 B hop. *)
+let trace_ctx_bytes = Repro_trace.Trace.Ctx.wire_bytes
+
 let submission_bytes ~clients ~msg_bytes =
   header_bytes
   + int_of_float (ceil (id_bytes ~clients))
   + seqno_bytes + msg_bytes + sig_bytes + legitimacy_cert_bytes
+  + trace_ctx_bytes
 
 let inclusion_bytes ~count =
   let depth =

@@ -42,9 +42,12 @@ val distilled_batch_bytes :
 val header_bytes : int
 (** Fixed per-message protocol header (framing, type tag). *)
 
+val trace_ctx_bytes : int
+(** Causal trace context carried by submissions (root id + hop). *)
+
 val submission_bytes : clients:int -> msg_bytes:int -> int
 (** Client → broker first message (#2): id, seqno, message, individual
-    signature, legitimacy certificate reference. *)
+    signature, legitimacy certificate reference, trace context. *)
 
 val inclusion_bytes : count:int -> int
 (** Broker → client (#4): root, aggregate seqno, Merkle proof, evidence. *)

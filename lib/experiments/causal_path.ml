@@ -1,0 +1,172 @@
+module Trace = Repro_trace.Trace
+
+type hop = {
+  h_phase : string;
+  h_start : float;
+  h_finish : float;
+  h_actor : int;
+  h_hop : int;
+  h_detail : string;
+}
+
+type t = {
+  p_key : int;
+  p_client : int;
+  p_seq : int option;
+  p_proposal : int;
+  p_batch : int;
+  p_send : float;
+  p_deliver : float;
+  p_hops : hop list;
+  p_ctx_verified : bool;
+}
+
+let candidates events =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun (e : Trace.event) ->
+      match (e.ev_phase, e.ev_cat, e.ev_name) with
+      | Trace.I, "client", "deliver" when not (Hashtbl.mem seen e.ev_id) ->
+        Hashtbl.add seen e.ev_id ();
+        Some e.ev_id
+      | _ -> None)
+    events
+
+let follow events ~key =
+  (* The client-side endpoints of the followed message. *)
+  let send = ref None and deliver = ref None in
+  (* Broker "include" instants for this key: (proposal, hop, time, actor). *)
+  let includes = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.ev_id = key then
+        match (e.ev_phase, e.ev_cat, e.ev_name) with
+        | Trace.I, "client", "send" -> if !send = None then send := Some e
+        | Trace.I, "client", "deliver" -> if !deliver = None then deliver := Some e
+        | Trace.I, "broker", "include" ->
+          (match
+             ( Trace.attr_int e.ev_attrs "proposal",
+               Trace.attr_int e.ev_attrs "hop" )
+           with
+           | Some proposal, Some hop ->
+             includes := (proposal, hop, e.ev_time, e.ev_actor) :: !includes
+           | _ -> ())
+        | _ -> ())
+    events;
+  match (!send, !deliver) with
+  | Some send_e, Some deliver_e ->
+    (* Walk backward from the delivery certificate: its root names the
+       carrying batch, the batch's launch names the proposal. *)
+    Option.bind (Trace.attr_int deliver_e.ev_attrs "root") (fun batch ->
+        let launch = ref None and ordered = ref None in
+        List.iter
+          (fun (e : Trace.event) ->
+            if e.ev_id = batch then
+              match (e.ev_phase, e.ev_cat, e.ev_name) with
+              | Trace.I, "broker", "launch" ->
+                if !launch = None then launch := Some e
+              | Trace.I, "server", "ordered" ->
+                (match !ordered with
+                 | Some (o : Trace.event) when o.ev_time <= e.ev_time -> ()
+                 | _ -> ordered := Some e)
+              | _ -> ())
+          events;
+        Option.bind !launch (fun (launch_e : Trace.event) ->
+            Option.bind (Trace.attr_int launch_e.ev_attrs "reduction")
+              (fun proposal ->
+                let spans = Trace.Span.pair events in
+                let find_span name id =
+                  List.find_opt
+                    (fun (s : Trace.Span.t) ->
+                      s.sp_cat = "broker" && s.sp_name = name && s.sp_id = id)
+                    spans
+                in
+                match
+                  (find_span "distill" proposal, find_span "witness" batch, !ordered)
+                with
+                | Some distill, Some witness, Some ordered_e ->
+                  let inc =
+                    List.find_opt (fun (p, _, _, _) -> p = proposal) !includes
+                  in
+                  let ctx_verified = inc <> None in
+                  let inc_hop =
+                    match inc with Some (_, h, _, _) -> h | None -> 1
+                  in
+                  let t0 = send_e.ev_time in
+                  let td = deliver_e.ev_time in
+                  let hops =
+                    [ { h_phase = "submission"; h_start = t0;
+                        h_finish = distill.sp_begin; h_actor = distill.sp_actor;
+                        h_hop = inc_hop;
+                        h_detail =
+                          Printf.sprintf
+                            "client %d -> broker %d; included in proposal %#x%s"
+                            send_e.ev_actor distill.sp_actor proposal
+                            (if ctx_verified then "" else " (no include hop!)") };
+                      { h_phase = "distillation"; h_start = distill.sp_begin;
+                        h_finish = launch_e.ev_time; h_actor = distill.sp_actor;
+                        h_hop = inc_hop + 1;
+                        h_detail =
+                          Printf.sprintf
+                            "proposal %#x reduced, launched as batch %#x"
+                            proposal batch };
+                      { h_phase = "witnessing"; h_start = launch_e.ev_time;
+                        h_finish = witness.sp_end; h_actor = witness.sp_actor;
+                        h_hop = inc_hop + 2;
+                        h_detail =
+                          Printf.sprintf
+                            "f+1 witness shards aggregated at broker %d"
+                            witness.sp_actor };
+                      { h_phase = "ordering"; h_start = witness.sp_end;
+                        h_finish = ordered_e.ev_time; h_actor = ordered_e.ev_actor;
+                        h_hop = inc_hop + 3;
+                        h_detail =
+                          Printf.sprintf
+                            "(root, witness) through the STOB; first out at server %d"
+                            ordered_e.ev_actor };
+                      { h_phase = "delivery"; h_start = ordered_e.ev_time;
+                        h_finish = td; h_actor = deliver_e.ev_actor;
+                        h_hop = inc_hop + 4;
+                        h_detail =
+                          Printf.sprintf
+                            "delivered server-side; certificate back to client %d"
+                            deliver_e.ev_actor } ]
+                  in
+                  Some
+                    { p_key = key; p_client = send_e.ev_actor;
+                      p_seq = Trace.attr_int send_e.ev_attrs "seq";
+                      p_proposal = proposal; p_batch = batch;
+                      p_send = t0; p_deliver = td; p_hops = hops;
+                      p_ctx_verified = ctx_verified }
+                | _ -> None)))
+  | _ -> None
+
+let first events =
+  let rec go = function
+    | [] -> None
+    | key :: rest ->
+      (match follow events ~key with Some p -> Some p | None -> go rest)
+  in
+  go (candidates events)
+
+let e2e p = p.p_deliver -. p.p_send
+let hop_sum p = List.fold_left (fun acc h -> acc +. (h.h_finish -. h.h_start)) 0. p.p_hops
+
+let pp ppf p =
+  Format.fprintf ppf "message %#x  (client actor %d%s)@." p.p_key p.p_client
+    (match p.p_seq with Some s -> Printf.sprintf ", seq %d" s | None -> "");
+  Format.fprintf ppf "ctx root %#x, %d hops%s@." p.p_key (List.length p.p_hops)
+    (if p.p_ctx_verified then ", context propagation verified"
+     else ", WARNING: no matching broker include hop");
+  List.iteri
+    (fun i h ->
+      let indent = String.make (2 * i) ' ' in
+      Format.fprintf ppf "%s`- [hop %d] %-12s %8.1f ms  (%.3fs -> %.3fs)  %s@."
+        indent h.h_hop h.h_phase
+        (1e3 *. (h.h_finish -. h.h_start))
+        h.h_start h.h_finish h.h_detail)
+    p.p_hops;
+  let e = e2e p and s = hop_sum p in
+  let delta = if e > 0. then Float.abs (s -. e) /. e *. 100. else 0. in
+  Format.fprintf ppf "e2e %.1f ms; hops sum %.1f ms (delta %.2f%%)@." (1e3 *. e)
+    (1e3 *. s) delta

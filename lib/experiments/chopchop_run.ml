@@ -26,6 +26,7 @@ type params = {
   reduce_timeout : float;
   witness_margin : int option; (* None: the paper's per-size default *)
   trace : Repro_trace.Trace.Sink.t;
+  metrics : Repro_metrics.Metrics.t option;
 }
 
 let default =
@@ -34,7 +35,7 @@ let default =
     measure_clients = 8; duration = 20.; warmup = 6.; cooldown = 4.;
     crash = None; dense_clients = 257_000_000; seed = 42L;
     flush_period = 1.0; reduce_timeout = 1.0; witness_margin = None;
-    trace = Repro_trace.Trace.Sink.null () }
+    trace = Repro_trace.Trace.Sink.null (); metrics = None }
 
 type result = {
   offered : float;
@@ -46,6 +47,8 @@ type result = {
   goodput_bps : float;
   server_cpu : float;
   stored_bytes_max : int;
+  delivered_messages : int; (* total at server 0, whole run *)
+  decisions : int; (* batches delivered at server 0, whole run *)
 }
 
 let useful_bytes_per_msg ~clients ~msg_bytes =
@@ -107,6 +110,9 @@ let run p =
   (* Measurement clients broadcasting back-to-back small messages through
      the real (distilling) brokers. *)
   let lat = Stats.Summary.create () in
+  let lat_hist =
+    Option.map (fun m -> Repro_metrics.Metrics.histogram m "latency.e2e") p.metrics
+  in
   let win_start = p.warmup and win_end = p.duration -. p.cooldown in
   let clients =
     List.init p.measure_clients (fun i ->
@@ -116,7 +122,12 @@ let run p =
                                                     far from load ranges *)
             ~on_delivered:(fun _ ~latency ->
               let now = Engine.now engine in
-              if now >= win_start && now <= win_end then Stats.Summary.add lat latency)
+              if now >= win_start && now <= win_end then begin
+                Stats.Summary.add lat latency;
+                Option.iter
+                  (fun h -> Repro_trace.Trace.Hist.add h latency)
+                  lat_hist
+              end)
             ()
         in
         c)
@@ -157,6 +168,52 @@ let run p =
       Array.iter
         (fun sv -> stored_max := max !stored_max (Server.stored_bytes sv))
         (D.servers d));
+  (* Time-series sampling: probes over every node role, ticked on the sim
+     clock so two same-seed runs produce bit-identical series. *)
+  (match p.metrics with
+   | None -> ()
+   | Some m ->
+     let module M = Repro_metrics.Metrics in
+     let module Trace = Repro_trace.Trace in
+     if Trace.enabled p.trace then M.mirror m ~sink:p.trace ~actor:9999;
+     let n_alive () = float_of_int (List.length servers_alive) in
+     M.rate_probe m "throughput.ops" ~labels:[ ("role", "server") ] (fun () ->
+         float_of_int (Server.delivered_messages (D.servers d).(0)));
+     let net_bytes = Trace.Sink.counter p.trace ~cat:"net" ~name:"bytes" in
+     M.rate_probe m "net.bytes_per_s" ~labels:[ ("role", "wan") ] (fun () ->
+         float_of_int (Trace.Counter.value net_bytes));
+     M.probe m "cpu.util" ~labels:[ ("role", "server") ] (fun () ->
+         List.fold_left
+           (fun acc i -> acc +. D.server_cpu_utilization d i ~since:0.)
+           0. servers_alive
+         /. n_alive ());
+     M.probe m "cpu.backlog_s" ~labels:[ ("role", "server") ] (fun () ->
+         List.fold_left
+           (fun acc i -> Float.max acc (D.server_cpu_backlog d i))
+           0. servers_alive);
+     M.probe m "order_queue.depth" ~labels:[ ("role", "server") ] (fun () ->
+         List.fold_left
+           (fun acc i ->
+             Stdlib.max acc (Server.order_queue_depth (D.servers d).(i)))
+           0 servers_alive
+         |> float_of_int);
+     let each_broker f =
+       let acc = ref 0 in
+       for i = 0 to D.n_brokers d - 1 do
+         acc := !acc + f (D.broker d i)
+       done;
+       float_of_int !acc
+     in
+     M.probe m "batches.in_flight" ~labels:[ ("role", "broker") ] (fun () ->
+         each_broker Repro_chopchop.Broker.batches_in_flight);
+     M.probe m "pool.depth" ~labels:[ ("role", "broker") ] (fun () ->
+         each_broker Repro_chopchop.Broker.pool_depth);
+     (* Satellite: ring-sink drops as a live gauge, so a truncated trace
+        is visible in the metrics themselves. *)
+     M.probe m "trace.dropped" ~labels:[ ("role", "trace") ] (fun () ->
+         float_of_int (Trace.Sink.dropped p.trace));
+     Engine.every engine ~period:(M.period m) ~until:p.duration (fun () ->
+         M.sample m ~now:(Engine.now engine)));
   (* Start the load. *)
   List.iteri
     (fun i lb ->
@@ -187,6 +244,18 @@ let run p =
     in
     sum /. float_of_int (List.length servers_alive)
   in
+  (* Fold the run-wide trace counters (net bytes, crypto ops, engine
+     steps, server deliveries) into the registry as end-of-run gauges,
+     so one snapshot carries everything. *)
+  (match p.metrics with
+   | None -> ()
+   | Some m ->
+     let module M = Repro_metrics.Metrics in
+     List.iter
+       (fun (cat, name, v) ->
+         M.Gauge.set (M.gauge m (cat ^ "." ^ name)) (float_of_int v))
+       (Repro_trace.Trace.Sink.counters p.trace);
+     M.Gauge.set (M.gauge m "run.stored_bytes_max") (float_of_int !stored_max));
   { offered = p.rate;
     throughput;
     latency_mean = Stats.Summary.mean lat;
@@ -195,7 +264,9 @@ let run p =
     network_rate_bps = net_rate;
     goodput_bps = throughput *. per_msg;
     server_cpu = cpu;
-    stored_bytes_max = !stored_max }
+    stored_bytes_max = !stored_max;
+    delivered_messages = Server.delivered_messages (D.servers d).(0);
+    decisions = Server.delivery_counter (D.servers d).(0) }
 
 let pp_result fmt r =
   Format.fprintf fmt

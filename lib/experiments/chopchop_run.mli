@@ -24,6 +24,12 @@ type params = {
   reduce_timeout : float; (* distillation timeout (1 s in the paper) *)
   witness_margin : int option; (* None: paper default for the size *)
   trace : Repro_trace.Trace.Sink.t; (* observability sink (default: null) *)
+  metrics : Repro_metrics.Metrics.t option;
+      (* when set, the run registers role-labelled probes (throughput,
+         CPU, queue depths, in-flight batches, net rate, trace drops),
+         ticks the registry's sampler on the sim clock, fills a
+         [latency.e2e] histogram from the measurement clients, and folds
+         the run-wide trace counters into end-of-run gauges *)
 }
 
 val default : params
@@ -40,6 +46,8 @@ type result = {
   goodput_bps : float; (* useful bytes delivered per second *)
   server_cpu : float; (* mean server utilisation over the window *)
   stored_bytes_max : int; (* peak batch store across servers (GC pressure) *)
+  delivered_messages : int; (* total messages at server 0, whole run *)
+  decisions : int; (* batches delivered at server 0, whole run *)
 }
 
 val run : params -> result

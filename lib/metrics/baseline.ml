@@ -1,0 +1,185 @@
+type direction =
+  | Higher_better
+  | Lower_better
+
+type metric = {
+  value : float;
+  tolerance : float option;
+  direction : direction;
+}
+
+type config = (string * metric) list
+
+type doc = {
+  version : int;
+  readme : string list;
+  configs : (string * config) list;
+}
+
+let direction_string = function
+  | Higher_better -> "higher_better"
+  | Lower_better -> "lower_better"
+
+let direction_of_string = function
+  | "higher_better" -> Higher_better
+  | "lower_better" -> Lower_better
+  | s -> failwith ("Baseline: unknown direction " ^ s)
+
+let metric_json m =
+  Json.Obj
+    [ ("value", Json.Num m.value);
+      ("tolerance", match m.tolerance with None -> Json.Null | Some r -> Json.Num r);
+      ("direction", Json.Str (direction_string m.direction)) ]
+
+let to_json doc =
+  Json.to_string_pretty
+    (Json.Obj
+       [ ("_readme", Json.List (List.map (fun l -> Json.Str l) doc.readme));
+         ("version", Json.Num (float_of_int doc.version));
+         ("configs",
+          Json.Obj
+            (List.map
+               (fun (cname, metrics) ->
+                 (cname, Json.Obj (List.map (fun (m, v) -> (m, metric_json v)) metrics)))
+               doc.configs)) ])
+
+let get what = function
+  | Some v -> v
+  | None -> failwith ("Baseline: missing or malformed " ^ what)
+
+let metric_of_json j =
+  let value = get "value" Json.(Option.bind (member "value" j) to_float) in
+  let tolerance =
+    match Json.member "tolerance" j with
+    | None | Some Json.Null -> None
+    | Some v -> Some (get "tolerance" (Json.to_float v))
+  in
+  let direction =
+    direction_of_string
+      (get "direction" Json.(Option.bind (member "direction" j) to_str))
+  in
+  { value; tolerance; direction }
+
+let of_json s =
+  let j = Json.parse s in
+  let readme =
+    match Json.member "_readme" j with
+    | Some (Json.List xs) -> List.filter_map Json.to_str xs
+    | _ -> []
+  in
+  let version = get "version" Json.(Option.bind (member "version" j) to_int) in
+  let configs =
+    match Json.member "configs" j with
+    | Some (Json.Obj cs) ->
+      List.map
+        (fun (cname, cj) ->
+          match cj with
+          | Json.Obj ms -> (cname, List.map (fun (m, mj) -> (m, metric_of_json mj)) ms)
+          | _ -> failwith ("Baseline: config " ^ cname ^ " is not an object"))
+        cs
+    | _ -> failwith "Baseline: missing configs object"
+  in
+  { version; readme; configs }
+
+let write ~path doc =
+  let oc = open_out path in
+  output_string oc (to_json doc);
+  close_out oc
+
+let read ~path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_json s
+
+type verdict = {
+  v_config : string;
+  v_metric : string;
+  v_base : float;
+  v_cur : float;
+  v_delta_pct : float;
+  v_gated : bool;
+  v_ok : bool;
+  v_note : string;
+}
+
+let judge ~base ~cur =
+  match base.tolerance with
+  | None -> (false, true, "informational")
+  | Some tol ->
+    let ok =
+      if base.value = 0. then
+        match base.direction with
+        | Lower_better -> cur.value <= tol
+        | Higher_better -> cur.value >= 0.
+      else
+        match base.direction with
+        | Higher_better -> cur.value >= base.value *. (1. -. tol)
+        | Lower_better -> cur.value <= base.value *. (1. +. tol)
+    in
+    let note =
+      Printf.sprintf "tol %.0f%% %s" (100. *. tol)
+        (match base.direction with
+         | Higher_better -> "(higher better)"
+         | Lower_better -> "(lower better)")
+    in
+    (true, ok, note)
+
+let compare_docs ~baseline ~current =
+  let out = ref [] in
+  List.iter
+    (fun (cname, bmetrics) ->
+      let cmetrics = Option.value (List.assoc_opt cname current.configs) ~default:[] in
+      List.iter
+        (fun (mname, bm) ->
+          let v =
+            match List.assoc_opt mname cmetrics with
+            | None ->
+              { v_config = cname; v_metric = mname; v_base = bm.value; v_cur = nan;
+                v_delta_pct = 0.; v_gated = bm.tolerance <> None;
+                v_ok = bm.tolerance = None; v_note = "missing from current run" }
+            | Some cm ->
+              let gated, ok, note = judge ~base:bm ~cur:cm in
+              let delta =
+                if bm.value = 0. then 0.
+                else (cm.value -. bm.value) /. bm.value *. 100.
+              in
+              { v_config = cname; v_metric = mname; v_base = bm.value;
+                v_cur = cm.value; v_delta_pct = delta; v_gated = gated;
+                v_ok = ok; v_note = note }
+          in
+          out := v :: !out)
+        bmetrics;
+      (* Metrics the baseline does not know about yet: informational. *)
+      List.iter
+        (fun (mname, cm) ->
+          if List.assoc_opt mname bmetrics = None then
+            out :=
+              { v_config = cname; v_metric = mname; v_base = nan; v_cur = cm.value;
+                v_delta_pct = 0.; v_gated = false; v_ok = true;
+                v_note = "new metric (not in baseline)" }
+              :: !out)
+        cmetrics)
+    baseline.configs;
+  List.iter
+    (fun (cname, _) ->
+      if List.assoc_opt cname baseline.configs = None then
+        out :=
+          { v_config = cname; v_metric = "*"; v_base = nan; v_cur = nan;
+            v_delta_pct = 0.; v_gated = false; v_ok = true;
+            v_note = "new config (not in baseline)" }
+          :: !out)
+    current.configs;
+  List.rev !out
+
+let all_ok vs = List.for_all (fun v -> v.v_ok) vs
+
+let pp_verdict ppf v =
+  let status =
+    if not v.v_gated then "  info"
+    else if v.v_ok then "    ok"
+    else "REGRESS"
+  in
+  Format.fprintf ppf "%s  %-12s %-28s base %-14.6g cur %-14.6g %+7.2f%%  %s" status
+    v.v_config v.v_metric v.v_base v.v_cur v.v_delta_pct v.v_note

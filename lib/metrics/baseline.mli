@@ -1,0 +1,63 @@
+(** Machine-readable bench baseline ([BENCH_*.json]): a set of named
+    configurations, each a set of named metrics with a recorded value, an
+    optional relative tolerance and a regression direction.  The sim is
+    deterministic, so every gated metric reproduces exactly on any
+    machine running the same code — any drift beyond tolerance is a real
+    code-behaviour change, which is what the CI gate is for.
+
+    Tolerance policy: [tolerance = Some r] gates the metric — the run
+    fails if the new value is {e worse} than the baseline by more than a
+    fraction [r] of the baseline ([new < base*(1-r)] for
+    [Higher_better], [new > base*(1+r)] for [Lower_better]; a zero
+    baseline gates on [new <= r] for [Lower_better]).  [tolerance =
+    None] records the metric for information only (e.g. wall-clock time,
+    which is machine-dependent).  Improvements never fail. *)
+
+type direction =
+  | Higher_better
+  | Lower_better
+
+type metric = {
+  value : float;
+  tolerance : float option;
+  direction : direction;
+}
+
+type config = (string * metric) list
+(** Metric name → metric, in file order. *)
+
+type doc = {
+  version : int;
+  readme : string list;  (** ["_readme"]: schema/policy doc lines. *)
+  configs : (string * config) list;
+}
+
+val to_json : doc -> string
+(** Pretty-printed, stable field order — suitable for committing. *)
+
+val of_json : string -> doc
+(** @raise Failure on malformed input. *)
+
+val write : path:string -> doc -> unit
+val read : path:string -> doc
+
+(** {2 Comparison} *)
+
+type verdict = {
+  v_config : string;
+  v_metric : string;
+  v_base : float;
+  v_cur : float;
+  v_delta_pct : float;  (** [(cur - base) / base * 100]; 0 when base = 0. *)
+  v_gated : bool;
+  v_ok : bool;  (** Ungated verdicts are always [ok]. *)
+  v_note : string;
+}
+
+val compare_docs : baseline:doc -> current:doc -> verdict list
+(** One verdict per baseline metric (a config or metric missing from
+    [current] yields a failing gated verdict); metrics present only in
+    [current] yield informational passes. *)
+
+val all_ok : verdict list -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,35 @@
+(** Minimal JSON tree: enough to write the metrics exports and the
+    [BENCH_*.json] baseline, and to parse them back for comparison — no
+    external dependency, no streaming.
+
+    The printer is deterministic (object fields print in the order given)
+    and the parser accepts anything the printer emits plus ordinary
+    whitespace, so [parse (to_string v)] round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line. *)
+
+val to_string_pretty : t -> string
+(** 2-space indented, for files meant to be read and diffed by humans. *)
+
+val parse : string -> t
+(** @raise Failure on malformed input (with a character offset). *)
+
+val escape : string -> string
+(** JSON string escaping of the content (no surrounding quotes). *)
+
+(** {2 Accessors} — all return [None] on a type or key mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

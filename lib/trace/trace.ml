@@ -195,6 +195,16 @@ let count sink ~now ~actor ~cat ~name v =
 
 let key s = Hashtbl.hash s land 0x3FFFFFFF
 
+module Ctx = struct
+  type t = { root : int; hop : int }
+
+  let make ~root = { root; hop = 0 }
+  let child t = { t with hop = t.hop + 1 }
+  let root t = t.root
+  let hop t = t.hop
+  let wire_bytes = 5
+end
+
 let attr_int attrs name =
   match List.assoc_opt name attrs with
   | Some (A_int i) -> Some i

@@ -134,6 +134,27 @@ val count : Sink.t -> now:float -> actor:int -> cat:string -> name:string -> flo
 val key : string -> int
 (** Stable non-negative correlation id for a string key (batch roots). *)
 
+module Ctx : sig
+  (** Dapper-style causal trace context carried inside wire messages: the
+      correlation id of the root operation (for a broadcast, the
+      client-message key) plus a hop counter bumped at each forwarding
+      component.  Compact by construction — {!wire_bytes} charges 5 bytes
+      (4-byte root id + 1-byte hop) to any message that carries one. *)
+
+  type t = { root : int; hop : int }
+
+  val make : root:int -> t
+  (** A fresh context at hop 0, rooted at the given correlation id. *)
+
+  val child : t -> t
+  (** The same root, one hop further down the path. *)
+
+  val root : t -> int
+  val hop : t -> int
+
+  val wire_bytes : int
+end
+
 val attr_int : (string * attr) list -> string -> int option
 val attr_float : (string * attr) list -> string -> float option
 

@@ -19,4 +19,14 @@ dune exec bin/main.exe -- chaos --scenario kitchen-sink --scale quick
 echo "== trace-enabled bench smoke =="
 CHOPCHOP_BENCH_SCALE=quick dune exec bench/main.exe -- trace
 
+echo "== bench baseline regression gate =="
+# Regenerate the machine-readable baseline and diff it against the
+# committed one; the sim is deterministic, so any gated drift is a real
+# code-behaviour change (regenerate + commit BENCH_chopchop.json when
+# intentional).
+tmp_bench="$(mktemp)"
+trap 'rm -f "$tmp_bench"' EXIT
+CHOPCHOP_BENCH_OUT="$tmp_bench" dune exec bench/main.exe -- json
+scripts/bench_compare BENCH_chopchop.json "$tmp_bench"
+
 echo "ci ok"

@@ -478,13 +478,17 @@ let test_illegitimate_sequence_rejected () =
   let seq = 1_000_000 in
   let tsig = Schnorr.sign kp.Types.sig_sk (Types.message_statement ~id ~seq msg) in
   Broker.receive_client (Deployment.broker d 0)
-    (Proto.Submission { id; seq; msg; tsig; evidence = None });
+    (Proto.Submission
+       { id; seq; msg; tsig; evidence = None;
+         ctx = Repro_trace.Trace.Ctx.make ~root:0 });
   Deployment.run d ~until:20.0;
   checki "illegitimate submission dropped" 0 !delivered;
   (* The same submission with seq 0 is accepted. *)
   let tsig0 = Schnorr.sign kp.Types.sig_sk (Types.message_statement ~id ~seq:0 msg) in
   Broker.receive_client (Deployment.broker d 0)
-    (Proto.Submission { id; seq = 0; msg; tsig = tsig0; evidence = None });
+    (Proto.Submission
+       { id; seq = 0; msg; tsig = tsig0; evidence = None;
+         ctx = Repro_trace.Trace.Ctx.make ~root:0 });
   Deployment.run d ~until:40.0;
   checki "legitimate first message delivered (as straggler)" 4 !delivered
 

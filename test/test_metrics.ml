@@ -1,0 +1,322 @@
+(* Tests for the metrics subsystem: registry/label semantics, probe
+   sampling and series alignment, baseline comparison (the CI gate's
+   pass/fail logic), JSON round-trips, and the end-to-end properties the
+   ISSUE pins down — bit-identical same-seed snapshots, sampler/sim-clock
+   alignment, C-phase mirroring into the trace, and causal message-path
+   reconstruction telescoping to the end-to-end latency. *)
+
+open Repro_trace
+module M = Repro_metrics.Metrics
+module B = Repro_metrics.Baseline
+module J = Repro_metrics.Json
+module R = Repro_experiments.Chopchop_run
+module LB = Repro_experiments.Latency_breakdown
+module CP = Repro_experiments.Causal_path
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let checkf msg a b = Alcotest.check (Alcotest.float 1e-9) msg a b
+
+(* --- registry / labels ------------------------------------------------ *)
+
+let test_label_isolation () =
+  let m = M.create () in
+  let c1 = M.counter m "net.msgs" ~labels:[ ("role", "wan"); ("dir", "in") ] in
+  let c2 = M.counter m "net.msgs" ~labels:[ ("dir", "in"); ("role", "wan") ] in
+  Trace.Counter.incr c1;
+  Trace.Counter.incr c2;
+  checki "label order is canonicalised away" 2 (Trace.Counter.value c1);
+  let c3 = M.counter m "net.msgs" ~labels:[ ("dir", "out"); ("role", "wan") ] in
+  checki "differing label value names a fresh instrument" 0
+    (Trace.Counter.value c3);
+  let c4 = M.counter m "net.msgs" in
+  checki "empty label set is its own instrument" 0 (Trace.Counter.value c4);
+  let g = M.gauge m "net.msgs" in
+  M.Gauge.set g 7.;
+  checkf "same name, different kind: distinct cells" 7. (M.Gauge.value g);
+  checki "counter unaffected by like-named gauge" 0 (Trace.Counter.value c4)
+
+let test_label_string () =
+  checks "no labels" "q" (M.label_string "q" []);
+  checks "labels sorted into the rendering" "q{a=1,b=2}"
+    (M.label_string "q" [ ("b", "2"); ("a", "1") ])
+
+let test_snapshot_sorted () =
+  let m = M.create () in
+  M.Gauge.set (M.gauge m "zz") 1.;
+  Trace.Counter.incr (M.counter m "aa");
+  Trace.Hist.add (M.histogram m "mm") 0.5;
+  let names = List.map (fun e -> e.M.m_name) (M.snapshot m) in
+  Alcotest.(check (list string)) "sorted by name" [ "aa"; "mm"; "zz" ] names
+
+(* --- probes and sampling ---------------------------------------------- *)
+
+let test_probe_alignment () =
+  let m = M.create ~period:0.25 () in
+  checkf "period recorded" 0.25 (M.period m);
+  let v = ref 0. in
+  M.probe m "depth" (fun () -> !v);
+  M.probe m "depth" ~labels:[ ("role", "b") ] (fun () -> 2. *. !v);
+  for i = 1 to 4 do
+    v := float_of_int i;
+    M.sample m ~now:(0.25 *. float_of_int i)
+  done;
+  checki "one tick per sample call" 4 (M.ticks m);
+  let series = M.series m in
+  checki "one series per probe" 2 (List.length series);
+  List.iter
+    (fun s ->
+      checki
+        (M.label_string s.M.s_name s.M.s_labels ^ " aligned")
+        4
+        (Array.length s.M.s_points);
+      Array.iteri
+        (fun i (t, _) -> checkf "tick time column shared" (M.tick_times m).(i) t)
+        s.M.s_points)
+    series;
+  let plain = List.nth series 0 and doubled = List.nth series 1 in
+  checkf "probe read at each tick" 3. (snd plain.M.s_points.(2));
+  checkf "labelled twin sampled independently" 6. (snd doubled.M.s_points.(2));
+  (* The last sample also lands in a like-named gauge for the snapshot. *)
+  checkf "probe gauge holds last sample" 4. (M.Gauge.value (M.gauge m "depth"))
+
+let test_rate_probe () =
+  let m = M.create () in
+  let total = ref 0. in
+  M.rate_probe m "rate" (fun () -> !total);
+  (* Cumulative 100 at t=2 from 0 at t=0 -> 50/s; +300 over the next 2 s
+     -> 150/s; flat over a further 1 s -> 0/s. *)
+  total := 100.;
+  M.sample m ~now:2.;
+  total := 400.;
+  M.sample m ~now:4.;
+  M.sample m ~now:5.;
+  let s = List.hd (M.series m) in
+  checkf "first interval from t=0" 50. (snd s.M.s_points.(0));
+  checkf "per-interval rate" 150. (snd s.M.s_points.(1));
+  checkf "flat cumulative = zero rate" 0. (snd s.M.s_points.(2))
+
+let test_mirror_emits_c_phase () =
+  let m = M.create () in
+  let sink = Trace.Sink.memory () in
+  M.probe m "depth" (fun () -> 42.);
+  M.mirror m ~sink ~actor:9;
+  M.sample m ~now:1.;
+  M.sample m ~now:2.;
+  let cs =
+    List.filter
+      (fun (e : Trace.event) ->
+        match e.ev_phase with
+        | Trace.C v -> e.ev_cat = "metrics" && v = 42.
+        | _ -> false)
+      (Trace.Sink.events sink)
+  in
+  checki "one C-phase counter event per probe per tick" 2 (List.length cs)
+
+(* --- exports ---------------------------------------------------------- *)
+
+let export_fixture () =
+  let m = M.create () in
+  Trace.Counter.add (M.counter m "ops" ~labels:[ ("role", "s") ]) 12;
+  Trace.Hist.add (M.histogram m "lat") 0.5;
+  M.probe m "depth" (fun () -> 3.);
+  M.sample m ~now:0.5;
+  M.sample m ~now:1.0;
+  m
+
+let test_jsonl_parses () =
+  let m = export_fixture () in
+  let lines = String.split_on_char '\n' (String.trim (M.to_jsonl m)) in
+  checkb "several lines" true (List.length lines >= 4);
+  List.iter
+    (fun line ->
+      match J.parse line with
+      | J.Obj kvs ->
+        checkb "every line has a kind" true (List.mem_assoc "kind" kvs)
+      | _ -> Alcotest.fail "jsonl line not an object"
+      | exception Failure e -> Alcotest.fail e)
+    lines;
+  let series_line =
+    List.find (fun l -> J.member "kind" (J.parse l) = Some (J.Str "series")) lines
+  in
+  match J.member "points" (J.parse series_line) with
+  | Some (J.List pts) -> checki "one point per tick" 2 (List.length pts)
+  | _ -> Alcotest.fail "series line has no points array"
+
+let test_series_csv () =
+  let m = export_fixture () in
+  match String.split_on_char '\n' (String.trim (M.series_csv m)) with
+  | header :: rows ->
+    checkb "time column first" true
+      (String.length header >= 4 && String.sub header 0 4 = "time");
+    checki "one row per tick" 2 (List.length rows)
+  | [] -> Alcotest.fail "empty csv"
+
+(* --- baseline comparison (the CI gate) -------------------------------- *)
+
+let doc_of configs =
+  { B.version = 1; readme = [ "test" ]; configs }
+
+let metric ?tolerance ?(direction = B.Lower_better) value =
+  { B.value; tolerance; direction }
+
+let compare_one base cur =
+  let baseline = doc_of [ ("c", [ ("m", base) ]) ] in
+  let current = doc_of [ ("c", [ ("m", cur) ]) ] in
+  B.compare_docs ~baseline ~current
+
+let test_baseline_gate () =
+  let hb = metric ~tolerance:0.10 ~direction:B.Higher_better in
+  let lb = metric ~tolerance:0.10 ~direction:B.Lower_better in
+  checkb "within tolerance passes" true (B.all_ok (compare_one (hb 100.) (hb 91.)));
+  checkb "beyond tolerance fails" false (B.all_ok (compare_one (hb 100.) (hb 89.)));
+  checkb "improvement never fails" true (B.all_ok (compare_one (hb 100.) (hb 250.)));
+  checkb "lower-better regression fails" false
+    (B.all_ok (compare_one (lb 100.) (lb 111.)));
+  checkb "lower-better within tolerance" true
+    (B.all_ok (compare_one (lb 100.) (lb 110.)));
+  checkb "zero baseline gates absolutely" false
+    (B.all_ok (compare_one (lb 0.) (lb 0.2)));
+  checkb "zero baseline within slack" true (B.all_ok (compare_one (lb 0.) (lb 0.05)));
+  checkb "ungated metric never fails" true
+    (B.all_ok (compare_one (metric 100.) (metric 900.)));
+  (* Structural gates: anything the current run no longer reports fails. *)
+  let baseline = doc_of [ ("c", [ ("m", lb 1.) ]) ] in
+  checkb "missing metric fails" false
+    (B.all_ok (B.compare_docs ~baseline ~current:(doc_of [ ("c", []) ])));
+  checkb "missing config fails" false
+    (B.all_ok (B.compare_docs ~baseline ~current:(doc_of [])));
+  let wider = doc_of [ ("c", [ ("m", lb 1.); ("extra", lb 9.) ]) ] in
+  let vs = B.compare_docs ~baseline ~current:wider in
+  checkb "new metrics are informational passes" true (B.all_ok vs);
+  checki "and still reported" 2 (List.length vs)
+
+let test_baseline_roundtrip () =
+  let doc =
+    { B.version = 1;
+      readme = [ "line one"; "line two" ];
+      configs =
+        [ ( "quick-pbft",
+            [ ("throughput", metric ~tolerance:0.05 ~direction:B.Higher_better 1e5);
+              ("wall", metric 0.25) ] );
+          ("quick-hotstuff", [ ("lat_p99", metric ~tolerance:0.15 3.25) ]) ] }
+  in
+  let doc' = B.of_json (B.to_json doc) in
+  checkb "to_json |> of_json is the identity" true (doc = doc')
+
+(* --- end-to-end: deterministic instrumented runs ---------------------- *)
+
+let quick_params =
+  { R.default with
+    n_servers = 4; underlay = Repro_chopchop.Deployment.Pbft;
+    rate = 100_000.; batch_count = 4096; n_load_brokers = 1;
+    measure_clients = 2; duration = 6.; warmup = 4.; cooldown = 2.;
+    dense_clients = 1_000_000 }
+
+let run_instrumented () =
+  let m = M.create () in
+  let result, breakdown, sink =
+    LB.capture ~params:{ quick_params with R.metrics = Some m } ()
+  in
+  (m, result, breakdown, sink)
+
+let captured = lazy (run_instrumented (), run_instrumented ())
+
+let test_snapshot_deterministic () =
+  let (m_a, _, _, _), (m_b, _, _, _) = Lazy.force captured in
+  checkb "non-trivial snapshot" true (List.length (M.snapshot m_a) > 5);
+  checkb "same-seed snapshots bit-identical" true
+    (M.snapshot m_a = M.snapshot m_b);
+  checkb "same-seed series bit-identical" true (M.series m_a = M.series m_b)
+
+let test_sampler_clock_alignment () =
+  let (m, _, _, _), _ = Lazy.force captured in
+  let p = M.period m in
+  let expected = int_of_float (Float.round (quick_params.R.duration /. p)) in
+  checki "floor(duration/period) ticks at run end" expected (M.ticks m);
+  Array.iteri
+    (fun i t -> checkf "tick i at (i+1)*period" (p *. float_of_int (i + 1)) t)
+    (M.tick_times m);
+  List.iter
+    (fun s ->
+      checki
+        (M.label_string s.M.s_name s.M.s_labels ^ " one point per tick")
+        (M.ticks m)
+        (Array.length s.M.s_points))
+    (M.series m)
+
+let test_run_mirrors_c_events () =
+  let (_, _, _, sink), _ = Lazy.force captured in
+  let cs =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.ev_cat = "metrics"
+        && match e.ev_phase with Trace.C _ -> true | _ -> false)
+      (Trace.Sink.events sink)
+  in
+  checkb "instrumented run mirrors probe samples as C events" true
+    (List.length cs >= 2 * List.length (M.series (let (m, _, _, _), _ = Lazy.force captured in m)));
+  (* And the Chrome exporter renders them as counter tracks. *)
+  let json = Chrome.to_string sink in
+  checkb "C events survive the Chrome export" true
+    (let needle = "\"cat\":\"metrics\",\"ph\":\"C\"" in
+     let n = String.length needle and len = String.length json in
+     let rec find i = i + n <= len && (String.sub json i n = needle || find (i + 1)) in
+     find 0)
+
+let test_causal_path () =
+  let (_, _, breakdown, sink), _ = Lazy.force captured in
+  let events = Trace.Sink.events sink in
+  let cands = CP.candidates events in
+  checkb "delivered candidates listed" true (cands <> []);
+  match CP.first events with
+  | None -> Alcotest.fail "no candidate reconstructs"
+  | Some p ->
+    checki "five paper hops" 5 (List.length p.CP.p_hops);
+    checkb "context propagation verified" true p.CP.p_ctx_verified;
+    let e = CP.e2e p and s = CP.hop_sum p in
+    checkb
+      (Printf.sprintf "hops telescope to e2e within 5%% (%.4f vs %.4f)" s e)
+      true
+      (e > 0. && Float.abs (s -. e) /. e < 0.05);
+    (* Cross-check against the aggregate decomposition: the followed
+       message's e2e lies within the breakdown's observed range. *)
+    let h = LB.e2e breakdown in
+    checkb "followed e2e within the breakdown's range" true
+      (LB.complete breakdown > 0
+      && e >= Trace.Hist.min h -. 1e-9
+      && e <= Trace.Hist.max h +. 1e-9);
+    List.iter
+      (fun (h : CP.hop) ->
+        checkb (h.CP.h_phase ^ " hop non-negative") true
+          (h.CP.h_finish >= h.CP.h_start))
+      p.CP.p_hops
+
+let () =
+  Alcotest.run "metrics"
+    [ ( "registry",
+        [ Alcotest.test_case "label canonicalisation + isolation" `Quick
+            test_label_isolation;
+          Alcotest.test_case "label rendering" `Quick test_label_string;
+          Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted ] );
+      ( "sampling",
+        [ Alcotest.test_case "probes aligned across series" `Quick
+            test_probe_alignment;
+          Alcotest.test_case "rate probe differentiates" `Quick test_rate_probe;
+          Alcotest.test_case "mirror emits C-phase samples" `Quick
+            test_mirror_emits_c_phase ] );
+      ( "export",
+        [ Alcotest.test_case "jsonl parses back" `Quick test_jsonl_parses;
+          Alcotest.test_case "csv aligned" `Quick test_series_csv ] );
+      ( "baseline",
+        [ Alcotest.test_case "gate semantics" `Quick test_baseline_gate;
+          Alcotest.test_case "json round-trip" `Quick test_baseline_roundtrip ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "same seed, same metrics" `Slow
+            test_snapshot_deterministic;
+          Alcotest.test_case "sampler aligned to the sim clock" `Slow
+            test_sampler_clock_alignment;
+          Alcotest.test_case "run mirrors counter tracks" `Slow
+            test_run_mirrors_c_events;
+          Alcotest.test_case "causal path telescopes" `Slow test_causal_path ] ) ]
