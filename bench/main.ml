@@ -290,11 +290,14 @@ let run_bench_json () =
   let module LB = Repro_experiments.Latency_breakdown in
   let module B = Repro_metrics.Baseline in
   let quick underlay =
+    (* Store on: WAL appends are fire-and-forget on a separate simulated
+       device, so the protocol metrics are unchanged and the run also
+       yields the gated WAL-overhead ratio. *)
     { R.default with
       n_servers = 4; underlay;
       rate = 100_000.; batch_count = 4096; n_load_brokers = 1;
       measure_clients = 4; duration = 10.; warmup = 4.; cooldown = 2.;
-      dense_clients = 1_000_000 }
+      dense_clients = 1_000_000; store = true; checkpoint_every = 64 }
   in
   let configs =
     [ ("quick-pbft", quick Repro_chopchop.Deployment.Pbft);
@@ -335,6 +338,9 @@ let run_bench_json () =
         ( "wire_bytes_per_payload_byte",
           gated 0.10 B.Lower_better
             (counter counters "net" "bytes" /. payload_bytes) );
+        ( "wal_bytes_per_payload_byte",
+          gated 0.10 B.Lower_better
+            (float_of_int result.R.wal_bytes /. payload_bytes) );
         ("wall_time_s", info wall) ] )
   in
   print_endline "=== Bench baseline (quick-scale, deterministic) ===";

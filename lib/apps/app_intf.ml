@@ -20,6 +20,22 @@ module type S = sig
   (** Apply everything in a delivery; returns operations processed. *)
 
   val ops_applied : t -> int
+
+  (** {2 Durable state (lib/store checkpoints)} *)
+
+  val snapshot : t -> string
+  (** Canonical serialization of the whole application state — the
+      [ck_app] payload of a server checkpoint.  Sparse where the state
+      is (only cells diverging from their initial value are encoded). *)
+
+  val restore : t -> string option -> unit
+  (** [restore t (Some s)] reinstates a {!snapshot}; [restore t None]
+      resets to the initial (creation-time) state — the cold-restart
+      wipe before WAL replay. *)
+
+  val digest : t -> string
+  (** SHA-256 of {!snapshot}: two replicas with equal digests hold
+      identical application state (recovery-convergence assertions). *)
 end
 
 (* Cheap deterministic mixing for bulk-op generation. *)
@@ -27,3 +43,17 @@ let mix a b =
   let x = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) in
   let x = (x lxor (x lsr 13)) * 0xC2B2AE3D in
   (x lxor (x lsr 16)) land max_int
+
+(* Little-endian fixed-width snapshot encoding, shared by the apps. *)
+
+let put_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let get_i64 s off = (Int64.to_int (String.get_int64_le s off), off + 8)
+
+let put_str buf s =
+  put_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+let get_str s off =
+  let n, off = get_i64 s off in
+  (String.sub s off n, off + n)

@@ -1,4 +1,5 @@
 module Proto = Repro_chopchop.Proto
+module Sha256 = Repro_crypto.Sha256
 
 type token = {
   mutable owner : int;
@@ -10,6 +11,7 @@ type t = {
   tokens : token array;
   balances : int array;
   locked : int array;
+  initial_balance : int;
   mutable ops : int;
   mutable rejected : int;
 }
@@ -20,6 +22,7 @@ let create ?(tokens = 1024) ?(accounts = 1 lsl 20) ?(initial_balance = 1_000_000
   { tokens = Array.init tokens (fun k -> { owner = k; bidder = -1; bid = 0 });
     balances = Array.make accounts initial_balance;
     locked = Array.make accounts 0;
+    initial_balance;
     ops = 0; rejected = 0 }
 
 type op = Bid of { token : int; amount : int } | Take of { token : int }
@@ -128,3 +131,106 @@ let locked t id = t.locked.(account t id)
 
 let total_funds t =
   Array.fold_left ( + ) 0 t.balances + Array.fold_left ( + ) 0 t.locked
+
+(* --- durable state (lib/store checkpoints) ------------------------------ *)
+
+let sparse_deltas ~skip arr =
+  let deltas = ref [] and k = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if not (skip i v) then begin
+        incr k;
+        deltas := (i, v) :: !deltas
+      end)
+    arr;
+  (!k, List.rev !deltas)
+
+let put_deltas buf (k, deltas) =
+  App_intf.put_i64 buf k;
+  List.iter
+    (fun (i, v) ->
+      App_intf.put_i64 buf i;
+      App_intf.put_i64 buf v)
+    deltas
+
+let snapshot t =
+  let buf = Buffer.create 256 in
+  App_intf.put_i64 buf (Array.length t.tokens);
+  App_intf.put_i64 buf (Array.length t.balances);
+  App_intf.put_i64 buf t.initial_balance;
+  App_intf.put_i64 buf t.ops;
+  App_intf.put_i64 buf t.rejected;
+  (* Tokens diverging from "owned by k, no standing bid". *)
+  let moved = ref [] and k = ref 0 in
+  Array.iteri
+    (fun i tok ->
+      if tok.owner <> i || tok.bidder <> -1 || tok.bid <> 0 then begin
+        incr k;
+        moved := (i, tok) :: !moved
+      end)
+    t.tokens;
+  App_intf.put_i64 buf !k;
+  List.iter
+    (fun (i, tok) ->
+      App_intf.put_i64 buf i;
+      App_intf.put_i64 buf tok.owner;
+      App_intf.put_i64 buf tok.bidder;
+      App_intf.put_i64 buf tok.bid)
+    (List.rev !moved);
+  put_deltas buf (sparse_deltas ~skip:(fun _ v -> v = t.initial_balance) t.balances);
+  put_deltas buf (sparse_deltas ~skip:(fun _ v -> v = 0) t.locked);
+  Buffer.contents buf
+
+let reset t =
+  Array.iteri
+    (fun i tok ->
+      tok.owner <- i;
+      tok.bidder <- -1;
+      tok.bid <- 0)
+    t.tokens;
+  Array.fill t.balances 0 (Array.length t.balances) t.initial_balance;
+  Array.fill t.locked 0 (Array.length t.locked) 0;
+  t.ops <- 0;
+  t.rejected <- 0
+
+let get_deltas s off arr =
+  let k, off = App_intf.get_i64 s off in
+  let off = ref off in
+  for _ = 1 to k do
+    let i, o = App_intf.get_i64 s !off in
+    let v, o = App_intf.get_i64 s o in
+    off := o;
+    if i < Array.length arr then arr.(i) <- v
+  done;
+  !off
+
+let restore t = function
+  | None -> reset t
+  | Some s ->
+    reset t;
+    let _tokens, off = App_intf.get_i64 s 0 in
+    let _accounts, off = App_intf.get_i64 s off in
+    let _initial, off = App_intf.get_i64 s off in
+    let ops, off = App_intf.get_i64 s off in
+    let rejected, off = App_intf.get_i64 s off in
+    t.ops <- ops;
+    t.rejected <- rejected;
+    let k, off = App_intf.get_i64 s off in
+    let off = ref off in
+    for _ = 1 to k do
+      let i, o = App_intf.get_i64 s !off in
+      let owner, o = App_intf.get_i64 s o in
+      let bidder, o = App_intf.get_i64 s o in
+      let bid, o = App_intf.get_i64 s o in
+      off := o;
+      if i < Array.length t.tokens then begin
+        let tok = t.tokens.(i) in
+        tok.owner <- owner;
+        tok.bidder <- bidder;
+        tok.bid <- bid
+      end
+    done;
+    let o = get_deltas s !off t.balances in
+    ignore (get_deltas s o t.locked)
+
+let digest t = Sha256.digest (snapshot t)

@@ -36,4 +36,11 @@ val locked : t -> int -> int
 val total_funds : t -> int
 (** Invariant under bids/takes: balances + locked amounts. *)
 
+val snapshot : t -> string
+(** Sparse serialization: tokens with a standing bid or a changed owner,
+    plus balance/locked deltas (see {!App_intf.S}). *)
+
+val restore : t -> string option -> unit
+val digest : t -> string
+
 val name : string

@@ -1,7 +1,9 @@
 module Proto = Repro_chopchop.Proto
+module Sha256 = Repro_crypto.Sha256
 
 type t = {
   balances : int array;
+  initial_balance : int;
   mutable ops : int;
   mutable rejected : int;
 }
@@ -9,7 +11,8 @@ type t = {
 let name = "payments"
 
 let create ?(accounts = 1 lsl 20) ?(initial_balance = 1_000_000) () =
-  { balances = Array.make accounts initial_balance; ops = 0; rejected = 0 }
+  { balances = Array.make accounts initial_balance; initial_balance;
+    ops = 0; rejected = 0 }
 
 let encode_op ~recipient ~amount =
   let b = Bytes.create 8 in
@@ -71,3 +74,54 @@ let ops_applied t = t.ops
 let rejected t = t.rejected
 let balance t id = t.balances.(account t id)
 let total_supply t = Array.fold_left ( + ) 0 t.balances
+
+(* --- durable state (lib/store checkpoints) ------------------------------ *)
+
+let snapshot t =
+  (* Header + sparse (account, balance) deltas: only accounts that moved. *)
+  let buf = Buffer.create 256 in
+  App_intf.put_i64 buf (Array.length t.balances);
+  App_intf.put_i64 buf t.initial_balance;
+  App_intf.put_i64 buf t.ops;
+  App_intf.put_i64 buf t.rejected;
+  let deltas = ref [] and k = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b <> t.initial_balance then begin
+        incr k;
+        deltas := (i, b) :: !deltas
+      end)
+    t.balances;
+  App_intf.put_i64 buf !k;
+  List.iter
+    (fun (i, b) ->
+      App_intf.put_i64 buf i;
+      App_intf.put_i64 buf b)
+    (List.rev !deltas);
+  Buffer.contents buf
+
+let reset t =
+  Array.fill t.balances 0 (Array.length t.balances) t.initial_balance;
+  t.ops <- 0;
+  t.rejected <- 0
+
+let restore t = function
+  | None -> reset t
+  | Some s ->
+    reset t;
+    let _accounts, off = App_intf.get_i64 s 0 in
+    let _initial, off = App_intf.get_i64 s off in
+    let ops, off = App_intf.get_i64 s off in
+    let rejected, off = App_intf.get_i64 s off in
+    let k, off = App_intf.get_i64 s off in
+    t.ops <- ops;
+    t.rejected <- rejected;
+    let off = ref off in
+    for _ = 1 to k do
+      let i, o = App_intf.get_i64 s !off in
+      let b, o = App_intf.get_i64 s o in
+      off := o;
+      if i < Array.length t.balances then t.balances.(i) <- b
+    done
+
+let digest t = Sha256.digest (snapshot t)

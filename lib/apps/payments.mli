@@ -32,4 +32,11 @@ val balance : t -> int -> int
 val total_supply : t -> int
 (** Invariant under transfers: the sum of all balances.  O(accounts). *)
 
+val snapshot : t -> string
+(** Sparse serialization: header + (account, balance) pairs that diverge
+    from the initial balance (see {!App_intf.S}). *)
+
+val restore : t -> string option -> unit
+val digest : t -> string
+
 val name : string

@@ -1,4 +1,5 @@
 module Proto = Repro_chopchop.Proto
+module Sha256 = Repro_crypto.Sha256
 
 type t = {
   width : int;
@@ -62,3 +63,54 @@ let apply_delivery t = function
 let ops_applied t = t.ops
 let pixel t ~x ~y = t.board.((y * t.width) + x)
 let painted t = t.painted
+
+(* --- durable state (lib/store checkpoints) ------------------------------ *)
+
+let snapshot t =
+  (* Header + (index, rgb) pairs for the painted pixels only. *)
+  let buf = Buffer.create 256 in
+  App_intf.put_i64 buf t.width;
+  App_intf.put_i64 buf t.height;
+  App_intf.put_i64 buf t.ops;
+  App_intf.put_i64 buf t.painted;
+  let cells = ref [] and k = ref 0 in
+  Array.iteri
+    (fun i rgb ->
+      if rgb >= 0 then begin
+        incr k;
+        cells := (i, rgb) :: !cells
+      end)
+    t.board;
+  App_intf.put_i64 buf !k;
+  List.iter
+    (fun (i, rgb) ->
+      App_intf.put_i64 buf i;
+      App_intf.put_i64 buf rgb)
+    (List.rev !cells);
+  Buffer.contents buf
+
+let reset t =
+  Array.fill t.board 0 (Array.length t.board) (-1);
+  t.ops <- 0;
+  t.painted <- 0
+
+let restore t = function
+  | None -> reset t
+  | Some s ->
+    reset t;
+    let _w, off = App_intf.get_i64 s 0 in
+    let _h, off = App_intf.get_i64 s off in
+    let ops, off = App_intf.get_i64 s off in
+    let painted, off = App_intf.get_i64 s off in
+    let k, off = App_intf.get_i64 s off in
+    t.ops <- ops;
+    t.painted <- painted;
+    let off = ref off in
+    for _ = 1 to k do
+      let i, o = App_intf.get_i64 s !off in
+      let rgb, o = App_intf.get_i64 s o in
+      off := o;
+      if i < Array.length t.board then t.board.(i) <- rgb
+    done
+
+let digest t = Sha256.digest (snapshot t)

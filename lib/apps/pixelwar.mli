@@ -22,4 +22,11 @@ val pixel : t -> x:int -> y:int -> int
 val painted : t -> int
 (** Number of pixels that have been painted at least once. *)
 
+val snapshot : t -> string
+(** Sparse serialization: header + (index, rgb) for painted pixels only
+    (see {!App_intf.S}). *)
+
+val restore : t -> string option -> unit
+val digest : t -> string
+
 val name : string

@@ -109,3 +109,76 @@ let on_deliver t client msg =
        end
      | _ -> ());
   drain t
+
+(* --- durable state (lib/store checkpoints) ------------------------------ *)
+
+let snapshot t =
+  let buf = Buffer.create 128 in
+  App_intf.put_i64 buf t.ttl;
+  App_intf.put_i64 buf t.position;
+  App_intf.put_i64 buf t.executed;
+  App_intf.put_i64 buf t.voided;
+  let live = t.queue_front @ List.rev t.queue in
+  App_intf.put_i64 buf (List.length live);
+  List.iter
+    (fun e ->
+      App_intf.put_i64 buf e.e_client;
+      App_intf.put_str buf e.e_commitment;
+      App_intf.put_i64 buf e.e_position;
+      match e.e_status with
+      | Pending -> App_intf.put_i64 buf 0
+      | Revealed payload ->
+        App_intf.put_i64 buf 1;
+        App_intf.put_str buf payload
+      | Voided -> App_intf.put_i64 buf 2)
+    live;
+  Buffer.contents buf
+
+let reset t =
+  t.queue <- [];
+  t.queue_front <- [];
+  Hashtbl.reset t.by_key;
+  t.position <- 0;
+  t.executed <- 0;
+  t.voided <- 0
+
+let restore t = function
+  | None -> reset t
+  | Some s ->
+    reset t;
+    let _ttl, off = App_intf.get_i64 s 0 in
+    let position, off = App_intf.get_i64 s off in
+    let executed, off = App_intf.get_i64 s off in
+    let voided, off = App_intf.get_i64 s off in
+    t.position <- position;
+    t.executed <- executed;
+    t.voided <- voided;
+    let k, off = App_intf.get_i64 s off in
+    let off = ref off in
+    let live = ref [] in
+    for _ = 1 to k do
+      let client, o = App_intf.get_i64 s !off in
+      let com, o = App_intf.get_str s o in
+      let pos, o = App_intf.get_i64 s o in
+      let tag, o = App_intf.get_i64 s o in
+      let status, o =
+        match tag with
+        | 1 ->
+          let payload, o = App_intf.get_str s o in
+          (Revealed payload, o)
+        | 2 -> (Voided, o)
+        | _ -> (Pending, o)
+      in
+      off := o;
+      let e =
+        { e_client = client; e_commitment = com; e_position = pos;
+          e_status = status }
+      in
+      Hashtbl.add t.by_key (client, com) e;
+      live := e :: !live
+    done;
+    (* [live] is reversed (newest first) — exactly the [queue] encoding. *)
+    t.queue_front <- [];
+    t.queue <- !live
+
+let digest t = Sha256.digest (snapshot t)

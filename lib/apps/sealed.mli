@@ -53,3 +53,15 @@ val pending : t -> int
 
 val voided : t -> int
 (** Seals expired without a matching reveal. *)
+
+val snapshot : t -> string
+(** Serialization of the executor state: counters plus the live seal
+    queue in delivery order (see {!App_intf.S}).  The wrapped [apply]
+    closure and [ttl] are structural, not serialized state. *)
+
+val restore : t -> string option -> unit
+(** [restore t None] resets to the freshly-created state; [restore t
+    (Some s)] replaces the executor state with the snapshot's.  The
+    [apply] closure and [ttl] of [t] are kept. *)
+
+val digest : t -> string

@@ -19,7 +19,11 @@
 type event =
   | Crash_server of int  (** server index *)
   | Recover_server of int
-      (** un-crash; the server stays a prefix (no state transfer) *)
+      (** warm un-crash; the server stays a prefix (no state transfer) *)
+  | Restart_server of int
+      (** cold restart: reload checkpoint + WAL from the simulated disk,
+          then state-transfer the gap from live peers — requires a
+          store-enabled deployment *)
   | Crash_broker of int  (** broker id *)
   | Recover_broker of int
   | Crash_client of int  (** index into the scenario's client array *)
@@ -48,12 +52,15 @@ val describe : event -> string
 val install :
   Repro_chopchop.Deployment.t ->
   clients:Repro_chopchop.Client.t array ->
+  ?on_event:(event -> unit) ->
   schedule ->
   unit
 (** Arm every event on the deployment's engine.  Client-indexed events
     resolve against [clients].  Each injection emits a "chaos"/"inject"
     trace instant, so fault timing is visible in the same timeline as the
-    protocol's reaction to it. *)
+    protocol's reaction to it.  [on_event] (if given) runs just before
+    each event is applied — the harness uses it to reset the invariant
+    checker when a server cold-restarts. *)
 
 (** {1 Invariant checking} *)
 
@@ -89,6 +96,13 @@ module Invariant : sig
 
   val violate : t -> string -> unit
   (** Record an externally detected violation (harness plumbing). *)
+
+  val reset_server : t -> int -> unit
+  (** Stop checking one server's delivery log.  A cold restart restores a
+      checkpoint without re-delivering what it covers, then replays the
+      tail through the same hook, so the log restarts at an offset this
+      checker cannot align; cold-restart scenarios assert end-state
+      application digests instead. *)
 
   val violations : t -> string list
   (** Oldest first; empty means all invariants held. *)
@@ -129,7 +143,12 @@ type scenario = {
 
 val scenarios : scenario list
 (** fig11a-crash, broker-equivocation, broker-garble, broker-withhold,
-    server-bad-shares, partition-heal, lossy-wan, kitchen-sink. *)
+    server-bad-shares, partition-heal, lossy-wan, kitchen-sink,
+    crash-cold-restart, lagging-restart, checkpoint-partition.  The last
+    three exercise the durable store: a crashed (or lagging) server cold
+    restarts from its simulated disk and state-transfers the rest from
+    peers, ending with an app digest identical to a never-crashed
+    replica's. *)
 
 val find : string -> scenario option
 

@@ -3,6 +3,8 @@ module Net = Repro_sim.Net
 module Cpu = Repro_sim.Cpu
 module Region = Repro_sim.Region
 module Multisig = Repro_crypto.Multisig
+module Store = Repro_store.Store
+module Disk = Repro_store.Disk
 
 type underlay = Sequencer | Pbft | Hotstuff
 
@@ -19,6 +21,8 @@ type config = {
   net_loss : float;
   seed : int64;
   stob_batch_timeout : float; (* underlay leader batching window *)
+  store_enabled : bool; (* per-server durable state (lib/store) *)
+  checkpoint_every : int; (* snapshot every k deliveries (when enabled) *)
   trace : Repro_trace.Trace.Sink.t;
 }
 
@@ -26,7 +30,8 @@ let default_config =
   { n_servers = 4; n_brokers = 2; underlay = Sequencer; dense_clients = 0;
     gc_period = 0.5; flush_period = 0.2; reduce_timeout = 0.2;
     witness_margin = 1; max_batch = 65_536; net_loss = 0.; seed = 42L;
-    stob_batch_timeout = 0.05; trace = Repro_trace.Trace.Sink.null () }
+    stob_batch_timeout = 0.05; store_enabled = false; checkpoint_every = 64;
+    trace = Repro_trace.Trace.Sink.null () }
 
 let margin_for_size n =
   if n <= 8 then 0 else if n <= 16 then 1 else if n <= 32 then 2 else 4
@@ -36,6 +41,7 @@ let paper_config ~n_servers ~underlay =
     gc_period = 0.5; flush_period = 1.0; reduce_timeout = 1.0;
     witness_margin = margin_for_size n_servers; max_batch = 65_536;
     net_loss = 0.; seed = 42L; stob_batch_timeout = 0.1;
+    store_enabled = false; checkpoint_every = 1024;
     trace = Repro_trace.Trace.Sink.null () }
 
 type msg =
@@ -53,6 +59,8 @@ type stob_handle = {
   sh_receive : src:int -> msg -> unit;
   sh_crash : unit -> unit;
   sh_recover : unit -> unit;
+  sh_cursor : unit -> int; (* next slot/seq/height to deliver *)
+  sh_resume : int -> unit; (* fast-forward past state-transferred slots *)
 }
 
 type t = {
@@ -62,6 +70,7 @@ type t = {
   mutable servers : Server.t array;
   server_cpus : Cpu.t array;
   server_pks : Multisig.public_key array;
+  stores : (Proto.checkpoint, Proto.wal_record) Store.t option array;
   mutable stobs : stob_handle array;
   mutable brokers : (Broker.t * int) array; (* (broker, node id) *)
   broker_of_node : (int, int) Hashtbl.t;
@@ -162,7 +171,9 @@ let make_stob t ~self ~deliver =
           | Stob_seq m -> Repro_stob.Sequencer.receive st ~src m
           | _ -> ());
       sh_crash = (fun () -> Repro_stob.Sequencer.crash st);
-      sh_recover = (fun () -> Repro_stob.Sequencer.recover st) }
+      sh_recover = (fun () -> Repro_stob.Sequencer.recover st);
+      sh_cursor = (fun () -> Repro_stob.Sequencer.cursor st);
+      sh_resume = (fun cursor -> Repro_stob.Sequencer.resume_at st ~cursor) }
   | Pbft ->
     let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_pbft m) in
     let st =
@@ -175,7 +186,9 @@ let make_stob t ~self ~deliver =
         (fun ~src m ->
           match m with Stob_pbft m -> Repro_stob.Pbft.receive st ~src m | _ -> ());
       sh_crash = (fun () -> Repro_stob.Pbft.crash st);
-      sh_recover = (fun () -> Repro_stob.Pbft.recover st) }
+      sh_recover = (fun () -> Repro_stob.Pbft.recover st);
+      sh_cursor = (fun () -> Repro_stob.Pbft.cursor st);
+      sh_resume = (fun cursor -> Repro_stob.Pbft.resume_at st ~cursor) }
   | Hotstuff ->
     let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_hs m) in
     let st =
@@ -190,7 +203,9 @@ let make_stob t ~self ~deliver =
           | Stob_hs m -> Repro_stob.Hotstuff.receive st ~src m
           | _ -> ());
       sh_crash = (fun () -> Repro_stob.Hotstuff.crash st);
-      sh_recover = (fun () -> Repro_stob.Hotstuff.recover st) }
+      sh_recover = (fun () -> Repro_stob.Hotstuff.recover st);
+      sh_cursor = (fun () -> Repro_stob.Hotstuff.cursor st);
+      sh_resume = (fun cursor -> Repro_stob.Hotstuff.resume_at st ~cursor) }
 
 (* --- brokers -------------------------------------------------------------- *)
 
@@ -263,9 +278,19 @@ let create cfg =
         Multisig.keygen_deterministic ~seed:(Printf.sprintf "server-%d" i))
   in
   let server_pks = Array.map snd server_identities in
+  (* One simulated NVMe device + store per server when durability is on;
+     writes are fire-and-forget, so enabling the store never perturbs a
+     crash-free run (asserted by test_store's same-seed equivalence). *)
+  let stores =
+    Array.init n (fun _ ->
+        if cfg.store_enabled then
+          Some (Store.create ~disk:(Disk.create engine ()) ())
+        else None)
+  in
   let t =
     { cfg; engine; net;
-      servers = [||]; server_cpus; server_pks; stobs = [||]; brokers = [||];
+      servers = [||]; server_cpus; server_pks; stores; stobs = [||];
+      brokers = [||];
       broker_of_node = Hashtbl.create 16;
       client_nodes = Hashtbl.create 1024;
       clients_by_node = Hashtbl.create 1024;
@@ -305,6 +330,9 @@ let create cfg =
       Server.create ~engine ~cpu:server_cpus.(i)
         ~config:{ Server.self = i; n; clients = max cfg.dense_clients 1024;
                   gc_period = cfg.gc_period }
+        ?store:stores.(i) ~checkpoint_every:cfg.checkpoint_every
+        ~stob_cursor:(fun () -> sh.sh_cursor ())
+        ~stob_resume:(fun cursor -> sh.sh_resume cursor)
         ~directory ~ms_sk:(fst server_identities.(i))
         ~server_ms_pk:(fun j -> server_pks.(j))
         ~send_broker:(fun ~broker ~bytes m ->
@@ -428,6 +456,40 @@ let recover_server t i =
   Net.reconnect t.net i;
   t.stobs.(i).sh_recover ();
   Server.recover t.servers.(i)
+
+let restart_server t i =
+  (* Cold restart: reconnect and resume the STOB underlay, then rebuild the
+     chopchop layer from its durable state (WAL replay + peer state
+     transfer).  Requires [store_enabled]; degrades to {!recover_server}
+     otherwise. *)
+  Net.reconnect t.net i;
+  t.stobs.(i).sh_recover ();
+  Server.cold_restart t.servers.(i)
+
+(* --- durable-state introspection (metrics probes, bench gate) ----------- *)
+
+let server_store t i = t.stores.(i)
+
+let with_store t i ~default f =
+  match t.stores.(i) with Some s -> f s | None -> default
+
+let server_wal_bytes t i = with_store t i ~default:0 Store.wal_bytes_total
+let server_wal_records t i = with_store t i ~default:0 Store.wal_records_total
+let server_checkpoints t i = with_store t i ~default:0 Store.checkpoints
+
+let server_snapshot_bytes t i =
+  with_store t i ~default:0 Store.last_checkpoint_bytes
+
+let server_disk_backlog t i =
+  with_store t i ~default:0. (fun s -> Disk.backlog (Store.disk s))
+
+let server_disk_bytes_written t i =
+  with_store t i ~default:0 (fun s -> Disk.bytes_written (Store.disk s))
+
+let server_catching_up t i = Server.catching_up t.servers.(i)
+
+let set_server_app t i ~snapshot ~restore =
+  Server.set_app_hooks t.servers.(i) ~snapshot ~restore
 
 let crash_broker t i =
   Broker.crash (fst t.brokers.(i));

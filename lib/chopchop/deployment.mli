@@ -22,6 +22,11 @@ type config = {
   net_loss : float;
   seed : int64;
   stob_batch_timeout : float; (* underlay leader batching window *)
+  store_enabled : bool;
+      (* attach a per-server simulated disk + WAL/checkpoint store
+         (lib/store); required for {!restart_server} *)
+  checkpoint_every : int;
+      (* deliveries between application/state snapshots (when enabled) *)
   trace : Repro_trace.Trace.Sink.t;
       (* observability sink shared by every component (default: null) *)
 }
@@ -72,9 +77,18 @@ val crash_server : t -> int -> unit
     network interfaces (Fig. 11a). *)
 
 val recover_server : t -> int -> unit
-(** Un-crash a server: NIC, STOB instance and Chop Chop layer come back.
-    STOB slots it missed while down are not replayed (no state transfer),
-    so the recovered server is a correct prefix but may not catch up. *)
+(** {e Warm} recovery (the Fig. 11a experiment): NIC, STOB instance and
+    Chop Chop layer come back with their in-memory state intact.  STOB
+    slots missed while down are not replayed, so the recovered server is
+    a correct prefix but may not catch up.  See {!restart_server} for a
+    recovery that does. *)
+
+val restart_server : t -> int -> unit
+(** {e Cold} restart from durable state: the server's in-memory state is
+    wiped, its checkpoint + WAL replay from the simulated disk, and the
+    missed suffix is state-transferred from live peers until the server
+    is caught up and live again.  Requires [store_enabled]; with the
+    store off this degrades to {!recover_server}. *)
 
 val crash_broker : t -> int -> unit
 (** Crash-stop a broker (by broker id): its state machine and NIC.
@@ -119,3 +133,31 @@ val rudp_stats : t -> int * int * int
 (** (retransmissions, gave-up messages, duplicate deliveries) across all
     client<->broker reliable-UDP channels (§5.1): non-zero retransmission
     counts under [net_loss] > 0 show the transport doing its job. *)
+
+(** {2 Durable state (lib/store)}
+
+    Introspection over each server's disk and store; all return the
+    neutral value when [store_enabled] is false. *)
+
+val server_store :
+  t -> int -> (Proto.checkpoint, Proto.wal_record) Repro_store.Store.t option
+
+val server_wal_bytes : t -> int -> int
+(** Cumulative WAL bytes ever appended by server [i]. *)
+
+val server_wal_records : t -> int -> int
+val server_checkpoints : t -> int -> int
+val server_snapshot_bytes : t -> int -> int
+
+val server_disk_backlog : t -> int -> float
+(** Seconds of queued device work (sampler probe). *)
+
+val server_disk_bytes_written : t -> int -> int
+
+val server_catching_up : t -> int -> bool
+(** True while server [i] is between {!restart_server} and live. *)
+
+val set_server_app :
+  t -> int -> snapshot:(unit -> string) -> restore:(string option -> unit) -> unit
+(** Register the application snapshot/restore hooks checkpointing uses
+    (see {!Server.set_app_hooks}). *)

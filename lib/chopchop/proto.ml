@@ -45,11 +45,6 @@ type server_to_broker =
   | Submit_ack of { root : string }
   | Signup_done of { nonce : int; id : Types.client_id }
 
-type server_to_server =
-  | Request_batch of { root : string; broker : int; number : int }
-  | Batch_response of { batch : Batch.t }
-  | Gc_status of { delivered_counter : int }
-
 type delivery =
   | Ops of (Types.client_id * Types.message) array
   | Bulk of { first_id : int; count : int; tag : int; msg_bytes : int }
@@ -57,3 +52,58 @@ type delivery =
 let delivery_count = function
   | Ops a -> Array.length a
   | Bulk { count; _ } -> count
+
+(* --- durable state (lib/store instantiation) --------------------------- *)
+
+type wal_op =
+  | Wal_ops of (Types.client_id * Types.sequence_number * Types.message) array
+  | Wal_bulk of {
+      first_id : int;
+      count : int;
+      tag : int;
+      msg_bytes : int;
+      agg_seq : Types.sequence_number;
+    }
+
+type wal_record =
+  | Wal_batch of {
+      w_position : int;
+      w_broker : int;
+      w_number : int;
+      w_root : string;
+      w_ops : wal_op;
+    }
+  | Wal_signup of {
+      w_nonce : int;
+      w_card : Types.keycard;
+      w_id : Types.client_id;
+      w_pos : int;
+    }
+
+let wal_record_position = function
+  | Wal_batch { w_position; _ } -> w_position
+  | Wal_signup { w_pos; _ } -> w_pos
+
+type checkpoint = {
+  ck_position : int;
+  ck_messages : int;
+  ck_last_msg : (Types.client_id * Types.sequence_number * Types.message) list;
+  ck_dense_last : (int * int * int) list; (* first_id, agg seq, tag *)
+  ck_refs : (int * int * int) list; (* broker, number, position *)
+  ck_signups : int list; (* seen sign-up nonces *)
+  ck_dir_cards : int; (* explicit directory entries covered *)
+  ck_app : string option; (* opaque application snapshot *)
+}
+
+type server_to_server =
+  | Request_batch of { root : string; broker : int; number : int }
+  | Batch_response of { batch : Batch.t }
+  | Gc_status of { delivered_counter : int }
+  | Sync_request of { from_position : int }
+  | Sync_response of {
+      position : int; (* responder's delivery counter *)
+      stob_cursor : int; (* responder's STOB delivery cursor *)
+      backlog : int; (* refs ordered at the responder, not yet delivered *)
+      checkpoint : checkpoint option;
+      records : wal_record list;
+    }

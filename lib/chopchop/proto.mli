@@ -65,15 +65,6 @@ type server_to_broker =
   | Submit_ack of { root : string }
   | Signup_done of { nonce : int; id : Types.client_id }
 
-type server_to_server =
-  | Request_batch of { root : string; broker : int; number : int } (* #14 *)
-  | Batch_response of { batch : Batch.t }
-  | Gc_status of { delivered_counter : int }
-      (* periodic gossip replacing the pseudocode's per-batch
-         Collection/CollectionAccept exchange: a batch delivered at global
-         position p is collectable once every server reports a counter > p
-         (§5.2 batch garbage collection) *)
-
 (** What a server hands to the application on delivery. *)
 type delivery =
   | Ops of (Types.client_id * Types.message) array
@@ -83,3 +74,71 @@ type delivery =
          workloads too, §6.8) *)
 
 val delivery_count : delivery -> int
+
+(** {2 Durable state}
+
+    The concrete record and checkpoint types a server logs into its
+    {!Repro_store.Store}.  A WAL op is the post-deduplication outcome of
+    one batch delivery, with the sequence numbers needed to rebuild the
+    deduplication tables on replay; [Wal_ops [||]] marks a position whose
+    batch delivered nothing fresh. *)
+
+type wal_op =
+  | Wal_ops of (Types.client_id * Types.sequence_number * Types.message) array
+  | Wal_bulk of {
+      first_id : int;
+      count : int;
+      tag : int;
+      msg_bytes : int;
+      agg_seq : Types.sequence_number;
+    }
+
+type wal_record =
+  | Wal_batch of {
+      w_position : int; (* global delivery position *)
+      w_broker : int;
+      w_number : int;
+      w_root : string;
+      w_ops : wal_op;
+    }
+  | Wal_signup of {
+      w_nonce : int;
+      w_card : Types.keycard;
+      w_id : Types.client_id;
+      w_pos : int; (* delivery counter when the sign-up was ordered *)
+    }
+
+val wal_record_position : wal_record -> int
+
+(** A checkpoint at [ck_position] is a full dump of the server's
+    deduplication and collection state plus an opaque application
+    snapshot; WAL records at positions [>= ck_position] replay on top. *)
+type checkpoint = {
+  ck_position : int;
+  ck_messages : int; (* delivered messages *)
+  ck_last_msg : (Types.client_id * Types.sequence_number * Types.message) list;
+  ck_dense_last : (int * int * int) list; (* first_id, agg seq, tag *)
+  ck_refs : (int * int * int) list; (* delivered (broker, number, position) *)
+  ck_signups : int list; (* seen sign-up nonces *)
+  ck_dir_cards : int; (* explicit directory entries covered *)
+  ck_app : string option; (* application snapshot (App_intf hook) *)
+}
+
+type server_to_server =
+  | Request_batch of { root : string; broker : int; number : int } (* #14 *)
+  | Batch_response of { batch : Batch.t }
+  | Gc_status of { delivered_counter : int }
+      (* periodic gossip replacing the pseudocode's per-batch
+         Collection/CollectionAccept exchange: a batch delivered at global
+         position p is collectable once every server reports a counter > p
+         (§5.2 batch garbage collection) *)
+  | Sync_request of { from_position : int }
+      (* cold-restart state transfer: send me your checkpoint (if it is
+         ahead of from_position) and WAL records from there on *)
+  | Sync_response of {
+      position : int; (* responder's delivery counter *)
+      stob_cursor : int; (* responder's STOB delivery cursor *)
+      backlog : int; (* refs ordered at the responder, not yet delivered *)
+      checkpoint : checkpoint option;
+      records : wal_record list;
+    }

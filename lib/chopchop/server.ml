@@ -1,6 +1,8 @@
 module Engine = Repro_sim.Engine
 module Cpu = Repro_sim.Cpu
 module Cost = Repro_sim.Cost
+module Store = Repro_store.Store
+module Disk = Repro_store.Disk
 module Multisig = Repro_crypto.Multisig
 module Trace = Repro_trace.Trace
 
@@ -24,6 +26,12 @@ type t = {
   send_server : dst:int -> bytes:int -> Proto.server_to_server -> unit;
   stob_broadcast : Stob_item.t -> unit;
   deliver_app : Proto.delivery -> unit;
+  (* Durable state (lib/store): [None] replicates the paper's in-memory
+     servers; [Some _] adds a WAL + checkpoints and enables cold restart. *)
+  store : (Proto.checkpoint, Proto.wal_record) Store.t option;
+  checkpoint_every : int; (* checkpoint every k deliveries; 0 = never *)
+  stob_cursor : unit -> int; (* underlay's next-to-deliver slot *)
+  stob_resume : int -> unit; (* fast-forward the underlay's cursor *)
   batches : (string, stored) Hashtbl.t; (* keyed by identity root *)
   mutable stored_bytes : int;
   seen_refs : (int * int, unit) Hashtbl.t; (* (broker, number) de-dup of refs *)
@@ -35,6 +43,9 @@ type t = {
   last_msg : (Types.client_id, Types.sequence_number * string) Hashtbl.t;
   (* dense ranges: first_id -> (last agg seq, last tag) *)
   dense_last : (int, int * int) Hashtbl.t;
+  (* (broker, number) -> delivery position, for every batch this server has
+     delivered and not forgotten: the replay/catch-up double-delivery guard. *)
+  delivered_refs : (int * int, int) Hashtbl.t;
   mutable delivery_counter : int;
   mutable delivered_messages : int;
   peer_counters : int array;
@@ -42,6 +53,16 @@ type t = {
   seen_signups : (int, unit) Hashtbl.t;
   mutable delivering : bool;
   mutable crashed : bool;
+  (* Cold-restart recovery state. *)
+  mutable syncing : bool; (* catching up from a peer; delivery gated *)
+  mutable sync_timer : Engine.timer option;
+  mutable sync_peer : int;
+  mutable sync_rounds : int;
+  mutable catch_up_records : int;
+  mutable restarts : int; (* also the epoch guard for in-flight callbacks *)
+  mutable collected_batches : int;
+  mutable app_snapshot : (unit -> string) option;
+  mutable app_restore : (string option -> unit) option;
   (* Byzantine fault injection (lib/chaos). *)
   mutable mis_bad_shares : bool;
   mutable mis_refuse_witness : bool;
@@ -50,19 +71,26 @@ type t = {
   c_messages : Trace.Counter.t; (* messages delivered (all servers) *)
 }
 
-let create ~engine ~cpu ~config ~directory ~ms_sk ~server_ms_pk ~send_broker
-    ~send_server ~stob_broadcast ~deliver_app () =
+let create ~engine ~cpu ~config ?store ?(checkpoint_every = 0)
+    ?(stob_cursor = fun () -> 0) ?(stob_resume = fun _ -> ()) ~directory
+    ~ms_sk ~server_ms_pk ~send_broker ~send_server ~stob_broadcast
+    ~deliver_app () =
   { engine; cpu; cfg = config; f = (config.n - 1) / 3;
     dir = directory; ms_sk; server_ms_pk;
     send_broker; send_server; stob_broadcast; deliver_app;
+    store; checkpoint_every; stob_cursor; stob_resume;
     batches = Hashtbl.create 512; stored_bytes = 0;
     seen_refs = Hashtbl.create 1024; submitted_refs = Hashtbl.create 1024;
     order_queue = []; order_queue_front = [];
     last_msg = Hashtbl.create 4096; dense_last = Hashtbl.create 64;
+    delivered_refs = Hashtbl.create 1024;
     delivery_counter = 0; delivered_messages = 0;
     peer_counters = Array.make config.n 0;
     fetching = Hashtbl.create 16; seen_signups = Hashtbl.create 64;
     delivering = false; crashed = false;
+    syncing = false; sync_timer = None; sync_peer = 0; sync_rounds = 0;
+    catch_up_records = 0; restarts = 0; collected_batches = 0;
+    app_snapshot = None; app_restore = None;
     mis_bad_shares = false; mis_refuse_witness = false;
     c_verify =
       Trace.Sink.counter (Engine.trace engine) ~cat:"crypto" ~name:"verify_ops";
@@ -79,14 +107,78 @@ let reject_instant t name ~id attrs =
     Trace.instant s ~now:(Engine.now t.engine) ~actor:t.cfg.self ~cat:"server"
       ~name ~id ~attrs
 
+let note_instant t name attrs =
+  let s = tr t in
+  if Trace.enabled s then
+    Trace.instant s ~now:(Engine.now t.engine) ~actor:t.cfg.self ~cat:"store"
+      ~name ~id:(Trace.key (string_of_int t.cfg.self)) ~attrs
+
 let directory t = t.dir
 let delivery_counter t = t.delivery_counter
 let delivered_messages t = t.delivered_messages
 let stored_batches t = Hashtbl.length t.batches
 let stored_bytes t = t.stored_bytes
+let catching_up t = t.syncing
+let sync_rounds t = t.sync_rounds
+let catch_up_records t = t.catch_up_records
+let restarts t = t.restarts
+let collected_batches t = t.collected_batches
+
+let set_app_hooks t ~snapshot ~restore =
+  t.app_snapshot <- Some snapshot;
+  t.app_restore <- Some restore
 
 let order_queue_depth t =
   List.length t.order_queue_front + List.length t.order_queue
+
+(* --- durable state (lib/store) ------------------------------------------ *)
+
+let wal_log t record =
+  match t.store with
+  | None -> ()
+  | Some s ->
+    Store.append s
+      ~position:(Proto.wal_record_position record)
+      ~bytes:(Store_wire.wal_record_bytes record)
+      record
+
+let take_checkpoint t s =
+  let sorted l = List.sort compare l in
+  let ck =
+    { Proto.ck_position = t.delivery_counter;
+      ck_messages = t.delivered_messages;
+      ck_last_msg =
+        sorted
+          (Hashtbl.fold (fun id (seq, m) acc -> (id, seq, m) :: acc)
+             t.last_msg []);
+      ck_dense_last =
+        sorted
+          (Hashtbl.fold (fun fid (seq, tag) acc -> (fid, seq, tag) :: acc)
+             t.dense_last []);
+      ck_refs =
+        sorted
+          (Hashtbl.fold (fun (b, n) p acc -> (b, n, p) :: acc)
+             t.delivered_refs []);
+      ck_signups =
+        sorted (Hashtbl.fold (fun nonce () acc -> nonce :: acc) t.seen_signups []);
+      ck_dir_cards = Directory.size t.dir;
+      ck_app = Option.map (fun snap -> snap ()) t.app_snapshot }
+  in
+  let bytes = Store_wire.checkpoint_bytes ck in
+  Store.checkpoint s ~position:t.delivery_counter ~bytes ck;
+  note_instant t "checkpoint"
+    [ ("position", Trace.A_int t.delivery_counter);
+      ("bytes", Trace.A_int bytes) ]
+
+let maybe_checkpoint t =
+  match t.store with
+  | Some s
+    when t.checkpoint_every > 0
+         && t.delivery_counter > 0
+         && t.delivery_counter mod t.checkpoint_every = 0
+         && t.delivery_counter > Store.checkpoint_position s ->
+    take_checkpoint t s
+  | Some _ | None -> ()
 
 (* --- storage & GC ------------------------------------------------------- *)
 
@@ -101,8 +193,16 @@ let store_batch t batch =
 
 let gc_sweep t =
   (* A batch delivered at position p is collectable once every server
-     (ourselves included) reports a delivery counter beyond p. *)
-  let horizon = Array.fold_left min max_int t.peer_counters in
+     (ourselves included) reports a delivery counter beyond p — or, with
+     durable state, once one of our checkpoints covers p: a crashed peer
+     then recovers the batch's effects from checkpoint + WAL transfer
+     instead of re-fetching the batch itself. *)
+  let gossip = Array.fold_left min max_int t.peer_counters in
+  let horizon =
+    match t.store with
+    | Some s when t.checkpoint_every > 0 -> max gossip (Store.checkpoint_position s)
+    | Some _ | None -> gossip
+  in
   let victims = ref [] in
   Hashtbl.iter
     (fun root stored ->
@@ -113,7 +213,8 @@ let gc_sweep t =
   List.iter
     (fun (root, stored) ->
       Hashtbl.remove t.batches root;
-      t.stored_bytes <- t.stored_bytes - stored.bytes)
+      t.stored_bytes <- t.stored_bytes - stored.bytes;
+      t.collected_batches <- t.collected_batches + 1)
     !victims
 
 let start t =
@@ -189,17 +290,18 @@ let deliver_explicit t (batch : Batch.t) entries =
       in
       if fresh then begin
         Hashtbl.replace t.last_msg id (seq, e.e_msg);
-        delivered := (id, e.e_msg) :: !delivered
+        delivered := (id, seq, e.e_msg) :: !delivered
       end
       else begin
         let last_seq = match last with Some (s, _) -> s | None -> -1 in
         exceptions := (id, last_seq) :: !exceptions
       end)
     entries;
-  let ops = Array.of_list (List.rev !delivered) in
+  let logged = Array.of_list (List.rev !delivered) in
+  let ops = Array.map (fun (id, _, m) -> (id, m)) logged in
   if Array.length ops > 0 then t.deliver_app (Proto.Ops ops);
   t.delivered_messages <- t.delivered_messages + Array.length ops;
-  List.rev !exceptions
+  (List.rev !exceptions, Proto.Wal_ops logged)
 
 let deliver_dense t (batch : Batch.t) (d : Batch.dense) =
   (* The whole range shares one (sequence number, tag): the usual per-client
@@ -216,17 +318,21 @@ let deliver_dense t (batch : Batch.t) (d : Batch.dense) =
       (Proto.Bulk { first_id = d.first_id; count = d.count; tag = d.tag;
                     msg_bytes = d.msg_bytes });
     t.delivered_messages <- t.delivered_messages + d.count;
-    []
+    ([],
+     Proto.Wal_bulk
+       { first_id = d.first_id; count = d.count; tag = d.tag;
+         msg_bytes = d.msg_bytes; agg_seq = batch.agg_seq })
   end
   else
     (* Whole-range replay: summarised as a single exception entry. *)
-    [ (d.first_id, match last with Some (s, _) -> s | None -> -1) ]
+    ( [ (d.first_id, match last with Some (s, _) -> s | None -> -1) ],
+      Proto.Wal_ops [||] )
 
-let deliver_batch t stored =
+let deliver_batch t ~broker ~number stored =
   let batch = stored.batch in
   let root = Batch.identity_root batch in
   let before_msgs = t.delivered_messages in
-  let exceptions =
+  let exceptions, wal_ops =
     match batch.entries with
     | Batch.Explicit entries -> deliver_explicit t batch entries
     | Batch.Dense d -> deliver_dense t batch d
@@ -234,8 +340,15 @@ let deliver_batch t stored =
   Trace.Counter.incr t.c_deliveries;
   Trace.Counter.add t.c_messages (t.delivered_messages - before_msgs);
   t.delivery_counter <- t.delivery_counter + 1;
-  stored.position <- Some (t.delivery_counter - 1);
+  let position = t.delivery_counter - 1 in
+  stored.position <- Some position;
+  Hashtbl.replace t.delivered_refs (broker, number) position;
   t.peer_counters.(t.cfg.self) <- t.delivery_counter;
+  wal_log t
+    (Proto.Wal_batch
+       { w_position = position; w_broker = broker; w_number = number;
+         w_root = root; w_ops = wal_ops });
+  maybe_checkpoint t;
   let counter = t.delivery_counter in
   let statement =
     Certs.completion_statement ~root ~counter
@@ -247,7 +360,10 @@ let deliver_batch t stored =
     (Completion_shard { root; counter; exceptions; share })
 
 let rec drain_order_queue t =
-  if t.delivering then ()
+  (* While catching up after a cold restart, live ordered references queue
+     but must not deliver: the gap below them is being filled by state
+     transfer, and delivering out of turn would assign wrong positions. *)
+  if t.delivering || t.syncing then ()
   else
   let next =
     match t.order_queue_front with
@@ -263,23 +379,34 @@ let rec drain_order_queue t =
   match next with
   | None -> ()
   | Some (broker, number, root) ->
+    if Hashtbl.mem t.delivered_refs (broker, number) then begin
+      (* Delivered before the crash, or via catch-up: skip. *)
+      t.order_queue_front <- List.tl t.order_queue_front;
+      drain_order_queue t
+    end
+    else
     (match Hashtbl.find_opt t.batches root with
      | Some stored when stored.position = None ->
        t.order_queue_front <- List.tl t.order_queue_front;
        t.delivering <- true;
        let cost = Batch.non_witness_cpu_cost stored.batch in
+       let epoch = t.restarts in
        let s = tr t in
        if Trace.enabled s then
          Trace.span_begin s ~now:(Engine.now t.engine) ~actor:t.cfg.self
            ~cat:"server" ~name:"deliver" ~id:(Trace.key root);
        Cpu.submit t.cpu ~cost (fun () ->
-           t.delivering <- false;
-           if not t.crashed then begin
-             deliver_batch t stored;
-             if Trace.enabled s then
-               Trace.span_end s ~now:(Engine.now t.engine) ~actor:t.cfg.self
-                 ~cat:"server" ~name:"deliver" ~id:(Trace.key root);
-             drain_order_queue t
+           if t.restarts = epoch then begin
+             t.delivering <- false;
+             if (not t.crashed) && (not t.syncing) && stored.position = None
+                && not (Hashtbl.mem t.delivered_refs (broker, number))
+             then begin
+               deliver_batch t ~broker ~number stored;
+               if Trace.enabled s then
+                 Trace.span_end s ~now:(Engine.now t.engine) ~actor:t.cfg.self
+                   ~cat:"server" ~name:"deliver" ~id:(Trace.key root);
+               drain_order_queue t
+             end
            end)
      | Some _ ->
        (* Already delivered through an earlier reference: skip. *)
@@ -300,6 +427,163 @@ and fetch_batch t ~broker ~number ~root =
           fetch_batch t ~broker ~number:(number + 1) ~root
         end)
   end
+
+(* --- cold restart: WAL replay and peer state transfer -------------------- *)
+
+let apply_wal_ops t (op : Proto.wal_op) =
+  (* Replay re-drives the application and the dedup tables, but does not
+     resend completion shards (the brokers got them the first time) and
+     does not touch the global trace delivery counters. *)
+  match op with
+  | Proto.Wal_ops entries ->
+    Array.iter
+      (fun (id, seq, m) -> Hashtbl.replace t.last_msg id (seq, m))
+      entries;
+    if Array.length entries > 0 then
+      t.deliver_app (Proto.Ops (Array.map (fun (id, _, m) -> (id, m)) entries));
+    t.delivered_messages <- t.delivered_messages + Array.length entries
+  | Proto.Wal_bulk { first_id; count; tag; msg_bytes; agg_seq } ->
+    Hashtbl.replace t.dense_last first_id (agg_seq, tag);
+    t.deliver_app (Proto.Bulk { first_id; count; tag; msg_bytes });
+    t.delivered_messages <- t.delivered_messages + count
+
+let replay_record t (r : Proto.wal_record) =
+  match r with
+  | Proto.Wal_signup { w_nonce; w_card; w_id; w_pos = _ } ->
+    if Hashtbl.mem t.seen_signups w_nonce then false
+    else begin
+      Hashtbl.add t.seen_signups w_nonce ();
+      (* The directory object is shared with the brokers and survives the
+         crash; re-append only when the entry is genuinely missing (a
+         fresh-directory replay in tests), and never resend Signup_done. *)
+      if Directory.size t.dir <= w_id then ignore (Directory.append t.dir w_card);
+      true
+    end
+  | Proto.Wal_batch { w_position; w_broker; w_number; w_root; w_ops } ->
+    (* Contiguity: a record applies exactly at its position.  Records below
+       the counter are duplicates (already covered by the checkpoint or an
+       earlier response); records above would leave a gap. *)
+    if w_position <> t.delivery_counter then false
+    else begin
+      apply_wal_ops t w_ops;
+      t.delivery_counter <- t.delivery_counter + 1;
+      Hashtbl.replace t.delivered_refs (w_broker, w_number) w_position;
+      Hashtbl.replace t.seen_refs (w_broker, w_number) ();
+      (match Hashtbl.find_opt t.batches w_root with
+       | Some stored -> stored.position <- Some w_position
+       | None -> ());
+      true
+    end
+
+let restore_checkpoint t (ck : Proto.checkpoint) =
+  Hashtbl.reset t.last_msg;
+  Hashtbl.reset t.dense_last;
+  Hashtbl.reset t.delivered_refs;
+  Hashtbl.reset t.seen_signups;
+  List.iter
+    (fun (id, seq, m) -> Hashtbl.replace t.last_msg id (seq, m))
+    ck.Proto.ck_last_msg;
+  List.iter
+    (fun (fid, seq, tag) -> Hashtbl.replace t.dense_last fid (seq, tag))
+    ck.Proto.ck_dense_last;
+  List.iter
+    (fun (b, n, p) ->
+      Hashtbl.replace t.delivered_refs (b, n) p;
+      Hashtbl.replace t.seen_refs (b, n) ())
+    ck.Proto.ck_refs;
+  List.iter (fun nonce -> Hashtbl.replace t.seen_signups nonce ()) ck.Proto.ck_signups;
+  t.delivery_counter <- ck.Proto.ck_position;
+  t.delivered_messages <- ck.Proto.ck_messages;
+  match t.app_restore with
+  | Some restore -> restore ck.Proto.ck_app
+  | None -> ()
+
+let rec send_sync_request t =
+  let dst = t.sync_peer in
+  let next = (dst + 1) mod t.cfg.n in
+  t.sync_peer <- (if next = t.cfg.self then (next + 1) mod t.cfg.n else next);
+  t.send_server ~dst ~bytes:Wire.sync_request_bytes
+    (Sync_request { from_position = t.delivery_counter });
+  let epoch = t.restarts in
+  t.sync_timer <-
+    Some
+      (Engine.timer t.engine ~delay:1.0 (fun () ->
+           (* Peer crashed or partitioned: rotate to the next one. *)
+           if t.syncing && (not t.crashed) && t.restarts = epoch then
+             send_sync_request t))
+
+let begin_catch_up t =
+  t.syncing <- true;
+  t.sync_peer <- (t.cfg.self + 1) mod t.cfg.n;
+  send_sync_request t
+
+let finish_catch_up t ~peer_stob_cursor =
+  t.syncing <- false;
+  (* Everything the peers ordered below their cursor reached us as state
+     transfer; fast-forward the underlay past the slots missed while down
+     so live slots from here on deliver.  (Slots ordered after the peer's
+     response are already arriving at our recovered underlay.) *)
+  t.stob_resume (max (t.stob_cursor ()) peer_stob_cursor);
+  note_instant t "caught_up"
+    [ ("position", Trace.A_int t.delivery_counter);
+      ("rounds", Trace.A_int t.sync_rounds);
+      ("records", Trace.A_int t.catch_up_records) ];
+  drain_order_queue t
+
+let cold_restart t =
+  match t.store with
+  | None ->
+    (* No durable state: fall back to warm recovery (prefix-correct only). *)
+    t.crashed <- false
+  | Some s ->
+    t.crashed <- false;
+    t.restarts <- t.restarts + 1;
+    t.syncing <- true; (* gate delivery for the whole recovery window *)
+    t.sync_rounds <- 0;
+    (* Wipe every in-memory structure: only the disk state survives. *)
+    Hashtbl.reset t.batches;
+    t.stored_bytes <- 0;
+    Hashtbl.reset t.seen_refs;
+    Hashtbl.reset t.submitted_refs;
+    t.order_queue <- [];
+    t.order_queue_front <- [];
+    Hashtbl.reset t.last_msg;
+    Hashtbl.reset t.dense_last;
+    Hashtbl.reset t.delivered_refs;
+    t.delivery_counter <- 0;
+    t.delivered_messages <- 0;
+    Array.fill t.peer_counters 0 t.cfg.n 0;
+    Hashtbl.reset t.fetching;
+    Hashtbl.reset t.seen_signups;
+    t.delivering <- false;
+    (match t.sync_timer with Some tm -> Engine.cancel tm | None -> ());
+    t.sync_timer <- None;
+    (match t.app_restore with Some restore -> restore None | None -> ());
+    note_instant t "cold_restart" [];
+    let epoch = t.restarts in
+    Store.load s ~k:(fun ck records ->
+        if (not t.crashed) && t.restarts = epoch then begin
+          (match ck with Some ck -> restore_checkpoint t ck | None -> ());
+          let bytes =
+            (match ck with
+             | Some ck -> Store_wire.checkpoint_bytes ck
+             | None -> 0)
+            + List.fold_left
+                (fun acc r -> acc + Store_wire.wal_record_bytes r)
+                0 records
+          in
+          (* Deserialize + re-apply cost, on the CPU after the disk read. *)
+          Cpu.submit t.cpu ~cost:(Cost.serialize_per_byte *. float_of_int bytes)
+            (fun () ->
+              if (not t.crashed) && t.restarts = epoch then begin
+                List.iter (fun r -> ignore (replay_record t r)) records;
+                t.peer_counters.(t.cfg.self) <- t.delivery_counter;
+                note_instant t "wal_replayed"
+                  [ ("position", Trace.A_int t.delivery_counter);
+                    ("records", Trace.A_int (List.length records)) ];
+                begin_catch_up t
+              end)
+        end)
 
 (* --- message handlers ----------------------------------------------------- *)
 
@@ -363,6 +647,68 @@ let receive_server t ~src msg =
         t.peer_counters.(src) <- delivered_counter;
         gc_sweep t
       end
+    | Proto.Sync_request { from_position } ->
+      (match t.store with
+       | None -> () (* nothing durable to serve *)
+       | Some s ->
+         let checkpoint =
+           if Store.checkpoint_position s > from_position then
+             Store.latest_checkpoint s
+           else None
+         in
+         let base =
+           match checkpoint with
+           | Some ck -> ck.Proto.ck_position
+           | None -> from_position
+         in
+         let records = Store.records_from s ~position:base in
+         let backlog = order_queue_depth t + (if t.delivering then 1 else 0) in
+         let bytes = Store_wire.sync_response_bytes ~checkpoint ~records in
+         let resp =
+           Proto.Sync_response
+             { position = t.delivery_counter; stob_cursor = t.stob_cursor ();
+               backlog; checkpoint; records }
+         in
+         (* Serving state transfer streams the log back off the device. *)
+         Disk.read (Store.disk s) ~bytes (fun () ->
+             if not t.crashed then t.send_server ~dst:src ~bytes resp))
+    | Proto.Sync_response { position; stob_cursor; backlog; checkpoint; records }
+      ->
+      if t.syncing then begin
+        (match t.sync_timer with Some tm -> Engine.cancel tm | None -> ());
+        t.sync_timer <- None;
+        t.sync_rounds <- t.sync_rounds + 1;
+        (match checkpoint with
+         | Some ck when ck.Proto.ck_position > t.delivery_counter ->
+           (* The peer's snapshot is ahead of everything we have: replace
+              our state wholesale and replay its WAL suffix on top. *)
+           restore_checkpoint t ck;
+           (match t.store with
+            | Some s when Store.checkpoint_position s < ck.Proto.ck_position ->
+              Store.checkpoint s ~position:ck.Proto.ck_position
+                ~bytes:(Store_wire.checkpoint_bytes ck) ck
+            | Some _ | None -> ())
+         | Some _ | None -> ());
+        List.iter
+          (fun r ->
+            if replay_record t r then begin
+              t.catch_up_records <- t.catch_up_records + 1;
+              wal_log t r;
+              maybe_checkpoint t
+            end)
+          records;
+        t.peer_counters.(t.cfg.self) <- t.delivery_counter;
+        if t.delivery_counter >= position && backlog = 0 then
+          finish_catch_up t ~peer_stob_cursor:stob_cursor
+        else begin
+          (* The peer is still ahead (or had deliveries in flight): let it
+             advance a little and ask again. *)
+          let epoch = t.restarts in
+          Engine.schedule t.engine ~delay:0.25 (fun () ->
+              if t.syncing && (not t.crashed) && t.restarts = epoch then
+                send_sync_request t)
+        end
+      end
 
 let on_stob_deliver t item =
   if not t.crashed then
@@ -371,6 +717,10 @@ let on_stob_deliver t item =
       if not (Hashtbl.mem t.seen_signups nonce) then begin
         Hashtbl.add t.seen_signups nonce ();
         let id = Directory.append t.dir card in
+        wal_log t
+          (Proto.Wal_signup
+             { w_nonce = nonce; w_card = card; w_id = id;
+               w_pos = t.delivery_counter });
         t.send_broker ~broker:reply_broker ~bytes:(Wire.header_bytes + 16)
           (Signup_done { nonce; id })
       end
@@ -405,11 +755,14 @@ let on_stob_deliver t item =
 
 let crash t = t.crashed <- true
 
-let recover t = t.crashed <- false
-(* The chopchop layer above the STOB resumes where it stopped; batches and
+(* Warm recovery (fig. 11a): un-crash in place, keeping all in-memory state.
+   The chopchop layer above the STOB resumes where it stopped; batches and
    references that were exchanged while down are re-obtainable through the
    fetch path, but STOB slots missed during the outage are not (see
-   {!Repro_stob}), so a recovered server is prefix-correct, not live. *)
+   {!Repro_stob}), so a recovered server is prefix-correct, not live.  Use
+   {!cold_restart} (durable state required) for a recovery that catches the
+   server back up to its peers. *)
+let recover t = t.crashed <- false
 
 (* Byzantine switches (lib/chaos). *)
 

@@ -11,7 +11,13 @@
     [send_*] into the network model, [stob_broadcast] into the local STOB
     instance, and calls {!on_stob_deliver} from the STOB's deliver
     upcall.  CPU time for verification, deduplication and serialization is
-    charged on the node's {!Repro_sim.Cpu} queue before effects happen. *)
+    charged on the node's {!Repro_sim.Cpu} queue before effects happen.
+
+    With a {!Repro_store.Store} attached the server additionally keeps a
+    durable WAL of delivery outcomes plus periodic checkpoints, and
+    supports {!cold_restart}: wipe all in-memory state, replay the local
+    log, then state-transfer the missed suffix from live peers until
+    caught up. *)
 
 type t
 
@@ -26,6 +32,10 @@ val create :
   engine:Repro_sim.Engine.t ->
   cpu:Repro_sim.Cpu.t ->
   config:config ->
+  ?store:(Proto.checkpoint, Proto.wal_record) Repro_store.Store.t ->
+  ?checkpoint_every:int ->
+  ?stob_cursor:(unit -> int) ->
+  ?stob_resume:(int -> unit) ->
   directory:Directory.t ->
   ms_sk:Repro_crypto.Multisig.secret_key ->
   server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
@@ -35,6 +45,10 @@ val create :
   deliver_app:(Proto.delivery -> unit) ->
   unit ->
   t
+(** [store] attaches durable state; [checkpoint_every] (deliveries,
+    default 0 = never) controls snapshot density.  [stob_cursor] /
+    [stob_resume] let cold restart fast-forward the ordering underlay
+    past slots recovered through state transfer. *)
 
 val start : t -> unit
 (** Arm the periodic GC gossip. *)
@@ -48,10 +62,24 @@ val on_stob_deliver : t -> Stob_item.t -> unit
 val crash : t -> unit
 
 val recover : t -> unit
-(** Undo {!crash}.  Messages and STOB slots missed while down are not
-    replayed: the recovered server remains a correct {e prefix} of the
-    system but may stall at its delivery gap (lib/chaos marks such nodes
-    degraded when checking liveness). *)
+(** Warm recovery: undo {!crash} keeping in-memory state.  Messages and
+    STOB slots missed while down are not replayed: the recovered server
+    remains a correct {e prefix} of the system but may stall at its
+    delivery gap (lib/chaos marks such nodes degraded when checking
+    liveness).  Use {!cold_restart} for full recovery. *)
+
+val cold_restart : t -> unit
+(** Restart from durable state: wipe every in-memory structure, replay
+    checkpoint + WAL off the simulated disk, then pull the missed suffix
+    from live peers (Sync_request/Sync_response) until the delivery
+    counter reaches a live peer's and its ordering backlog is empty.
+    Falls back to {!recover} when no store is attached. *)
+
+val set_app_hooks :
+  t -> snapshot:(unit -> string) -> restore:(string option -> unit) -> unit
+(** Application state capture for checkpoints: [snapshot ()] serializes
+    the app, [restore (Some s)] reinstates a snapshot, [restore None]
+    resets the app to its initial state (cold restart, pre-replay). *)
 
 (** {2 Byzantine fault injection}
 
@@ -85,5 +113,20 @@ val stored_batches : t -> int
 val stored_bytes : t -> int
 (** Memory pressure: §8 calls out garbage collection under load as a
     limitation; Fig. 11a's crash experiment makes this grow. *)
+
+val collected_batches : t -> int
+(** Batches garbage-collected so far (GC-progress assertions). *)
+
+val catching_up : t -> bool
+(** True between {!cold_restart} and the end of state transfer. *)
+
+val sync_rounds : t -> int
+(** Sync_request round-trips used by the last catch-up. *)
+
+val catch_up_records : t -> int
+(** WAL records obtained from peers (cumulative across restarts). *)
+
+val restarts : t -> int
+(** Cold restarts so far. *)
 
 val directory : t -> Directory.t

@@ -60,3 +60,9 @@ let completion_shard_bytes ~exceptions =
   + (exceptions * (8 + seqno_bytes))
 
 let delivery_cert_bytes = header_bytes + hash_bytes + multisig_bytes + seqno_bytes + 8
+
+(* --- durable state & state transfer (lib/store) ----------------------- *)
+
+let keycard_bytes = 2 * pk_bytes
+
+let sync_request_bytes = header_bytes + 8

@@ -67,3 +67,13 @@ val stob_submission_bytes : int
 val completion_shard_bytes : exceptions:int -> int
 val delivery_cert_bytes : int
 val legitimacy_cert_bytes : int
+
+(** {2 Durable state and state transfer (lib/store)}
+
+    Sizes that depend on the {!Proto} record types live in {!Store_wire}
+    (keeping this module free of a Wire → Proto → Batch → Wire cycle). *)
+
+val keycard_bytes : int
+(** An explicit directory entry: signature + multisig public key. *)
+
+val sync_request_bytes : int

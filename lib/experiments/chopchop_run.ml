@@ -25,6 +25,8 @@ type params = {
   flush_period : float;
   reduce_timeout : float;
   witness_margin : int option; (* None: the paper's per-size default *)
+  store : bool; (* per-server durable storage model (lib/store) *)
+  checkpoint_every : int; (* batches between checkpoints when [store] *)
   trace : Repro_trace.Trace.Sink.t;
   metrics : Repro_metrics.Metrics.t option;
 }
@@ -35,6 +37,7 @@ let default =
     measure_clients = 8; duration = 20.; warmup = 6.; cooldown = 4.;
     crash = None; dense_clients = 257_000_000; seed = 42L;
     flush_period = 1.0; reduce_timeout = 1.0; witness_margin = None;
+    store = false; checkpoint_every = 64;
     trace = Repro_trace.Trace.Sink.null (); metrics = None }
 
 type result = {
@@ -49,6 +52,7 @@ type result = {
   stored_bytes_max : int;
   delivered_messages : int; (* total at server 0, whole run *)
   decisions : int; (* batches delivered at server 0, whole run *)
+  wal_bytes : int; (* WAL appended at server 0; 0 when store is off *)
 }
 
 let useful_bytes_per_msg ~clients ~msg_bytes =
@@ -64,6 +68,8 @@ let run p =
       flush_period = p.flush_period;
       reduce_timeout = p.reduce_timeout;
       witness_margin = Option.value p.witness_margin ~default:base.witness_margin;
+      store_enabled = p.store;
+      checkpoint_every = p.checkpoint_every;
       trace = p.trace }
   in
   let d = D.create cfg in
@@ -212,6 +218,16 @@ let run p =
         is visible in the metrics themselves. *)
      M.probe m "trace.dropped" ~labels:[ ("role", "trace") ] (fun () ->
          float_of_int (Trace.Sink.dropped p.trace));
+     if p.store then begin
+       M.probe m "disk.backlog_s" ~labels:[ ("role", "server") ] (fun () ->
+           List.fold_left
+             (fun acc i -> Float.max acc (D.server_disk_backlog d i))
+             0. servers_alive);
+       M.rate_probe m "wal.bytes_per_s" ~labels:[ ("role", "server") ]
+         (fun () -> float_of_int (D.server_wal_bytes d 0));
+       M.probe m "snapshot.bytes" ~labels:[ ("role", "server") ] (fun () ->
+           float_of_int (D.server_snapshot_bytes d 0))
+     end;
      Engine.every engine ~period:(M.period m) ~until:p.duration (fun () ->
          M.sample m ~now:(Engine.now engine)));
   (* Start the load. *)
@@ -266,7 +282,8 @@ let run p =
     server_cpu = cpu;
     stored_bytes_max = !stored_max;
     delivered_messages = Server.delivered_messages (D.servers d).(0);
-    decisions = Server.delivery_counter (D.servers d).(0) }
+    decisions = Server.delivery_counter (D.servers d).(0);
+    wal_bytes = D.server_wal_bytes d 0 }
 
 let pp_result fmt r =
   Format.fprintf fmt

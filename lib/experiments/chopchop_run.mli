@@ -23,6 +23,11 @@ type params = {
   flush_period : float; (* broker collection window (1 s in the paper) *)
   reduce_timeout : float; (* distillation timeout (1 s in the paper) *)
   witness_margin : int option; (* None: paper default for the size *)
+  store : bool;
+      (* enable the per-server durable-storage model: WAL appends and
+         periodic checkpoints on a simulated disk (lib/store); adds
+         disk/WAL/snapshot metrics probes when [metrics] is also set *)
+  checkpoint_every : int; (* batches between checkpoints when [store] *)
   trace : Repro_trace.Trace.Sink.t; (* observability sink (default: null) *)
   metrics : Repro_metrics.Metrics.t option;
       (* when set, the run registers role-labelled probes (throughput,
@@ -48,6 +53,7 @@ type result = {
   stored_bytes_max : int; (* peak batch store across servers (GC pressure) *)
   delivered_messages : int; (* total messages at server 0, whole run *)
   decisions : int; (* batches delivered at server 0, whole run *)
+  wal_bytes : int; (* WAL bytes appended at server 0; 0 when store is off *)
 }
 
 val run : params -> result

@@ -45,6 +45,14 @@ let dedup_per_message = 2e-9
 
 let serialize_per_byte = 0.1e-9
 
+(* Simulated durable storage (lib/store): a datacenter NVMe device.  A
+   write is one fsync'd append — fixed fsync latency plus streaming
+   bandwidth; reads (recovery only) stream at a higher rate. *)
+
+let disk_fsync_s = 120e-6
+let disk_write_bps = 1.2e9
+let disk_read_bps = 2.4e9
+
 (* t3.small: 1 core vs the server's 32 vCPUs, and a slower core. *)
 let client_factor = float_of_int vcpus *. 1.5
 

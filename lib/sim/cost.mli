@@ -59,6 +59,17 @@ val dedup_per_message : float
 val serialize_per_byte : float
 (** Serialization / memory traffic per byte handled. *)
 
+(* Durable storage (lib/store's per-node disk model). *)
+
+val disk_fsync_s : float
+(** Latency of one fsync'd append (datacenter NVMe, ~120 us). *)
+
+val disk_write_bps : float
+(** Sustained sequential write bandwidth (bytes/s). *)
+
+val disk_read_bps : float
+(** Sequential read bandwidth — recovery replay streams at this rate. *)
+
 (* Client-side (t3.small: 1 core, slower clock). *)
 
 val client_factor : float

@@ -396,5 +396,15 @@ let crash t =
 
 let recover t = t.crashed <- false
 
+let cursor t = t.last_committed_height + 1
+
+let resume_at t ~cursor =
+  (* Heights below [cursor] were recovered out of band (lib/store state
+     transfer): raising the committed height keeps [try_commit] and
+     [chain_to] from re-delivering them.  Chopchop-level reference dedup
+     covers re-proposals of carried-over payloads at later heights. *)
+  if cursor - 1 > t.last_committed_height then
+    t.last_committed_height <- cursor - 1
+
 let delivered_count t = t.delivered
 let current_view t = t.view

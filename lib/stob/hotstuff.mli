@@ -40,6 +40,14 @@ val crash : 'p t -> unit
 val recover : 'p t -> unit
 (** Undo {!crash}; same caveats as {!Pbft.recover}. *)
 
+val cursor : 'p t -> int
+(** One past the last committed block height. *)
+
+val resume_at : 'p t -> cursor:int -> unit
+(** Raise the committed height to [cursor - 1] (no-op when not ahead):
+    cold restart recovers the skipped heights' payloads via lib/store
+    state transfer instead of the chain. *)
+
 val delivered_count : 'p t -> int
 
 val current_view : 'p t -> int

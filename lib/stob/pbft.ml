@@ -359,5 +359,22 @@ let crash t =
 
 let recover t = t.crashed <- false
 
+let cursor t = t.next_deliver
+
+let resume_at t ~cursor =
+  if cursor > t.next_deliver then begin
+    (* Sequence numbers below the new cursor were recovered out of band
+       (lib/store state transfer); drop their slots so they cannot commit
+       and deliver a second time.  [note_prepare]/[note_commit] already
+       ignore seq < next_deliver, so no further votes resurrect them. *)
+    let stale =
+      Hashtbl.fold (fun seq _ acc -> if seq < cursor then seq :: acc else acc)
+        t.slots []
+    in
+    List.iter (Hashtbl.remove t.slots) stale;
+    t.next_deliver <- cursor;
+    try_deliver t
+  end
+
 let delivered_count t = t.delivered
 let view t = t.view

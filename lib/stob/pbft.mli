@@ -49,6 +49,14 @@ val recover : 'p t -> unit
     state.  Consensus messages missed while down are not replayed, so the
     replica may stall at its delivery gap — safe (prefix), not live. *)
 
+val cursor : 'p t -> int
+(** Next sequence number this replica would deliver. *)
+
+val resume_at : 'p t -> cursor:int -> unit
+(** Fast-forward delivery to [cursor] (no-op when not ahead), discarding
+    slots below it — used by cold restart after their payloads were
+    recovered through lib/store state transfer. *)
+
 val delivered_count : 'p t -> int
 
 val view : 'p t -> int

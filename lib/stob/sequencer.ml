@@ -75,6 +75,23 @@ let crash t = t.crashed <- true
 let recover t = t.crashed <- false
 (* Slots ordered while down were broadcast once and are gone: the replica
    resumes at its delivery gap and stays a correct prefix (lib/chaos
-   treats recovered nodes as degraded for liveness). *)
+   treats recovered nodes as degraded for liveness).  A cold restart with
+   durable state recovers the gap's payloads by state transfer and then
+   calls {!resume_at} to skip the dead slots. *)
+
+let cursor t = t.next_expected
+
+let resume_at t ~cursor =
+  if cursor > t.next_expected then begin
+    (* Slots below the new cursor were recovered out of band; buffered
+       copies must not deliver a second time. *)
+    let stale =
+      Hashtbl.fold (fun s _ acc -> if s < cursor then s :: acc else acc)
+        t.pending []
+    in
+    List.iter (Hashtbl.remove t.pending) stale;
+    t.next_expected <- cursor;
+    try_deliver t
+  end
 
 let delivered_count t = t.delivered

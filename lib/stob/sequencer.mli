@@ -28,4 +28,12 @@ val recover : 'p t -> unit
 (** Undo {!crash}: resume participating.  Slots missed while down are
     never re-sent; delivery stalls at the gap (a correct prefix). *)
 
+val cursor : 'p t -> int
+(** Next slot this replica would deliver. *)
+
+val resume_at : 'p t -> cursor:int -> unit
+(** Fast-forward delivery to [cursor] (no-op when not ahead), dropping
+    buffered slots below it: the cold-restart path recovers their
+    payloads via state transfer (lib/store), not through the STOB. *)
+
 val delivered_count : 'p t -> int

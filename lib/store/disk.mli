@@ -1,0 +1,41 @@
+(** Simulated durable-storage device, one per node.
+
+    The same shape as {!Repro_sim.Cpu}: a serial queue on the virtual
+    clock.  A {!write} models one fsync'd append — a fixed fsync latency
+    ({!Repro_sim.Cost.disk_fsync_s}) plus bytes over the sequential write
+    bandwidth; a {!read} (recovery replay) streams at the read bandwidth.
+    Completions fire in submission order, so WAL appends are naturally
+    ordered.  Counters make disk pressure observable as metrics probes
+    (queue depth in seconds, bytes/s). *)
+
+type t
+
+val create :
+  Repro_sim.Engine.t ->
+  ?fsync_s:float ->
+  ?write_bps:float ->
+  ?read_bps:float ->
+  unit ->
+  t
+(** Defaults come from {!Repro_sim.Cost}: 120 us fsync, 1.2 GB/s write,
+    2.4 GB/s read. *)
+
+val write : t -> bytes:int -> (unit -> unit) -> unit
+(** Queue one fsync'd append; the continuation runs when it is durable. *)
+
+val read : t -> bytes:int -> (unit -> unit) -> unit
+(** Queue a sequential read (recovery); continuation runs on completion. *)
+
+val backlog : t -> float
+(** Seconds of queued device work (metrics probe). *)
+
+val busy_seconds : t -> float
+val utilization : t -> since:float -> float
+
+val bytes_written : t -> int
+val bytes_read : t -> int
+
+val fsyncs : t -> int
+(** Writes completed or queued — each write is one fsync. *)
+
+val reads : t -> int

@@ -1,0 +1,68 @@
+type ('cp, 'r) t = {
+  disk : Disk.t;
+  (* Live WAL suffix, newest first: (position, wire bytes, record). *)
+  mutable wal : (int * int * 'r) list;
+  mutable wal_len : int;
+  mutable wal_live_bytes : int;
+  mutable wal_bytes_total : int;
+  mutable wal_records_total : int;
+  mutable ck : (int * 'cp) option; (* (wire bytes, checkpoint) *)
+  mutable ck_position : int; (* -1 until the first checkpoint *)
+  mutable checkpoints : int;
+}
+
+let create ~disk () =
+  { disk; wal = []; wal_len = 0; wal_live_bytes = 0;
+    wal_bytes_total = 0; wal_records_total = 0;
+    ck = None; ck_position = -1; checkpoints = 0 }
+
+let disk t = t.disk
+
+let append t ~position ~bytes r =
+  t.wal <- (position, bytes, r) :: t.wal;
+  t.wal_len <- t.wal_len + 1;
+  t.wal_live_bytes <- t.wal_live_bytes + bytes;
+  t.wal_bytes_total <- t.wal_bytes_total + bytes;
+  t.wal_records_total <- t.wal_records_total + 1;
+  (* Asynchronous group-committed append: durability is charged on the
+     device queue but never gates protocol progress, so a run with the
+     store enabled is behaviorally identical to one without (absent
+     crashes).  Only recovery reads are synchronous. *)
+  Disk.write t.disk ~bytes (fun () -> ())
+
+let checkpoint t ~position ~bytes cp =
+  t.ck <- Some (bytes, cp);
+  t.ck_position <- position;
+  t.checkpoints <- t.checkpoints + 1;
+  (* Truncate the WAL prefix the checkpoint now covers. *)
+  let keep = List.filter (fun (p, _, _) -> p >= position) t.wal in
+  t.wal <- keep;
+  t.wal_len <- List.length keep;
+  t.wal_live_bytes <- List.fold_left (fun a (_, b, _) -> a + b) 0 keep;
+  Disk.write t.disk ~bytes (fun () -> ())
+
+let latest_checkpoint t = Option.map snd t.ck
+let checkpoint_position t = t.ck_position
+let last_checkpoint_bytes t = match t.ck with Some (b, _) -> b | None -> 0
+
+let records_from t ~position =
+  List.rev
+    (List.filter_map
+       (fun (p, _, r) -> if p >= position then Some r else None)
+       t.wal)
+
+let load t ~k =
+  let ck_bytes = last_checkpoint_bytes t in
+  let bytes = ck_bytes + t.wal_live_bytes in
+  let ck = latest_checkpoint t in
+  let records =
+    List.rev_map (fun (_, _, r) -> r)
+      (List.filter (fun (p, _, _) -> p >= t.ck_position) t.wal)
+  in
+  Disk.read t.disk ~bytes (fun () -> k ck records)
+
+let wal_records t = t.wal_len
+let wal_live_bytes t = t.wal_live_bytes
+let wal_bytes_total t = t.wal_bytes_total
+let wal_records_total t = t.wal_records_total
+let checkpoints t = t.checkpoints

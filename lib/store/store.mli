@@ -1,0 +1,54 @@
+(** Durable node state: an append-only WAL plus the latest checkpoint.
+
+    Generic over the checkpoint type ['cp] and the WAL record type ['r]
+    (the Chop Chop layer instantiates both from {!Repro_chopchop.Proto});
+    this module only manages ordering, truncation and byte/cost
+    accounting on the node's {!Disk}.
+
+    Every record is tagged with the delivery {e position} it belongs to;
+    a checkpoint at position [p] covers all positions [< p] and truncates
+    the corresponding WAL prefix.  Appends and checkpoints are
+    {e asynchronous} (group commit): their latency lands on the device
+    queue, visible to metrics, but never blocks the protocol — so a
+    crash-free run is bit-identical with the store on or off.  Only
+    {!load}, the cold-restart read, is synchronous. *)
+
+type ('cp, 'r) t
+
+val create : disk:Disk.t -> unit -> ('cp, 'r) t
+val disk : ('cp, 'r) t -> Disk.t
+
+val append : ('cp, 'r) t -> position:int -> bytes:int -> 'r -> unit
+(** Log one record at a delivery position (fire-and-forget fsync). *)
+
+val checkpoint : ('cp, 'r) t -> position:int -> bytes:int -> 'cp -> unit
+(** Install a checkpoint covering positions [< position]; truncates the
+    covered WAL prefix and queues the snapshot write. *)
+
+val latest_checkpoint : ('cp, 'r) t -> 'cp option
+
+val checkpoint_position : ('cp, 'r) t -> int
+(** Position of the latest checkpoint; [-1] if none was ever taken. *)
+
+val records_from : ('cp, 'r) t -> position:int -> 'r list
+(** Live records at positions [>= position], oldest first (state
+    transfer).  The WAL always holds every record at or above
+    {!checkpoint_position}. *)
+
+val load : ('cp, 'r) t -> k:('cp option -> 'r list -> unit) -> unit
+(** Cold-restart read: charge a sequential read of the checkpoint plus
+    the live WAL on the device, then hand both to [k] (records oldest
+    first). *)
+
+(* Introspection (metrics probes, the bench storage-overhead gate). *)
+
+val wal_records : ('cp, 'r) t -> int
+(** Live (un-truncated) records. *)
+
+val wal_live_bytes : ('cp, 'r) t -> int
+val wal_bytes_total : ('cp, 'r) t -> int
+(** Cumulative bytes ever appended (never reduced by truncation). *)
+
+val wal_records_total : ('cp, 'r) t -> int
+val checkpoints : ('cp, 'r) t -> int
+val last_checkpoint_bytes : ('cp, 'r) t -> int

@@ -16,6 +16,14 @@ dune runtest
 echo "== chaos fault-injection smoke =="
 dune exec bin/main.exe -- chaos --scenario kitchen-sink --scale quick
 
+echo "== recovery smoke: crash -> cold restart -> catch-up =="
+# Acceptance scenario for the durable store: a crashed server cold
+# restarts from its WAL/checkpoint, state-transfers the rest from live
+# peers, and ends with the same app digest as a never-crashed replica
+# while collection advanced past the crash window.
+dune exec bin/main.exe -- chaos --scenario crash-cold-restart --scale quick
+dune exec bin/main.exe -- store
+
 echo "== trace-enabled bench smoke =="
 CHOPCHOP_BENCH_SCALE=quick dune exec bench/main.exe -- trace
 

@@ -1,0 +1,376 @@
+(* lib/store tests: the simulated disk's cost accounting, WAL/checkpoint
+   ordering and truncation, the App_intf snapshot/restore round-trip for
+   all four applications, and the full recovery path — a crashed server
+   cold-restarts from its WAL/checkpoint, state-transfers the gap from
+   live peers, and converges to the exact state of a never-crashed
+   replica.  Also the collection unblocking rule: checkpoints let GC
+   advance past a crashed peer's stalled counter, and a regression case
+   showing it still blocks with checkpointing off. *)
+
+module Engine = Repro_sim.Engine
+module Cost = Repro_sim.Cost
+module Disk = Repro_store.Disk
+module Store = Repro_store.Store
+module Deployment = Repro_chopchop.Deployment
+module Server = Repro_chopchop.Server
+module Client = Repro_chopchop.Client
+module Broker = Repro_chopchop.Broker
+module Batch = Repro_chopchop.Batch
+module Directory = Repro_chopchop.Directory
+module Payments = Repro_apps.Payments
+module Auction = Repro_apps.Auction
+module Pixelwar = Repro_apps.Pixelwar
+module Sealed = Repro_apps.Sealed
+module Chaos = Repro_chaos.Chaos
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- Disk ------------------------------------------------------------- *)
+
+let test_disk_costs () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine () in
+  let done_at = ref [] in
+  Disk.write disk ~bytes:1_200_000 (fun () ->
+      done_at := Engine.now engine :: !done_at);
+  Disk.write disk ~bytes:0 (fun () ->
+      done_at := Engine.now engine :: !done_at);
+  Engine.run engine;
+  let expect1 = Cost.disk_fsync_s +. (1_200_000. /. Cost.disk_write_bps) in
+  (match List.rev !done_at with
+   | [ t1; t2 ] ->
+     checkb "first write = fsync + bytes/bandwidth" true
+       (abs_float (t1 -. expect1) < 1e-9);
+     checkb "second write queues behind the first" true
+       (abs_float (t2 -. (expect1 +. Cost.disk_fsync_s)) < 1e-9)
+   | _ -> Alcotest.fail "expected two write completions");
+  checki "bytes accounted" 1_200_000 (Disk.bytes_written disk);
+  checki "two fsyncs" 2 (Disk.fsyncs disk);
+  checkb "busy time accumulated" true (Disk.busy_seconds disk > 0.)
+
+let test_disk_read () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine () in
+  let finished = ref false in
+  Disk.read disk ~bytes:2_400_000 (fun () -> finished := true);
+  Engine.run engine;
+  checkb "read completes" true !finished;
+  checki "bytes read accounted" 2_400_000 (Disk.bytes_read disk);
+  checkb "read streams at read bandwidth" true
+    (abs_float (Disk.busy_seconds disk -. 1e-3) < 1e-9)
+
+(* --- Store ------------------------------------------------------------ *)
+
+let mk_store () =
+  let engine = Engine.create () in
+  let s : (string, string) Store.t =
+    Store.create ~disk:(Disk.create engine ()) ()
+  in
+  (engine, s)
+
+let test_store_wal_checkpoint () =
+  let engine, s = mk_store () in
+  for p = 0 to 9 do
+    Store.append s ~position:p ~bytes:10 (Printf.sprintf "r%d" p)
+  done;
+  checki "10 live records" 10 (Store.wal_records s);
+  checki "100 live bytes" 100 (Store.wal_live_bytes s);
+  checki "no checkpoint yet" (-1) (Store.checkpoint_position s);
+  Store.checkpoint s ~position:6 ~bytes:50 "ck6";
+  checki "checkpoint truncates covered prefix" 4 (Store.wal_records s);
+  checki "checkpoint position" 6 (Store.checkpoint_position s);
+  checki "cumulative bytes keep the truncated prefix" 100
+    (Store.wal_bytes_total s);
+  Alcotest.(check (list string))
+    "records_from 8 ascending" [ "r8"; "r9" ]
+    (Store.records_from s ~position:8);
+  let got = ref None in
+  Store.load s ~k:(fun ck records -> got := Some (ck, records));
+  Engine.run engine;
+  (match !got with
+   | Some (Some ck, records) ->
+     checks "latest checkpoint loads" "ck6" ck;
+     Alcotest.(check (list string))
+       "load replays the live tail oldest-first" [ "r6"; "r7"; "r8"; "r9" ]
+       records
+   | _ -> Alcotest.fail "load did not complete");
+  checkb "load charged a device read" true (Disk.bytes_read (Store.disk s) > 0)
+
+let test_store_load_without_checkpoint () =
+  let engine, s = mk_store () in
+  Store.append s ~position:0 ~bytes:5 "a";
+  Store.append s ~position:1 ~bytes:5 "b";
+  let got = ref None in
+  Store.load s ~k:(fun ck records -> got := Some (ck, records));
+  Engine.run engine;
+  match !got with
+  | Some (None, [ "a"; "b" ]) -> ()
+  | _ -> Alcotest.fail "expected no checkpoint and the full WAL"
+
+(* --- App snapshot/restore round-trips ----------------------------------- *)
+
+let test_payments_roundtrip () =
+  let t = Payments.create () in
+  for i = 0 to 99 do
+    ignore
+      (Payments.apply_op t i (Payments.encode_op ~recipient:(i + 1) ~amount:7))
+  done;
+  let snap = Payments.snapshot t in
+  let t' = Payments.create () in
+  checkb "fresh state differs" true (Payments.digest t' <> Payments.digest t);
+  Payments.restore t' (Some snap);
+  checks "digest round-trips" (Payments.digest t) (Payments.digest t');
+  checki "ops restored" (Payments.ops_applied t) (Payments.ops_applied t');
+  checki "balances restored" (Payments.balance t 1) (Payments.balance t' 1);
+  Payments.restore t' None;
+  checks "restore None resets to initial"
+    (Payments.digest (Payments.create ()))
+    (Payments.digest t')
+
+let test_auction_roundtrip () =
+  let t = Auction.create () in
+  ignore
+    (Auction.apply_delivery t
+       (Repro_chopchop.Proto.Bulk
+          { first_id = 0; count = 5_000; tag = 3; msg_bytes = 8 }));
+  let funds = Auction.total_funds t in
+  let t' = Auction.create () in
+  Auction.restore t' (Some (Auction.snapshot t));
+  checks "digest round-trips" (Auction.digest t) (Auction.digest t');
+  checki "funds invariant survives restore" funds (Auction.total_funds t');
+  checki "token ownership restored" (Auction.owner t 17) (Auction.owner t' 17)
+
+let test_pixelwar_roundtrip () =
+  let t = Pixelwar.create ~width:64 ~height:64 () in
+  ignore (Pixelwar.apply_op t 0 (Pixelwar.encode_op ~x:3 ~y:4 ~rgb:0xABCDEF));
+  ignore (Pixelwar.apply_op t 1 (Pixelwar.encode_op ~x:63 ~y:63 ~rgb:0x123456));
+  let t' = Pixelwar.create ~width:64 ~height:64 () in
+  Pixelwar.restore t' (Some (Pixelwar.snapshot t));
+  checks "digest round-trips" (Pixelwar.digest t) (Pixelwar.digest t');
+  checki "pixel restored" 0xABCDEF (Pixelwar.pixel t' ~x:3 ~y:4);
+  checki "painted count restored" 2 (Pixelwar.painted t');
+  Pixelwar.restore t' None;
+  checki "restore None clears the board" (-1) (Pixelwar.pixel t' ~x:3 ~y:4)
+
+let test_sealed_roundtrip () =
+  let applied = ref [] in
+  let mk () = Sealed.create ~apply:(fun id m -> applied := (id, m) :: !applied) () in
+  let t = mk () in
+  Sealed.on_deliver t 1 (Sealed.seal ~payload:"trade-1" ~salt:"s1");
+  Sealed.on_deliver t 2 (Sealed.seal ~payload:"trade-2" ~salt:"s2");
+  Sealed.on_deliver t 2 (Sealed.reveal ~payload:"trade-2" ~salt:"s2");
+  (* Seal 1 is still pending, so seal 2's reveal waits behind it. *)
+  checki "nothing executed yet" 0 (Sealed.executed t);
+  checki "two pending" 2 (Sealed.pending t);
+  let t' = mk () in
+  Sealed.restore t' (Some (Sealed.snapshot t));
+  checks "digest round-trips" (Sealed.digest t) (Sealed.digest t');
+  checki "pending restored" 2 (Sealed.pending t');
+  (* The restored executor resumes mid-protocol: revealing seal 1
+     executes both operations in seal order. *)
+  Sealed.on_deliver t' 1 (Sealed.reveal ~payload:"trade-1" ~salt:"s1");
+  checki "both executed in order" 2 (Sealed.executed t')
+
+(* --- recovery harness --------------------------------------------------- *)
+
+(* Store-enabled deployment with one Payments replica per server (applied
+   through the deliver hook and checkpointed via snapshot/restore), eight
+   clients broadcasting three waves. *)
+let run_recovery ?(checkpoint_every = 4) ?(t_crash = 15.) ?(t_restart = 35.)
+    ?(until = 90.) ?(seed = 42L) () =
+  let cfg =
+    { Deployment.default_config with
+      underlay = Deployment.Sequencer; n_brokers = 2; seed;
+      store_enabled = true; checkpoint_every }
+  in
+  let d = Deployment.create cfg in
+  let n = cfg.Deployment.n_servers in
+  let apps = Array.init n (fun _ -> Payments.create ()) in
+  Deployment.server_deliver_hook d (fun srv del ->
+      ignore (Payments.apply_delivery apps.(srv) del));
+  Array.iteri
+    (fun i app ->
+      Deployment.set_server_app d i
+        ~snapshot:(fun () -> Payments.snapshot app)
+        ~restore:(fun s -> Payments.restore app s))
+    apps;
+  let clients = Array.init 8 (fun _ -> Deployment.add_client d ()) in
+  Array.iter Client.signup clients;
+  let engine = Deployment.engine d in
+  Array.iteri
+    (fun i c ->
+      for j = 0 to 2 do
+        Engine.schedule_at engine
+          ~time:(20. *. float_of_int j)
+          (fun () ->
+            Client.broadcast c (Payments.encode_op ~recipient:(i + j) ~amount:1))
+      done)
+    clients;
+  let victim = n - 1 in
+  Engine.schedule_at engine ~time:t_crash (fun () ->
+      Deployment.crash_server d victim);
+  Engine.schedule_at engine ~time:t_restart (fun () ->
+      Deployment.restart_server d victim);
+  Deployment.run d ~until;
+  (d, apps, victim)
+
+let test_catch_up_convergence () =
+  let d, apps, victim = run_recovery () in
+  let servers = Deployment.servers d in
+  checkb "victim finished catching up" false
+    (Server.catching_up servers.(victim));
+  checki "one cold restart" 1 (Server.restarts servers.(victim));
+  checki "victim converged to the same delivery counter"
+    (Server.delivery_counter servers.(0))
+    (Server.delivery_counter servers.(victim));
+  checks "victim app digest equals never-crashed replica"
+    (Payments.digest apps.(0))
+    (Payments.digest apps.(victim));
+  checkb "state transfer ran" true
+    (Server.sync_rounds servers.(victim) > 0);
+  checkb "victim took a checkpoint" true
+    (Deployment.server_checkpoints d victim > 0)
+
+let test_wal_replay_determinism () =
+  (* No checkpoint is ever taken, so the cold restart replays the entire
+     WAL from position 0; the result must still be bit-identical. *)
+  let d, apps, victim = run_recovery ~checkpoint_every:1_000_000 () in
+  let servers = Deployment.servers d in
+  checkb "victim live after pure WAL replay" false
+    (Server.catching_up servers.(victim));
+  checki "no checkpoints taken" 0 (Deployment.server_checkpoints d victim);
+  checks "digest matches after replaying the full WAL"
+    (Payments.digest apps.(0))
+    (Payments.digest apps.(victim));
+  checki "WAL kept every record" (Server.delivery_counter servers.(victim))
+    (Deployment.server_wal_records d victim
+     - (* signups ride the WAL too *)
+     8)
+
+let run_plain ~store ~seed =
+  (* Same traffic with the store on or off: absent a crash the two runs
+     must be observationally identical (WAL writes are fire-and-forget on
+     a device the protocol never waits for). *)
+  let cfg =
+    { Deployment.default_config with
+      underlay = Deployment.Sequencer; n_brokers = 2; seed;
+      store_enabled = store; checkpoint_every = 4 }
+  in
+  let d = Deployment.create cfg in
+  let n = cfg.Deployment.n_servers in
+  let apps = Array.init n (fun _ -> Payments.create ()) in
+  Deployment.server_deliver_hook d (fun srv del ->
+      ignore (Payments.apply_delivery apps.(srv) del));
+  let clients = Array.init 6 (fun _ -> Deployment.add_client d ()) in
+  Array.iter Client.signup clients;
+  let engine = Deployment.engine d in
+  Array.iteri
+    (fun i c ->
+      for j = 0 to 1 do
+        Engine.schedule_at engine
+          ~time:(15. *. float_of_int j)
+          (fun () ->
+            Client.broadcast c (Payments.encode_op ~recipient:(i + j) ~amount:2))
+      done)
+    clients;
+  Deployment.run d ~until:60.;
+  ( Array.map Server.delivery_counter (Deployment.servers d),
+    Array.map Payments.digest apps,
+    Array.map (fun c -> Client.completed c) clients )
+
+let test_store_on_off_identical () =
+  let c_off, dg_off, done_off = run_plain ~store:false ~seed:42L in
+  let c_on, dg_on, done_on = run_plain ~store:true ~seed:42L in
+  Alcotest.(check (array int)) "delivery counters identical" c_off c_on;
+  Alcotest.(check (array string)) "app digests identical" dg_off dg_on;
+  Alcotest.(check (array int)) "client completions identical" done_off done_on
+
+(* --- GC unblocking -------------------------------------------------------- *)
+
+let mk_gc_deployment ~store ~checkpoint_every =
+  Deployment.create
+    { Deployment.default_config with
+      underlay = Deployment.Sequencer; dense_clients = 100_000;
+      store_enabled = store; checkpoint_every }
+
+let submit_forged d =
+  let dir = Server.directory (Deployment.servers d).(0) in
+  for k = 0 to 9 do
+    let b =
+      Batch.forge_dense dir ~broker:0 ~number:k ~first_id:0 ~count:256
+        ~msg_bytes:8 ~tag:(k + 1) ~straggler_count:0
+    in
+    Engine.schedule (Deployment.engine d) ~delay:(0.5 *. float_of_int k)
+      (fun () ->
+        Broker.submit_prebuilt (Deployment.broker d 0) b
+          ~on_complete:(fun _ -> ()))
+  done
+
+let test_gc_unblocked_by_checkpoint () =
+  (* The crashed server's counter gossip stalls, but once a local
+     checkpoint covers the collected prefix the survivors collect anyway:
+     the batches are recoverable from disk, not only from memory. *)
+  let d = mk_gc_deployment ~store:true ~checkpoint_every:2 in
+  Deployment.crash_server d 3;
+  submit_forged d;
+  Deployment.run d ~until:60.0;
+  let sv = (Deployment.servers d).(0) in
+  checki "all batches delivered" 10 (Server.delivery_counter sv);
+  checkb "survivors collected past the crashed peer" true
+    (Server.stored_batches sv <= 2);
+  checkb "collections recorded" true (Server.collected_batches sv >= 8)
+
+let test_gc_still_blocked_without_checkpoints () =
+  (* Regression: with the store on but checkpointing disabled, the old
+     conservative rule applies — a crashed peer blocks collection. *)
+  let d = mk_gc_deployment ~store:true ~checkpoint_every:0 in
+  Deployment.crash_server d 3;
+  submit_forged d;
+  Deployment.run d ~until:60.0;
+  checkb "survivors hold all batches" true
+    (Server.stored_batches (Deployment.servers d).(0) >= 10)
+
+(* --- chaos integration ---------------------------------------------------- *)
+
+let test_chaos_crash_cold_restart () =
+  match Chaos.find "crash-cold-restart" with
+  | None -> Alcotest.fail "scenario crash-cold-restart not registered"
+  | Some s ->
+    let v = s.Chaos.sc_run ~seed:7L ~scale:Chaos.Quick in
+    if not v.Chaos.v_pass then
+      Alcotest.failf "crash-cold-restart failed: %s"
+        (String.concat "; " v.Chaos.v_violations);
+    checki "all broadcasts completed" v.Chaos.v_expected v.Chaos.v_completed
+
+let () =
+  Alcotest.run "store"
+    [ ("disk",
+       [ Alcotest.test_case "write costs and queueing" `Quick test_disk_costs;
+         Alcotest.test_case "read costs" `Quick test_disk_read ]);
+      ("store",
+       [ Alcotest.test_case "wal + checkpoint + load" `Quick
+           test_store_wal_checkpoint;
+         Alcotest.test_case "load without checkpoint" `Quick
+           test_store_load_without_checkpoint ]);
+      ("snapshots",
+       [ Alcotest.test_case "payments round-trip" `Quick test_payments_roundtrip;
+         Alcotest.test_case "auction round-trip" `Quick test_auction_roundtrip;
+         Alcotest.test_case "pixelwar round-trip" `Quick test_pixelwar_roundtrip;
+         Alcotest.test_case "sealed round-trip" `Quick test_sealed_roundtrip ]);
+      ("recovery",
+       [ Alcotest.test_case "crash -> cold restart -> convergence" `Quick
+           test_catch_up_convergence;
+         Alcotest.test_case "full WAL replay determinism" `Quick
+           test_wal_replay_determinism;
+         Alcotest.test_case "store on/off bit-identical without crashes"
+           `Quick test_store_on_off_identical ]);
+      ("gc",
+       [ Alcotest.test_case "checkpoint unblocks collection" `Quick
+           test_gc_unblocked_by_checkpoint;
+         Alcotest.test_case "blocked without checkpoints (regression)" `Quick
+           test_gc_still_blocked_without_checkpoints ]);
+      ("chaos",
+       [ Alcotest.test_case "crash-cold-restart scenario passes" `Quick
+           test_chaos_crash_cold_restart ]) ]
