@@ -341,6 +341,9 @@ let run_bench_json () =
         ( "wal_bytes_per_payload_byte",
           gated 0.10 B.Lower_better
             (float_of_int result.R.wal_bytes /. payload_bytes) );
+        ( "broker_cpu_busy_s_per_payload_byte",
+          gated 0.10 B.Lower_better
+            (result.R.broker_cpu_busy_s /. payload_bytes) );
         ("wall_time_s", info wall) ] )
   in
   print_endline "=== Bench baseline (quick-scale, deterministic) ===";

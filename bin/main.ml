@@ -38,6 +38,8 @@ let experiments : (string * string * (Format.formatter -> F.scale -> unit)) list
     ("ablation-timeout", "reduce-timeout sweep", F.ablation_timeout);
     ("ablation-margin", "witness-margin sweep", F.ablation_margin);
     ("ablation-loss", "client/broker packet-loss sweep", F.ablation_loss);
+    ("broker-cores", "broker worker lanes until the NIC binds",
+     Repro_experiments.Broker_cores.print);
     ("future", "§8 extensions: sharding + pk-aggregation offload",
      fun fmt scale -> Repro_experiments.Future.print fmt scale) ]
 

@@ -3,6 +3,7 @@ module Multisig = Repro_crypto.Multisig
 module Merkle = Repro_crypto.Merkle
 module Sha256 = Repro_crypto.Sha256
 module Cost = Repro_sim.Cost
+module Cpu = Repro_sim.Cpu
 
 type straggler = {
   s_id : Types.client_id;
@@ -173,19 +174,24 @@ let verify dir t =
    key aggregation dominates; root recomputation and sortedness ride
    within the measured figure), degrading to the classic 61.7 ms anchor
    when every entry is a straggler. *)
-let witness_cpu_cost t =
+let witness_cpu_work t =
   let n = count t and s = straggler_count t and r = reduced_count t in
   let msg = payload_bytes_per_entry t in
-  Cost.ed25519_batch_verify s
-  +. (if r > 0 then Cost.bls_aggregate_pks r +. Cost.bls_verify else 0.)
-  +. (float_of_int (n * (msg + 4)) *. Cost.serialize_per_byte)
+  Cpu.work
+    ~parallel:
+      (Cost.ed25519_batch_verify s
+      +. (if r > 0 then Cost.bls_aggregate_pks r else 0.)
+      +. (float_of_int (n * (msg + 4)) *. Cost.serialize_per_byte))
+    ~serial:(if r > 0 then Cost.bls_verify else 0.)
 
-let non_witness_cpu_cost t =
+let non_witness_cpu_work t =
   let n = count t in
   let msg = payload_bytes_per_entry t in
-  Cost.bls_verify (* witness certificate check *)
-  +. (float_of_int n *. Cost.dedup_per_message)
-  +. (float_of_int (n * (msg + 4)) *. Cost.serialize_per_byte)
+  Cpu.work
+    ~serial:Cost.bls_verify (* witness certificate check: one pairing *)
+    ~parallel:
+      ((float_of_int n *. Cost.dedup_per_message)
+      +. (float_of_int (n * (msg + 4)) *. Cost.serialize_per_byte))
 
 let make_explicit ~broker ~number ~entries ~agg_seq ~stragglers ~agg_sig =
   if not (sorted_strictly entries) then

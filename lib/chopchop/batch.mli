@@ -84,12 +84,15 @@ val verify : Directory.t -> t -> bool
     individual signature valid, and the aggregate multi-signature valid
     over the reduction root for exactly the reduced identities. *)
 
-val witness_cpu_cost : t -> float
-(** Simulated CPU cost of {!verify} on a server, from {!Repro_sim.Cost}. *)
+val witness_cpu_work : t -> Repro_sim.Cpu.work
+(** Simulated CPU work of {!verify} on a server, from {!Repro_sim.Cost}:
+    straggler batch-verification, pk aggregation and deserialization are
+    divisible across lanes; the aggregate pairing check is serial. *)
 
-val non_witness_cpu_cost : t -> float
-(** Cost on a server that trusts the witness instead of verifying:
-    deserialization, witness check and deduplication. *)
+val non_witness_cpu_work : t -> Repro_sim.Cpu.work
+(** Work on a server that trusts the witness instead of verifying:
+    deserialization + deduplication (divisible) and the witness
+    certificate pairing check (serial). *)
 
 val make_explicit :
   broker:int ->

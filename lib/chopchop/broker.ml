@@ -138,7 +138,9 @@ let evidence_counter t = match t.evidence with Some e -> e.Certs.counter | None 
 let note_evidence t (cert : Certs.delivery_cert) =
   (* Only certificates improving on the best one are verified at all. *)
   if cert.counter > evidence_counter t then begin
-    Cpu.charge t.cpu ~cost:Cost.bls_verify;
+    (* Pure cache update, no message depends on it: fire-and-forget so
+       legitimacy screening of the carrying submission is not delayed. *)
+    Cpu.charge t.cpu ~work:(Cpu.serial Cost.bls_verify);
     Trace.Counter.incr t.c_verify;
     if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) cert
     then t.evidence <- Some cert
@@ -192,7 +194,9 @@ let rec flush t =
         | Some _ | None -> ())
       subs;
     (* Bulk-authenticate the submissions (§5.1 EdDSA batch verification);
-       on failure fall back to per-signature checks and drop forgeries. *)
+       on failure fall back to per-signature checks and drop forgeries.
+       Completion-gated: no inclusion proof leaves before the charged
+       verification work has run on the sim clock. *)
     let to_verify =
       List.map
         (fun s ->
@@ -201,71 +205,89 @@ let rec flush t =
             s.sub_tsig ))
         subs
     in
-    Cpu.charge t.cpu ~cost:(Cost.ed25519_batch_verify (List.length subs));
-    Trace.Counter.incr t.c_verify;
-    let subs =
-      if Schnorr.batch_verify to_verify then subs
-      else begin
-        Cpu.charge t.cpu ~cost:(Cost.ed25519_batch_verify (List.length subs));
-        Trace.Counter.add t.c_verify (List.length subs);
-        List.filter
-          (fun s ->
-            Schnorr.verify (Directory.sig_pk t.dir s.sub_id)
-              (Types.message_statement ~id:s.sub_id ~seq:s.sub_seq s.sub_msg)
-              s.sub_tsig)
-          subs
-      end
+    let n_subs = List.length subs in
+    Cpu.submit t.cpu ~work:(Cpu.parallel (Cost.ed25519_batch_verify n_subs))
+      (fun () ->
+        if not t.crashed then begin
+          Trace.Counter.incr t.c_verify;
+          if Schnorr.batch_verify to_verify then propose t subs
+          else
+            (* The fallback is n {e individual} verifications — no
+               batching amortization this time. *)
+            Cpu.submit t.cpu
+              ~work:(Cpu.parallel (float_of_int n_subs *. Cost.ed25519_verify))
+              (fun () ->
+                if not t.crashed then begin
+                  Trace.Counter.add t.c_verify n_subs;
+                  propose t
+                    (List.filter
+                       (fun s ->
+                         Schnorr.verify
+                           (Directory.sig_pk t.dir s.sub_id)
+                           (Types.message_statement ~id:s.sub_id ~seq:s.sub_seq
+                              s.sub_msg)
+                           s.sub_tsig)
+                       subs)
+                end)
+        end)
+  end
+
+and propose t subs =
+  if subs <> [] && not t.crashed then begin
+    let agg_seq = List.fold_left (fun k s -> max k s.sub_seq) 0 subs in
+    let entries =
+      Array.of_list
+        (List.map (fun s -> { Batch.e_id = s.sub_id; e_msg = s.sub_msg }) subs)
     in
-    if subs <> [] then begin
-      let agg_seq = List.fold_left (fun k s -> max k s.sub_seq) 0 subs in
-      let entries =
-        Array.of_list
-          (List.map (fun s -> { Batch.e_id = s.sub_id; e_msg = s.sub_msg }) subs)
-      in
-      let leaves =
-        Array.map (fun e -> Batch.leaf ~id:e.Batch.e_id ~seq:agg_seq e.e_msg) entries
-      in
-      Cpu.charge t.cpu
-        ~cost:(Cost.merkle_build ~leaves:(Array.length leaves)
-                 ~leaf_bytes:(String.length leaves.(0)));
-      let tree = Merkle.build leaves in
-      let root = Merkle.root tree in
-      let r_subs = Hashtbl.create (List.length subs) in
-      List.iter (fun s -> Hashtbl.replace r_subs s.sub_id s) subs;
-      let st =
-        { r_entries = entries; r_subs; r_agg_seq = agg_seq; r_tree = tree;
-          r_shares = Hashtbl.create (List.length subs) }
-      in
-      Hashtbl.replace t.reducing root st;
-      (let s = tr t in
-       if Trace.enabled s then begin
-         let now = Engine.now t.engine and actor = tr_actor t in
-         Trace.span_begin s ~now ~actor
-           ~cat:"broker" ~name:"distill" ~id:(Trace.key root)
-           ~attrs:[ ("entries", Trace.A_int (Array.length entries)) ];
-         (* One hop per included message, keyed by the propagated causal
-            context, pointing at the proposal this broker folded it into —
-            the client→broker link of the [--follow] tree. *)
-         List.iter
-           (fun sub ->
-             let ctx = Trace.Ctx.child sub.sub_ctx in
-             Trace.instant s ~now ~actor ~cat:"broker" ~name:"include"
-               ~id:(Trace.Ctx.root ctx)
-               ~attrs:
-                 [ ("proposal", Trace.A_int (Trace.key root));
-                   ("hop", Trace.A_int (Trace.Ctx.hop ctx)) ])
-           subs
-       end);
-      (* #4: send each client its inclusion proof. *)
-      Array.iteri
-        (fun i e ->
-          let proof = Merkle.prove tree i in
-          t.send_client ~client:e.Batch.e_id
-            ~bytes:(Wire.inclusion_bytes ~count:(Array.length entries))
-            (Inclusion { root; proof; agg_seq; evidence = t.evidence }))
-        entries;
-      Engine.schedule t.engine ~delay:t.cfg.reduce_timeout (fun () -> reduce t root)
-    end
+    let leaves =
+      Array.map (fun e -> Batch.leaf ~id:e.Batch.e_id ~seq:agg_seq e.e_msg) entries
+    in
+    Cpu.submit t.cpu
+      ~work:
+        (Cpu.parallel
+           (Cost.merkle_build ~leaves:(Array.length leaves)
+              ~leaf_bytes:(String.length leaves.(0))))
+      (fun () ->
+        if not t.crashed then begin
+          let tree = Merkle.build leaves in
+          let root = Merkle.root tree in
+          let r_subs = Hashtbl.create (List.length subs) in
+          List.iter (fun s -> Hashtbl.replace r_subs s.sub_id s) subs;
+          let st =
+            { r_entries = entries; r_subs; r_agg_seq = agg_seq; r_tree = tree;
+              r_shares = Hashtbl.create (List.length subs) }
+          in
+          Hashtbl.replace t.reducing root st;
+          (let s = tr t in
+           if Trace.enabled s then begin
+             let now = Engine.now t.engine and actor = tr_actor t in
+             Trace.span_begin s ~now ~actor
+               ~cat:"broker" ~name:"distill" ~id:(Trace.key root)
+               ~attrs:[ ("entries", Trace.A_int (Array.length entries)) ];
+             (* One hop per included message, keyed by the propagated causal
+                context, pointing at the proposal this broker folded it into —
+                the client→broker link of the [--follow] tree. *)
+             List.iter
+               (fun sub ->
+                 let ctx = Trace.Ctx.child sub.sub_ctx in
+                 Trace.instant s ~now ~actor ~cat:"broker" ~name:"include"
+                   ~id:(Trace.Ctx.root ctx)
+                   ~attrs:
+                     [ ("proposal", Trace.A_int (Trace.key root));
+                       ("hop", Trace.A_int (Trace.Ctx.hop ctx)) ])
+               subs
+           end);
+          (* #4: send each client its inclusion proof. *)
+          Array.iteri
+            (fun i e ->
+              let proof = Merkle.prove tree i in
+              t.send_client ~client:e.Batch.e_id
+                ~bytes:(Wire.inclusion_bytes ~count:(Array.length entries))
+                (Inclusion { root; proof; agg_seq; evidence = t.evidence }))
+            entries;
+          Engine.schedule t.engine ~delay:t.cfg.reduce_timeout (fun () ->
+              reduce t root)
+        end)
   end
 
 (* --- reduce: aggregate shares, build the distilled batch (#7) ------------ *)
@@ -277,37 +299,59 @@ and reduce t root =
     if not t.crashed then begin
       Hashtbl.remove t.reducing root;
       (* Verify the shares in aggregate; isolate invalid ones in log time
-         (§5.1 tree-search). *)
+         (§5.1 tree-search).  Aggregations are divisible work; the final
+         pairing check is serial.  The batch may not launch before this
+         completes on the sim clock. *)
       let share_list =
         Hashtbl.fold
           (fun id share acc -> (id, Directory.ms_pk t.dir id, share) :: acc)
           st.r_shares []
       in
-      Cpu.charge t.cpu
-        ~cost:
-          (Cost.bls_aggregate_sigs (List.length share_list)
-          +. Cost.bls_aggregate_pks (List.length share_list)
-          +. Cost.bls_verify);
-      Trace.Counter.incr t.c_verify;
       let statement = Types.reduction_statement ~root in
-      let agg_all =
-        Multisig.aggregate_signatures (List.map (fun (_, _, s) -> s) share_list)
-      in
-      let pk_all =
-        Multisig.aggregate_public_keys (List.map (fun (_, pk, _) -> pk) share_list)
-      in
-      let valid_shares =
-        if share_list = [] then []
-        else if Multisig.verify pk_all statement agg_all then share_list
-        else begin
-          let entries = List.map (fun (_, pk, s) -> (pk, s)) share_list in
-          let bad = Multisig.find_invalid entries statement in
-          Cpu.charge t.cpu
-            ~cost:(float_of_int (List.length bad + 1) *. Cost.bls_verify *. 8.);
-          Trace.Counter.add t.c_verify ((List.length bad + 1) * 8);
-          List.filteri (fun i _ -> not (List.mem i bad)) share_list
-        end
-      in
+      Cpu.submit t.cpu
+        ~work:
+          (Cpu.work
+             ~parallel:
+               (Cost.bls_aggregate_sigs (List.length share_list)
+               +. Cost.bls_aggregate_pks (List.length share_list))
+             ~serial:Cost.bls_verify)
+        (fun () ->
+          if not t.crashed then begin
+            Trace.Counter.incr t.c_verify;
+            let agg_all =
+              Multisig.aggregate_signatures
+                (List.map (fun (_, _, s) -> s) share_list)
+            in
+            let pk_all =
+              Multisig.aggregate_public_keys
+                (List.map (fun (_, pk, _) -> pk) share_list)
+            in
+            if share_list = [] then distill_done t st root []
+            else if Multisig.verify pk_all statement agg_all then
+              distill_done t st root share_list
+            else begin
+              let entries = List.map (fun (_, pk, s) -> (pk, s)) share_list in
+              let bad = Multisig.find_invalid entries statement in
+              (* Tree-search verifications are sequentially dependent
+                 pairings: serial work. *)
+              Cpu.submit t.cpu
+                ~work:
+                  (Cpu.serial
+                     (float_of_int (List.length bad + 1) *. Cost.bls_verify *. 8.))
+                (fun () ->
+                  if not t.crashed then begin
+                    Trace.Counter.add t.c_verify ((List.length bad + 1) * 8);
+                    distill_done t st root
+                      (List.filteri (fun i _ -> not (List.mem i bad)) share_list)
+                  end)
+            end
+          end)
+    end
+
+(* Second half of [reduce], entered once the share verification work has
+   completed: materialise the distilled batch and launch it. *)
+and distill_done t st root valid_shares =
+    begin
       let reduced_ids = List.map (fun (id, _, _) -> id) valid_shares in
       let reduced = Hashtbl.create (List.length reduced_ids) in
       List.iter (fun id -> Hashtbl.replace reduced id ()) reduced_ids;
@@ -416,34 +460,44 @@ and launch ?(only = fun _ -> true) ?(force_witness = false) t batch ~on_complete
       w_done = false; w_on_complete = on_complete }
   in
   Hashtbl.replace t.flight root fl;
-  (let s = tr t in
-   if Trace.enabled s then begin
-     let now = Engine.now t.engine and actor = tr_actor t in
-     let id = Trace.key root in
-     (* The "reduction" attr links this identity-rooted flight back to the
-        proposal-rooted distill span, so a batch can be followed end to
-        end across the root change. *)
-     Trace.instant s ~now ~actor ~cat:"broker" ~name:"launch" ~id
-       ~attrs:
-         [ ("reduction", Trace.A_int (Trace.key fl.w_reduction_root));
-           ("number", Trace.A_int batch.Batch.number);
-           ("entries", Trace.A_int (Batch.count batch));
-           ("stragglers", Trace.A_int (Batch.straggler_count batch)) ];
-     Trace.span_begin s ~now ~actor ~cat:"broker" ~name:"witness" ~id
-   end);
+  (* Serialization of the batch for n_servers links is divisible work;
+     the announcements depart only when it completes on the sim clock, so
+     the "launch" instant below always coincides with a cpu job_done. *)
   let bytes = Batch.wire_bytes ~clients:t.cfg.clients batch in
-  Cpu.charge t.cpu
-    ~cost:(float_of_int (bytes * t.cfg.n_servers) *. Cost.serialize_per_byte);
-  for dst = 0 to t.cfg.n_servers - 1 do
-    (* Rotate the witnessing set with the batch number so the verification
-       load spreads over all servers (and degrades gracefully when some
-       crash, Fig. 11a). *)
-    let slot = (dst - fl.w_base + t.cfg.n_servers) mod t.cfg.n_servers in
-    if only dst then
-      t.send_server ~dst ~bytes
-        (Batch_announce { batch; witness_requested = force_witness || slot < fl.w_asked })
-  done;
-  arm_witness_extension t root
+  Cpu.submit t.cpu
+    ~work:
+      (Cpu.parallel
+         (float_of_int (bytes * t.cfg.n_servers) *. Cost.serialize_per_byte))
+    (fun () ->
+      if (not t.crashed) && Hashtbl.mem t.flight root then begin
+        (let s = tr t in
+         if Trace.enabled s then begin
+           let now = Engine.now t.engine and actor = tr_actor t in
+           let id = Trace.key root in
+           (* The "reduction" attr links this identity-rooted flight back
+              to the proposal-rooted distill span, so a batch can be
+              followed end to end across the root change. *)
+           Trace.instant s ~now ~actor ~cat:"broker" ~name:"launch" ~id
+             ~attrs:
+               [ ("reduction", Trace.A_int (Trace.key fl.w_reduction_root));
+                 ("number", Trace.A_int batch.Batch.number);
+                 ("entries", Trace.A_int (Batch.count batch));
+                 ("stragglers", Trace.A_int (Batch.straggler_count batch)) ];
+           Trace.span_begin s ~now ~actor ~cat:"broker" ~name:"witness" ~id
+         end);
+        for dst = 0 to t.cfg.n_servers - 1 do
+          (* Rotate the witnessing set with the batch number so the
+             verification load spreads over all servers (and degrades
+             gracefully when some crash, Fig. 11a). *)
+          let slot = (dst - fl.w_base + t.cfg.n_servers) mod t.cfg.n_servers in
+          if only dst then
+            t.send_server ~dst ~bytes
+              (Batch_announce
+                 { batch;
+                   witness_requested = force_witness || slot < fl.w_asked })
+        done;
+        arm_witness_extension t root
+      end)
 
 and arm_witness_extension t root =
   Engine.schedule t.engine ~delay:t.cfg.witness_timeout (fun () ->
@@ -462,8 +516,11 @@ and arm_witness_extension t root =
       | Some _ | None -> ())
 
 and on_witness_shard t ~src fl share =
-  if fl.w_witness = None then begin
-    Cpu.charge t.cpu ~cost:Cost.bls_verify;
+  if fl.w_witness = None then
+    (* One pairing per shard, serial; the certificate may not be
+       assembled (nor the reference submitted) before it completes. *)
+    Cpu.submit t.cpu ~work:(Cpu.serial Cost.bls_verify) @@ fun () ->
+    if fl.w_witness = None && (not fl.w_done) && not t.crashed then begin
     Trace.Counter.incr t.c_verify;
     let statement =
       Certs.witness_statement ~root:fl.w_root ~broker:t.cfg.broker_id
@@ -507,10 +564,11 @@ and submit_ref t fl witness =
 (* --- completion (#17, #18) ------------------------------------------------ *)
 
 and on_completion_shard t ~src fl ~counter ~exceptions share =
-  if not fl.w_done then begin
+  if not fl.w_done then
+    Cpu.submit t.cpu ~work:(Cpu.serial Cost.bls_verify) @@ fun () ->
+    if (not fl.w_done) && not t.crashed then begin
     let exc_hash = Certs.exceptions_hash exceptions in
     let key = (counter, exc_hash) in
-    Cpu.charge t.cpu ~cost:Cost.bls_verify;
     Trace.Counter.incr t.c_verify;
     let statement = Certs.completion_statement ~root:fl.w_root ~counter ~exc_hash in
     if Multisig.verify (t.server_ms_pk src) statement share then begin

@@ -1,5 +1,6 @@
 module Engine = Repro_sim.Engine
 module Rng = Repro_sim.Rng
+module Cost = Repro_sim.Cost
 module Schnorr = Repro_crypto.Schnorr
 module Multisig = Repro_crypto.Multisig
 module Merkle = Repro_crypto.Merkle
@@ -184,8 +185,14 @@ let on_inclusion t ~root ~proof ~agg_seq ~evidence =
         if t.bad_share then Multisig.forge_garbage ()
         else Multisig.sign t.kp.ms_sk (Types.reduction_statement ~root)
       in
-      t.send_broker ~broker:(current_broker t) ~bytes:Wire.reduction_bytes
-        (Reduction { id; root; share })
+      (* The BLS share takes [client_multisig_sign] on the t3.small's one
+         core; the reduction may not depart before the signing is done. *)
+      Engine.schedule t.engine ~delay:Cost.client_multisig_sign (fun () ->
+          match t.flight with
+          | Some fl' when fl' == fl && not t.crashed ->
+            t.send_broker ~broker:(current_broker t) ~bytes:Wire.reduction_bytes
+              (Reduction { id; root; share })
+          | Some _ | None -> ())
     end
   | _ -> ()
 

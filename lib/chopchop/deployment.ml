@@ -1,6 +1,7 @@
 module Engine = Repro_sim.Engine
 module Net = Repro_sim.Net
 module Cpu = Repro_sim.Cpu
+module Cost = Repro_sim.Cost
 module Region = Repro_sim.Region
 module Multisig = Repro_crypto.Multisig
 module Store = Repro_store.Store
@@ -11,6 +12,7 @@ type underlay = Sequencer | Pbft | Hotstuff
 type config = {
   n_servers : int;
   n_brokers : int;
+  cores : int; (* worker lanes per server/broker CPU *)
   underlay : underlay;
   dense_clients : int;
   gc_period : float;
@@ -27,7 +29,8 @@ type config = {
 }
 
 let default_config =
-  { n_servers = 4; n_brokers = 2; underlay = Sequencer; dense_clients = 0;
+  { n_servers = 4; n_brokers = 2; cores = Cost.vcpus; underlay = Sequencer;
+    dense_clients = 0;
     gc_period = 0.5; flush_period = 0.2; reduce_timeout = 0.2;
     witness_margin = 1; max_batch = 65_536; net_loss = 0.; seed = 42L;
     stob_batch_timeout = 0.05; store_enabled = false; checkpoint_every = 64;
@@ -37,7 +40,8 @@ let margin_for_size n =
   if n <= 8 then 0 else if n <= 16 then 1 else if n <= 32 then 2 else 4
 
 let paper_config ~n_servers ~underlay =
-  { n_servers; n_brokers = 6; underlay; dense_clients = 257_000_000;
+  { n_servers; n_brokers = 6; cores = Cost.vcpus; underlay;
+    dense_clients = 257_000_000;
     gc_period = 0.5; flush_period = 1.0; reduce_timeout = 1.0;
     witness_margin = margin_for_size n_servers; max_batch = 65_536;
     net_loss = 0.; seed = 42L; stob_batch_timeout = 0.1;
@@ -63,6 +67,8 @@ type stob_handle = {
   sh_resume : int -> unit; (* fast-forward past state-transferred slots *)
 }
 
+type broker_slot = { br : Broker.t; br_node : int; br_cpu : Cpu.t }
+
 type t = {
   cfg : config;
   engine : Engine.t;
@@ -72,7 +78,7 @@ type t = {
   server_pks : Multisig.public_key array;
   stores : (Proto.checkpoint, Proto.wal_record) Store.t option array;
   mutable stobs : stob_handle array;
-  mutable brokers : (Broker.t * int) array; (* (broker, node id) *)
+  mutable brokers : broker_slot array;
   broker_of_node : (int, int) Hashtbl.t;
   client_nodes : (Types.client_id, int) Hashtbl.t; (* client id -> node *)
   clients_by_node : (int, Client.t) Hashtbl.t;
@@ -139,14 +145,20 @@ let b2c_receiver t c ~broker_node ~client_node =
 let engine t = t.engine
 let config t = t.cfg
 let servers t = t.servers
-let broker t i = fst t.brokers.(i)
+let broker t i = t.brokers.(i).br
 let n_brokers t = Array.length t.brokers
-let broker_node_id t i = snd t.brokers.(i)
+let broker_node_id t i = t.brokers.(i).br_node
+let broker_cpu t i = t.brokers.(i).br_cpu
+let server_cpu t i = t.server_cpus.(i)
 
 let run t ~until = Engine.run ~until t.engine
 
 let server_ingress_bytes t i = Net.bytes_received t.net i
-let server_cpu_utilization t i ~since = Cpu.utilization t.server_cpus.(i) ~since
+
+let server_cpu_utilization t i =
+  let cpu = t.server_cpus.(i) in
+  Cpu.utilization cpu ~since:(Cpu.boot cpu)
+
 let server_cpu_backlog t i = Cpu.backlog t.server_cpus.(i)
 let total_delivered_messages t = Server.delivered_messages t.servers.(0)
 
@@ -157,11 +169,14 @@ let server_deliver_hook t hook = t.deliver_hook <- hook
 let make_stob t ~self ~deliver =
   let n = t.cfg.n_servers in
   let engine = t.engine and net = t.net in
+  (* Completion-gate the ordering node's outgoing proposal serialization
+     on the server's own CPU (the protocol logic itself stays free). *)
+  let cpu = t.server_cpus.(self) in
   match t.cfg.underlay with
   | Sequencer ->
     let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_seq m) in
     let st =
-      Repro_stob.Sequencer.create ~engine ~self ~n ~send ~deliver
+      Repro_stob.Sequencer.create ~engine ~self ~n ~cpu ~send ~deliver
         ~payload_bytes:Stob_item.wire_bytes ()
     in
     { sh_broadcast = Repro_stob.Sequencer.broadcast st;
@@ -177,7 +192,7 @@ let make_stob t ~self ~deliver =
   | Pbft ->
     let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_pbft m) in
     let st =
-      Repro_stob.Pbft.create ~engine ~self ~n ~send ~deliver
+      Repro_stob.Pbft.create ~engine ~self ~n ~cpu ~send ~deliver
         ~payload_bytes:Stob_item.wire_bytes
         ~batch_timeout:t.cfg.stob_batch_timeout ()
     in
@@ -192,7 +207,7 @@ let make_stob t ~self ~deliver =
   | Hotstuff ->
     let send ~dst ~bytes m = Net.send net ~src:self ~dst ~bytes (Stob_hs m) in
     let st =
-      Repro_stob.Hotstuff.create ~engine ~self ~n ~send ~deliver
+      Repro_stob.Hotstuff.create ~engine ~self ~n ~cpu ~send ~deliver
         ~payload_bytes:Stob_item.wire_bytes
         ~batch_timeout:(Float.max 0.3 t.cfg.stob_batch_timeout) ()
     in
@@ -209,11 +224,16 @@ let make_stob t ~self ~deliver =
 
 (* --- brokers -------------------------------------------------------------- *)
 
-let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch =
+let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
+    ?capacity ?ingress_bps ?egress_bps () =
   let broker_id = Array.length t.brokers in
   let node = t.next_node in
   t.next_node <- node + 1;
-  let cpu = Cpu.create t.engine () in
+  let cores = Option.value cores ~default:t.cfg.cores in
+  (* Broker rows sit at 1000+id in the trace (see Broker.tr_actor); the
+     cpu's job_done instants share that actor so the no-send-before-
+     completion invariant can be checked per broker. *)
+  let cpu = Cpu.create t.engine ~cores ?capacity ~actor:(1000 + broker_id) () in
   let cfg_b =
     { Broker.broker_id; n_servers = t.cfg.n_servers;
       clients = max t.cfg.dense_clients 1024;
@@ -246,7 +266,7 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch =
         | Stob_item.Batch_ref _ -> ())
       ()
   in
-  Net.add_node t.net ~id:node ~region
+  Net.add_node t.net ~id:node ~region ?ingress_bps ?egress_bps
     ~handler:(fun ~src m ->
       match m with
       | C2b_udp (Repro_sim.Rudp.Data _ as pkt) ->
@@ -261,7 +281,7 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch =
       | B2s _ | S2s _ | Stob_seq _ | Stob_pbft _ | Stob_hs _ -> ())
     ();
   Hashtbl.replace t.broker_of_node node broker_id;
-  t.brokers <- Array.append t.brokers [| (b, node) |];
+  t.brokers <- Array.append t.brokers [| { br = b; br_node = node; br_cpu = cpu } |];
   Broker.start b;
   broker_id
 
@@ -272,7 +292,9 @@ let create cfg =
   let net = Net.create engine ~loss:cfg.net_loss () in
   let n = cfg.n_servers in
   let server_regions = Array.of_list (Region.server_regions_for n) in
-  let server_cpus = Array.init n (fun _ -> Cpu.create engine ()) in
+  let server_cpus =
+    Array.init n (fun i -> Cpu.create engine ~cores:cfg.cores ~actor:i ())
+  in
   let server_identities =
     Array.init n (fun i ->
         Multisig.keygen_deterministic ~seed:(Printf.sprintf "server-%d" i))
@@ -337,7 +359,7 @@ let create cfg =
         ~server_ms_pk:(fun j -> server_pks.(j))
         ~send_broker:(fun ~broker ~bytes m ->
           if broker < Array.length t.brokers then
-            Net.send net ~src:i ~dst:(snd t.brokers.(broker)) ~bytes (S2b m))
+            Net.send net ~src:i ~dst:t.brokers.(broker).br_node ~bytes (S2b m))
         ~send_server:(fun ~dst ~bytes m -> Net.send net ~src:i ~dst ~bytes (S2s m))
         ~stob_broadcast:(fun item -> sh.sh_broadcast item)
         ~deliver_app:(fun d -> t.deliver_hook i d)
@@ -355,15 +377,17 @@ let create cfg =
       (install_broker t
          ~region:broker_regions.(b mod Array.length broker_regions)
          ~flush_period:cfg.flush_period ~reduce_timeout:cfg.reduce_timeout
-         ~max_batch:cfg.max_batch)
+         ~max_batch:cfg.max_batch ())
   done;
   t
 
-let add_broker t ~region ?flush_period ?reduce_timeout ?max_batch () =
+let add_broker t ~region ?flush_period ?reduce_timeout ?max_batch ?cores
+    ?capacity ?ingress_bps ?egress_bps () =
   install_broker t ~region
     ~flush_period:(Option.value flush_period ~default:t.cfg.flush_period)
     ~reduce_timeout:(Option.value reduce_timeout ~default:t.cfg.reduce_timeout)
     ~max_batch:(Option.value max_batch ~default:t.cfg.max_batch)
+    ?cores ?capacity ?ingress_bps ?egress_bps ()
 
 (* --- clients ------------------------------------------------------------- *)
 
@@ -392,8 +416,8 @@ let add_client t ?region ?identity ?on_delivered ?brokers () =
       List.sort
         (fun a b ->
           Float.compare
-            (Region.latency region (Net.node_region t.net (snd t.brokers.(a))))
-            (Region.latency region (Net.node_region t.net (snd t.brokers.(b)))))
+            (Region.latency region (Net.node_region t.net t.brokers.(a).br_node))
+            (Region.latency region (Net.node_region t.net t.brokers.(b).br_node)))
         all
   in
   let keypair =
@@ -411,7 +435,7 @@ let add_client t ?region ?identity ?on_delivered ?brokers () =
       ~server_ms_pk:(fun j -> t.server_pks.(j))
       ~send_broker:(fun ~broker ~bytes m ->
         Repro_sim.Rudp.send
-          (c2b_sender t ~client_node:node ~broker_node:(snd t.brokers.(broker)))
+          (c2b_sender t ~client_node:node ~broker_node:t.brokers.(broker).br_node)
           ~bytes m)
       ?on_delivered ~nonce:node ()
   in
@@ -492,12 +516,12 @@ let set_server_app t i ~snapshot ~restore =
   Server.set_app_hooks t.servers.(i) ~snapshot ~restore
 
 let crash_broker t i =
-  Broker.crash (fst t.brokers.(i));
-  Net.disconnect t.net (snd t.brokers.(i))
+  Broker.crash t.brokers.(i).br;
+  Net.disconnect t.net t.brokers.(i).br_node
 
 let recover_broker t i =
-  Net.reconnect t.net (snd t.brokers.(i));
-  Broker.recover (fst t.brokers.(i))
+  Net.reconnect t.net t.brokers.(i).br_node;
+  Broker.recover t.brokers.(i).br
 
 let node_of_client t c =
   Hashtbl.fold

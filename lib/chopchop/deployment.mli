@@ -12,6 +12,9 @@ type underlay = Sequencer | Pbft | Hotstuff
 type config = {
   n_servers : int;
   n_brokers : int;
+  cores : int;
+      (* worker lanes per server/broker CPU (default {!Repro_sim.Cost.vcpus},
+         the c6i.8xlarge's 32) *)
   underlay : underlay;
   dense_clients : int; (* pre-provisioned identities (load experiments) *)
   gc_period : float;
@@ -67,10 +70,17 @@ val add_broker :
   ?flush_period:float ->
   ?reduce_timeout:float ->
   ?max_batch:int ->
+  ?cores:int ->
+  ?capacity:float ->
+  ?ingress_bps:float ->
+  ?egress_bps:float ->
   unit ->
   int
 (** Register an additional broker (load brokers at OVH); returns its
-    broker id, usable with {!broker} and in client broker lists. *)
+    broker id, usable with {!broker} and in client broker lists.
+    [cores]/[capacity] override this broker's CPU (default: the
+    deployment's [cores] at full speed); [ingress_bps]/[egress_bps] cap
+    its NIC — the knobs of the broker-scalability experiment. *)
 
 val crash_server : t -> int -> unit
 (** Crash-stop a server: its Chop Chop layer, its STOB instance, and its
@@ -122,11 +132,21 @@ val total_delivered_messages : t -> int
 (** Messages delivered by server 0 (all correct servers agree). *)
 
 val server_ingress_bytes : t -> int -> int
-val server_cpu_utilization : t -> int -> since:float -> float
+
+val server_cpu_utilization : t -> int -> float
+(** Mean executed-busy fraction of server [i]'s lanes since boot.  For
+    windowed readings take {!Repro_sim.Cpu.mark}s on {!server_cpu}. *)
 
 (** [server_cpu_backlog t i]: seconds of queued CPU work at server [i]
     (sampler probe). *)
 val server_cpu_backlog : t -> int -> float
+
+val server_cpu : t -> int -> Repro_sim.Cpu.t
+(** Server [i]'s lane scheduler (per-lane utilization/backlog probes). *)
+
+val broker_cpu : t -> int -> Repro_sim.Cpu.t
+(** Broker [i]'s lane scheduler. *)
+
 val broker_node_id : t -> int -> int
 
 val rudp_stats : t -> int * int * int

@@ -234,13 +234,13 @@ let start t =
 let witness_batch t batch =
   if not t.mis_refuse_witness then begin
     let root = Batch.identity_root batch in
-    let cost = Batch.witness_cpu_cost batch in
+    let work = Batch.witness_cpu_work batch in
     let s = tr t in
     if Trace.enabled s then
       Trace.span_begin s ~now:(Engine.now t.engine) ~actor:t.cfg.self
         ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root)
-        ~attrs:[ ("cost", Trace.A_float cost) ];
-    Cpu.submit t.cpu ~cost (fun () ->
+        ~attrs:[ ("cost", Trace.A_float (Cpu.total work)) ];
+    Cpu.submit t.cpu ~work (fun () ->
         if Trace.enabled s then
           Trace.span_end s ~now:(Engine.now t.engine) ~actor:t.cfg.self
             ~cat:"server" ~name:"witness_verify" ~id:(Trace.key root);
@@ -389,13 +389,13 @@ let rec drain_order_queue t =
      | Some stored when stored.position = None ->
        t.order_queue_front <- List.tl t.order_queue_front;
        t.delivering <- true;
-       let cost = Batch.non_witness_cpu_cost stored.batch in
+       let work = Batch.non_witness_cpu_work stored.batch in
        let epoch = t.restarts in
        let s = tr t in
        if Trace.enabled s then
          Trace.span_begin s ~now:(Engine.now t.engine) ~actor:t.cfg.self
            ~cat:"server" ~name:"deliver" ~id:(Trace.key root);
-       Cpu.submit t.cpu ~cost (fun () ->
+       Cpu.submit t.cpu ~work (fun () ->
            if t.restarts = epoch then begin
              t.delivering <- false;
              if (not t.crashed) && (not t.syncing) && stored.position = None
@@ -573,7 +573,8 @@ let cold_restart t =
                 0 records
           in
           (* Deserialize + re-apply cost, on the CPU after the disk read. *)
-          Cpu.submit t.cpu ~cost:(Cost.serialize_per_byte *. float_of_int bytes)
+          Cpu.submit t.cpu
+            ~work:(Cpu.parallel (Cost.serialize_per_byte *. float_of_int bytes))
             (fun () ->
               if (not t.crashed) && t.restarts = epoch then begin
                 List.iter (fun r -> ignore (replay_record t r)) records;
@@ -605,7 +606,7 @@ let receive_broker t ~src_broker msg =
       (* #12: relay the batch reference into the server-run STOB, once. *)
       if not (Hashtbl.mem t.submitted_refs (src_broker, number)) then begin
         Hashtbl.add t.submitted_refs (src_broker, number) ();
-        Cpu.submit t.cpu ~cost:Cost.bls_verify (fun () ->
+        Cpu.submit t.cpu ~work:(Cpu.serial Cost.bls_verify) (fun () ->
             if not t.crashed then begin
               Trace.Counter.incr t.c_verify;
               let statement =

@@ -42,14 +42,14 @@ let run p =
   let net = Net.create engine () in
   let n = p.n_servers in
   let regions = Array.of_list (Region.server_regions_for n) in
-  let cpus = Array.init n (fun _ -> Cpu.create engine ()) in
+  let cpus = Array.init n (fun _ -> Cpu.create engine ~cores:Cost.vcpus ()) in
   let tp = Stats.Throughput.create engine ~warmup:p.warmup ~cooldown:p.cooldown ~duration:p.duration in
   let lat = Stats.Summary.create () in
   let win_start = p.warmup and win_end = p.duration -. p.cooldown in
   let op_bytes = p.msg_bytes + 80 in
   let deliver_at i op =
     (* Servers verify the per-operation signature on delivery. *)
-    Cpu.charge cpus.(i) ~cost:(Cost.ed25519_batch_verify 1);
+    Cpu.charge cpus.(i) ~work:(Cpu.parallel (Cost.ed25519_batch_verify 1));
     if i = 0 then begin
       Stats.Throughput.record tp 1;
       let now = Engine.now engine in

@@ -1,0 +1,194 @@
+(* Broker multi-core scalability (§5.1, §6.3): a single broker with K
+   worker lanes faces an offered load far above its single-core budget,
+   behind a deliberately small NIC.  Few lanes leave it CPU-bound —
+   submissions queue behind signature verification and throughput grows
+   with K; enough lanes shift the bottleneck to batch dissemination and
+   throughput saturates at the NIC bound, reproducing the paper's
+   "add brokers (or cores) until the network is the limit" story.
+
+   Load is injected as raw signed [Proto.Submission]s straight into the
+   broker (no client nodes): each uses a fresh dense identity at
+   sequence 0, which is legitimate by definition and never deduplicated.
+   With no clients to answer inclusions, every reduction times out and
+   each batch ships classic (all stragglers) — the wire-heaviest, hence
+   NIC-sharpest, operating point. *)
+
+module Engine = Repro_sim.Engine
+module Region = Repro_sim.Region
+module Cost = Repro_sim.Cost
+module Schnorr = Repro_crypto.Schnorr
+module D = Repro_chopchop.Deployment
+module Broker = Repro_chopchop.Broker
+module Directory = Repro_chopchop.Directory
+module Types = Repro_chopchop.Types
+module Proto = Repro_chopchop.Proto
+module Wire = Repro_chopchop.Wire
+module Trace = Repro_trace.Trace
+
+type point = {
+  cores : int;
+  offered : float; (* injected, msg/s *)
+  throughput : float; (* delivered at server 0 in the window, msg/s *)
+  cpu_bound : float; (* capacity-model ceiling: lanes / per-msg core cost *)
+  nic_bound : float; (* egress ceiling at the classic wire footprint *)
+}
+
+type params = {
+  n_servers : int;
+  rate_cap : float; (* harness budget: never inject above this, msg/s *)
+  duration : float;
+  warmup : float;
+  capacity : float; (* broker lane speed, fraction of a reference core *)
+  egress_bps : float; (* broker NIC cap *)
+  reduce_timeout : float;
+  max_batch : int;
+}
+
+let params scale =
+  match scale with
+  | Figures.Quick ->
+    { n_servers = 4; rate_cap = 40_000.; duration = 8.; warmup = 2.5;
+      capacity = 0.05; egress_bps = 55e6; reduce_timeout = 0.05;
+      max_batch = 1024 }
+  | Figures.Full ->
+    { n_servers = 8; rate_cap = 40_000.; duration = 12.; warmup = 3.;
+      capacity = 0.05; egress_bps = 110e6; reduce_timeout = 0.05;
+      max_batch = 1024 }
+
+(* Dominant per-message broker work: one Ed25519 signature inside a
+   batched verification (the merkle build and serialization are orders of
+   magnitude below it). *)
+let per_msg_core_s = Cost.ed25519_batch_verify 1
+
+(* Per-batch serial work that does not amortise over lanes: the reduce
+   aggregate check, f+1 witness shards and the first completion shards
+   are each one BLS pairing on a single lane. *)
+let per_batch_serial_s = 5. *. Cost.bls_verify
+
+(* Capacity-model ceiling of a K-lane broker at this batch size. *)
+let cpu_bound ~p ~cores =
+  float_of_int cores *. p.capacity
+  /. (per_msg_core_s +. (per_batch_serial_s /. float_of_int p.max_batch))
+
+let nic_bound ~p =
+  (* With no clients answering inclusions, every batch ships with all its
+     entries as stragglers; the footprint is that of the distilled layout
+     at straggler count = batch size, once per server link. *)
+  let batch_bytes =
+    Wire.distilled_batch_bytes ~clients:1_000_000 ~count:p.max_batch
+      ~msg_bytes:8 ~stragglers:p.max_batch
+  in
+  let wire_per_msg =
+    float_of_int (batch_bytes * p.n_servers) /. float_of_int p.max_batch
+  in
+  p.egress_bps /. 8. /. wire_per_msg
+
+let run_point ~p ~cores =
+  let d =
+    D.create
+      { D.default_config with
+        n_servers = p.n_servers; underlay = D.Sequencer;
+        dense_clients = 1_000_000 }
+  in
+  let engine = D.engine d in
+  (* Measure each configuration at its own saturation point (as the
+     throughput-latency methodology of Fig. 7 does): inject ~30% above
+     the lesser of the CPU and NIC ceilings.  A fixed huge rate would
+     only grow unbounded queues and push completions past the window. *)
+  let offered =
+    Float.min p.rate_cap
+      (1.3 *. Float.min (cpu_bound ~p ~cores) (nic_bound ~p))
+  in
+  (* Flush when roughly a full batch has accumulated. *)
+  let flush_period = float_of_int p.max_batch /. offered in
+  let bid =
+    D.add_broker d ~region:(List.hd Region.broker_regions)
+      ~flush_period ~reduce_timeout:p.reduce_timeout
+      ~max_batch:p.max_batch ~cores ~capacity:p.capacity
+      ~egress_bps:p.egress_bps ()
+  in
+  let br = D.broker d bid in
+  let delivered = ref 0 in
+  D.server_deliver_hook d (fun srv del ->
+      match del with
+      | Proto.Ops ops ->
+        if srv = 0 && Engine.now engine >= p.warmup
+           && Engine.now engine <= p.duration then
+          delivered := !delivered + Array.length ops
+      | Proto.Bulk _ -> ());
+  let period = 0.02 in
+  let per_tick = int_of_float (offered *. period) in
+  let next_id = ref 0 in
+  Engine.every engine ~period ~until:p.duration (fun () ->
+      for _ = 1 to per_tick do
+        let id = !next_id in
+        incr next_id;
+        let kp = Directory.dense_keypair id in
+        let msg = Printf.sprintf "%08d" id in
+        let tsig =
+          Schnorr.sign kp.Types.sig_sk (Types.message_statement ~id ~seq:0 msg)
+        in
+        Broker.receive_client br
+          (Proto.Submission
+             { id; seq = 0; msg; tsig; evidence = None;
+               ctx = Trace.Ctx.make ~root:id })
+      done);
+  (* Let in-flight batches drain so late deliveries inside the window are
+     not cut off mid-pipeline. *)
+  D.run d ~until:(p.duration +. 5.);
+  let window = p.duration -. p.warmup in
+  { cores;
+    offered;
+    throughput = float_of_int !delivered /. window;
+    cpu_bound = cpu_bound ~p ~cores;
+    nic_bound = nic_bound ~p }
+
+let sweep ~scale =
+  let p = params scale in
+  let points = List.map (fun cores -> run_point ~p ~cores) [ 1; 4; 16; 32 ] in
+  (* The shape this experiment exists to show: more lanes, more
+     throughput, until the NIC is the limit. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      if b.throughput < a.throughput *. 0.98 then
+        failwith
+          (Printf.sprintf
+             "broker-cores: throughput fell %d -> %d cores (%.0f -> %.0f)"
+             a.cores b.cores a.throughput b.throughput);
+      monotone rest
+    | _ -> ()
+  in
+  monotone points;
+  (match points with
+   | [ one; _; _; last ] ->
+     if last.throughput < 2. *. one.throughput then
+       failwith "broker-cores: no scaling from 1 to 32 lanes";
+     if last.throughput > last.nic_bound *. 1.05 then
+       failwith "broker-cores: delivered above the NIC bound";
+     (* At 32 lanes the CPU ceiling clears the NIC ceiling: the run must
+        actually be network-limited, not stuck far below both. *)
+     if last.throughput < last.nic_bound *. 0.5 then
+       failwith "broker-cores: 32 lanes did not reach the NIC regime"
+   | _ -> assert false);
+  points
+
+let print fmt scale =
+  Format.fprintf fmt
+    "@.=== broker scalability — worker lanes until the NIC binds ===@.";
+  let points = sweep ~scale in
+  List.iter
+    (fun pt ->
+      Format.fprintf fmt
+        "  %2d cores: %8.0f msg/s delivered (offered %.0f, cpu bound %.0f, nic bound %.0f)@."
+        pt.cores pt.throughput pt.offered (min pt.cpu_bound pt.offered)
+        pt.nic_bound)
+    points;
+  match points with
+  | first :: _ ->
+    let last = List.nth points (List.length points - 1) in
+    Format.fprintf fmt
+      "  -> %.1fx from 1 to %d lanes; saturation at %.0f%% of the NIC bound@."
+      (last.throughput /. first.throughput)
+      last.cores
+      (100. *. last.throughput /. last.nic_bound)
+  | [] -> ()

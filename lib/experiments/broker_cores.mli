@@ -1,0 +1,20 @@
+(** Broker multi-core scalability sweep (§5.1, §6.3).
+
+    One broker with K worker lanes, an offered load far above its
+    single-core signature-verification budget, and a deliberately small
+    NIC: few lanes leave it CPU-bound, enough lanes shift the bottleneck
+    to batch dissemination and throughput saturates at the NIC bound.
+    [sweep] runs K = 1, 4, 16, 32 and fails loudly if throughput is not
+    monotone or exceeds the NIC ceiling. *)
+
+type point = {
+  cores : int;
+  offered : float; (* injected, msg/s *)
+  throughput : float; (* delivered at server 0 in the window, msg/s *)
+  cpu_bound : float; (* capacity-model ceiling: lanes / per-msg core cost *)
+  nic_bound : float; (* egress ceiling at the classic wire footprint *)
+}
+
+val sweep : scale:Figures.scale -> point list
+
+val print : Format.formatter -> Figures.scale -> unit

@@ -7,6 +7,7 @@
 
 type params = {
   n_servers : int;
+  cores : int; (* worker lanes per server/broker CPU (paper: 32) *)
   underlay : Repro_chopchop.Deployment.underlay;
   rate : float; (* offered load, messages per second *)
   batch_count : int;
@@ -50,6 +51,9 @@ type result = {
   network_rate_bps : float; (* mean server NIC ingress over the window *)
   goodput_bps : float; (* useful bytes delivered per second *)
   server_cpu : float; (* mean server utilisation over the window *)
+  broker_cpu_busy_s : float;
+      (* single-core CPU seconds charged across all brokers (incl. load
+         brokers), whole run — the broker-efficiency bench numerator *)
   stored_bytes_max : int; (* peak batch store across servers (GC pressure) *)
   delivered_messages : int; (* total messages at server 0, whole run *)
   decisions : int; (* batches delivered at server 0, whole run *)

@@ -43,7 +43,13 @@ let pk_offload ~servers =
       let asked = float_of_int (((n - 1) / 3) + 1 + margin) in
       let delivery = 0.00031 in
       let with_agg = (asked /. float_of_int n /. 457.1) +. delivery in
-      let verify_only = (asked /. float_of_int n *. Repro_sim.Cost.bls_verify) +. delivery in
+      let verify_only =
+        (* bls_verify is a single-core cost; this is machine-capacity
+           math, so spread it over the machine's lanes. *)
+        (asked /. float_of_int n
+        *. (Repro_sim.Cost.bls_verify /. float_of_int Repro_sim.Cost.vcpus))
+        +. delivery
+      in
       { servers = n;
         baseline_capacity = 65_536. /. with_agg;
         offloaded_capacity = 65_536. /. verify_only })

@@ -1,6 +1,7 @@
 module Engine = Repro_sim.Engine
 module Net = Repro_sim.Net
 module Cpu = Repro_sim.Cpu
+module Cost = Repro_sim.Cost
 module Region = Repro_sim.Region
 module Stats = Repro_sim.Stats
 module N = Repro_mempool.Narwhal
@@ -46,7 +47,7 @@ let run p =
       ()
   done;
   for i = 0 to n - 1 do
-    let cpu = Cpu.create engine () in
+    let cpu = Cpu.create engine ~cores:Cost.vcpus () in
     let cfg =
       { (N.default_config ~n ~msg_bytes:p.msg_bytes ~authenticate:p.authenticate) with
         workers_per_group = p.workers_per_group }

@@ -1,39 +1,45 @@
 (** Calibrated CPU cost model.
 
-    All costs are expressed in {e machine-seconds of one reference server}
-    (AWS c6i.8xlarge: 32 vCPU / 16 cores, the machine every server, broker
-    and load client runs on in §6.2).  The two anchor points come straight
-    from the paper's microbenchmark (§3.2):
+    All costs are expressed in {e single-core seconds of one reference
+    core} (a vCPU of the AWS c6i.8xlarge every server, broker and load
+    client runs on in §6.2).  {!Cpu} schedules these durations over a
+    node's worker lanes, so a cost's wall-clock impact depends on its job
+    class: divisible (parallel) work finishes [cores] times faster on a
+    full machine, serial work does not.  The two anchor points come
+    straight from the paper's microbenchmark (§3.2):
 
-    - classic batch authentication: 16.2 batches/s of 65,536 Ed25519
-      signatures, batch-verified ⇒ 61.7 ms per batch;
-    - distilled batch authentication: 457.1 batches/s, i.e. aggregation of
-      65,536 BLS12-381 public keys plus one multi-signature verification
-      ⇒ 2.19 ms per batch.
+    - classic batch authentication: 16.2 batches/s {e per machine} of
+      65,536 Ed25519 signatures, batch-verified ⇒ ~1.98 core-seconds per
+      batch;
+    - distilled batch authentication: 457.1 batches/s per machine, i.e.
+      aggregation of 65,536 BLS12-381 public keys plus one
+      multi-signature verification ⇒ ~70 core-milliseconds per batch.
 
-    Remaining constants are standard single-core figures for the named
-    primitives divided by the machine's parallelism.  Clients run on
-    t3.small (1 core, ~3x slower per core); their costs carry a separate
-    factor.  The {!Cpu} queue charges these durations on the virtual
-    clock — the actual OCaml execution time of the simulation-grade
-    crypto never leaks into results. *)
+    Both anchor workloads parallelize perfectly, so scheduling them over
+    32 lanes recovers the paper's machine rates exactly.  Remaining
+    constants are standard single-core figures for the named primitives.
+    Clients run on t3.small (1 core, ~1.5x slower); their costs carry a
+    separate factor.  The actual OCaml execution time of the
+    simulation-grade crypto never leaks into results. *)
 
 val vcpus : int
-(** Parallelism of the reference server (32). *)
+(** Parallelism of the reference server (32) — the default lane count a
+    server or broker {!Cpu} is created with. *)
 
-(* Server-side, machine-seconds. *)
+(* Server-side, single-core seconds. *)
 
 val ed25519_batch_verify : int -> float
-(** Cost of batch-verifying [n] individual signatures. *)
+(** Cost of batch-verifying [n] individual signatures (divisible). *)
 
 val ed25519_verify : float
 (** One isolated verification (no batching amortization). *)
 
 val bls_aggregate_pks : int -> float
-(** Aggregating [n] public keys. *)
+(** Aggregating [n] public keys (divisible). *)
 
 val bls_verify : float
-(** One multi-signature verification against an aggregate key. *)
+(** One multi-signature verification against an aggregate key — a
+    pairing, inherently serial. *)
 
 val bls_aggregate_sigs : int -> float
 (** Aggregating [n] multi-signature shares (brokers do this). *)
@@ -43,6 +49,10 @@ val hash_per_byte : float
 
 val merkle_build : leaves:int -> leaf_bytes:int -> float
 (** Building a Merkle tree over a batch. *)
+
+val ceil_log2 : int -> int
+(** Smallest [k] with [2^k >= n]; 0 for [n <= 1].  Integer-exact at
+    powers of two, unlike float [log]/[ceil]. *)
 
 val merkle_verify_proof : leaves:int -> float
 
@@ -59,7 +69,8 @@ val dedup_per_message : float
 val serialize_per_byte : float
 (** Serialization / memory traffic per byte handled. *)
 
-(* Durable storage (lib/store's per-node disk model). *)
+(* Durable storage (lib/store's per-node disk model).  Device-side
+   timings — not core-seconds, not scheduled over lanes. *)
 
 val disk_fsync_s : float
 (** Latency of one fsync'd append (datacenter NVMe, ~120 us). *)

@@ -1,32 +1,166 @@
+module Trace = Repro_trace.Trace
+
+type work = { serial : float; parallel : float }
+
+let work ~serial ~parallel = { serial; parallel }
+let serial c = { serial = c; parallel = 0. }
+let parallel c = { serial = 0.; parallel = c }
+let zero = { serial = 0.; parallel = 0. }
+let add a b = { serial = a.serial +. b.serial; parallel = a.parallel +. b.parallel }
+let total w = w.serial +. w.parallel
+
+type mark = { m_time : float; m_exec : float array }
+
 type t = {
   engine : Engine.t;
   capacity : float;
-  mutable next_free : float;
-  mutable total_busy : float;
+  n_cores : int;
+  next_free : float array; (* per lane: when its queue drains *)
+  busy : float array; (* per lane: charged seconds, incl. queued *)
+  m_boot : mark;
+  actor : int option;
+  mutable jobs : int;
 }
 
-let create engine ?(capacity = 1.0) () =
+let create engine ?(cores = 1) ?(capacity = 1.0) ?actor () =
+  if cores < 1 then invalid_arg "Cpu.create: cores must be >= 1";
   if capacity <= 0. then invalid_arg "Cpu.create: capacity must be positive";
-  { engine; capacity; next_free = 0.; total_busy = 0. }
+  { engine; capacity; n_cores = cores;
+    next_free = Array.make cores 0.; busy = Array.make cores 0.;
+    m_boot = { m_time = Engine.now engine; m_exec = Array.make cores 0. };
+    actor; jobs = 0 }
 
-let submit t ~cost k =
-  if cost < 0. then invalid_arg "Cpu.submit: negative cost";
-  let duration = cost /. t.capacity in
-  let start = Float.max (Engine.now t.engine) t.next_free in
-  let finish = start +. duration in
-  t.next_free <- finish;
-  t.total_busy <- t.total_busy +. duration;
-  Engine.schedule_at t.engine ~time:finish k
+let cores t = t.n_cores
 
-let charge t ~cost = submit t ~cost (fun () -> ())
+(* Executed-by-now work on one lane.  Lane timelines never contain a gap
+   in the future: chunks are appended with start = max(submit time, lane
+   free time) and a serial tail after a parallel phase lands on a lane
+   whose free time IS the parallel finish.  So everything between now and
+   [next_free] is solid work, and subtracting it from the lifetime charge
+   gives the executed part exactly. *)
+let lane_executed t i =
+  let now = Engine.now t.engine in
+  t.busy.(i) -. Float.max 0. (t.next_free.(i) -. now)
 
-let busy_until t = t.next_free
+let submit t ~work:w k =
+  if w.serial < 0. || w.parallel < 0. then invalid_arg "Cpu.submit: negative cost";
+  let now = Engine.now t.engine in
+  let d_p = w.parallel /. t.capacity and d_s = w.serial /. t.capacity in
+  (* Parallel phase: waterfill [d_p] lane-seconds so every participating
+     lane finishes at the same level T — the earliest finish any split of
+     divisible work can achieve. *)
+  let finish_parallel =
+    if d_p <= 0. then now
+    else begin
+      let ready = Array.map (Float.max now) t.next_free in
+      let order = Array.init t.n_cores Fun.id in
+      Array.sort
+        (fun a b ->
+          match Float.compare ready.(a) ready.(b) with
+          | 0 -> Int.compare a b
+          | c -> c)
+        order;
+      let rec level k prefix =
+        (* k earliest lanes share the work; stop when the level stays
+           below the next lane's ready time. *)
+        let tk = (d_p +. prefix) /. float_of_int k in
+        if k = t.n_cores || tk <= ready.(order.(k)) then tk
+        else level (k + 1) (prefix +. ready.(order.(k)))
+      in
+      let tl = level 1 ready.(order.(0)) in
+      for i = 0 to t.n_cores - 1 do
+        if ready.(i) < tl then begin
+          t.busy.(i) <- t.busy.(i) +. (tl -. ready.(i));
+          t.next_free.(i) <- tl
+        end
+      done;
+      tl
+    end
+  in
+  let finish =
+    if d_s <= 0. then finish_parallel
+    else begin
+      let j =
+        if d_p > 0. then begin
+          (* Run the serial tail on a lane that executed the parallel
+             phase (its free time equals the fill level): the tail starts
+             immediately and the lane timeline stays gap-free. *)
+          let j = ref 0 in
+          for i = t.n_cores - 1 downto 0 do
+            if t.next_free.(i) = finish_parallel then j := i
+          done;
+          !j
+        end
+        else begin
+          let j = ref 0 in
+          for i = 1 to t.n_cores - 1 do
+            if t.next_free.(i) < t.next_free.(!j) then j := i
+          done;
+          !j
+        end
+      in
+      let start = Float.max (Float.max now finish_parallel) t.next_free.(j) in
+      let fin = start +. d_s in
+      t.next_free.(j) <- fin;
+      t.busy.(j) <- t.busy.(j) +. d_s;
+      fin
+    end
+  in
+  let job = t.jobs in
+  t.jobs <- job + 1;
+  Engine.schedule_at t.engine ~time:finish (fun () ->
+      (match t.actor with
+       | Some actor ->
+         let s = Engine.trace t.engine in
+         if Trace.enabled s then
+           Trace.instant s ~now:(Engine.now t.engine) ~actor ~cat:"cpu"
+             ~name:"job_done" ~id:job
+             ~attrs:
+               [ ("serial", Trace.A_float w.serial);
+                 ("parallel", Trace.A_float w.parallel) ]
+       | None -> ());
+      k ())
 
-let backlog t = Float.max 0. (t.next_free -. Engine.now t.engine)
+let charge t ~work = submit t ~work (fun () -> ())
 
-let busy_seconds t = t.total_busy
+let busy_until t = Array.fold_left Float.max 0. t.next_free
+
+let lane_backlog t i = Float.max 0. (t.next_free.(i) -. Engine.now t.engine)
+
+let backlog t =
+  let acc = ref 0. in
+  for i = 0 to t.n_cores - 1 do
+    acc := !acc +. lane_backlog t i
+  done;
+  !acc
+
+let busy_seconds t = Array.fold_left ( +. ) 0. t.busy
+
+let executed_seconds t =
+  let acc = ref 0. in
+  for i = 0 to t.n_cores - 1 do
+    acc := !acc +. lane_executed t i
+  done;
+  !acc
+
+let boot t = t.m_boot
+
+let mark t =
+  { m_time = Engine.now t.engine;
+    m_exec = Array.init t.n_cores (lane_executed t) }
+
+let lane_utilization t ~since i =
+  let elapsed = Engine.now t.engine -. since.m_time in
+  if elapsed <= 0. then 0.
+  else Float.min 1. ((lane_executed t i -. since.m_exec.(i)) /. elapsed)
 
 let utilization t ~since =
-  let elapsed = Engine.now t.engine -. since in
+  let elapsed = Engine.now t.engine -. since.m_time in
   if elapsed <= 0. then 0.
-  else Float.min 1. (t.total_busy /. elapsed)
+  else begin
+    let e = ref 0. in
+    for i = 0 to t.n_cores - 1 do
+      e := !e +. (lane_executed t i -. since.m_exec.(i))
+    done;
+    Float.min 1. (!e /. (float_of_int t.n_cores *. elapsed))
+  end

@@ -1,35 +1,106 @@
-(** Per-node CPU accounting.
+(** Per-node multi-core CPU accounting.
 
-    A node's CPU is a FIFO work queue with a given capacity relative to the
-    reference machine (1.0 = one c6i.8xlarge).  Submitting a job charges
-    its cost (in reference-machine seconds, see {!Cost}) on the virtual
-    clock; the completion callback fires when the queue drains to it.
-    Utilization statistics feed the resource-efficiency experiment
-    (Fig. 10b reports ~5% server CPU for Chop Chop at matched resources). *)
+    A node's CPU is [cores] worker lanes of equal [capacity] relative to
+    one reference core (the c6i.8xlarge vCPU every {!Cost} constant is
+    calibrated against).  Jobs carry {e single-core seconds} of work in
+    two classes:
+
+    - {e parallel} work (batch signature verification, public-key
+      aggregation, Merkle building, dedup scans) is divisible: it is
+      waterfilled over the lanes, each chunk starting as soon as its lane
+      frees up, and finishes when the last chunk does;
+    - {e serial} work (one pairing-based verification, a single
+      signature) occupies exactly one lane for its whole duration.
+
+    A job's completion callback fires when {e both} parts are done on
+    the virtual clock — submitting is how a component models "this
+    message may not leave before the crypto behind it has run".  With
+    [cores = 1] the scheduler degenerates to the classic serial FIFO
+    queue.  Utilization and backlog statistics feed the metrics probes
+    and the resource-efficiency experiment (Fig. 10b). *)
 
 type t
 
-val create : Engine.t -> ?capacity:float -> unit -> t
-(** [capacity] scales job durations: a 0.5-capacity machine takes twice the
-    reference time.  Default 1.0. *)
+(** {2 Work records} *)
 
-val submit : t -> cost:float -> (unit -> unit) -> unit
-(** Enqueue a job costing [cost] reference-machine seconds; the callback
-    runs at completion time. *)
+type work = { serial : float; parallel : float }
+(** Single-core seconds per class; both components must be >= 0. *)
 
-val charge : t -> cost:float -> unit
-(** Fire-and-forget work with no completion action (accounted the same). *)
+val work : serial:float -> parallel:float -> work
+val serial : float -> work
+(** Work that occupies one lane end to end. *)
+
+val parallel : float -> work
+(** Divisible work, waterfilled across idle lanes. *)
+
+val zero : work
+val add : work -> work -> work
+val total : work -> float
+(** [serial + parallel]: the job's single-core seconds regardless of
+    scheduling. *)
+
+(** {2 Construction} *)
+
+val create : Engine.t -> ?cores:int -> ?capacity:float -> ?actor:int -> unit -> t
+(** [cores] worker lanes (default 1).  [capacity] scales per-lane speed:
+    a 0.5-capacity lane takes twice the reference time (default 1.0).
+    With [actor] set, every job completion emits a ["cpu"]/["job_done"]
+    trace instant on that actor's row in the engine's sink — the hook the
+    no-send-before-completion trace invariant is checked against. *)
+
+val cores : t -> int
+
+(** {2 Submitting work} *)
+
+val submit : t -> work:work -> (unit -> unit) -> unit
+(** Schedule a job; the callback runs on the virtual clock once the
+    serial lane and every parallel chunk have executed.  The serial part
+    is modelled as running {e after} the parallel part (verify after
+    aggregate), on one of the lanes that executed it. *)
+
+val charge : t -> work:work -> unit
+(** Fire-and-forget work with no completion action (accounted the same).
+    Only for pure state updates — anything that emits a message must use
+    {!submit} so the send waits for the work. *)
+
+(** {2 Accounting} *)
 
 val busy_until : t -> float
-(** Virtual time at which the current backlog drains. *)
+(** Virtual time at which the whole backlog drains (max over lanes). *)
 
 val backlog : t -> float
-(** Seconds of queued work not yet executed. *)
+(** Seconds of queued-but-unexecuted work summed over lanes. *)
+
+val lane_backlog : t -> int -> float
+(** Seconds of queued work on one lane (per-lane metrics probes). *)
 
 val busy_seconds : t -> float
-(** Total work executed or queued since creation (for utilization:
-    divide by elapsed time). *)
+(** Total work ever charged, executed or still queued, summed over
+    lanes. *)
 
-val utilization : t -> since:float -> float
-(** Fraction of wall time spent busy since the given virtual time.
-    Values are clamped to [0, 1]. *)
+val executed_seconds : t -> float
+(** Work actually executed by now (excludes the queued future).  This is
+    the honest utilization numerator: lane busy intervals never have
+    future gaps, so it is exact. *)
+
+(** {2 Windowed utilization}
+
+    A {!mark} snapshots per-lane executed work at a point in time;
+    utilization over \[mark, now\] divides the work executed since by
+    [cores * elapsed].  Tracking the window start this way is what makes
+    post-boot windows honest — dividing lifetime busy-seconds by a late
+    window overcounts. *)
+
+type mark
+
+val boot : t -> mark
+(** The implicit mark taken at creation. *)
+
+val mark : t -> mark
+
+val utilization : t -> since:mark -> float
+(** Mean executed-busy fraction of all lanes since the mark, in
+    [0, 1]. *)
+
+val lane_utilization : t -> since:mark -> int -> float
+(** Same, for a single lane. *)

@@ -1,4 +1,6 @@
 module Engine = Repro_sim.Engine
+module Cpu = Repro_sim.Cpu
+module Cost = Repro_sim.Cost
 module Trace = Repro_trace.Trace
 
 type rid = int * int
@@ -33,6 +35,7 @@ type 'p t = {
   self : int;
   n : int;
   f : int;
+  cpu : Cpu.t option;
   send : dst:int -> bytes:int -> 'p msg -> unit;
   deliver : 'p -> unit;
   payload_bytes : 'p -> int;
@@ -65,9 +68,9 @@ let qc_bytes = 128
 let vote_wire = 96
 let new_view_wire = header + qc_bytes
 
-let create ~engine ~self ~n ~send ~deliver ~payload_bytes ?(batch_max = 400)
+let create ~engine ~self ~n ?cpu ~send ~deliver ~payload_bytes ?(batch_max = 400)
     ?(batch_timeout = 0.3) ?(view_timeout = 2.) () =
-  { engine; self; n; f = Stob_intf.quorum_f n; send; deliver; payload_bytes;
+  { engine; self; n; f = Stob_intf.quorum_f n; cpu; send; deliver; payload_bytes;
     batch_max; batch_timeout; view_timeout;
     blocks = Hashtbl.create 256;
     view = 0; high_qc = None;
@@ -96,6 +99,20 @@ let broadcast_all t ~bytes msg =
   for dst = 0 to t.n - 1 do
     if dst <> t.self then t.send ~dst ~bytes msg
   done
+
+(* Serialize [bytes] for [links] outgoing copies on the leader's CPU (when
+   modelled), then run [k].  Jobs on one CPU complete in submission order,
+   so proposal order is preserved on the wire.  Control-plane traffic
+   (votes, QC announcements, new-view) stays ungated. *)
+let gate_serialize t ~bytes ~links k =
+  match t.cpu with
+  | None -> k ()
+  | Some cpu ->
+    Cpu.submit cpu
+      ~work:
+        (Cpu.parallel
+           (float_of_int (bytes * links) *. Cost.serialize_per_byte))
+      (fun () -> if not t.crashed then k ())
 
 let qc_newer a b =
   match (a, b) with
@@ -302,8 +319,11 @@ and propose t =
   Hashtbl.replace t.blocks id b;
   trace_instant t "propose" ~id:t.view;
   let bytes = block_bytes t b in
-  broadcast_all t ~bytes (Proposal b);
-  on_proposal t ~src:t.self b
+  gate_serialize t ~bytes ~links:(t.n - 1) (fun () ->
+      (* A stale proposal (view advanced while serializing) is discarded
+         by [on_proposal]'s height check, like one lost to a crash. *)
+      broadcast_all t ~bytes (Proposal b);
+      on_proposal t ~src:t.self b)
 
 and on_proposal t ~src b =
   if src = leader_of ~n:t.n b.height && b.height >= t.view && not t.crashed then begin

@@ -1,4 +1,6 @@
 module Engine = Repro_sim.Engine
+module Cpu = Repro_sim.Cpu
+module Cost = Repro_sim.Cost
 module Trace = Repro_trace.Trace
 
 type rid = int * int
@@ -31,6 +33,7 @@ type 'p t = {
   self : int;
   n : int;
   f : int;
+  cpu : Cpu.t option;
   send : dst:int -> bytes:int -> 'p msg -> unit;
   deliver : 'p -> unit;
   payload_bytes : 'p -> int;
@@ -64,9 +67,9 @@ let item_bytes t it = 16 + t.payload_bytes it.payload
 
 let batch_bytes t batch = List.fold_left (fun a it -> a + item_bytes t it) header batch
 
-let create ~engine ~self ~n ~send ~deliver ~payload_bytes ?(batch_max = 400)
+let create ~engine ~self ~n ?cpu ~send ~deliver ~payload_bytes ?(batch_max = 400)
     ?(batch_timeout = 0.05) ?(view_timeout = 4.) ?(max_outstanding = max_int) () =
-  { engine; self; n; f = Stob_intf.quorum_f n; send; deliver; payload_bytes;
+  { engine; self; n; f = Stob_intf.quorum_f n; cpu; send; deliver; payload_bytes;
     batch_max; batch_timeout; view_timeout; max_outstanding;
     view = 0; next_seq = 0; next_deliver = 0;
     slots = Hashtbl.create 128;
@@ -97,6 +100,20 @@ let broadcast_all t ~bytes msg =
   for dst = 0 to t.n - 1 do
     if dst <> t.self then t.send ~dst ~bytes msg
   done
+
+(* Serialize [bytes] for [links] outgoing copies on the leader's CPU (when
+   modelled), then run [k].  Jobs on one CPU complete in submission order,
+   so proposal order is preserved on the wire.  Control-plane traffic
+   (votes, view changes) stays ungated. *)
+let gate_serialize t ~bytes ~links k =
+  match t.cpu with
+  | None -> k ()
+  | Some cpu ->
+    Cpu.submit cpu
+      ~work:
+        (Cpu.parallel
+           (float_of_int (bytes * links) *. Cost.serialize_per_byte))
+      (fun () -> if not t.crashed then k ())
 
 (* --- progress timer / view change ------------------------------------- *)
 
@@ -227,9 +244,14 @@ and flush t =
     end;
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
+    let view = t.view in
     let bytes = batch_bytes t batch in
-    broadcast_all t ~bytes (Pre_prepare { view = t.view; seq; batch });
-    handle_pre_prepare t ~view:t.view ~seq ~batch
+    gate_serialize t ~bytes ~links:(t.n - 1) (fun () ->
+        (* If the view moved on while serializing, receivers (and our own
+           [handle_pre_prepare]) discard the stale pre-prepare — the same
+           outcome as a proposal lost to a leader crash. *)
+        broadcast_all t ~bytes (Pre_prepare { view; seq; batch });
+        handle_pre_prepare t ~view ~seq ~batch)
   end
 
 and enqueue_leader t it =

@@ -1,4 +1,6 @@
 module Engine = Repro_sim.Engine
+module Cpu = Repro_sim.Cpu
+module Cost = Repro_sim.Cost
 module Trace = Repro_trace.Trace
 
 type 'p msg =
@@ -9,6 +11,7 @@ type 'p t = {
   engine : Engine.t;
   self : int;
   n : int;
+  cpu : Cpu.t option;
   send : dst:int -> bytes:int -> 'p msg -> unit;
   deliver : 'p -> unit;
   payload_bytes : 'p -> int;
@@ -21,10 +24,23 @@ type 'p t = {
 
 let header_bytes = 16
 
-let create ~engine ~self ~n ~send ~deliver ~payload_bytes () =
-  { engine; self; n; send; deliver; payload_bytes;
+let create ~engine ~self ~n ?cpu ~send ~deliver ~payload_bytes () =
+  { engine; self; n; cpu; send; deliver; payload_bytes;
     next_slot = 0; next_expected = 0; pending = Hashtbl.create 64;
     crashed = false; delivered = 0 }
+
+(* Serialize [bytes] for [links] outgoing copies on the node's CPU (when
+   modelled), then run [k].  Jobs on one CPU complete in submission
+   order, so slot order is preserved on the wire. *)
+let gate_serialize t ~bytes ~links k =
+  match t.cpu with
+  | None -> k ()
+  | Some cpu ->
+    Cpu.submit cpu
+      ~work:
+        (Cpu.parallel
+           (float_of_int (bytes * links) *. Cost.serialize_per_byte))
+      (fun () -> if not t.crashed then k ())
 
 let trace_instant t name ~id =
   let sink = Engine.trace t.engine in
@@ -48,14 +64,15 @@ let try_deliver t =
 let order t p =
   let slot = t.next_slot in
   t.next_slot <- slot + 1;
-  trace_instant t "order" ~id:slot;
   let bytes = header_bytes + t.payload_bytes p in
-  for dst = 0 to t.n - 1 do
-    if dst <> t.self then t.send ~dst ~bytes (Ordered (slot, p))
-  done;
-  (* Local copy delivered through the same path. *)
-  Hashtbl.replace t.pending slot p;
-  try_deliver t
+  gate_serialize t ~bytes ~links:(t.n - 1) (fun () ->
+      trace_instant t "order" ~id:slot;
+      for dst = 0 to t.n - 1 do
+        if dst <> t.self then t.send ~dst ~bytes (Ordered (slot, p))
+      done;
+      (* Local copy delivered through the same path. *)
+      Hashtbl.replace t.pending slot p;
+      try_deliver t)
 
 let broadcast t p =
   if not t.crashed then

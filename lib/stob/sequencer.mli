@@ -14,6 +14,7 @@ val create :
   engine:Repro_sim.Engine.t ->
   self:int ->
   n:int ->
+  ?cpu:Repro_sim.Cpu.t ->
   send:(dst:int -> bytes:int -> 'p msg -> unit) ->
   deliver:('p -> unit) ->
   payload_bytes:('p -> int) ->

@@ -25,13 +25,19 @@ module type S = sig
     engine:Repro_sim.Engine.t ->
     self:int ->
     n:int ->
+    ?cpu:Repro_sim.Cpu.t ->
     send:(dst:int -> bytes:int -> 'p msg -> unit) ->
     deliver:('p -> unit) ->
     payload_bytes:('p -> int) ->
     unit ->
     'p t
   (** One instance per server; [self] in [0, n).  Tolerates
-      [f = (n-1)/3] faults. *)
+      [f = (n-1)/3] faults.  When [cpu] is given, the proposal hot path
+      is completion-gated: an ordering/leader node serializes its
+      outgoing proposal on that CPU (divisible work) and the broadcast
+      departs only when the job completes on the sim clock.  The
+      protocol logic itself stays un-modelled (black-box STOB, Appx.
+      B.1); control-plane traffic (votes, view changes) is free. *)
 
   val broadcast : 'p t -> 'p -> unit
   (** Submit a payload for total ordering (STOB [Broadcast]). *)

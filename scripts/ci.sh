@@ -27,6 +27,12 @@ dune exec bin/main.exe -- store
 echo "== trace-enabled bench smoke =="
 CHOPCHOP_BENCH_SCALE=quick dune exec bench/main.exe -- trace
 
+echo "== broker multi-core scalability smoke =="
+# Sweeps 1/4/16/32 worker lanes on one overloaded broker; the experiment
+# itself fails if throughput is not monotone in lanes or does not
+# saturate at the NIC bound.
+dune exec bin/main.exe -- run broker-cores --scale quick
+
 echo "== bench baseline regression gate =="
 # Regenerate the machine-readable baseline and diff it against the
 # committed one; the sim is deterministic, so any gated drift is a real

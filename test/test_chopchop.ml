@@ -7,6 +7,9 @@
 open Repro_chopchop
 module Schnorr = Repro_crypto.Schnorr
 module Multisig = Repro_crypto.Multisig
+module Cpu = Repro_sim.Cpu
+module Cost = Repro_sim.Cost
+module Trace = Repro_trace.Trace
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -318,11 +321,41 @@ let test_batch_costs_monotone () =
     Batch.forge_dense dir ~broker:0 ~number:1 ~first_id:0 ~count:65_536 ~msg_bytes:8
       ~tag:2 ~straggler_count:65_536
   in
+  let witness b = Cpu.total (Batch.witness_cpu_work b) in
   checkb "classic witness cost ~28x distilled (paper §3.2)" true
-    (let r = Batch.witness_cpu_cost classic /. Batch.witness_cpu_cost full in
+    (let r = witness classic /. witness full in
      r > 20. && r < 35.);
   checkb "non-witness cheaper than witness" true
-    (Batch.non_witness_cpu_cost full < Batch.witness_cpu_cost full)
+    (Cpu.total (Batch.non_witness_cpu_work full) < witness full)
+
+let test_fallback_verify_cost () =
+  (* Satellite bugfix: when batch verification fails, the broker falls
+     back to n INDIVIDUAL verifications (§4.2), not a second batch pass.
+     Pin the cost ratio so the fallback stays n * ed25519_verify. *)
+  let n = 65_536 in
+  let fallback = float_of_int n *. Cost.ed25519_verify in
+  let batch = Cost.ed25519_batch_verify n in
+  let r = fallback /. batch in
+  checkb "individual fallback ~2.3x batch (64k sigs)" true (r > 2.0 && r < 2.7);
+  (* Small flushes amortise worse: batching still wins but less. *)
+  let r64 = (64. *. Cost.ed25519_verify) /. Cost.ed25519_batch_verify 64 in
+  checkb "fallback dearer than batch at any size" true (r64 > 1.0)
+
+let test_ceil_log2_boundaries () =
+  let checki = Alcotest.check Alcotest.int in
+  checki "1 -> 0" 0 (Cost.ceil_log2 1);
+  checki "2 -> 1" 1 (Cost.ceil_log2 2);
+  checki "3 -> 2" 2 (Cost.ceil_log2 3);
+  checki "4 -> 2" 2 (Cost.ceil_log2 4);
+  checki "5 -> 3" 3 (Cost.ceil_log2 5);
+  checki "1024 -> 10" 10 (Cost.ceil_log2 1024);
+  checki "1025 -> 11" 11 (Cost.ceil_log2 1025);
+  checki "65536 -> 16" 16 (Cost.ceil_log2 65_536);
+  (* Merkle proof depth at a power-of-two leaf count: exactly log2, no
+     float off-by-one (the old float log was 17 hashes at 65,536). *)
+  let depth leaves = Cost.merkle_verify_proof ~leaves /. Cost.hash_per_byte /. 64. in
+  checkb "proof depth 16 at 64k leaves" true (abs_float (depth 65_536 -. 16.) < 1e-6);
+  checkb "proof depth 10 at 1024 leaves" true (abs_float (depth 1024 -. 10.) < 1e-6)
 
 (* --- protocol integration over the idealised sequencer ----------------------- *)
 
@@ -539,6 +572,50 @@ let test_crash_f_servers_liveness () =
   Deployment.run d ~until:90.0;
   checki "completed despite crash" 1 (Client.completed c)
 
+let test_no_send_before_cpu_completion () =
+  (* The completion-gating invariant: a broker's externally visible steps
+     (batch launch, distillation start) happen inside the continuation of
+     the CPU job that models their work, never earlier on the sim clock.
+     Every such trace event must coincide — same actor, same instant —
+     with a cpu/job_done completion. *)
+  let sink = Trace.Sink.memory () in
+  let d =
+    Deployment.create
+      { Deployment.default_config with
+        underlay = Deployment.Sequencer; n_servers = 4; trace = sink }
+  in
+  let clients = List.init 4 (fun _ -> Deployment.add_client d ()) in
+  List.iter Client.signup clients;
+  Deployment.run d ~until:3.0;
+  List.iteri (fun i c -> Client.broadcast c (Printf.sprintf "m%d" i)) clients;
+  Deployment.run d ~until:40.0;
+  List.iter (fun c -> checki "client completed" 1 (Client.completed c)) clients;
+  let evs = Trace.Sink.events sink in
+  let cpu_done = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      if ev.Trace.ev_cat = "cpu" && ev.Trace.ev_name = "job_done" then
+        Hashtbl.replace cpu_done (ev.Trace.ev_actor, ev.Trace.ev_time) ())
+    evs;
+  let gated ev =
+    ev.Trace.ev_cat = "broker"
+    && (ev.Trace.ev_name = "launch"
+        || (ev.Trace.ev_name = "distill" && ev.Trace.ev_phase = Trace.B))
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun ev ->
+      if gated ev then begin
+        incr checked;
+        checkb
+          (Printf.sprintf "%s at t=%g rides a cpu completion" ev.Trace.ev_name
+             ev.Trace.ev_time)
+          true
+          (Hashtbl.mem cpu_done (ev.Trace.ev_actor, ev.Trace.ev_time))
+      end)
+    evs;
+  checkb "saw gated broker events" true (!checked > 0)
+
 let test_stob_item_bytes () =
   let qc = Certs.assemble [] in
   checkb "batch ref fits a hash + witness" true
@@ -610,7 +687,9 @@ let () =
          Alcotest.test_case "dense verifies" `Quick test_batch_dense_verifies;
          Alcotest.test_case "dense rejects" `Quick test_batch_dense_rejects;
          Alcotest.test_case "dense/explicit equivalence" `Quick test_batch_dense_explicit_equivalence;
-         Alcotest.test_case "cost model monotone" `Quick test_batch_costs_monotone ]
+         Alcotest.test_case "cost model monotone" `Quick test_batch_costs_monotone;
+         Alcotest.test_case "fallback verify cost" `Quick test_fallback_verify_cost;
+         Alcotest.test_case "ceil_log2 boundaries" `Quick test_ceil_log2_boundaries ]
        @ suite_batch_props);
       ("protocol",
        [ Alcotest.test_case "e2e agreement + no-dup" `Quick test_e2e_agreement_nodup;
@@ -624,4 +703,6 @@ let () =
          Alcotest.test_case "gc collects" `Quick test_gc_collects;
          Alcotest.test_case "gc blocked by crash" `Quick test_gc_blocked_by_crashed_server;
          Alcotest.test_case "liveness under f crashes" `Quick test_crash_f_servers_liveness;
+         Alcotest.test_case "no send before cpu completion" `Quick
+           test_no_send_before_cpu_completion;
          Alcotest.test_case "stob item bytes" `Quick test_stob_item_bytes ]) ]

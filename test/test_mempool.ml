@@ -29,7 +29,7 @@ let run ?(n = 4) ?(authenticate = false) ?(workers = 1) ?(rate = 1000)
       ()
   done;
   for i = 0 to n - 1 do
-    let cpu = Cpu.create engine () in
+    let cpu = Cpu.create engine ~cores:Cost.vcpus () in
     let cfg =
       { (N.default_config ~n ~msg_bytes:8 ~authenticate) with
         workers_per_group = workers }

@@ -321,8 +321,8 @@ let test_cpu_fifo () =
   let e = Engine.create () in
   let cpu = Cpu.create e () in
   let log = ref [] in
-  Cpu.submit cpu ~cost:2.0 (fun () -> log := (1, Engine.now e) :: !log);
-  Cpu.submit cpu ~cost:1.0 (fun () -> log := (2, Engine.now e) :: !log);
+  Cpu.submit cpu ~work:(Cpu.serial 2.0) (fun () -> log := (1, Engine.now e) :: !log);
+  Cpu.submit cpu ~work:(Cpu.serial 1.0) (fun () -> log := (2, Engine.now e) :: !log);
   Engine.run e;
   (match List.rev !log with
    | [ (1, t1); (2, t2) ] ->
@@ -335,17 +335,135 @@ let test_cpu_capacity () =
   let e = Engine.create () in
   let cpu = Cpu.create e ~capacity:0.5 () in
   let t = ref 0. in
-  Cpu.submit cpu ~cost:1.0 (fun () -> t := Engine.now e);
+  Cpu.submit cpu ~work:(Cpu.serial 1.0) (fun () -> t := Engine.now e);
   Engine.run e;
   checkf "half capacity doubles duration" 2.0 !t
 
 let test_cpu_utilization () =
   let e = Engine.create () in
   let cpu = Cpu.create e () in
-  Cpu.charge cpu ~cost:1.0;
+  Cpu.charge cpu ~work:(Cpu.serial 1.0);
   Engine.schedule e ~delay:4.0 (fun () -> ());
   Engine.run e;
-  checkf "25% busy over 4s" 0.25 (Cpu.utilization cpu ~since:0.)
+  checkf "25% busy over 4s" 0.25 (Cpu.utilization cpu ~since:(Cpu.boot cpu))
+
+let test_cpu_windowed_utilization () =
+  (* The satellite bugfix: a window starting after boot must divide the
+     work executed IN the window by the window — not lifetime busy
+     seconds by the window (which overcounted until the min-1.0 clamp
+     hid it). *)
+  let e = Engine.create () in
+  let cpu = Cpu.create e () in
+  Cpu.charge cpu ~work:(Cpu.serial 2.0);
+  let mid = ref None in
+  Engine.schedule e ~delay:4.0 (fun () -> mid := Some (Cpu.mark cpu));
+  Engine.schedule e ~delay:8.0 (fun () -> ());
+  Engine.run e;
+  let mid = Option.get !mid in
+  (* All 2 s of work ran in [0, 4]; the [4, 8] window executed nothing.
+     The old lifetime/window formula would have reported 2/4 = 0.5. *)
+  checkf "post-boot window is honest" 0. (Cpu.utilization cpu ~since:mid);
+  checkf "boot window averages down" 0.25
+    (Cpu.utilization cpu ~since:(Cpu.boot cpu))
+
+let test_cpu_parallel_splits () =
+  (* Divisible work waterfills across idle lanes: 4 lane-seconds over 4
+     idle lanes finish in 1 s, the same job on 1 core takes 4 s. *)
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:4 () in
+  let t = ref 0. in
+  Cpu.submit cpu ~work:(Cpu.parallel 4.0) (fun () -> t := Engine.now e);
+  Engine.run e;
+  checkf "parallel job splits over 4 lanes" 1.0 !t;
+  checkf "all lane-seconds charged" 4.0 (Cpu.busy_seconds cpu)
+
+let test_cpu_serial_occupies_one_lane () =
+  (* A serial job cannot use idle lanes: same duration on 1 or 4 cores,
+     and the other lanes remain free for concurrent work. *)
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:4 () in
+  let t_serial = ref 0. and t_par = ref 0. in
+  Cpu.submit cpu ~work:(Cpu.serial 2.0) (fun () -> t_serial := Engine.now e);
+  Cpu.submit cpu ~work:(Cpu.parallel 3.0) (fun () -> t_par := Engine.now e);
+  Engine.run e;
+  checkf "serial ignores idle lanes" 2.0 !t_serial;
+  (* 3 lane-seconds over the 3 remaining idle lanes. *)
+  checkf "parallel work fills the other lanes" 1.0 !t_par
+
+let test_cpu_lane_fairness () =
+  (* Waterfill levels lanes: after an uneven serial load, parallel work
+     goes to the idle lanes first and every participating lane finishes
+     at the same instant. *)
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:2 () in
+  Cpu.charge cpu ~work:(Cpu.serial 2.0); (* one lane busy until 2 *)
+  let t = ref 0. in
+  (* 2 lane-seconds: the idle lane runs it [0,2] alone — the fill level
+     2.0 equals the serial lane's ready time, so that lane is untouched. *)
+  Cpu.submit cpu ~work:(Cpu.parallel 2.0) (fun () -> t := Engine.now e);
+  checkf "both lanes level at 2" 2.0 (Cpu.lane_backlog cpu 0);
+  checkf "both lanes level at 2 (other)" 2.0 (Cpu.lane_backlog cpu 1);
+  (* A second parallel job waterfills both lanes evenly: +1 s each. *)
+  Cpu.charge cpu ~work:(Cpu.parallel 2.0);
+  checkf "waterfill levels both lanes" 3.0 (Cpu.busy_until cpu);
+  checkf "lane 0 backlog leveled" 3.0 (Cpu.lane_backlog cpu 0);
+  checkf "lane 1 backlog leveled" 3.0 (Cpu.lane_backlog cpu 1);
+  Engine.run e;
+  checkf "first parallel finished at its fill level" 2.0 !t
+
+let test_cpu_serial_after_parallel () =
+  (* A mixed job runs its serial tail after the parallel phase: total
+     completion = parallel fill level + serial duration. *)
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:4 () in
+  let t = ref 0. in
+  Cpu.submit cpu ~work:(Cpu.work ~parallel:4.0 ~serial:0.5)
+    (fun () -> t := Engine.now e);
+  Engine.run e;
+  checkf "serial tail after the fill level" 1.5 !t;
+  checkf "charge is parallel + serial" 4.5 (Cpu.busy_seconds cpu)
+
+let test_cpu_backlog_accounting () =
+  let e = Engine.create () in
+  let cpu = Cpu.create e ~cores:2 () in
+  Cpu.charge cpu ~work:(Cpu.parallel 4.0); (* 2 s on each lane *)
+  Cpu.charge cpu ~work:(Cpu.serial 1.0); (* lane 0: [2, 3] *)
+  checkf "backlog sums queued lane-seconds" 5.0 (Cpu.backlog cpu);
+  checkf "drain time is the max lane" 3.0 (Cpu.busy_until cpu);
+  checkf "nothing executed yet" 0. (Cpu.executed_seconds cpu);
+  Engine.schedule e ~delay:1.0 (fun () ->
+      (* Both lanes ran solid for 1 s. *)
+      checkf "executed grows with the clock" 2.0 (Cpu.executed_seconds cpu);
+      checkf "backlog shrinks" 3.0 (Cpu.backlog cpu));
+  Engine.run e;
+  checkf "all work executed" 5.0 (Cpu.executed_seconds cpu);
+  checkf "backlog drains" 0. (Cpu.backlog cpu)
+
+let test_cpu_one_core_matches_serial_queue () =
+  (* cores=1 must reproduce the old single-queue semantics exactly: same
+     completion instants, same busy accounting, for any mix of classes. *)
+  let run_with mk_cpu =
+    let e = Engine.create ~seed:7L () in
+    let cpu = mk_cpu e in
+    let log = ref [] in
+    let job i w = Cpu.submit cpu ~work:w (fun () -> log := (i, Engine.now e) :: !log) in
+    job 1 (Cpu.serial 0.5);
+    job 2 (Cpu.parallel 0.25);
+    Engine.schedule e ~delay:0.1 (fun () -> job 3 (Cpu.work ~serial:0.2 ~parallel:0.3));
+    Engine.run e;
+    (List.rev !log, Cpu.busy_seconds cpu, Cpu.busy_until cpu)
+  in
+  let log1, busy1, until1 = run_with (fun e -> Cpu.create e ~cores:1 ()) in
+  let logd, busyd, untild = run_with (fun e -> Cpu.create e ()) in
+  checkb "explicit cores=1 = default" true (log1 = logd);
+  checkf "busy equal" busyd busy1;
+  checkf "drain equal" untild until1;
+  (match log1 with
+   | [ (1, t1); (2, t2); (3, t3) ] ->
+     checkf "fifo job 1" 0.5 t1;
+     checkf "fifo job 2" 0.75 t2;
+     checkf "fifo job 3" 1.25 t3
+   | _ -> Alcotest.fail "three completions expected")
 
 (* --- Stats -------------------------------------------------------------------- *)
 
@@ -508,7 +626,20 @@ let () =
       ("cpu",
        [ Alcotest.test_case "fifo" `Quick test_cpu_fifo;
          Alcotest.test_case "capacity" `Quick test_cpu_capacity;
-         Alcotest.test_case "utilization" `Quick test_cpu_utilization ]);
+         Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+         Alcotest.test_case "windowed utilization" `Quick
+           test_cpu_windowed_utilization;
+         Alcotest.test_case "parallel splits across lanes" `Quick
+           test_cpu_parallel_splits;
+         Alcotest.test_case "serial occupies one lane" `Quick
+           test_cpu_serial_occupies_one_lane;
+         Alcotest.test_case "lane fairness" `Quick test_cpu_lane_fairness;
+         Alcotest.test_case "serial tail after parallel" `Quick
+           test_cpu_serial_after_parallel;
+         Alcotest.test_case "backlog accounting" `Quick
+           test_cpu_backlog_accounting;
+         Alcotest.test_case "one core matches serial queue" `Quick
+           test_cpu_one_core_matches_serial_queue ]);
       ("stats",
        Alcotest.test_case "summary" `Quick test_summary
        :: Alcotest.test_case "summary empty" `Quick test_summary_empty
