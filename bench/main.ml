@@ -285,66 +285,49 @@ let run_trace_smoke () =
    metric reproduces exactly; the tolerances are slack for intentional,
    bounded behaviour changes. *)
 let run_bench_json () =
-  let module Trace = Repro_trace.Trace in
-  let module R = Repro_experiments.Chopchop_run in
-  let module LB = Repro_experiments.Latency_breakdown in
   let module B = Repro_metrics.Baseline in
-  let quick underlay =
-    (* Store on: WAL appends are fire-and-forget on a separate simulated
-       device, so the protocol metrics are unchanged and the run also
-       yields the gated WAL-overhead ratio. *)
-    { R.default with
-      n_servers = 4; underlay;
-      rate = 100_000.; batch_count = 4096; n_load_brokers = 1;
-      measure_clients = 4; duration = 10.; warmup = 4.; cooldown = 2.;
-      dense_clients = 1_000_000; store = true; checkpoint_every = 64 }
-  in
+  let module Cell = Repro_experiments.Cell in
+  (* Store on: WAL appends are fire-and-forget on a separate simulated
+     device, so the protocol metrics are unchanged and the run also
+     yields the gated WAL-overhead ratio.  [Cell.default] is exactly the
+     quick-scale bench config; `chopchop sweep` runs the same cells, so
+     a sweep cell at this config is bit-identical to this baseline. *)
   let configs =
-    [ ("quick-pbft", quick Repro_chopchop.Deployment.Pbft);
-      ("quick-hotstuff", quick Repro_chopchop.Deployment.Hotstuff) ]
+    [ ("quick-pbft", { Cell.default with Cell.underlay = "pbft" });
+      ("quick-hotstuff", { Cell.default with Cell.underlay = "hotstuff" }) ]
   in
-  let counter counters cat name =
-    match
-      List.find_opt (fun (c, n, _) -> c = cat && n = name) counters
-    with
-    | Some (_, _, v) -> float_of_int v
-    | None -> 0.
-  in
-  let bench_config (name, params) =
+  let bench_config (name, cell) =
     let t0 = Sys.time () in
-    let result, breakdown, sink = LB.capture ~params () in
+    let out = Cell.run cell in
     let wall = Sys.time () -. t0 in
-    let dropped = Trace.Sink.dropped sink in
-    if dropped > 0 then
-      Printf.eprintf
-        "warning: %s: trace sink dropped %d events; latency percentiles may \
-         be incomplete\n%!"
-        name dropped;
-    let counters = Trace.Sink.counters sink in
-    let e2e = LB.e2e breakdown in
-    let decisions = float_of_int (max 1 result.R.decisions) in
-    let payload_bytes =
-      float_of_int (max 1 (result.R.delivered_messages * params.R.msg_bytes))
+    let metric m =
+      match List.assoc_opt m out.Cell.metrics with
+      | Some v -> v
+      | None -> failwith ("bench json: cell metric missing: " ^ m)
     in
-    let gated tol direction value = { B.value; tolerance = Some tol; direction } in
+    let gated tol direction m =
+      { B.value = metric m; tolerance = Some tol; direction }
+    in
     let info value = { B.value; tolerance = None; direction = B.Lower_better } in
     ( name,
-      [ ("throughput_ops", gated 0.05 B.Higher_better result.R.throughput);
-        ("latency_p50_s", gated 0.10 B.Lower_better (Trace.Hist.percentile e2e 0.50));
-        ("latency_p99_s", gated 0.15 B.Lower_better (Trace.Hist.percentile e2e 0.99));
+      [ ("throughput_ops", gated 0.05 B.Higher_better "throughput_ops");
+        ("latency_p50_s", gated 0.10 B.Lower_better "latency_p50_s");
+        ("latency_p99_s", gated 0.15 B.Lower_better "latency_p99_s");
         ( "sig_verifies_per_decision",
-          gated 0.10 B.Lower_better
-            (counter counters "crypto" "verify_ops" /. decisions) );
+          gated 0.10 B.Lower_better "sig_verifies_per_decision" );
         ( "wire_bytes_per_payload_byte",
-          gated 0.10 B.Lower_better
-            (counter counters "net" "bytes" /. payload_bytes) );
+          gated 0.10 B.Lower_better "wire_bytes_per_payload_byte" );
         ( "wal_bytes_per_payload_byte",
-          gated 0.10 B.Lower_better
-            (float_of_int result.R.wal_bytes /. payload_bytes) );
+          gated 0.10 B.Lower_better "wal_bytes_per_payload_byte" );
         ( "broker_cpu_busy_s_per_payload_byte",
-          gated 0.10 B.Lower_better
-            (result.R.broker_cpu_busy_s /. payload_bytes) );
-        ("wall_time_s", info wall) ] )
+          gated 0.10 B.Lower_better "broker_cpu_busy_s_per_payload_byte" );
+        ("wall_time_s", info wall);
+        (* Sim-speed self-benchmark: how fast the simulator itself runs on
+           this machine.  Machine-dependent, hence ungated. *)
+        ( "sim_events_per_wall_s",
+          info (float_of_int out.Cell.sim_events /. Float.max wall 1e-9) );
+        ("sim_s_per_wall_s", info (out.Cell.sim_seconds /. Float.max wall 1e-9))
+      ] )
   in
   print_endline "=== Bench baseline (quick-scale, deterministic) ===";
   let doc =

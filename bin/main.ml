@@ -74,7 +74,10 @@ let run_cmd =
     | Some (_, _, f) ->
       f Format.std_formatter scale;
       Ok ()
-    | None -> Error (Printf.sprintf "unknown experiment %S; try `chopchop list`" id)
+    | None ->
+      Error
+        (Printf.sprintf "unknown experiment %S; available: %s" id
+           (String.concat ", " (List.map (fun (n, _, _) -> n) experiments)))
   in
   let term =
     Term.(
@@ -278,8 +281,9 @@ let chaos_cmd =
       | None ->
         `Error
           ( false,
-            Printf.sprintf "unknown scenario %S; try `chopchop chaos --list`"
-              scenario )
+            Printf.sprintf "unknown scenario %S; available: %s, all" scenario
+              (String.concat ", "
+                 (List.map (fun s -> s.C.sc_name) C.scenarios)) )
       | Some vs ->
         List.iter (fun v -> Format.printf "%a@." C.pp_verdict v) vs;
         let failed = List.filter (fun v -> not v.C.v_pass) vs in
@@ -415,6 +419,140 @@ let store_cmd =
              stats")
     term
 
+let sweep_cmd =
+  let module S = Repro_sweep.Sweep in
+  let manifest_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "manifest" ] ~docv:"FILE"
+          ~doc:"Sweep manifest JSON (see EXPERIMENTS.md for the format; \
+                $(b,examples/sweep-quick.json) is a starting point).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "sweep-out"
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Output directory: per-cell JSON goes under \
+                $(docv)/cells-<manifest-hash>/, the aggregate under \
+                $(docv)/results-<manifest-hash>.json.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "j"; "workers" ] ~docv:"N"
+          ~doc:"Parallel forked workers (the sim is deterministic per \
+                cell, so cells are embarrassingly parallel).")
+  in
+  let serial_arg =
+    Arg.(
+      value & flag
+      & info [ "serial" ]
+          ~doc:"Run cells one by one in-process (no fork, no timeout \
+                enforcement).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float 900.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-cell wall-clock timeout (parallel mode only).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"Expand the manifest, print cells, and exit.")
+  in
+  let figures_arg =
+    Arg.(
+      value & flag
+      & info [ "figures" ]
+          ~doc:"Skip running: aggregate whatever cell outputs exist and \
+                render the figure tables.")
+  in
+  let outcome_word = function
+    | S.Pool.Completed -> "ok"
+    | S.Pool.Skipped -> "skip"
+    | S.Pool.Failed _ -> "FAIL"
+    | S.Pool.Timed_out -> "TIMEOUT"
+  in
+  let run manifest out workers serial timeout list figures =
+    match S.Manifest.load ~path:manifest with
+    | Error e -> `Error (false, e)
+    | Ok m ->
+      let total = List.length m.S.Manifest.cells in
+      Format.printf "sweep %s: %d cells, manifest hash %s@."
+        m.S.Manifest.name total m.S.Manifest.hash;
+      if list then begin
+        List.iter
+          (fun (c : S.Manifest.cell) ->
+            Printf.printf "  %s  %s\n" c.S.Manifest.hash c.S.Manifest.label)
+          m.S.Manifest.cells;
+        `Ok ()
+      end
+      else if figures then begin
+        let path = S.Aggregate.write ~out_dir:out m in
+        let doc = Repro_metrics.Json.of_file ~path in
+        S.Figures.render Format.std_formatter doc;
+        Format.printf "results -> %s@." path;
+        `Ok ()
+      end
+      else begin
+        let reports =
+          S.Pool.run ~workers ~timeout ~serial ~out_dir:out m
+            ~on_report:(fun ~done_count ~total r ->
+              Printf.printf "[%d/%d] %-7s %s  %s (%.1fs)\n%!" done_count total
+                (outcome_word r.S.Pool.r_outcome)
+                r.S.Pool.r_cell.S.Manifest.hash
+                r.S.Pool.r_cell.S.Manifest.label r.S.Pool.r_wall;
+              match r.S.Pool.r_outcome with
+              | S.Pool.Failed msg -> Printf.printf "        %s\n%!" msg
+              | _ -> ())
+        in
+        let path = S.Aggregate.write ~out_dir:out m in
+        let doc = Repro_metrics.Json.of_file ~path in
+        S.Figures.render Format.std_formatter doc;
+        let count p = List.length (List.filter p reports) in
+        let completed =
+          count (fun r -> r.S.Pool.r_outcome = S.Pool.Completed)
+        in
+        let skipped = count (fun r -> r.S.Pool.r_outcome = S.Pool.Skipped) in
+        let bad =
+          List.filter
+            (fun r ->
+              match r.S.Pool.r_outcome with
+              | S.Pool.Failed _ | S.Pool.Timed_out -> true
+              | _ -> false)
+            reports
+        in
+        Format.printf "sweep: %d completed, %d resumed (skipped), %d failed@."
+          completed skipped (List.length bad);
+        Format.printf "results -> %s@." path;
+        if bad = [] then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d cell(s) failed: %s" (List.length bad)
+                (String.concat ", "
+                   (List.map
+                      (fun r -> r.S.Pool.r_cell.S.Manifest.hash)
+                      bad)) )
+      end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ manifest_arg $ out_arg $ workers_arg $ serial_arg
+        $ timeout_arg $ list_arg $ figures_arg))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a manifest-driven parameter sweep across parallel workers \
+             and regenerate the figure grid")
+    term
+
 let list_cmd =
   let term =
     Term.(
@@ -433,4 +571,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; trace_cmd; metrics_cmd; chaos_cmd;
-            store_cmd ]))
+            store_cmd; sweep_cmd ]))

@@ -1,0 +1,71 @@
+(** Uniform experiment cell: one resolved configuration of the standard
+    Chop Chop runner, executable as a reusable entry point.
+
+    This is the unit the sweep orchestrator ([lib/sweep]) fans out: a
+    flat, JSON-serialisable record over the axes the paper's evaluation
+    grid sweeps (underlay × servers × cores × payload × rate × app ×
+    seed, plus the window/topology knobs), with a deterministic runner
+    that derives the same efficiency metrics `bench json` gates.  The
+    sim is seeded and deterministic, so [run] on an identical config is
+    bit-identical — across processes and machines — which is what makes
+    sweep resume and cell-level caching sound. *)
+
+type config = {
+  underlay : string;  (** "sequencer" | "pbft" | "hotstuff" *)
+  servers : int;
+  cores : int;  (** worker lanes per server/broker CPU *)
+  payload : int;  (** message size, bytes *)
+  rate : float;  (** offered load, messages per second *)
+  app : string;  (** "none" | "payments" | "auction" | "pixelwar" *)
+  batch : int;  (** messages per batch *)
+  load_brokers : int;
+  measure_clients : int;
+  duration : float;
+  warmup : float;
+  cooldown : float;
+  dense_clients : int;
+  store : bool;
+  checkpoint_every : int;
+  seed : int64;
+}
+
+val default : config
+(** The `bench json` quick-scale configuration (4 servers, PBFT, 100 k
+    op/s, 4096-message batches, store on) — small enough for CI, real
+    enough to exercise every layer. *)
+
+val underlays : string list
+val apps : string list
+
+val validate : config -> (unit, string) result
+(** Checks the enumerated fields and basic ranges; the error message
+    lists the valid names. *)
+
+val to_json : config -> Repro_metrics.Json.t
+(** Canonical form: fixed field order, suitable for content-hashing. *)
+
+val of_json : Repro_metrics.Json.t -> (config, string) result
+(** Inverse of {!to_json}; unknown fields are rejected. *)
+
+type outcome = {
+  metrics : (string * float) list;
+      (** deterministic metrics, `bench json` names first
+          (throughput_ops, latency_p50_s, latency_p99_s,
+          sig_verifies_per_decision, wire_bytes_per_payload_byte,
+          wal_bytes_per_payload_byte,
+          broker_cpu_busy_s_per_payload_byte), then run extras *)
+  info : (string * string) list;
+      (** non-numeric facts (e.g. [app_digest], hex) *)
+  sim_events : int;  (** engine steps executed (sim-speed benchmark) *)
+  sim_seconds : float;  (** simulated horizon of the run *)
+}
+
+val run : config -> outcome
+(** Executes the cell under a fresh in-memory trace sink.  When [app] is
+    not ["none"], the corresponding application state machine consumes
+    every server-0 delivery and contributes [app_ops] / [app_digest].
+    @raise Failure on an invalid config. *)
+
+val params_of : config -> Chopchop_run.params
+(** The underlying runner parameters — what `chopchop run`-style
+    invocations would use for the same point. *)

@@ -31,6 +31,7 @@ type params = {
   checkpoint_every : int; (* batches between checkpoints when [store] *)
   trace : Repro_trace.Trace.Sink.t;
   metrics : Repro_metrics.Metrics.t option;
+  on_delivery : (int -> Repro_chopchop.Proto.delivery -> unit) option;
 }
 
 let default =
@@ -41,7 +42,8 @@ let default =
     crash = None; dense_clients = 257_000_000; seed = 42L;
     flush_period = 1.0; reduce_timeout = 1.0; witness_margin = None;
     store = false; checkpoint_every = 64;
-    trace = Repro_trace.Trace.Sink.null (); metrics = None }
+    trace = Repro_trace.Trace.Sink.null (); metrics = None;
+    on_delivery = None }
 
 type result = {
   offered : float;
@@ -156,7 +158,8 @@ let run p =
   (* Throughput window accounting on server 0 deliveries. *)
   let tp = Stats.Throughput.create engine ~warmup:p.warmup ~cooldown:p.cooldown ~duration:p.duration in
   D.server_deliver_hook d (fun srv del ->
-      if srv = 0 then Stats.Throughput.record tp (Repro_chopchop.Proto.delivery_count del));
+      if srv = 0 then Stats.Throughput.record tp (Repro_chopchop.Proto.delivery_count del);
+      match p.on_delivery with Some f -> f srv del | None -> ());
   (* Crash schedule. *)
   (match p.crash with
    | Some (time, victims) ->

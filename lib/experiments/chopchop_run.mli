@@ -36,6 +36,10 @@ type params = {
          ticks the registry's sampler on the sim clock, fills a
          [latency.e2e] histogram from the measurement clients, and folds
          the run-wide trace counters into end-of-run gauges *)
+  on_delivery : (int -> Repro_chopchop.Proto.delivery -> unit) option;
+      (* observer called on every server delivery (after the runner's own
+         throughput accounting) — [Cell] uses it to drive application
+         state machines without replacing the deployment's hook *)
 }
 
 val default : params

@@ -31,17 +31,18 @@ let metric_json m =
       ("tolerance", match m.tolerance with None -> Json.Null | Some r -> Json.Num r);
       ("direction", Json.Str (direction_string m.direction)) ]
 
-let to_json doc =
-  Json.to_string_pretty
-    (Json.Obj
-       [ ("_readme", Json.List (List.map (fun l -> Json.Str l) doc.readme));
-         ("version", Json.Num (float_of_int doc.version));
-         ("configs",
-          Json.Obj
-            (List.map
-               (fun (cname, metrics) ->
-                 (cname, Json.Obj (List.map (fun (m, v) -> (m, metric_json v)) metrics)))
-               doc.configs)) ])
+let doc_json doc =
+  Json.Obj
+    [ ("_readme", Json.List (List.map (fun l -> Json.Str l) doc.readme));
+      ("version", Json.Num (float_of_int doc.version));
+      ("configs",
+       Json.Obj
+         (List.map
+            (fun (cname, metrics) ->
+              (cname, Json.Obj (List.map (fun (m, v) -> (m, metric_json v)) metrics)))
+            doc.configs)) ]
+
+let to_json doc = Json.to_string_pretty (doc_json doc)
 
 let get what = function
   | Some v -> v
@@ -60,8 +61,7 @@ let metric_of_json j =
   in
   { value; tolerance; direction }
 
-let of_json s =
-  let j = Json.parse s in
+let of_parsed j =
   let readme =
     match Json.member "_readme" j with
     | Some (Json.List xs) -> List.filter_map Json.to_str xs
@@ -81,17 +81,11 @@ let of_json s =
   in
   { version; readme; configs }
 
-let write ~path doc =
-  let oc = open_out path in
-  output_string oc (to_json doc);
-  close_out oc
+let of_json s = of_parsed (Json.parse s)
 
-let read ~path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_json s
+let write ~path doc = Json.to_file ~path (doc_json doc)
+
+let read ~path = of_parsed (Json.of_file ~path)
 
 type verdict = {
   v_config : string;

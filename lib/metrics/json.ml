@@ -239,6 +239,22 @@ let parse s =
   if !pos <> n then fail "trailing garbage";
   v
 
+let to_file ~path v =
+  (* Write-then-rename: a reader (or an interrupted sweep resuming) never
+     observes a half-written file. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (to_string_pretty v);
+  close_out oc;
+  Sys.rename tmp path
+
+let of_file ~path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
 let member k = function
   | Obj fields -> List.assoc_opt k fields
   | _ -> None

@@ -23,6 +23,15 @@ val to_string_pretty : t -> string
 val parse : string -> t
 (** @raise Failure on malformed input (with a character offset). *)
 
+val to_file : path:string -> t -> unit
+(** [to_string_pretty] to a file, atomically (write + rename) — the one
+    serializer behind [BENCH_*.json], sweep cell outputs and aggregated
+    sweep results.
+    @raise Sys_error on I/O failure. *)
+
+val of_file : path:string -> t
+(** @raise Sys_error on I/O failure, [Failure] on malformed content. *)
+
 val escape : string -> string
 (** JSON string escaping of the content (no surrounding quotes). *)
 

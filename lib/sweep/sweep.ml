@@ -1,0 +1,678 @@
+module Json = Repro_metrics.Json
+module Cell = Repro_experiments.Cell
+module Chaos = Repro_chaos.Chaos
+module Sha256 = Repro_crypto.Sha256
+
+let short_hash ?(len = 16) s = String.sub (Sha256.to_hex (Sha256.digest s)) 0 len
+
+module Manifest = struct
+  type chaos_config = {
+    scenario : string;
+    scale : Chaos.scale;
+    seed : int64;
+  }
+
+  type kind =
+    | Run of Cell.config
+    | Chaos of chaos_config
+
+  type cell = {
+    index : int;
+    block : int;
+    kind : kind;
+    hash : string;
+    label : string;
+  }
+
+  type t = {
+    name : string;
+    hash : string;
+    cells : cell list;
+  }
+
+  let run_fields =
+    [ "underlay"; "servers"; "cores"; "payload"; "rate"; "app"; "batch";
+      "load_brokers"; "measure_clients"; "duration"; "warmup"; "cooldown";
+      "dense_clients"; "store"; "checkpoint_every"; "seed" ]
+
+  let chaos_fields = [ "scenario"; "scale"; "seed" ]
+
+  let scenario_names = List.map (fun s -> s.Chaos.sc_name) Chaos.scenarios
+
+  let cell_config_json cell =
+    match cell.kind with
+    | Run c -> Json.Obj [ ("kind", Json.Str "run"); ("config", Cell.to_json c) ]
+    | Chaos c ->
+      Json.Obj
+        [ ("kind", Json.Str "chaos");
+          ("scenario", Json.Str c.scenario);
+          ("scale", Json.Str (Chaos.scale_to_string c.scale));
+          ("seed", Json.Num (Int64.to_float c.seed)) ]
+
+  let hash_of_kind kind =
+    short_hash (Json.to_string (cell_config_json { index = 0; block = 0; kind; hash = ""; label = "" }))
+
+  let label_of_kind = function
+    | Run c ->
+      Printf.sprintf "run %s s%d c%d p%dB r%g %s seed%Ld" c.Cell.underlay
+        c.Cell.servers c.Cell.cores c.Cell.payload c.Cell.rate c.Cell.app
+        c.Cell.seed
+    | Chaos c ->
+      Printf.sprintf "chaos %s %s seed%Ld" c.scenario
+        (Chaos.scale_to_string c.scale) c.seed
+
+  let ( let* ) = Result.bind
+
+  (* Values of one axis: a list field multiplies, a scalar is a
+     single-value axis, an absent field falls back to [defaults] and then
+     to the built-in default (by omission from the combo). *)
+  let axis_values ~block ~defaults field =
+    let pick j =
+      match Json.member field j with
+      | Some (Json.List []) -> Some (Error (Printf.sprintf "axis %S is an empty list" field))
+      | Some (Json.List xs) -> Some (Ok xs)
+      | Some scalar -> Some (Ok [ scalar ])
+      | None -> None
+    in
+    match pick block with
+    | Some r -> r
+    | None -> (match pick defaults with Some r -> r | None -> Ok [])
+
+  (* Cartesian product in canonical axis order: the first axis varies
+     slowest, the last ([seed]) fastest — the deterministic cell order. *)
+  let product axes =
+    List.fold_left
+      (fun acc (name, vals) ->
+        List.concat_map
+          (fun partial -> List.map (fun v -> partial @ [ (name, v) ]) vals)
+          acc)
+      [ [] ] axes
+
+  let check_known ~where ~known fields =
+    match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
+    | Some (k, _) ->
+      Error
+        (Printf.sprintf "%s: unknown field %S (valid: %s)" where k
+           (String.concat ", " known))
+    | None -> Ok ()
+
+  let expand_run_block ~where ~defaults block =
+    let* () =
+      check_known ~where ~known:("kind" :: run_fields)
+        (match block with Json.Obj fs -> fs | _ -> [])
+    in
+    let* axes =
+      List.fold_left
+        (fun acc field ->
+          let* acc = acc in
+          let* vals = axis_values ~block ~defaults field in
+          Ok (if vals = [] then acc else acc @ [ (field, vals) ]))
+        (Ok []) run_fields
+    in
+    let combos = product axes in
+    List.fold_left
+      (fun acc combo ->
+        let* acc = acc in
+        match Cell.of_json (Json.Obj combo) with
+        | Ok c -> Ok (acc @ [ Run c ])
+        | Error e -> Error (Printf.sprintf "%s: %s" where e))
+      (Ok []) combos
+
+  let expand_chaos_block ~where ~defaults block =
+    let* () =
+      check_known ~where ~known:("kind" :: chaos_fields)
+        (match block with Json.Obj fs -> fs | _ -> [])
+    in
+    let* scenarios =
+      let* vals = axis_values ~block ~defaults "scenario" in
+      if vals = [] then Error (where ^ ": chaos block needs a \"scenario\"")
+      else
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match v with
+            | Json.Str s when List.mem s scenario_names -> Ok (acc @ [ s ])
+            | Json.Str s ->
+              Error
+                (Printf.sprintf "%s: unknown scenario %S (valid: %s)" where s
+                   (String.concat ", " scenario_names))
+            | _ -> Error (where ^ ": scenario must be a string"))
+          (Ok []) vals
+    in
+    let* scales =
+      let* vals = axis_values ~block ~defaults "scale" in
+      let vals = if vals = [] then [ Json.Str "quick" ] else vals in
+      List.fold_left
+        (fun acc v ->
+          let* acc = acc in
+          match v with
+          | Json.Str s ->
+            (match Chaos.scale_of_string s with
+             | Some sc -> Ok (acc @ [ sc ])
+             | None ->
+               Error
+                 (Printf.sprintf "%s: unknown scale %S (valid: quick, full)"
+                    where s))
+          | _ -> Error (where ^ ": scale must be a string"))
+        (Ok []) vals
+    in
+    let* seeds =
+      let* vals = axis_values ~block ~defaults "seed" in
+      let vals = if vals = [] then [ Json.Num 42. ] else vals in
+      List.fold_left
+        (fun acc v ->
+          let* acc = acc in
+          match Json.to_int v with
+          | Some i -> Ok (acc @ [ Int64.of_int i ])
+          | None -> Error (where ^ ": seed must be an integer"))
+        (Ok []) vals
+    in
+    Ok
+      (List.concat_map
+         (fun scenario ->
+           List.concat_map
+             (fun scale ->
+               List.map (fun seed -> Chaos { scenario; scale; seed }) seeds)
+             scales)
+         scenarios)
+
+  let max_cells = 4096
+
+  let parse text =
+    let* j =
+      match Json.parse text with
+      | j -> Ok j
+      | exception Failure e -> Error e
+    in
+    let* fields =
+      match j with
+      | Json.Obj fs -> Ok fs
+      | _ -> Error "manifest must be a JSON object"
+    in
+    let* () =
+      check_known ~where:"manifest" ~known:[ "name"; "defaults"; "blocks" ] fields
+    in
+    let* name =
+      match Json.member "name" j with
+      | Some (Json.Str s) -> Ok s
+      | None -> Ok "sweep"
+      | Some _ -> Error "manifest name must be a string"
+    in
+    let* defaults =
+      match Json.member "defaults" j with
+      | Some (Json.Obj _ as d) ->
+        let* () =
+          check_known ~where:"defaults"
+            ~known:(run_fields @ [ "scenario"; "scale" ])
+            (match d with Json.Obj fs -> fs | _ -> [])
+        in
+        Ok d
+      | None -> Ok (Json.Obj [])
+      | Some _ -> Error "manifest defaults must be an object"
+    in
+    let* blocks =
+      match Json.member "blocks" j with
+      | Some (Json.List (_ :: _ as bs)) -> Ok bs
+      | Some (Json.List []) -> Error "manifest has no blocks"
+      | _ -> Error "manifest needs a \"blocks\" array"
+    in
+    let* kinds =
+      List.fold_left
+        (fun acc (i, block) ->
+          let* acc = acc in
+          let where = Printf.sprintf "block %d" i in
+          let* () =
+            match block with
+            | Json.Obj _ -> Ok ()
+            | _ -> Error (where ^ " must be an object")
+          in
+          let* kinds =
+            match Json.member "kind" block with
+            | Some (Json.Str "run") | None ->
+              expand_run_block ~where ~defaults block
+            | Some (Json.Str "chaos") ->
+              expand_chaos_block ~where ~defaults block
+            | Some (Json.Str k) ->
+              Error
+                (Printf.sprintf "%s: unknown kind %S (valid: run, chaos)" where k)
+            | Some _ -> Error (where ^ ": kind must be a string")
+          in
+          Ok (acc @ List.map (fun k -> (i, k)) kinds))
+        (Ok [])
+        (List.mapi (fun i b -> (i, b)) blocks)
+    in
+    let* () =
+      if List.length kinds <= max_cells then Ok ()
+      else
+        Error
+          (Printf.sprintf "manifest expands to %d cells (max %d)"
+             (List.length kinds) max_cells)
+    in
+    let cells =
+      List.mapi
+        (fun index (block, kind) ->
+          { index; block; kind; hash = hash_of_kind kind;
+            label = label_of_kind kind })
+        kinds
+    in
+    let* () =
+      let seen = Hashtbl.create 64 in
+      List.fold_left
+        (fun acc (c : cell) ->
+          let* () = acc in
+          match Hashtbl.find_opt seen c.hash with
+          | Some other ->
+            Error
+              (Printf.sprintf
+                 "duplicate cell: %S and %S resolve to the same config (%s)"
+                 other c.label c.hash)
+          | None ->
+            Hashtbl.add seen c.hash c.label;
+            Ok ())
+        (Ok ()) cells
+    in
+    let hash =
+      short_hash ~len:12
+        (String.concat "" (List.map (fun (c : cell) -> c.hash) cells))
+    in
+    Ok { name; hash; cells }
+
+  let load ~path =
+    match
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with
+    | text ->
+      (match parse text with
+       | Ok m -> Ok m
+       | Error e -> Error (Printf.sprintf "%s: %s" path e))
+    | exception Sys_error e -> Error e
+end
+
+module Pool = struct
+  type outcome =
+    | Completed
+    | Skipped
+    | Failed of string
+    | Timed_out
+
+  type report = {
+    r_cell : Manifest.cell;
+    r_outcome : outcome;
+    r_wall : float;
+  }
+
+  let mkdirs path =
+    let rec go p =
+      if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+        go (Filename.dirname p);
+        (try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+      end
+    in
+    go path
+
+  let cell_dir ~out_dir (m : Manifest.t) =
+    Filename.concat out_dir ("cells-" ^ m.hash)
+
+  let cell_path ~out_dir m (cell : Manifest.cell) =
+    Filename.concat (cell_dir ~out_dir m) (cell.hash ^ ".json")
+
+  let err_path ~out_dir m (cell : Manifest.cell) =
+    Filename.concat (cell_dir ~out_dir m) (cell.hash ^ ".err")
+
+  let run_cell (cell : Manifest.cell) =
+    let metrics, info =
+      match cell.kind with
+      | Manifest.Run c ->
+        let o = Cell.run c in
+        ( o.Cell.metrics
+          @ [ ("sim_events", float_of_int o.Cell.sim_events);
+              ("sim_seconds", o.Cell.sim_seconds) ],
+          o.Cell.info )
+      | Manifest.Chaos cc ->
+        let sc =
+          match Chaos.find cc.scenario with
+          | Some sc -> sc
+          | None -> failwith ("Sweep: unknown scenario " ^ cc.scenario)
+        in
+        let v = sc.Chaos.sc_run ~seed:cc.seed ~scale:cc.scale in
+        let delivered = Array.fold_left ( + ) 0 v.Chaos.v_delivered in
+        let rejections =
+          List.fold_left (fun acc (_, n) -> acc + n) 0 v.Chaos.v_rejections
+        in
+        ( [ ("pass", if v.Chaos.v_pass then 1. else 0.);
+            ("expected", float_of_int v.Chaos.v_expected);
+            ("completed", float_of_int v.Chaos.v_completed);
+            ("violations", float_of_int (List.length v.Chaos.v_violations));
+            ("delivered_total", float_of_int delivered);
+            ("rejections_total", float_of_int rejections) ],
+          if v.Chaos.v_violations = [] then []
+          else [ ("violations", String.concat "; " v.Chaos.v_violations) ] )
+    in
+    let base =
+      match Manifest.cell_config_json cell with
+      | Json.Obj fs -> fs
+      | _ -> assert false
+    in
+    Json.Obj
+      (base
+       @ [ ("hash", Json.Str cell.hash);
+           ("label", Json.Str cell.label);
+           ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) metrics));
+           ("info", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) info)) ])
+
+  (* A cell output counts as complete only if it parses and carries the
+     cell's own content hash — a truncated or stale file is re-run. *)
+  let valid_output ~out_dir m cell =
+    match Json.of_file ~path:(cell_path ~out_dir m cell) with
+    | j ->
+      (match Json.member "hash" j with
+       | Some (Json.Str h) -> h = cell.Manifest.hash
+       | _ -> false)
+    | exception _ -> false
+
+  let read_err ~out_dir m cell ~fallback =
+    match
+      let ic = open_in_bin (err_path ~out_dir m cell) in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with
+    | "" -> fallback
+    | s -> String.trim s
+    | exception _ -> fallback
+
+  let run ?(workers = 4) ?(timeout = 900.) ?(serial = false) ?on_report ~out_dir
+      (m : Manifest.t) =
+    mkdirs (cell_dir ~out_dir m);
+    let total = List.length m.cells in
+    let reports = Array.make (max 1 total) None in
+    let done_count = ref 0 in
+    let report (cell : Manifest.cell) outcome wall =
+      incr done_count;
+      let r = { r_cell = cell; r_outcome = outcome; r_wall = wall } in
+      reports.(cell.index) <- Some r;
+      match on_report with
+      | Some f -> f ~done_count:!done_count ~total r
+      | None -> ()
+    in
+    let todo =
+      List.filter
+        (fun c ->
+          if valid_output ~out_dir m c then begin
+            report c Skipped 0.;
+            false
+          end
+          else true)
+        m.cells
+    in
+    let exec_serial cell =
+      let t0 = Unix.gettimeofday () in
+      (match run_cell cell with
+       | doc ->
+         Json.to_file ~path:(cell_path ~out_dir m cell) doc;
+         report cell Completed (Unix.gettimeofday () -. t0)
+       | exception e ->
+         report cell (Failed (Printexc.to_string e)) (Unix.gettimeofday () -. t0))
+    in
+    let spawn cell =
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+        (try
+           let doc = run_cell cell in
+           Json.to_file ~path:(cell_path ~out_dir m cell) doc;
+           Unix._exit 0
+         with e ->
+           (try
+              let oc = open_out (err_path ~out_dir m cell) in
+              output_string oc (Printexc.to_string e);
+              close_out oc
+            with _ -> ());
+           Unix._exit 1)
+      | pid -> Some pid
+      | exception _ ->
+        (* fork unavailable on this platform: degrade to in-process *)
+        exec_serial cell;
+        None
+    in
+    if serial || workers <= 1 then List.iter exec_serial todo
+    else begin
+      let pending = ref todo and running = ref [] in
+      while !pending <> [] || !running <> [] do
+        while !pending <> [] && List.length !running < workers do
+          let cell = List.hd !pending in
+          pending := List.tl !pending;
+          (try Sys.remove (err_path ~out_dir m cell) with Sys_error _ -> ());
+          match spawn cell with
+          | Some pid -> running := !running @ [ (pid, cell, Unix.gettimeofday ()) ]
+          | None -> ()
+        done;
+        let progressed = ref false in
+        running :=
+          List.filter
+            (fun (pid, cell, t0) ->
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ ->
+                if Unix.gettimeofday () -. t0 > timeout then begin
+                  (try Unix.kill pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  ignore (Unix.waitpid [] pid);
+                  report cell Timed_out (Unix.gettimeofday () -. t0);
+                  progressed := true;
+                  false
+                end
+                else true
+              | _, status ->
+                let wall = Unix.gettimeofday () -. t0 in
+                let outcome =
+                  match status with
+                  | Unix.WEXITED 0 ->
+                    if valid_output ~out_dir m cell then Completed
+                    else Failed "worker exited cleanly without writing output"
+                  | Unix.WEXITED n ->
+                    Failed
+                      (read_err ~out_dir m cell
+                         ~fallback:(Printf.sprintf "worker exited %d" n))
+                  | Unix.WSIGNALED s ->
+                    Failed (Printf.sprintf "worker killed by signal %d" s)
+                  | Unix.WSTOPPED s ->
+                    Failed (Printf.sprintf "worker stopped by signal %d" s)
+                in
+                report cell outcome wall;
+                progressed := true;
+                false)
+            !running;
+        if (not !progressed) && !running <> [] then Unix.sleepf 0.02
+      done
+    end;
+    List.filteri (fun i _ -> i < total) (Array.to_list reports)
+    |> List.filter_map Fun.id
+end
+
+module Aggregate = struct
+  let results_path ~out_dir (m : Manifest.t) =
+    Filename.concat out_dir ("results-" ^ m.hash ^ ".json")
+
+  let collect ~out_dir (m : Manifest.t) =
+    let docs =
+      List.map
+        (fun (c : Manifest.cell) ->
+          if Pool.valid_output ~out_dir m c then
+            Json.of_file ~path:(Pool.cell_path ~out_dir m c)
+          else
+            Json.Obj
+              [ ("hash", Json.Str c.hash);
+                ("label", Json.Str c.label);
+                ("missing", Json.Bool true) ])
+        m.cells
+    in
+    let present =
+      List.length
+        (List.filter (fun d -> Json.member "missing" d = None) docs)
+    in
+    Json.Obj
+      [ ( "_readme",
+          Json.List
+            [ Json.Str
+                "Aggregated sweep results: one entry per manifest cell, in \
+                 deterministic expansion order, keyed by the manifest content \
+                 hash.";
+              Json.Str
+                "Regenerate with `chopchop sweep --manifest <file>`; cells \
+                 with no valid per-cell output appear as {missing: true} and \
+                 are re-run on the next (resuming) invocation." ] );
+        ("name", Json.Str m.name);
+        ("manifest_hash", Json.Str m.hash);
+        ("cells_total", Json.Num (float_of_int (List.length m.cells)));
+        ("cells_present", Json.Num (float_of_int present));
+        ("cells", Json.List docs) ]
+
+  let write ~out_dir m =
+    let path = results_path ~out_dir m in
+    Json.to_file ~path (collect ~out_dir m);
+    path
+end
+
+module Figures = struct
+  let jstr j k = Option.bind (Json.member k j) Json.to_str
+  let jnum j k = Option.bind (Json.member k j) Json.to_float
+
+  let config j = Option.value (Json.member "config" j) ~default:Json.Null
+  let metric j k = Option.bind (Json.member "metrics" j) (fun ms -> Option.bind (Json.member k ms) Json.to_float)
+  let missing j = Json.member "missing" j <> None
+
+  let cells doc =
+    match Json.member "cells" doc with
+    | Some (Json.List cs) -> cs
+    | _ -> []
+
+  let fnum fmt v =
+    if Float.is_nan v then Format.fprintf fmt "—" else Format.fprintf fmt "%.3g" v
+
+  let opt fmt = function
+    | Some v -> fnum fmt v
+    | None -> Format.fprintf fmt "—"
+
+  let render fmt doc =
+    let name = Option.value (jstr doc "name") ~default:"sweep" in
+    let mhash = Option.value (jstr doc "manifest_hash") ~default:"?" in
+    let all = cells doc in
+    let runs = List.filter (fun c -> jstr c "kind" = Some "run") all in
+    let chaoses = List.filter (fun c -> jstr c "kind" = Some "chaos") all in
+    let missing_cells = List.filter missing all in
+    Format.fprintf fmt "## Sweep %s (manifest %s): %d cells, %d missing@.@."
+      name mhash (List.length all) (List.length missing_cells);
+    (* Throughput / latency grid over the run cells. *)
+    if runs <> [] then begin
+      Format.fprintf fmt "### Throughput / latency grid@.@.";
+      Format.fprintf fmt
+        "| underlay | servers | cores | payload | rate | app | seed | tput \
+         op/s | p50 s | p99 s | cpu %% |@.";
+      Format.fprintf fmt "|---|---|---|---|---|---|---|---|---|---|---|@.";
+      List.iter
+        (fun c ->
+          let cfg = config c in
+          let s k = Option.value (jstr cfg k) ~default:"?" in
+          let n k = Option.value (jnum cfg k) ~default:Float.nan in
+          if missing c then
+            Format.fprintf fmt "| %s | (missing: %s) |@."
+              (Option.value (jstr c "label") ~default:"?")
+              (Option.value (jstr c "hash") ~default:"?")
+          else
+            Format.fprintf fmt
+              "| %s | %.0f | %.0f | %.0f | %a | %s | %.0f | %a | %a | %a | %a |@."
+              (s "underlay") (n "servers") (n "cores") (n "payload") fnum
+              (n "rate") (s "app") (n "seed") opt
+              (metric c "throughput_ops")
+              opt (metric c "latency_p50_s") opt
+              (metric c "latency_p99_s")
+              opt
+              (Option.map (fun v -> 100. *. v) (metric c "server_cpu")))
+        runs;
+      Format.fprintf fmt "@."
+    end;
+    (* Core scaling, when the cores axis varies. *)
+    let present_runs = List.filter (fun c -> not (missing c)) runs in
+    let cores_of c = Option.value (jnum (config c) "cores") ~default:Float.nan in
+    let distinct_cores =
+      List.sort_uniq compare (List.map cores_of present_runs)
+    in
+    if List.length distinct_cores > 1 then begin
+      Format.fprintf fmt "### Core scaling (mean over cells at each lane count)@.@.";
+      Format.fprintf fmt "| cores | mean tput op/s | speedup |@.|---|---|---|@.";
+      let mean k =
+        let vs =
+          List.filter_map
+            (fun c ->
+              if cores_of c = k then metric c "throughput_ops" else None)
+            present_runs
+        in
+        match vs with
+        | [] -> Float.nan
+        | vs -> List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+      in
+      let base = mean (List.hd distinct_cores) in
+      List.iter
+        (fun k ->
+          let t = mean k in
+          Format.fprintf fmt "| %.0f | %a | %.2fx |@." k fnum t
+            (if base > 0. then t /. base else Float.nan))
+        distinct_cores;
+      Format.fprintf fmt "@."
+    end;
+    (* Applications, when the app axis is used. *)
+    let app_runs =
+      List.filter
+        (fun c -> match jstr (config c) "app" with
+           | Some "none" | None -> false
+           | Some _ -> not (missing c))
+        runs
+    in
+    if app_runs <> [] then begin
+      Format.fprintf fmt "### Applications@.@.";
+      Format.fprintf fmt
+        "| app | underlay | tput op/s | app ops | digest |@.|---|---|---|---|---|@.";
+      List.iter
+        (fun c ->
+          let cfg = config c in
+          let digest =
+            match Option.bind (Json.member "info" c) (Json.member "app_digest") with
+            | Some (Json.Str d) when String.length d >= 12 -> String.sub d 0 12
+            | Some (Json.Str d) -> d
+            | _ -> "—"
+          in
+          Format.fprintf fmt "| %s | %s | %a | %a | %s |@."
+            (Option.value (jstr cfg "app") ~default:"?")
+            (Option.value (jstr cfg "underlay") ~default:"?")
+            opt (metric c "throughput_ops") opt (metric c "app_ops") digest)
+        app_runs;
+      Format.fprintf fmt "@."
+    end;
+    (* Chaos outcomes. *)
+    if chaoses <> [] then begin
+      Format.fprintf fmt "### Chaos outcomes@.@.";
+      Format.fprintf fmt
+        "| scenario | scale | seed | verdict | completed | violations |@.|---|---|---|---|---|---|@.";
+      List.iter
+        (fun c ->
+          if missing c then
+            Format.fprintf fmt "| %s | (missing) |@."
+              (Option.value (jstr c "label") ~default:"?")
+          else
+            let n k = Option.value (metric c k) ~default:Float.nan in
+            Format.fprintf fmt "| %s | %s | %.0f | %s | %.0f/%.0f | %.0f |@."
+              (Option.value (jstr c "scenario") ~default:"?")
+              (Option.value (jstr c "scale") ~default:"?")
+              (Option.value (jnum c "seed") ~default:Float.nan)
+              (if n "pass" = 1. then "PASS" else "FAIL")
+              (n "completed") (n "expected") (n "violations"))
+        chaoses;
+      Format.fprintf fmt "@."
+    end
+end

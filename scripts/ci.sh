@@ -33,6 +33,24 @@ echo "== broker multi-core scalability smoke =="
 # saturate at the NIC bound.
 dune exec bin/main.exe -- run broker-cores --scale quick
 
+echo "== sweep orchestrator smoke =="
+# Tiny manifest, run serially: the aggregated results file must exist
+# and parse with every cell present (--figures re-reads it through the
+# same parser), and a second invocation must resume (skip all completed
+# cells) rather than re-run.
+sweep_out="$(mktemp -d)"
+dune exec bin/main.exe -- sweep --manifest examples/sweep-ci.json \
+  --out "$sweep_out" --serial
+ls "$sweep_out"/results-*.json >/dev/null \
+  || { echo "sweep smoke: no results file"; exit 1; }
+dune exec bin/main.exe -- sweep --manifest examples/sweep-ci.json \
+  --out "$sweep_out" --figures | grep -q "cells, 0 missing" \
+  || { echo "sweep smoke: results file invalid or incomplete"; exit 1; }
+dune exec bin/main.exe -- sweep --manifest examples/sweep-ci.json \
+  --out "$sweep_out" --serial | grep -q "0 completed, 3 resumed" \
+  || { echo "sweep smoke: resume did not engage"; exit 1; }
+rm -rf "$sweep_out"
+
 echo "== bench baseline regression gate =="
 # Regenerate the machine-readable baseline and diff it against the
 # committed one; the sim is deterministic, so any gated drift is a real

@@ -1,0 +1,288 @@
+(* lib/sweep tests: manifest parse/validate round-trips and error
+   reporting, deterministic grid expansion (stable order, stable content
+   hashes, hash sensitivity to config changes), the pool's
+   resume-skips-completed contract (including stale-output re-runs),
+   per-cell isolation (same cell re-run bit-identical, neighbouring
+   cells don't perturb each other), cell metrics agreeing with a direct
+   runner invocation, and aggregation over a small grid. *)
+
+module Sweep = Repro_sweep.Sweep
+module M = Sweep.Manifest
+module Pool = Sweep.Pool
+module Aggregate = Sweep.Aggregate
+module Figures = Sweep.Figures
+module Json = Repro_metrics.Json
+module Cell = Repro_experiments.Cell
+module R = Repro_experiments.Chopchop_run
+module LB = Repro_experiments.Latency_breakdown
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" what e
+
+let err_exn what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error e -> e
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Small enough for CI, still a real multi-layer run. *)
+let tiny_manifest_at_rate rate =
+  Printf.sprintf
+    {| { "name": "tiny",
+         "defaults": { "underlay": "sequencer", "rate": %g, "batch": 1024,
+                       "duration": 6.0, "warmup": 2.0, "cooldown": 1.0,
+                       "dense_clients": 100000, "measure_clients": 2 },
+         "blocks": [ { "kind": "run", "seed": [42, 43] },
+                     { "kind": "chaos", "scenario": "broker-garble" } ] } |}
+    rate
+
+let tiny_manifest = tiny_manifest_at_rate 20_000.
+
+let tiny_cell =
+  { Cell.default with
+    Cell.underlay = "sequencer";
+    rate = 20_000.;
+    batch = 1024;
+    duration = 6.;
+    warmup = 2.;
+    cooldown = 1.;
+    dense_clients = 100_000;
+    measure_clients = 2 }
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "chopchop-sweep-test-%d-%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* --- Manifest --------------------------------------------------------- *)
+
+let test_manifest_roundtrip () =
+  let m = ok_exn "parse" (M.parse tiny_manifest) in
+  checks "name" "tiny" m.M.name;
+  checki "cells" 3 (List.length m.M.cells);
+  let labels = List.map (fun (c : M.cell) -> c.M.label) m.M.cells in
+  checkb "seed 42 before seed 43 (seed axis fastest)" true
+    (labels
+    = [ "run sequencer s4 c32 p8B r20000 none seed42";
+        "run sequencer s4 c32 p8B r20000 none seed43";
+        "chaos broker-garble quick seed42" ]
+    || (* cores default depends on the host vcpus; compare loosely *)
+    List.for_all2
+      (fun l pre -> contains ~needle:pre l)
+      labels
+      [ "seed42"; "seed43"; "chaos broker-garble quick seed42" ]);
+  (* Round-trip: every run cell's resolved config survives to_json/of_json. *)
+  List.iter
+    (fun (c : M.cell) ->
+      match c.M.kind with
+      | M.Run cfg ->
+        let cfg' = ok_exn "of_json" (Cell.of_json (Cell.to_json cfg)) in
+        checkb "config round-trips" true (cfg = cfg')
+      | M.Chaos _ -> ())
+    m.M.cells
+
+let test_expansion_deterministic () =
+  let m1 = ok_exn "parse1" (M.parse tiny_manifest) in
+  let m2 = ok_exn "parse2" (M.parse tiny_manifest) in
+  checks "manifest hash stable" m1.M.hash m2.M.hash;
+  checkb "cell hashes and order stable" true
+    (List.map (fun (c : M.cell) -> c.M.hash) m1.M.cells
+    = List.map (fun (c : M.cell) -> c.M.hash) m2.M.cells);
+  (* Changing any config field must change the affected cell hashes and
+     therefore the manifest hash. *)
+  let changed = ok_exn "parse3" (M.parse (tiny_manifest_at_rate 21_000.)) in
+  checkb "changed rate -> changed manifest hash" true
+    (m1.M.hash <> changed.M.hash)
+
+let test_expansion_order () =
+  let text =
+    {| { "blocks": [ { "underlay": ["sequencer", "pbft"], "seed": [1, 2] } ] } |}
+  in
+  let m = ok_exn "parse" (M.parse text) in
+  let got =
+    List.map
+      (fun (c : M.cell) ->
+        match c.M.kind with
+        | M.Run cfg -> (cfg.Cell.underlay, Int64.to_int cfg.Cell.seed)
+        | M.Chaos _ -> ("chaos", 0))
+      m.M.cells
+  in
+  (* Canonical axis order: underlay varies slowest, seed fastest. *)
+  checkb "underlay slowest, seed fastest" true
+    (got = [ ("sequencer", 1); ("sequencer", 2); ("pbft", 1); ("pbft", 2) ])
+
+let test_manifest_errors () =
+  let e = err_exn "unknown manifest field" (M.parse {| { "nope": 1, "blocks": [{}] } |}) in
+  checkb "names field" true (contains ~needle:"nope" e);
+  let e = err_exn "unknown cell field" (M.parse {| { "blocks": [ { "wat": 1 } ] } |}) in
+  checkb "lists valid cell fields" true (contains ~needle:"underlay" e);
+  let e =
+    err_exn "unknown underlay"
+      (M.parse {| { "blocks": [ { "underlay": "raft" } ] } |})
+  in
+  checkb "lists valid underlays" true
+    (contains ~needle:"sequencer" e && contains ~needle:"hotstuff" e);
+  let e =
+    err_exn "unknown scenario"
+      (M.parse {| { "blocks": [ { "kind": "chaos", "scenario": "nope" } ] } |})
+  in
+  checkb "lists valid scenarios" true (contains ~needle:"broker-garble" e);
+  let e =
+    err_exn "unknown kind" (M.parse {| { "blocks": [ { "kind": "walk" } ] } |})
+  in
+  checkb "lists valid kinds" true (contains ~needle:"run, chaos" e);
+  let e = err_exn "no blocks" (M.parse {| { "blocks": [] } |}) in
+  checkb "no blocks" true (contains ~needle:"no blocks" e);
+  let e =
+    err_exn "duplicate cells"
+      (M.parse {| { "blocks": [ { "seed": 7 }, { "seed": 7 } ] } |})
+  in
+  checkb "duplicate detected" true (contains ~needle:"duplicate" e);
+  let e =
+    err_exn "bad window"
+      (M.parse {| { "blocks": [ { "duration": 1.0, "warmup": 2.0 } ] } |})
+  in
+  checkb "window validated" true (contains ~needle:"duration" e)
+
+(* --- Cells ------------------------------------------------------------ *)
+
+let test_cell_matches_direct_run () =
+  let out = Cell.run tiny_cell in
+  let result, _, _ = LB.capture ~params:(Cell.params_of tiny_cell) () in
+  Alcotest.(check (float 0.))
+    "cell throughput equals direct runner invocation" result.R.throughput
+    (List.assoc "throughput_ops" out.Cell.metrics);
+  checkb "sim events counted" true (out.Cell.sim_events > 0)
+
+let test_cell_isolation () =
+  let m = ok_exn "parse" (M.parse tiny_manifest) in
+  let cells = Array.of_list m.M.cells in
+  let doc i = Json.to_string_pretty (Pool.run_cell cells.(i)) in
+  let a1 = doc 0 in
+  let b = doc 1 in
+  let chaos1 = doc 2 in
+  (* Neighbouring cells (including a chaos run) must not perturb a
+     cell's result: re-running cell 0 after the others is bit-identical. *)
+  let a2 = doc 0 in
+  checks "same cell re-run bit-identical" a1 a2;
+  checks "chaos cell re-run bit-identical" chaos1 (doc 2);
+  (* Cells differing only in seed are distinct cells with distinct
+     hashes and distinct output documents. *)
+  checkb "seed-42 and seed-43 outputs differ" true (a1 <> b);
+  checkb "seed-42 and seed-43 hashes differ" true
+    ((cells.(0) : M.cell).M.hash <> cells.(1).M.hash)
+
+(* --- Pool + resume ---------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_pool_resume () =
+  let m = ok_exn "parse" (M.parse tiny_manifest) in
+  let out_dir = temp_dir () in
+  let outcomes reports =
+    List.map (fun r -> r.Pool.r_outcome) reports
+  in
+  let r1 = Pool.run ~serial:true ~out_dir m in
+  checki "all cells reported" 3 (List.length r1);
+  checkb "first run completes every cell" true
+    (List.for_all (fun o -> o = Pool.Completed) (outcomes r1));
+  let files =
+    List.map (fun c -> read_file (Pool.cell_path ~out_dir m c)) m.M.cells
+  in
+  (* Second invocation: everything is already on disk, nothing re-runs,
+     outputs untouched. *)
+  let r2 = Pool.run ~serial:true ~out_dir m in
+  checkb "second run skips every cell" true
+    (List.for_all (fun o -> o = Pool.Skipped) (outcomes r2));
+  List.iter2
+    (fun c before ->
+      checks "cell output unchanged by resume" before
+        (read_file (Pool.cell_path ~out_dir m c)))
+    m.M.cells files;
+  (* A truncated / stale output is not trusted: that cell re-runs, the
+     rest still skip, and the re-run reproduces the original bytes. *)
+  let victim = List.hd m.M.cells in
+  let oc = open_out (Pool.cell_path ~out_dir m victim) in
+  output_string oc "{ \"hash\": \"bogus\" }";
+  close_out oc;
+  let r3 = Pool.run ~serial:true ~out_dir m in
+  checkb "stale cell re-ran" true
+    (List.exists (fun o -> o = Pool.Completed) (outcomes r3));
+  checki "only the stale cell re-ran" 2
+    (List.length (List.filter (fun o -> o = Pool.Skipped) (outcomes r3)));
+  checks "re-run reproduces the original bytes (deterministic)"
+    (List.hd files)
+    (read_file (Pool.cell_path ~out_dir m victim))
+
+(* --- Aggregate + figures ---------------------------------------------- *)
+
+let test_aggregate () =
+  let m = ok_exn "parse" (M.parse tiny_manifest) in
+  let out_dir = temp_dir () in
+  ignore (Pool.run ~serial:true ~out_dir m);
+  let path = Aggregate.write ~out_dir m in
+  let doc = Json.of_file ~path in
+  let num k = Option.bind (Json.member k doc) Json.to_float in
+  checkb "cells_total" true (num "cells_total" = Some 3.);
+  checkb "cells_present" true (num "cells_present" = Some 3.);
+  (match Json.member "cells" doc with
+   | Some (Json.List docs) ->
+     checki "one entry per cell" 3 (List.length docs);
+     List.iter2
+       (fun (c : M.cell) d ->
+         match Json.member "hash" d with
+         | Some (Json.Str h) -> checks "manifest order" c.M.hash h
+         | _ -> Alcotest.fail "cell entry lacks a hash")
+       m.M.cells docs
+   | _ -> Alcotest.fail "no cells array");
+  (* The figure renderer consumes the aggregate and produces the grid
+     and chaos tables. *)
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Figures.render fmt doc;
+  Format.pp_print_flush fmt ();
+  let rendered = Buffer.contents buf in
+  checkb "throughput grid rendered" true
+    (contains ~needle:"Throughput / latency grid" rendered);
+  checkb "chaos table rendered" true
+    (contains ~needle:"Chaos outcomes" rendered);
+  checkb "chaos verdict present" true (contains ~needle:"PASS" rendered);
+  (* Aggregating with one output missing yields a missing stub, counted. *)
+  Sys.remove (Pool.cell_path ~out_dir m (List.hd m.M.cells));
+  let doc = Aggregate.collect ~out_dir m in
+  checkb "missing cell counted" true
+    (Option.bind (Json.member "cells_present" doc) Json.to_float = Some 2.)
+
+let () =
+  Alcotest.run "sweep"
+    [ ( "manifest",
+        [ Alcotest.test_case "roundtrip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_expansion_deterministic;
+          Alcotest.test_case "axis order" `Quick test_expansion_order;
+          Alcotest.test_case "errors" `Quick test_manifest_errors ] );
+      ( "cells",
+        [ Alcotest.test_case "matches direct run" `Quick test_cell_matches_direct_run;
+          Alcotest.test_case "isolation" `Quick test_cell_isolation ] );
+      ( "pool",
+        [ Alcotest.test_case "resume" `Quick test_pool_resume ] );
+      ( "aggregate",
+        [ Alcotest.test_case "three cells" `Quick test_aggregate ] ) ]
