@@ -329,6 +329,28 @@ let run_bench_json () =
         ("sim_s_per_wall_s", info (out.Cell.sim_seconds /. Float.max wall 1e-9))
       ] )
   in
+  (* Reconfiguration under load (quick scale): gates the dynamic-membership
+     extension.  Throughput before/after the ordered join+leave must track
+     the offered load, and the join bring-up time (state transfer under
+     sustained load) must stay bounded.  The reconfig-window throughput and
+     probe latency are informational: they wobble with where the epoch
+     changes land relative to the snapshot marks. *)
+  let reconfig_config () =
+    let module R = Repro_experiments.Reconfig_load in
+    let t0 = Sys.time () in
+    let r = R.metrics ~scale:Repro_experiments.Figures.Quick in
+    let wall = Sys.time () -. t0 in
+    let gated tol direction value = { B.value; tolerance = Some tol; direction } in
+    let info value = { B.value; tolerance = None; direction = B.Lower_better } in
+    ( "quick-reconfig",
+      [ ("tput_before_msg_s", gated 0.05 B.Higher_better r.R.tput_before);
+        ("tput_after_msg_s", gated 0.05 B.Higher_better r.R.tput_after);
+        ("join_recovery_s", gated 0.25 B.Lower_better r.R.join_recovery_s);
+        ("tput_reconfig_msg_s", info r.R.tput_reconfig);
+        ("client_latency_mean_s", info r.R.client_latency_mean);
+        ("final_epoch", gated 0.0 B.Higher_better (float_of_int r.R.final_epoch));
+        ("wall_time_s", info wall) ] )
+  in
   print_endline "=== Bench baseline (quick-scale, deterministic) ===";
   let doc =
     { B.version = 1;
@@ -349,7 +371,7 @@ let run_bench_json () =
           "  explains it.";
           "Compared by scripts/bench_compare (bench/compare.ml), which";
           "  scripts/ci.sh runs against a fresh `bench json` run." ];
-      configs = List.map bench_config configs }
+      configs = List.map bench_config configs @ [ reconfig_config () ] }
   in
   let out =
     match Sys.getenv_opt "CHOPCHOP_BENCH_OUT" with

@@ -6,6 +6,9 @@ module Server = Repro_chopchop.Server
 module Broker = Repro_chopchop.Broker
 module Proto = Repro_chopchop.Proto
 module Payments = Repro_apps.Payments
+module Rng = Repro_sim.Rng
+module Generators = Repro_workload.Generators
+module Spam = Repro_workload.Spam
 
 (* --- fault schedule ------------------------------------------------------- *)
 
@@ -13,6 +16,9 @@ type event =
   | Crash_server of int
   | Recover_server of int
   | Restart_server of int
+  | Join_server of int
+  | Leave_server of int
+  | Replace_server of int
   | Crash_broker of int
   | Recover_broker of int
   | Crash_client of int
@@ -35,6 +41,9 @@ let describe = function
   | Crash_server i -> Printf.sprintf "crash-server %d" i
   | Recover_server i -> Printf.sprintf "recover-server %d" i
   | Restart_server i -> Printf.sprintf "restart-server %d (cold)" i
+  | Join_server i -> Printf.sprintf "join-server %d (ordered)" i
+  | Leave_server i -> Printf.sprintf "leave-server %d (ordered)" i
+  | Replace_server i -> Printf.sprintf "replace-server %d (fresh identity)" i
   | Crash_broker i -> Printf.sprintf "crash-broker %d" i
   | Recover_broker i -> Printf.sprintf "recover-broker %d" i
   | Crash_client i -> Printf.sprintf "crash-client %d" i
@@ -64,6 +73,9 @@ let apply d ~clients = function
   | Crash_server i -> Deployment.crash_server d i
   | Recover_server i -> Deployment.recover_server d i
   | Restart_server i -> Deployment.restart_server d i
+  | Join_server i -> Deployment.join_server d i
+  | Leave_server i -> Deployment.leave_server d i
+  | Replace_server i -> Deployment.replace_server d i
   | Crash_broker i -> Deployment.crash_broker d i
   | Recover_broker i -> Deployment.recover_broker d i
   | Crash_client i -> Deployment.crash_client d clients.(i)
@@ -82,7 +94,8 @@ let apply d ~clients = function
   | Byz_client_bad_share i -> Client.misbehave_bad_share clients.(i)
   | Byz_client_mute i -> Client.misbehave_mute_reduction clients.(i)
 
-let install d ~clients ?(on_event = fun _ -> ()) schedule =
+let install d ~clients ?(on_event = fun _ -> ()) ?(after_event = fun _ -> ())
+    schedule =
   let engine = Deployment.engine d in
   List.iter
     (fun (time, ev) ->
@@ -93,7 +106,8 @@ let install d ~clients ?(on_event = fun _ -> ()) schedule =
                ~cat:"chaos" ~name:"inject" ~id:0
                ~attrs:[ ("event", Trace.A_str (describe ev)) ]);
           on_event ev;
-          apply d ~clients ev))
+          apply d ~clients ev;
+          after_event ev))
     schedule
 
 (* --- invariant checking ---------------------------------------------------- *)
@@ -139,9 +153,16 @@ module Invariant = struct
      which is the stronger statement. *)
   let reset_server t server =
     t.logs.(server).len <- 0;
+    (* Clear the no-duplication and delivered-payload expectations too: a
+       replaced server re-delivers its whole history under a fresh
+       identity (checkpoint restore + replay through the same hook), and
+       a joiner starts from zero — stale (client, msg) entries from the
+       slot's previous life would trip false duplicates. *)
     Hashtbl.reset t.seen.(server);
     Hashtbl.reset t.msgs.(server);
     t.muted.(server) <- true
+
+  let muted t server = t.muted.(server)
 
   let observe t ~server (d : Proto.delivery) =
     if t.muted.(server) then ()
@@ -196,10 +217,15 @@ module Invariant = struct
       (fun (label, msg) ->
         List.iter
           (fun s ->
-            if not (Hashtbl.mem t.msgs.(s) msg) then
-              violate t
-                (Printf.sprintf "validity: %s not delivered by server %d" label
-                   s))
+            (* A muted (cold-restarted, joined or replaced) server's
+               payload index restarted mid-stream at an unknown offset;
+               such servers are held to end-state digest equality by the
+               scenarios instead. *)
+            if not t.muted.(s) then
+              if not (Hashtbl.mem t.msgs.(s) msg) then
+                violate t
+                  (Printf.sprintf "validity: %s not delivered by server %d"
+                     label s))
           correct_servers)
       expected
 
@@ -232,7 +258,7 @@ type verdict = {
 
 let reject_names =
   [ "reject_batch"; "reject_witness"; "reject_shard"; "reject_completion";
-    "reject_cert"; "dup_ref" ]
+    "reject_cert"; "dup_ref"; "reject_unknown"; "reject_rate" ]
 
 let rejection_counts sink =
   let tbl = Hashtbl.create 8 in
@@ -295,32 +321,51 @@ let dims = function Quick -> (4, 6, 2, 90.) | Full -> (7, 12, 3, 150.)
    (required by [Restart_server] events).  [apps] attaches one Payments
    replica per server — deliveries are applied through the deliver hook
    and the app rides server checkpoints via snapshot/restore — so [post]
-   can compare application digests across servers. *)
+   can compare application digests across servers.
+
+   Membership and adversarial-load knobs: [spare_servers] provisions idle
+   slots for [Join_server] (size [apps] to capacity when using them);
+   [admission] = (rate, burst) arms the brokers' per-client token
+   buckets; [surge] = (time, count) signs up [count] extra clients at
+   [time], each broadcasting one message that joins the completion and
+   validity expectations (a flash crowd); [spam] = (t0, t1, greedy_rate,
+   sybil_rate) floods the brokers between [t0] and [t1] with
+   correctly-signed over-rate traffic from dense identities and with
+   unknown-identity sybil submissions ([dense_clients] > 0 required for
+   the former); [duration] overrides the scale's default run length. *)
 let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
     ~make_schedule ?(crashed_clients = []) ?(degraded_servers = [])
     ?(expect_rejects = []) ?(store = false) ?(checkpoint_every = 0) ?apps
-    ?(post = fun _ _ -> []) () =
-  let n_servers, n_clients, msgs_each, duration = dims scale in
+    ?(spare_servers = 0) ?(dense_clients = 0) ?admission ?surge ?spam
+    ?duration ?(post = fun _ _ -> []) () =
+  let n_servers, n_clients, msgs_each, base_duration = dims scale in
+  let duration = Option.value duration ~default:base_duration in
+  let admission_rate, admission_burst =
+    Option.value admission ~default:(0., 0.)
+  in
   let trace = Trace.Sink.memory () in
   let cfg =
     { Deployment.default_config with
-      n_servers; n_brokers; underlay; seed; trace;
+      n_servers; spare_servers; n_brokers; underlay; seed; trace;
+      dense_clients; admission_rate; admission_burst;
       store_enabled = store; checkpoint_every }
   in
   let d = Deployment.create cfg in
-  let inv = Invariant.create ~n_servers in
+  let capacity = Deployment.capacity d in
+  let inv = Invariant.create ~n_servers:capacity in
+  let register_app i app =
+    Deployment.set_server_app d i
+      ~snapshot:(fun () -> Payments.snapshot app)
+      ~restore:(fun s -> Payments.restore app s)
+  in
   (match apps with
    | None -> Invariant.attach inv d
    | Some apps ->
      Deployment.server_deliver_hook d (fun server dl ->
          Invariant.observe inv ~server dl;
-         ignore (Payments.apply_delivery apps.(server) dl));
-     Array.iteri
-       (fun i app ->
-         Deployment.set_server_app d i
-           ~snapshot:(fun () -> Payments.snapshot app)
-           ~restore:(fun s -> Payments.restore app s))
-       apps);
+         if server < Array.length apps then
+           ignore (Payments.apply_delivery apps.(server) dl));
+     Array.iteri register_app apps);
   let clients =
     Array.init n_clients (fun _ -> Deployment.add_client d ?brokers:client_brokers ())
   in
@@ -343,12 +388,61 @@ let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
       done)
     clients;
   let expected = List.rev !expected in
+  (* Flash crowd: a wave of brand-new clients — sign-up and all — lands
+     at once; their broadcasts join the expectations. *)
+  let surge_clients = ref [] in
+  let surge_expected = ref [] in
+  (match surge with
+   | None -> ()
+   | Some (time, count) ->
+     Engine.schedule_at engine ~time (fun () ->
+         for k = 0 to count - 1 do
+           let c = Deployment.add_client d ?brokers:client_brokers () in
+           Client.signup c;
+           let m = Printf.sprintf "%s:surge%d" name k in
+           surge_expected :=
+             (Printf.sprintf "surge client %d" k, m) :: !surge_expected;
+           Client.broadcast c m;
+           surge_clients := c :: !surge_clients
+         done));
+  (* Spam floods: open-loop adversarial traffic through raw injector
+     nodes, shed at broker intake. *)
+  (match spam with
+   | None -> ()
+   | Some (t0, t1, greedy_rate, sybil_rate) ->
+     let rng = Rng.create (Int64.logxor seed 0x5eed_5eedL) in
+     Engine.schedule_at engine ~time:t0 (fun () ->
+         if greedy_rate > 0. && dense_clients > 0 then
+           ignore
+             (Spam.start_greedy ~deployment:d ~rng ~rate:greedy_rate
+                ~first_id:0
+                ~clients:(min 64 dense_clients)
+                ~until:t1 ());
+         if sybil_rate > 0. then
+           ignore
+             (Spam.start_sybil ~deployment:d ~rng ~rate:sybil_rate
+                ~first_fake_id:(dense_clients + 1_000_000)
+                ~until:t1 ())));
   install d ~clients
     ~on_event:(function
-      | Restart_server i -> Invariant.reset_server inv i
+      | Restart_server i | Join_server i | Replace_server i ->
+        Invariant.reset_server inv i
+      | _ -> ())
+    ~after_event:(function
+      | Replace_server i ->
+        (* The slot now holds a brand-new Server instance: re-register
+           the app hooks on it, and reset the app replica itself — the
+           fresh identity re-learns everything through state transfer
+           (peer checkpoint restore and/or record replay). *)
+        (match apps with
+         | Some apps when i < Array.length apps ->
+           Payments.restore apps.(i) None;
+           register_app i apps.(i)
+         | _ -> ())
       | _ -> ())
     (make_schedule d clients);
   Deployment.run d ~until:duration;
+  let expected = expected @ List.rev !surge_expected in
   let correct_servers =
     List.filter
       (fun s -> not (List.mem s degraded_servers))
@@ -356,9 +450,10 @@ let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
   in
   Invariant.check_validity inv ~expected ~correct_servers;
   let completed =
-    Array.to_list clients
+    (Array.to_list clients
     |> List.mapi (fun i c -> if List.mem i crashed_clients then 0 else Client.completed c)
-    |> List.fold_left ( + ) 0
+    |> List.fold_left ( + ) 0)
+    + List.fold_left (fun acc c -> acc + Client.completed c) 0 !surge_clients
   in
   let n_expected = List.length expected in
   if completed < n_expected then
@@ -613,11 +708,16 @@ let sc_lagging_restart =
           ~post:(fun d inv ->
             let errs = restart_post ~victim ~apps d inv in
             let sv = (Deployment.servers d).(victim) in
-            if Server.catch_up_records sv = 0 then
+            (* The gap must have been covered by peer state: either WAL
+               records or a whole peer checkpoint (which of the two depends
+               on where the responder's checkpoint cadence fell). *)
+            if Server.catch_up_records sv = 0
+               && not (Server.catch_up_checkpoint sv)
+            then
               errs
               @ [ Printf.sprintf
-                    "recovery: expected state-transfer records on server %d, \
-                     saw none"
+                    "recovery: expected state transfer (records or peer \
+                     checkpoint) on server %d, saw neither"
                     victim ]
             else errs)
           ()) }
@@ -659,11 +759,228 @@ let sc_checkpoint_partition =
             else errs)
           ()) }
 
+(* Shared post-checks for the membership scenarios: every slot active at
+   the end of the run must be caught up, at the expected epoch, and hold
+   an application digest bit-identical to slot 0's (slot 0 never leaves:
+   under the sequencer underlay it is the ordering node). *)
+let reconfig_post ?expected_epoch ~(apps : Payments.t array) d _inv =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let active =
+    Repro_chopchop.Membership.active_slots (Deployment.membership d)
+  in
+  List.iter
+    (fun s ->
+      if Deployment.server_catching_up d s then
+        err "membership: server %d still catching up at end of run" s;
+      (match expected_epoch with
+       | Some e when Deployment.server_epoch d s <> e ->
+         err "membership: server %d at epoch %d, expected %d" s
+           (Deployment.server_epoch d s) e
+       | _ -> ());
+      if
+        s < Array.length apps
+        && Payments.digest apps.(s) <> Payments.digest apps.(0)
+      then err "membership: server %d app digest diverges from server 0" s)
+    active;
+  List.rev !errs
+
+let sc_reconfig_join =
+  { sc_name = "reconfig-join";
+    sc_summary =
+      "a spare server joins through an ordered Reconfigure command: it \
+       bootstraps via cold-restart state transfer, every replica rolls \
+       the committee forward at the same rank, and the joiner ends with \
+       the same app digest as the founding members";
+    sc_run =
+      (fun ~seed ~scale ->
+        let n_servers, _, _, _ = dims scale in
+        let spare = n_servers in
+        let apps = Array.init (n_servers + 1) (fun _ -> Payments.create ()) in
+        run_case ~name:"reconfig-join" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~store:true ~checkpoint_every:4 ~spare_servers:1 ~apps
+          ~make_schedule:(fun _ _ -> [ (20., Join_server spare) ])
+          ~post:(fun d inv ->
+            let errs = reconfig_post ~expected_epoch:1 ~apps d inv in
+            if
+              not
+                (Repro_chopchop.Membership.is_active (Deployment.membership d)
+                   spare)
+            then errs @ [ "membership: joined server not active" ]
+            else errs)
+          ()) }
+
+let sc_reconfig_leave =
+  { sc_name = "reconfig-leave";
+    sc_summary =
+      "a server leaves through an ordered Reconfigure command: it tears \
+       itself down when the command reaches it in the total order, the \
+       survivors shrink their quorums at the same rank, and traffic keeps \
+       completing";
+    sc_run =
+      (fun ~seed ~scale ->
+        let n_servers, _, _, _ = dims scale in
+        let leaver = n_servers - 1 in
+        let apps = Array.init n_servers (fun _ -> Payments.create ()) in
+        run_case ~name:"reconfig-leave" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2 ~apps
+          ~make_schedule:(fun _ _ -> [ (20., Leave_server leaver) ])
+          ~degraded_servers:[ leaver ]
+          ~post:(fun d inv ->
+            let errs = reconfig_post ~expected_epoch:1 ~apps d inv in
+            if
+              Repro_chopchop.Membership.is_active (Deployment.membership d)
+                leaver
+            then errs @ [ "membership: departed server still active" ]
+            else errs)
+          ()) }
+
+let sc_reconfig_replace =
+  { sc_name = "reconfig-replace";
+    sc_summary =
+      "a server is replaced in place by a fresh identity (new multisig \
+       key, empty disk, bumped generation): the ordered Replace rolls the \
+       committee key and the newcomer re-learns the full history through \
+       state transfer";
+    sc_run =
+      (fun ~seed ~scale ->
+        let n_servers, _, _, _ = dims scale in
+        let victim = n_servers - 1 in
+        let apps = Array.init n_servers (fun _ -> Payments.create ()) in
+        run_case ~name:"reconfig-replace" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~store:true ~checkpoint_every:4 ~apps
+          ~make_schedule:(fun _ _ -> [ (22., Replace_server victim) ])
+          ~post:(fun d inv ->
+            let errs = reconfig_post ~expected_epoch:1 ~apps d inv in
+            let gen =
+              Repro_chopchop.Membership.generation (Deployment.membership d)
+                victim
+            in
+            if gen <> 1 then
+              errs
+              @ [ Printf.sprintf
+                    "membership: replaced server at generation %d, expected 1"
+                    gen ]
+            else errs)
+          ()) }
+
+let sc_rolling_upgrade =
+  { sc_name = "rolling-upgrade";
+    sc_summary =
+      "rolling upgrade under sustained load: every server in sequence is \
+       crashed and cold-restarted from its disk (including the ordering \
+       node); each one state-transfers its gap and the fleet ends with \
+       bit-identical app digests";
+    sc_run =
+      (fun ~seed ~scale ->
+        let n_servers, _, _, _ = dims scale in
+        let apps = Array.init n_servers (fun _ -> Payments.create ()) in
+        run_case ~name:"rolling-upgrade" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~store:true ~checkpoint_every:4 ~apps
+          ~make_schedule:(fun _ _ ->
+            List.concat
+              (List.init n_servers (fun i ->
+                   let t0 = 30. +. (12. *. float_of_int i) in
+                   [ (t0, Crash_server i); (t0 +. 6., Restart_server i) ])))
+          ~post:(fun d inv -> reconfig_post ~expected_epoch:0 ~apps d inv)
+          ()) }
+
+let sc_flash_crowd =
+  { sc_name = "flash-crowd";
+    sc_summary =
+      "a 10x client surge lands mid-run — sign-ups and all — on top of \
+       the steady workload; distillation absorbs the crowd and every \
+       surge broadcast still completes";
+    sc_run =
+      (fun ~seed ~scale ->
+        let _, n_clients, _, _ = dims scale in
+        run_case ~name:"flash-crowd" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~surge:(30., 10 * n_clients)
+          ~make_schedule:(fun _ _ -> [])
+          ()) }
+
+let sc_spam_sybil =
+  { sc_name = "spam-sybil";
+    sc_summary =
+      "sybil submissions under unknown identities plus a correctly-signed \
+       greedy flood far past the per-client admission rate; both are shed \
+       at broker intake (reject_unknown / reject_rate) and the honest \
+       clients keep completing";
+    sc_run =
+      (fun ~seed ~scale ->
+        run_case ~name:"spam-sybil" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~dense_clients:2048
+          ~admission:(2., 6.)
+          ~spam:(10., 55., 250., 120.)
+          ~expect_rejects:[ "reject_unknown"; "reject_rate" ]
+          ~make_schedule:(fun _ _ -> [])
+          ()) }
+
+let sc_reconfig_kitchen_sink =
+  { sc_name = "reconfig-kitchen-sink";
+    sc_summary =
+      "the full membership gauntlet under adversarial load: a spare joins \
+       via state transfer, a founding member leaves, a rolling upgrade \
+       cold-restarts every remaining server in sequence — all under a \
+       10x flash crowd plus sybil and over-rate spam — and the epoch \
+       rolls forward deterministically with bit-identical app digests";
+    sc_run =
+      (fun ~seed ~scale ->
+        let n_servers, n_clients, _, _ = dims scale in
+        let spare = n_servers in
+        let leaver = 1 in
+        let apps = Array.init (n_servers + 1) (fun _ -> Payments.create ()) in
+        let upgraded =
+          (* Every slot that is still a member after the leave, spare
+             included; slot 0 last so the sequencer stalls only once the
+             others are already back. *)
+          List.filter (fun s -> s <> leaver) (List.init n_servers Fun.id)
+          @ [ spare ]
+        in
+        run_case ~name:"reconfig-kitchen-sink" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:3
+          ~client_brokers:[ 0; 1; 2 ]
+          ~store:true ~checkpoint_every:4 ~spare_servers:1
+          ~dense_clients:2048 ~admission:(1., 4.) ~apps
+          ~surge:(40., 10 * n_clients)
+          ~spam:(15., 60., 300., 100.)
+          ~expect_rejects:[ "reject_unknown"; "reject_rate" ]
+          ~duration:150.
+          ~make_schedule:(fun _ _ ->
+            [ (20., Join_server spare); (35., Leave_server leaver) ]
+            @ List.concat
+                (List.mapi
+                   (fun k s ->
+                     let t0 = 50. +. (12. *. float_of_int k) in
+                     [ (t0, Crash_server s); (t0 +. 6., Restart_server s) ])
+                   upgraded))
+          ~degraded_servers:[ leaver ]
+          ~post:(fun d inv ->
+            let errs = reconfig_post ~expected_epoch:2 ~apps d inv in
+            let m = Deployment.membership d in
+            let active_count =
+              Repro_chopchop.Membership.active_count m
+            in
+            if active_count <> n_servers then
+              errs
+              @ [ Printf.sprintf
+                    "membership: %d active slots at end of run, expected %d"
+                    active_count n_servers ]
+            else errs)
+          ()) }
+
 let scenarios =
   [ sc_fig11a_crash; sc_broker_equivocation; sc_broker_garble;
     sc_broker_withhold; sc_server_bad_shares; sc_partition_heal; sc_lossy_wan;
     sc_kitchen_sink; sc_crash_cold_restart; sc_lagging_restart;
-    sc_checkpoint_partition ]
+    sc_checkpoint_partition; sc_reconfig_join; sc_reconfig_leave;
+    sc_reconfig_replace; sc_rolling_upgrade; sc_flash_crowd; sc_spam_sybil;
+    sc_reconfig_kitchen_sink ]
 
 let find name = List.find_opt (fun s -> s.sc_name = name) scenarios
 

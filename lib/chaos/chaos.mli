@@ -24,6 +24,17 @@ type event =
       (** cold restart: reload checkpoint + WAL from the simulated disk,
           then state-transfer the gap from live peers — requires a
           store-enabled deployment *)
+  | Join_server of int
+      (** spare slot joins through an ordered Reconfigure command,
+          bootstrapping via cold-restart state transfer — requires a
+          deployment with [spare_servers] *)
+  | Leave_server of int
+      (** slot leaves through an ordered Reconfigure command; the leaver
+          tears itself down when the command reaches it in the order *)
+  | Replace_server of int
+      (** slot is replaced in place by a fresh identity: new multisig
+          key, empty disk, generation bumped — requires a store-enabled
+          deployment *)
   | Crash_broker of int  (** broker id *)
   | Recover_broker of int
   | Crash_client of int  (** index into the scenario's client array *)
@@ -53,6 +64,7 @@ val install :
   Repro_chopchop.Deployment.t ->
   clients:Repro_chopchop.Client.t array ->
   ?on_event:(event -> unit) ->
+  ?after_event:(event -> unit) ->
   schedule ->
   unit
 (** Arm every event on the deployment's engine.  Client-indexed events
@@ -60,7 +72,9 @@ val install :
     trace instant, so fault timing is visible in the same timeline as the
     protocol's reaction to it.  [on_event] (if given) runs just before
     each event is applied — the harness uses it to reset the invariant
-    checker when a server cold-restarts. *)
+    checker when a server cold-restarts or changes identity.
+    [after_event] runs just after — the harness uses it to re-wire
+    application hooks onto a freshly constructed replacement server. *)
 
 (** {1 Invariant checking} *)
 
@@ -101,8 +115,13 @@ module Invariant : sig
   (** Stop checking one server's delivery log.  A cold restart restores a
       checkpoint without re-delivering what it covers, then replays the
       tail through the same hook, so the log restarts at an offset this
-      checker cannot align; cold-restart scenarios assert end-state
+      checker cannot align — and a replaced server is a {e fresh
+      identity} whose log legitimately starts empty.  Reset servers are
+      also excluded from {!check_validity}; scenarios assert end-state
       application digests instead. *)
+
+  val muted : t -> int -> bool
+  (** Whether {!reset_server} has excluded this server from checking. *)
 
   val violations : t -> string list
   (** Oldest first; empty means all invariants held. *)
@@ -144,11 +163,20 @@ type scenario = {
 val scenarios : scenario list
 (** fig11a-crash, broker-equivocation, broker-garble, broker-withhold,
     server-bad-shares, partition-heal, lossy-wan, kitchen-sink,
-    crash-cold-restart, lagging-restart, checkpoint-partition.  The last
-    three exercise the durable store: a crashed (or lagging) server cold
-    restarts from its simulated disk and state-transfers the rest from
-    peers, ending with an app digest identical to a never-crashed
-    replica's. *)
+    crash-cold-restart, lagging-restart, checkpoint-partition,
+    reconfig-join, reconfig-leave, reconfig-replace, rolling-upgrade,
+    flash-crowd, spam-sybil, reconfig-kitchen-sink.
+
+    crash-cold-restart, lagging-restart and checkpoint-partition exercise
+    the durable store: a crashed (or lagging) server cold restarts from
+    its simulated disk and state-transfers the rest from peers, ending
+    with an app digest identical to a never-crashed replica's.
+
+    The reconfig-* family drives membership as an ordered command —
+    joins, leaves, in-place replacement, rolling upgrades — while
+    flash-crowd and spam-sybil stress broker admission under client
+    surges and adversarial floods; reconfig-kitchen-sink combines all of
+    it in one run. *)
 
 val find : string -> scenario option
 

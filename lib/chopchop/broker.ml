@@ -16,13 +16,15 @@ type config = {
   witness_timeout : float;
   submit_timeout : float;
   max_batch : int;
+  admission_rate : float; (* per-client token refill rate; 0 = unlimited *)
+  admission_burst : float; (* token-bucket depth *)
 }
 
 let default_config ~n_servers ~clients =
   { broker_id = 0; n_servers; clients;
     flush_period = 1.0; reduce_timeout = 1.0;
     witness_margin = 4; witness_timeout = 2.0; submit_timeout = 4.0;
-    max_batch = 65_536 }
+    max_batch = 65_536; admission_rate = 0.; admission_burst = 0. }
 
 type submission = {
   sub_id : Types.client_id;
@@ -57,11 +59,13 @@ type in_flight = {
   w_on_complete : (Certs.delivery_cert -> unit) option; (* load-broker hook *)
 }
 
+type bucket = { mutable tokens : float; mutable stamp : float }
+
 type t = {
   engine : Engine.t;
   cpu : Cpu.t;
   cfg : config;
-  f : int;
+  membership : Membership.t; (* shared routing view of the active servers *)
   dir : Directory.t;
   server_ms_pk : int -> Multisig.public_key;
   send_server : dst:int -> bytes:int -> Proto.broker_to_server -> unit;
@@ -71,6 +75,8 @@ type t = {
   (* Submission intake: one live submission per client; extras queue. *)
   pool : (Types.client_id, submission) Hashtbl.t;
   overflow : (Types.client_id, submission Queue.t) Hashtbl.t;
+  buckets : (Types.client_id, bucket) Hashtbl.t; (* per-client rate limits *)
+  mutable flush_cursor : int; (* fair-queue rotation point for oversubscribed flushes *)
   mutable reducing : (string, reducing) Hashtbl.t; (* keyed by proposal root *)
   mutable flight : (string, in_flight) Hashtbl.t; (* keyed by identity root *)
   mutable number : int;
@@ -89,11 +95,18 @@ type t = {
   c_verify : Trace.Counter.t; (* signature-verification operations *)
 }
 
-let create ~engine ~cpu ~config ~directory ~server_ms_pk ~send_server ~send_client
-    ~send_anon ~stob_signup () =
-  { engine; cpu; cfg = config; f = (config.n_servers - 1) / 3;
+let create ~engine ~cpu ~config ?membership ~directory ~server_ms_pk
+    ~send_server ~send_client ~send_anon ~stob_signup () =
+  let membership =
+    match membership with
+    | Some m -> m
+    | None ->
+      Membership.create ~capacity:config.n_servers ~initial:config.n_servers
+  in
+  { engine; cpu; cfg = config; membership;
     dir = directory; server_ms_pk; send_server; send_client; send_anon; stob_signup;
     pool = Hashtbl.create 1024; overflow = Hashtbl.create 64;
+    buckets = Hashtbl.create 1024; flush_cursor = 0;
     reducing = Hashtbl.create 8; flight = Hashtbl.create 32;
     number = 0; evidence = None; completed = 0;
     entries_launched = 0; stragglers_launched = 0; crashed = false;
@@ -107,6 +120,10 @@ let create ~engine ~cpu ~config ~directory ~server_ms_pk ~send_server ~send_clie
    stay distinct in a Chrome timeline. *)
 let tr t = Engine.trace t.engine
 let tr_actor t = 1000 + t.cfg.broker_id
+
+(* Fault threshold / quorum of the current epoch's active committee. *)
+let bf t = Membership.f t.membership
+let bq t = Membership.quorum t.membership
 
 let batches_in_flight t = Hashtbl.length t.flight + Hashtbl.length t.reducing
 
@@ -142,9 +159,40 @@ let note_evidence t (cert : Certs.delivery_cert) =
        legitimacy screening of the carrying submission is not delayed. *)
     Cpu.charge t.cpu ~work:(Cpu.serial Cost.bls_verify);
     Trace.Counter.incr t.c_verify;
-    if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) cert
+    if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(bq t) cert
     then t.evidence <- Some cert
   end
+
+(* --- admission control (per-client token bucket) -------------------------- *)
+
+let admit t key =
+  t.cfg.admission_rate <= 0.
+  ||
+  let now = Engine.now t.engine in
+  let b =
+    match Hashtbl.find_opt t.buckets key with
+    | Some b -> b
+    | None ->
+      let b = { tokens = t.cfg.admission_burst; stamp = now } in
+      Hashtbl.add t.buckets key b;
+      b
+  in
+  b.tokens <-
+    Float.min t.cfg.admission_burst
+      (b.tokens +. ((now -. b.stamp) *. t.cfg.admission_rate));
+  b.stamp <- now;
+  if b.tokens >= 1. then begin
+    b.tokens <- b.tokens -. 1.;
+    true
+  end
+  else false
+
+let reject_instant t name ~id =
+  let s = tr t in
+  if Trace.enabled s then
+    Trace.instant s ~now:(Engine.now t.engine) ~actor:(tr_actor t)
+      ~cat:"broker" ~name ~id:(Trace.key (string_of_int id))
+      ~attrs:[ ("client", Trace.A_int id) ]
 
 (* --- submission intake (#2) ---------------------------------------------- *)
 
@@ -177,12 +225,25 @@ let rec flush t =
       List.sort (fun a b -> Int.compare a.sub_id b.sub_id) subs
     in
     let subs =
-      let rec take n = function
-        | [] -> []
-        | _ when n = 0 -> []
-        | x :: rest -> x :: take (n - 1) rest
-      in
-      take t.cfg.max_batch subs
+      if List.length subs <= t.cfg.max_batch then subs
+      else begin
+        (* Fair queueing: an oversubscribed pool is consumed in id order
+           starting from where the previous flush stopped, so low client
+           ids cannot starve high ones indefinitely. *)
+        let above, below =
+          List.partition (fun s -> s.sub_id >= t.flush_cursor) subs
+        in
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: rest -> x :: take (n - 1) rest
+        in
+        let taken = take t.cfg.max_batch (above @ below) in
+        (match List.rev taken with
+         | last :: _ -> t.flush_cursor <- last.sub_id + 1
+         | [] -> ());
+        List.sort (fun a b -> Int.compare a.sub_id b.sub_id) taken
+      end
     in
     List.iter (fun s -> Hashtbl.remove t.pool s.sub_id) subs;
     (* Refill the pool from per-client overflow queues. *)
@@ -441,6 +502,10 @@ and launch ?(only = fun _ -> true) ?(force_witness = false) t batch ~on_complete
   t.entries_launched <- t.entries_launched + Batch.count batch;
   t.stragglers_launched <- t.stragglers_launched + Batch.straggler_count batch;
   let root = Batch.identity_root batch in
+  (* All per-flight rotation happens over the *active* server list of the
+     current epoch; [w_base] and [w_submit_target] are indices into it. *)
+  let active = Membership.active_slots t.membership in
+  let n_act = max 1 (List.length active) in
   let fl =
     { w_batch = batch; w_root = root;
       w_reduction_root = Batch.reduction_root batch;
@@ -450,24 +515,22 @@ and launch ?(only = fun _ -> true) ?(force_witness = false) t batch ~on_complete
            load onto the same servers. *)
         (((batch.Batch.number * 0x9E3779B1) lxor (t.cfg.broker_id * 0x85EBCA77))
          land max_int)
-        mod t.cfg.n_servers;
-      w_shards = []; w_asked = min t.cfg.n_servers (t.f + 1 + t.cfg.witness_margin);
+        mod n_act;
+      w_shards = []; w_asked = min n_act (bf t + 1 + t.cfg.witness_margin);
       w_witness = None;
-      w_submit_target =
-        (batch.Batch.number + (t.cfg.broker_id * 7)) mod t.cfg.n_servers;
+      w_submit_target = (batch.Batch.number + (t.cfg.broker_id * 7)) mod n_act;
       w_acked = false;
       w_completions = Hashtbl.create 4; w_exceptions = Hashtbl.create 4;
       w_done = false; w_on_complete = on_complete }
   in
   Hashtbl.replace t.flight root fl;
-  (* Serialization of the batch for n_servers links is divisible work;
+  (* Serialization of the batch for the active links is divisible work;
      the announcements depart only when it completes on the sim clock, so
      the "launch" instant below always coincides with a cpu job_done. *)
   let bytes = Batch.wire_bytes ~clients:t.cfg.clients batch in
   Cpu.submit t.cpu
     ~work:
-      (Cpu.parallel
-         (float_of_int (bytes * t.cfg.n_servers) *. Cost.serialize_per_byte))
+      (Cpu.parallel (float_of_int (bytes * n_act) *. Cost.serialize_per_byte))
     (fun () ->
       if (not t.crashed) && Hashtbl.mem t.flight root then begin
         (let s = tr t in
@@ -485,17 +548,22 @@ and launch ?(only = fun _ -> true) ?(force_witness = false) t batch ~on_complete
                  ("stragglers", Trace.A_int (Batch.straggler_count batch)) ];
            Trace.span_begin s ~now ~actor ~cat:"broker" ~name:"witness" ~id
          end);
-        for dst = 0 to t.cfg.n_servers - 1 do
-          (* Rotate the witnessing set with the batch number so the
-             verification load spreads over all servers (and degrades
-             gracefully when some crash, Fig. 11a). *)
-          let slot = (dst - fl.w_base + t.cfg.n_servers) mod t.cfg.n_servers in
-          if only dst then
-            t.send_server ~dst ~bytes
-              (Batch_announce
-                 { batch;
-                   witness_requested = force_witness || slot < fl.w_asked })
-        done;
+        (* Rotate the witnessing set with the batch number so the
+           verification load spreads over all active servers (and degrades
+           gracefully when some crash, Fig. 11a).  Announcements are
+           re-resolved against the membership at send time: a slot that
+           left between distillation and launch gets nothing. *)
+        let active = Membership.active_slots t.membership in
+        let n_now = max 1 (List.length active) in
+        List.iteri
+          (fun k dst ->
+            let slot = (k - fl.w_base + n_now) mod n_now in
+            if only dst then
+              t.send_server ~dst ~bytes
+                (Batch_announce
+                   { batch;
+                     witness_requested = force_witness || slot < fl.w_asked }))
+          active;
         arm_witness_extension t root
       end)
 
@@ -503,10 +571,12 @@ and arm_witness_extension t root =
   Engine.schedule t.engine ~delay:t.cfg.witness_timeout (fun () ->
       match Hashtbl.find_opt t.flight root with
       | Some fl when fl.w_witness = None && not t.crashed ->
-        if fl.w_asked < t.cfg.n_servers then begin
-          let upto = min t.cfg.n_servers (fl.w_asked + t.f) in
+        let active = Membership.active_slots t.membership in
+        let n_act = max 1 (List.length active) in
+        if fl.w_asked < n_act then begin
+          let upto = min n_act (fl.w_asked + bf t) in
           for slot = fl.w_asked to upto - 1 do
-            let dst = (fl.w_base + slot) mod t.cfg.n_servers in
+            let dst = List.nth active ((fl.w_base + slot) mod n_act) in
             t.send_server ~dst ~bytes:Wire.witness_request_bytes
               (Witness_request { root })
           done;
@@ -535,7 +605,7 @@ and on_witness_shard t ~src fl share =
     end
     else if not (List.mem_assoc src fl.w_shards) then begin
       fl.w_shards <- (src, share) :: fl.w_shards;
-      if List.length fl.w_shards >= t.f + 1 then begin
+      if List.length fl.w_shards >= bq t then begin
         let witness = Certs.assemble fl.w_shards in
         fl.w_witness <- Some witness;
         (let s = tr t in
@@ -551,13 +621,16 @@ and on_witness_shard t ~src fl share =
   end
 
 and submit_ref t fl witness =
-  (* #12: hand (root, witness) to one server to relay into the STOB;
-     rotate to the next server if no acknowledgement arrives. *)
-  t.send_server ~dst:fl.w_submit_target ~bytes:Wire.stob_submission_bytes
+  (* #12: hand (root, witness) to one *active* server to relay into the
+     STOB; rotate to the next one if no acknowledgement arrives. *)
+  let active = Membership.active_slots t.membership in
+  let n_act = max 1 (List.length active) in
+  let dst = List.nth active (fl.w_submit_target mod n_act) in
+  t.send_server ~dst ~bytes:Wire.stob_submission_bytes
     (Submit { root = fl.w_root; number = fl.w_batch.Batch.number; witness });
   Engine.schedule t.engine ~delay:t.cfg.submit_timeout (fun () ->
       if (not fl.w_acked) && (not fl.w_done) && not t.crashed then begin
-        fl.w_submit_target <- (fl.w_submit_target + 1) mod t.cfg.n_servers;
+        fl.w_submit_target <- (fl.w_submit_target + 1) mod n_act;
         submit_ref t fl witness
       end)
 
@@ -577,7 +650,7 @@ and on_completion_shard t ~src fl ~counter ~exceptions share =
         let shards = (src, share) :: prev in
         Hashtbl.replace fl.w_completions key shards;
         Hashtbl.replace fl.w_exceptions key exceptions;
-        if List.length shards >= t.f + 1 then finish t fl ~counter ~exceptions shards
+        if List.length shards >= bq t then finish t fl ~counter ~exceptions shards
       end
     end
     else begin
@@ -654,11 +727,23 @@ let receive_client t msg =
   if not t.crashed then
     match msg with
     | Proto.Submission { id; seq; msg; tsig; evidence; ctx } ->
-      (* Legitimacy screening with the cached-best rule (§5.1). *)
-      (match evidence with Some e -> note_evidence t e | None -> ());
-      if Certs.legitimizes t.evidence seq then
-        accept_submission t
-          { sub_id = id; sub_seq = seq; sub_msg = msg; sub_tsig = tsig; sub_ctx = ctx }
+      (* Sybil screening before anything else: an identity the directory
+         has never issued must not reach the signature pipeline (its
+         sig_pk lookup would fail) nor consume pool memory. *)
+      if Directory.find t.dir id = None then
+        reject_instant t "reject_unknown" ~id
+      else if not (admit t id) then
+        (* Per-client token bucket: spam past the admission rate is shed
+           at intake, before any signature or pool work. *)
+        reject_instant t "reject_rate" ~id
+      else begin
+        (* Legitimacy screening with the cached-best rule (§5.1). *)
+        (match evidence with Some e -> note_evidence t e | None -> ());
+        if Certs.legitimizes t.evidence seq then
+          accept_submission t
+            { sub_id = id; sub_seq = seq; sub_msg = msg; sub_tsig = tsig;
+              sub_ctx = ctx }
+      end
     | Proto.Reduction { id; root; share } ->
       (match Hashtbl.find_opt t.reducing root with
        | Some st when Hashtbl.mem st.r_subs id ->

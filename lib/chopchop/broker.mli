@@ -28,6 +28,9 @@ type config = {
   witness_timeout : float; (* extend the witnessing set after this *)
   submit_timeout : float; (* re-target the STOB relay after this *)
   max_batch : int; (* cap on entries per batch (65,536 in §6.2) *)
+  admission_rate : float;
+      (* per-client token-bucket refill, submissions/s (0 = no limit) *)
+  admission_burst : float; (* token-bucket depth *)
 }
 
 val default_config : n_servers:int -> clients:int -> config
@@ -36,6 +39,7 @@ val create :
   engine:Repro_sim.Engine.t ->
   cpu:Repro_sim.Cpu.t ->
   config:config ->
+  ?membership:Membership.t ->
   directory:Directory.t ->
   server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
   send_server:(dst:int -> bytes:int -> Proto.broker_to_server -> unit) ->

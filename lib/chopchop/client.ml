@@ -27,6 +27,9 @@ type t = {
   cfg : config;
   kp : Types.keypair;
   f : int;
+  membership : Membership.t option;
+      (* live committee view (shared with the deployment); [None] falls
+         back to the static f derived from [config.n_servers] *)
   server_ms_pk : int -> Multisig.public_key;
   send_broker : broker:int -> bytes:int -> Proto.client_to_broker -> unit;
   on_delivered : Types.message -> latency:float -> unit;
@@ -48,9 +51,10 @@ type t = {
   c_verify : Trace.Counter.t; (* signature verifications (certificates) *)
 }
 
-let create ~engine ~config ~keypair ~server_ms_pk ~send_broker
+let create ~engine ~config ~keypair ?membership ~server_ms_pk ~send_broker
     ?(on_delivered = fun _ ~latency:_ -> ()) ?(nonce = 0) () =
   { engine; cfg = config; kp = keypair; f = (config.n_servers - 1) / 3;
+    membership;
     server_ms_pk; send_broker; on_delivered; nonce;
     id = None; broker_idx = 0; seq = 0; evidence = None;
     queue = Queue.create (); flight = None; epoch = 0;
@@ -79,6 +83,13 @@ let misbehave_mute_reduction t = t.mute_reduction <- true
 let msg_key ~id ~seq = Hashtbl.hash (id, seq) land 0x3FFFFFFF
 
 let tr_actor ~id = 2000 + id
+
+(* Certificate quorum: reconfiguration changes f at the same ordered rank
+   on every server, and the deployment applies the committee view shared
+   with the clients at the same instant — so certificates are always
+   checked against the thresholds of the epoch that produced them. *)
+let cquorum t =
+  match t.membership with Some m -> Membership.quorum m | None -> t.f + 1
 
 let current_broker t = List.nth t.cfg.brokers (t.broker_idx mod List.length t.cfg.brokers)
 
@@ -177,7 +188,7 @@ let on_inclusion t ~root ~proof ~agg_seq ~evidence =
           | None -> agg_seq = fl.fl_seq
           | Some e ->
             Trace.Counter.incr t.c_verify;
-            Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) e)
+            Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(cquorum t) e)
     then begin
       fl.fl_adopted <- max fl.fl_adopted agg_seq;
       fl.fl_signed_roots <- root :: fl.fl_signed_roots;
@@ -202,7 +213,7 @@ let on_deliver_cert t ~cert ~seq ~proof =
   match (t.flight, t.id) with
   | Some fl, Some id ->
     Trace.Counter.incr t.c_verify;
-    if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1) cert
+    if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(cquorum t) cert
     then begin
       (* Track the freshest legitimacy evidence regardless of whose batch
          this certifies. *)

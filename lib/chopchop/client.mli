@@ -34,6 +34,7 @@ val create :
   engine:Repro_sim.Engine.t ->
   config:config ->
   keypair:Types.keypair ->
+  ?membership:Membership.t ->
   server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
   send_broker:(broker:int -> bytes:int -> Proto.client_to_broker -> unit) ->
   ?on_delivered:(Types.message -> latency:float -> unit) ->
@@ -41,7 +42,11 @@ val create :
   unit ->
   t
 (** [nonce] must be unique per client in the deployment (used to route the
-    sign-up response); defaults are assigned by {!Deployment}. *)
+    sign-up response); defaults are assigned by {!Deployment}.
+    [membership] is the live committee view shared with the deployment:
+    when given, delivery certificates are verified against the current
+    epoch's quorum instead of the static f+1 derived from
+    [config.n_servers]. *)
 
 val signup : t -> unit
 (** Start the sign-up; queued messages flow once the id is assigned. *)

@@ -11,6 +11,7 @@ type underlay = Sequencer | Pbft | Hotstuff
 
 type config = {
   n_servers : int;
+  spare_servers : int; (* idle machine slots that can [join_server] later *)
   n_brokers : int;
   cores : int; (* worker lanes per server/broker CPU *)
   underlay : underlay;
@@ -23,28 +24,32 @@ type config = {
   net_loss : float;
   seed : int64;
   stob_batch_timeout : float; (* underlay leader batching window *)
+  admission_rate : float; (* broker per-client token rate; 0 = unlimited *)
+  admission_burst : float; (* bucket depth for the above *)
   store_enabled : bool; (* per-server durable state (lib/store) *)
   checkpoint_every : int; (* snapshot every k deliveries (when enabled) *)
   trace : Repro_trace.Trace.Sink.t;
 }
 
 let default_config =
-  { n_servers = 4; n_brokers = 2; cores = Cost.vcpus; underlay = Sequencer;
-    dense_clients = 0;
+  { n_servers = 4; spare_servers = 0; n_brokers = 2; cores = Cost.vcpus;
+    underlay = Sequencer; dense_clients = 0;
     gc_period = 0.5; flush_period = 0.2; reduce_timeout = 0.2;
     witness_margin = 1; max_batch = 65_536; net_loss = 0.; seed = 42L;
-    stob_batch_timeout = 0.05; store_enabled = false; checkpoint_every = 64;
+    stob_batch_timeout = 0.05; admission_rate = 0.; admission_burst = 0.;
+    store_enabled = false; checkpoint_every = 64;
     trace = Repro_trace.Trace.Sink.null () }
 
 let margin_for_size n =
   if n <= 8 then 0 else if n <= 16 then 1 else if n <= 32 then 2 else 4
 
 let paper_config ~n_servers ~underlay =
-  { n_servers; n_brokers = 6; cores = Cost.vcpus; underlay;
+  { n_servers; spare_servers = 0; n_brokers = 6; cores = Cost.vcpus; underlay;
     dense_clients = 257_000_000;
     gc_period = 0.5; flush_period = 1.0; reduce_timeout = 1.0;
     witness_margin = margin_for_size n_servers; max_batch = 65_536;
     net_loss = 0.; seed = 42L; stob_batch_timeout = 0.1;
+    admission_rate = 0.; admission_burst = 0.;
     store_enabled = false; checkpoint_every = 1024;
     trace = Repro_trace.Trace.Sink.null () }
 
@@ -71,6 +76,8 @@ type broker_slot = { br : Broker.t; br_node : int; br_cpu : Cpu.t }
 
 type t = {
   cfg : config;
+  capacity : int; (* n_servers + spare_servers machine slots *)
+  membership : Membership.t; (* deployment-level routing view *)
   engine : Engine.t;
   net : msg Net.t;
   mutable servers : Server.t array;
@@ -167,7 +174,7 @@ let server_deliver_hook t hook = t.deliver_hook <- hook
 (* --- STOB instantiation ------------------------------------------------- *)
 
 let make_stob t ~self ~deliver =
-  let n = t.cfg.n_servers in
+  let n = t.capacity in
   let engine = t.engine and net = t.net in
   (* Completion-gate the ordering node's outgoing proposal serialization
      on the server's own CPU (the protocol logic itself stays free). *)
@@ -239,13 +246,16 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
       clients = max t.cfg.dense_clients 1024;
       flush_period; reduce_timeout;
       witness_margin = t.cfg.witness_margin;
-      witness_timeout = 2.0; submit_timeout = 4.0; max_batch }
+      witness_timeout = 2.0; submit_timeout = 4.0; max_batch;
+      admission_rate = t.cfg.admission_rate;
+      admission_burst = t.cfg.admission_burst }
   in
   (* Brokers read any server's directory view: all correct servers hold the
      same one (signups flow through the STOB).  Use server 0's. *)
   let directory = Server.directory t.servers.(0) in
   let b =
     Broker.create ~engine:t.engine ~cpu ~config:cfg_b ~directory
+      ~membership:t.membership
       ~server_ms_pk:(fun j -> t.server_pks.(j))
       ~send_server:(fun ~dst ~bytes m -> Net.send t.net ~src:node ~dst ~bytes (B2s m))
       ~send_client:(fun ~client ~bytes m ->
@@ -257,13 +267,21 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
         (* Sign-up responses route by nonce = the client's node id. *)
         Repro_sim.Rudp.send (b2c_sender t ~broker_node:node ~client_node:nonce) ~bytes m)
       ~stob_signup:(fun item ->
-        (* Brokers are clients of the STOB: relay sign-ups via a server. *)
+        (* Brokers are clients of the STOB: relay sign-ups via an *active*
+           server (the hinted slot may be a spare or have left). *)
         match item with
         | Stob_item.Signup { card; nonce; _ } ->
-          Net.send t.net ~src:node ~dst:(broker_id mod t.cfg.n_servers)
-            ~bytes:(Stob_item.wire_bytes item)
+          let dst =
+            let rec hunt c tries =
+              if tries = 0 then 0
+              else if Membership.is_active t.membership c then c
+              else hunt ((c + 1) mod t.capacity) (tries - 1)
+            in
+            hunt (broker_id mod t.capacity) t.capacity
+          in
+          Net.send t.net ~src:node ~dst ~bytes:(Stob_item.wire_bytes item)
             (B2s (Proto.Relay_signup { card; nonce }))
-        | Stob_item.Batch_ref _ -> ())
+        | Stob_item.Batch_ref _ | Stob_item.Reconfigure _ -> ())
       ()
   in
   Net.add_node t.net ~id:node ~region ?ingress_bps ?egress_bps
@@ -287,16 +305,45 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
 
 (* --- construction ----------------------------------------------------------- *)
 
+(* One server instance wired into slot [slot]'s pre-existing network node,
+   CPU, store and STOB handle.  Used both at construction time and by
+   {!replace_server} to install a fresh identity in a vacated slot. *)
+let build_server t ~slot ~ms_sk ~directory ~membership ~stob =
+  let sh = stob in
+  Server.create ~engine:t.engine ~cpu:t.server_cpus.(slot)
+    ~config:{ Server.self = slot; n = t.capacity;
+              clients = max t.cfg.dense_clients 1024;
+              gc_period = t.cfg.gc_period }
+    ?store:t.stores.(slot) ~checkpoint_every:t.cfg.checkpoint_every
+    ~stob_cursor:(fun () -> sh.sh_cursor ())
+    ~stob_resume:(fun cursor -> sh.sh_resume cursor)
+    ~membership
+    ~set_server_pk:(fun j pk -> t.server_pks.(j) <- pk)
+    ~on_self_leave:(fun () ->
+      Net.disconnect t.net slot;
+      t.stobs.(slot).sh_crash ())
+    ~directory ~ms_sk
+    ~server_ms_pk:(fun j -> t.server_pks.(j))
+    ~send_broker:(fun ~broker ~bytes m ->
+      if broker < Array.length t.brokers then
+        Net.send t.net ~src:slot ~dst:t.brokers.(broker).br_node ~bytes (S2b m))
+    ~send_server:(fun ~dst ~bytes m ->
+      Net.send t.net ~src:slot ~dst ~bytes (S2s m))
+    ~stob_broadcast:(fun item -> sh.sh_broadcast item)
+    ~deliver_app:(fun d -> t.deliver_hook slot d)
+    ()
+
 let create cfg =
   let engine = Engine.create ~seed:cfg.seed ~trace:cfg.trace () in
   let net = Net.create engine ~loss:cfg.net_loss () in
   let n = cfg.n_servers in
-  let server_regions = Array.of_list (Region.server_regions_for n) in
+  let capacity = n + max 0 cfg.spare_servers in
+  let server_regions = Array.of_list (Region.server_regions_for capacity) in
   let server_cpus =
-    Array.init n (fun i -> Cpu.create engine ~cores:cfg.cores ~actor:i ())
+    Array.init capacity (fun i -> Cpu.create engine ~cores:cfg.cores ~actor:i ())
   in
   let server_identities =
-    Array.init n (fun i ->
+    Array.init capacity (fun i ->
         Multisig.keygen_deterministic ~seed:(Printf.sprintf "server-%d" i))
   in
   let server_pks = Array.map snd server_identities in
@@ -304,26 +351,28 @@ let create cfg =
      writes are fire-and-forget, so enabling the store never perturbs a
      crash-free run (asserted by test_store's same-seed equivalence). *)
   let stores =
-    Array.init n (fun _ ->
+    Array.init capacity (fun _ ->
         if cfg.store_enabled then
           Some (Store.create ~disk:(Disk.create engine ()) ())
         else None)
   in
   let t =
-    { cfg; engine; net;
+    { cfg; capacity;
+      membership = Membership.create ~capacity ~initial:n;
+      engine; net;
       servers = [||]; server_cpus; server_pks; stores; stobs = [||];
       brokers = [||];
       broker_of_node = Hashtbl.create 16;
       client_nodes = Hashtbl.create 1024;
       clients_by_node = Hashtbl.create 1024;
-      next_node = n;
+      next_node = capacity;
       next_client_region = 0;
       deliver_hook = (fun _ _ -> ());
       c2b_send = Hashtbl.create 64; c2b_recv = Hashtbl.create 64;
       b2c_send = Hashtbl.create 64; b2c_recv = Hashtbl.create 64 }
   in
   (* Server network nodes dispatch into the (not yet built) instances via t. *)
-  for i = 0 to n - 1 do
+  for i = 0 to capacity - 1 do
     Net.add_node net ~id:i ~region:server_regions.(i)
       ~handler:(fun ~src m ->
         match m with
@@ -340,36 +389,38 @@ let create cfg =
         | C2b_udp _ | B2c_udp _ | S2b _ -> ())
       ()
   done;
-  let servers = Array.make n None and stobs = Array.make n None in
-  for i = 0 to n - 1 do
+  let servers = Array.make capacity None and stobs = Array.make capacity None in
+  for i = 0 to capacity - 1 do
     let deliver item =
-      match servers.(i) with Some sv -> Server.on_stob_deliver sv item | None -> ()
+      (* Route through [t] so a slot whose instance was replaced keeps
+         receiving its ordered items; fall back to the local array only
+         during construction. *)
+      if Array.length t.servers > i then
+        Server.on_stob_deliver t.servers.(i) item
+      else
+        match servers.(i) with
+        | Some sv -> Server.on_stob_deliver sv item
+        | None -> ()
     in
     let sh = make_stob t ~self:i ~deliver in
     stobs.(i) <- Some sh;
     let directory = Directory.create ~dense_count:cfg.dense_clients () in
+    let membership = Membership.create ~capacity ~initial:n in
     let sv =
-      Server.create ~engine ~cpu:server_cpus.(i)
-        ~config:{ Server.self = i; n; clients = max cfg.dense_clients 1024;
-                  gc_period = cfg.gc_period }
-        ?store:stores.(i) ~checkpoint_every:cfg.checkpoint_every
-        ~stob_cursor:(fun () -> sh.sh_cursor ())
-        ~stob_resume:(fun cursor -> sh.sh_resume cursor)
-        ~directory ~ms_sk:(fst server_identities.(i))
-        ~server_ms_pk:(fun j -> server_pks.(j))
-        ~send_broker:(fun ~broker ~bytes m ->
-          if broker < Array.length t.brokers then
-            Net.send net ~src:i ~dst:t.brokers.(broker).br_node ~bytes (S2b m))
-        ~send_server:(fun ~dst ~bytes m -> Net.send net ~src:i ~dst ~bytes (S2s m))
-        ~stob_broadcast:(fun item -> sh.sh_broadcast item)
-        ~deliver_app:(fun d -> t.deliver_hook i d)
-        ()
+      build_server t ~slot:i ~ms_sk:(fst server_identities.(i)) ~directory
+        ~membership ~stob:sh
     in
     Server.start sv;
     servers.(i) <- Some sv
   done;
   t.servers <- Array.map (function Some s -> s | None -> assert false) servers;
   t.stobs <- Array.map (function Some s -> s | None -> assert false) stobs;
+  (* Spare slots idle (crashed + disconnected) until an ordered Join. *)
+  for i = n to capacity - 1 do
+    Server.crash t.servers.(i);
+    t.stobs.(i).sh_crash ();
+    Net.disconnect t.net i
+  done;
   (* Standard brokers, one per continent (§6.2). *)
   let broker_regions = Array.of_list Region.broker_regions in
   for b = 0 to cfg.n_brokers - 1 do
@@ -432,6 +483,7 @@ let add_client t ?region ?identity ?on_delivered ?brokers () =
   in
   let c =
     Client.create ~engine:t.engine ~config:cfg_c ~keypair
+      ~membership:t.membership
       ~server_ms_pk:(fun j -> t.server_pks.(j))
       ~send_broker:(fun ~broker ~bytes m ->
         Repro_sim.Rudp.send
@@ -489,6 +541,111 @@ let restart_server t i =
   Net.reconnect t.net i;
   t.stobs.(i).sh_recover ();
   Server.cold_restart t.servers.(i)
+
+(* --- dynamic membership (ordered reconfiguration) ------------------------ *)
+
+let membership t = t.membership
+let capacity t = t.capacity
+let server_epoch t i = Server.epoch t.servers.(i)
+
+(* First active slot other than [avoid]: the server through which an
+   orchestrated Reconfigure command enters the STOB.  It must itself be a
+   live member (a Sequencer underlay forwards via node 0, so slot 0 is
+   never removed — see DESIGN.md). *)
+let anchor t ?(avoid = -1) () =
+  let rec hunt c tries =
+    if tries = 0 then 0
+    else if c <> avoid && Membership.is_active t.membership c then c
+    else hunt ((c + 1) mod t.capacity) (tries - 1)
+  in
+  hunt 0 t.capacity
+
+let join_server t i =
+  (* Bring a spare slot online: reconnect its node, order the Join through
+     a live member, and bootstrap the joiner through cold-restart state
+     transfer.  It starts witnessing only once caught up and active. *)
+  Net.reconnect t.net i;
+  t.stobs.(i).sh_recover ();
+  ignore (Membership.apply t.membership (Membership.Join i));
+  Server.broadcast_reconfigure t.servers.(anchor t ~avoid:i ())
+    (Membership.Join i) ~ms_pk:(Some t.server_pks.(i));
+  Server.cold_restart t.servers.(i)
+
+let leave_server t i =
+  (* Order the departure; the leaver tears itself down when the command
+     reaches it in the total order (Server.on_self_leave). *)
+  ignore (Membership.apply t.membership (Membership.Leave i));
+  Server.broadcast_reconfigure t.servers.(anchor t ~avoid:i ())
+    (Membership.Leave i) ~ms_pk:None
+
+let replace_server t i =
+  (* The old identity is gone for good: crash it, install a fresh instance
+     with a new keypair and an empty store in the same slot, roll the
+     committee via an ordered Replace, and bootstrap the newcomer through
+     state transfer. *)
+  Server.crash t.servers.(i);
+  t.stobs.(i).sh_crash ();
+  Net.disconnect t.net i;
+  let gen = Membership.generation t.membership i + 1 in
+  ignore (Membership.apply t.membership (Membership.Replace (i, gen)));
+  let ms_sk, ms_pk =
+    Multisig.keygen_deterministic
+      ~seed:(Printf.sprintf "server-%d-gen-%d" i gen)
+  in
+  t.server_pks.(i) <- ms_pk;
+  if t.cfg.store_enabled then
+    t.stores.(i) <- Some (Store.create ~disk:(Disk.create t.engine ()) ());
+  let membership =
+    Membership.create ~capacity:t.capacity ~initial:t.cfg.n_servers
+  in
+  (* The directory is shared infrastructure (dense prefix + explicit
+     cards); the newcomer re-learns explicit entries through WAL replay
+     against the same object. *)
+  let directory = Server.directory t.servers.(i) in
+  let sv =
+    build_server t ~slot:i ~ms_sk ~directory ~membership ~stob:t.stobs.(i)
+  in
+  t.servers.(i) <- sv;
+  Server.start sv;
+  Server.broadcast_reconfigure t.servers.(anchor t ~avoid:i ())
+    (Membership.Replace (i, gen)) ~ms_pk:(Some ms_pk);
+  Net.reconnect t.net i;
+  t.stobs.(i).sh_recover ();
+  Server.cold_restart sv
+
+(* --- raw traffic injection (adversarial workload drivers) ----------------- *)
+
+(* A bare network presence that can push arbitrary client->broker messages
+   through the usual reliable-UDP channel: the substrate for spam and
+   sybil load in lib/workload.  Returns the send function. *)
+let add_injector t ?region () =
+  let region =
+    match region with
+    | Some r -> r
+    | None ->
+      let r =
+        client_region_cycle.(t.next_client_region
+                             mod Array.length client_region_cycle)
+      in
+      t.next_client_region <- t.next_client_region + 1;
+      r
+  in
+  let node = t.next_node in
+  t.next_node <- node + 1;
+  Net.add_node t.net ~id:node ~region ~ingress_bps:5e9 ~egress_bps:5e9
+    ~handler:(fun ~src m ->
+      match m with
+      | C2b_udp (Repro_sim.Rudp.Ack { seq }) ->
+        (match Hashtbl.find_opt t.c2b_send (node, src) with
+         | Some sender -> Repro_sim.Rudp.sender_on_ack sender seq
+         | None -> ())
+      | _ -> ())
+    ();
+  fun ~broker ~bytes m ->
+    Repro_sim.Rudp.send
+      (c2b_sender t ~client_node:node
+         ~broker_node:t.brokers.(broker).br_node)
+      ~bytes m
 
 (* --- durable-state introspection (metrics probes, bench gate) ----------- *)
 

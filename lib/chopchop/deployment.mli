@@ -11,6 +11,9 @@ type underlay = Sequencer | Pbft | Hotstuff
 
 type config = {
   n_servers : int;
+  spare_servers : int;
+      (* extra provisioned-but-inactive server slots, available to
+         {!join_server} (node ids [n_servers, n_servers+spare_servers)) *)
   n_brokers : int;
   cores : int;
       (* worker lanes per server/broker CPU (default {!Repro_sim.Cost.vcpus},
@@ -25,6 +28,10 @@ type config = {
   net_loss : float;
   seed : int64;
   stob_batch_timeout : float; (* underlay leader batching window *)
+  admission_rate : float;
+      (* per-client broker admission: token-bucket refill rate,
+         submissions/s (0 = unlimited, the default) *)
+  admission_burst : float; (* token-bucket depth *)
   store_enabled : bool;
       (* attach a per-server simulated disk + WAL/checkpoint store
          (lib/store); required for {!restart_server} *)
@@ -99,6 +106,50 @@ val restart_server : t -> int -> unit
     missed suffix is state-transferred from live peers until the server
     is caught up and live again.  Requires [store_enabled]; with the
     store off this degrades to {!recover_server}. *)
+
+(** {2 Dynamic membership}
+
+    Ordered reconfiguration: each change enters the server-run STOB as a
+    {!Stob_item.Reconfigure} command through a live anchor server, so every
+    replica rolls its directory, committee and quorum thresholds forward at
+    the same delivery rank.  Requires [spare_servers] > 0 for joins. *)
+
+val membership : t -> Membership.t
+(** The orchestrator's view of the roster (servers converge to it as the
+    ordered commands deliver). *)
+
+val capacity : t -> int
+(** Total provisioned server slots, [n_servers + spare_servers]. *)
+
+val server_epoch : t -> int -> int
+(** Membership epoch at server [i] (ordered changes it has applied). *)
+
+val join_server : t -> int -> unit
+(** Bring slot [i] (a spare, or a previously departed slot) online:
+    reconnects its node, orders the [Join], and bootstraps the joiner via
+    cold-restart state transfer.  It witnesses only once caught up. *)
+
+val leave_server : t -> int -> unit
+(** Order slot [i]'s departure; the leaver tears itself down when the
+    command reaches it in the total order.  Never remove slot 0 under the
+    sequencer underlay (it is the sequencing node). *)
+
+val replace_server : t -> int -> unit
+(** Replace slot [i] with a fresh identity: new multisig keypair, empty
+    store, bumped generation.  The newcomer bootstraps through state
+    transfer like a join. *)
+
+val add_injector :
+  t ->
+  ?region:Repro_sim.Region.t ->
+  unit ->
+  broker:int ->
+  bytes:int ->
+  Proto.client_to_broker ->
+  unit
+(** A bare network node that can push arbitrary client->broker messages
+    through the usual reliable-UDP channel — the substrate for spam and
+    sybil load (lib/workload).  Returns the send function. *)
 
 val crash_broker : t -> int -> unit
 (** Crash-stop a broker (by broker id): its state machine and NIC.

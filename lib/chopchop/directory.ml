@@ -75,6 +75,8 @@ let append t card =
   t.explicit_len <- t.explicit_len + 1;
   id
 
+let explicit_cards t = Array.to_list (Array.sub !(t.explicit) 0 t.explicit_len)
+
 let find t id =
   if id < 0 then None
   else if id < t.dense then Some (dense_keypair id).card

@@ -31,6 +31,10 @@ val append : t -> Types.keycard -> Types.client_id
 (** Register a key card; returns the assigned identifier.  Called by every
     server in STOB delivery order, so ranks agree. *)
 
+val explicit_cards : t -> Types.keycard list
+(** The explicitly registered key cards in rank order (checkpoint
+    payload; dense identities are derived, never stored). *)
+
 val find : t -> Types.client_id -> Types.keycard option
 
 val sig_pk : t -> Types.client_id -> Repro_crypto.Schnorr.public_key

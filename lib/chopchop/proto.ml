@@ -79,10 +79,16 @@ type wal_record =
       w_id : Types.client_id;
       w_pos : int;
     }
+  | Wal_reconfig of {
+      w_change : Membership.change;
+      w_ms_pk : Repro_crypto.Multisig.public_key option;
+      w_rpos : int; (* delivery position at which the change was ordered *)
+    }
 
 let wal_record_position = function
   | Wal_batch { w_position; _ } -> w_position
   | Wal_signup { w_pos; _ } -> w_pos
+  | Wal_reconfig { w_rpos; _ } -> w_rpos
 
 type checkpoint = {
   ck_position : int;
@@ -91,8 +97,13 @@ type checkpoint = {
   ck_dense_last : (int * int * int) list; (* first_id, agg seq, tag *)
   ck_refs : (int * int * int) list; (* broker, number, position *)
   ck_signups : int list; (* seen sign-up nonces *)
-  ck_dir_cards : int; (* explicit directory entries covered *)
+  ck_cards : Types.keycard list;
+  (* explicit directory entries in rank order: a peer restoring this
+     checkpoint must be able to rebuild the directory, not just skip the
+     replay (dense identities are derived, not stored) *)
   ck_app : string option; (* opaque application snapshot *)
+  ck_epoch : int; (* membership epoch at ck_position *)
+  ck_members : (bool * int) list; (* per-slot (active, generation) *)
 }
 
 type server_to_server =

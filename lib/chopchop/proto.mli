@@ -107,6 +107,11 @@ type wal_record =
       w_id : Types.client_id;
       w_pos : int; (* delivery counter when the sign-up was ordered *)
     }
+  | Wal_reconfig of {
+      w_change : Membership.change;
+      w_ms_pk : Repro_crypto.Multisig.public_key option;
+      w_rpos : int; (* delivery position at which the change was ordered *)
+    }
 
 val wal_record_position : wal_record -> int
 
@@ -120,8 +125,13 @@ type checkpoint = {
   ck_dense_last : (int * int * int) list; (* first_id, agg seq, tag *)
   ck_refs : (int * int * int) list; (* delivered (broker, number, position) *)
   ck_signups : int list; (* seen sign-up nonces *)
-  ck_dir_cards : int; (* explicit directory entries covered *)
+  ck_cards : Types.keycard list;
+  (* explicit directory entries in rank order: a joining server restoring
+     a peer's checkpoint rebuilds its directory from these (dense
+     identities are derived, not stored) *)
   ck_app : string option; (* application snapshot (App_intf hook) *)
+  ck_epoch : int; (* membership epoch at ck_position *)
+  ck_members : (bool * int) list; (* per-slot (active, generation) *)
 }
 
 type server_to_server =

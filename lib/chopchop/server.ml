@@ -5,8 +5,11 @@ module Store = Repro_store.Store
 module Disk = Repro_store.Disk
 module Multisig = Repro_crypto.Multisig
 module Trace = Repro_trace.Trace
+module Rng = Repro_sim.Rng
 
 type config = { self : int; n : int; clients : int; gc_period : float }
+(* [n] is the machine *capacity* (active servers plus spare slots); the
+   active subset and the quorum thresholds live in {!Membership}. *)
 
 type stored = {
   batch : Batch.t;
@@ -18,10 +21,12 @@ type t = {
   engine : Engine.t;
   cpu : Cpu.t;
   cfg : config;
-  f : int;
+  membership : Membership.t;
   dir : Directory.t;
   ms_sk : Multisig.secret_key;
   server_ms_pk : int -> Multisig.public_key;
+  set_server_pk : int -> Multisig.public_key -> unit;
+  on_self_leave : unit -> unit;
   send_broker : broker:int -> bytes:int -> Proto.server_to_broker -> unit;
   send_server : dst:int -> bytes:int -> Proto.server_to_server -> unit;
   stob_broadcast : Stob_item.t -> unit;
@@ -57,8 +62,11 @@ type t = {
   mutable syncing : bool; (* catching up from a peer; delivery gated *)
   mutable sync_timer : Engine.timer option;
   mutable sync_peer : int;
+  mutable sync_backoff : float; (* current retry delay, doubles to a cap *)
+  sync_rng : Rng.t; (* private jitter stream for retry delays *)
   mutable sync_rounds : int;
   mutable catch_up_records : int;
+  mutable catch_up_ck : bool; (* last catch-up installed a peer checkpoint *)
   mutable restarts : int; (* also the epoch guard for in-flight callbacks *)
   mutable collected_batches : int;
   mutable app_snapshot : (unit -> string) option;
@@ -71,12 +79,21 @@ type t = {
   c_messages : Trace.Counter.t; (* messages delivered (all servers) *)
 }
 
+let sync_backoff_base = 1.0
+let sync_backoff_cap = 8.0
+
 let create ~engine ~cpu ~config ?store ?(checkpoint_every = 0)
-    ?(stob_cursor = fun () -> 0) ?(stob_resume = fun _ -> ()) ~directory
-    ~ms_sk ~server_ms_pk ~send_broker ~send_server ~stob_broadcast
-    ~deliver_app () =
-  { engine; cpu; cfg = config; f = (config.n - 1) / 3;
-    dir = directory; ms_sk; server_ms_pk;
+    ?(stob_cursor = fun () -> 0) ?(stob_resume = fun _ -> ()) ?membership
+    ?(set_server_pk = fun _ _ -> ()) ?(on_self_leave = fun () -> ())
+    ~directory ~ms_sk ~server_ms_pk ~send_broker ~send_server
+    ~stob_broadcast ~deliver_app () =
+  let membership =
+    match membership with
+    | Some m -> m
+    | None -> Membership.create ~capacity:config.n ~initial:config.n
+  in
+  { engine; cpu; cfg = config; membership;
+    dir = directory; ms_sk; server_ms_pk; set_server_pk; on_self_leave;
     send_broker; send_server; stob_broadcast; deliver_app;
     store; checkpoint_every; stob_cursor; stob_resume;
     batches = Hashtbl.create 512; stored_bytes = 0;
@@ -88,8 +105,15 @@ let create ~engine ~cpu ~config ?store ?(checkpoint_every = 0)
     peer_counters = Array.make config.n 0;
     fetching = Hashtbl.create 16; seen_signups = Hashtbl.create 64;
     delivering = false; crashed = false;
-    syncing = false; sync_timer = None; sync_peer = 0; sync_rounds = 0;
-    catch_up_records = 0; restarts = 0; collected_batches = 0;
+    syncing = false; sync_timer = None; sync_peer = 0;
+    sync_backoff = sync_backoff_base;
+    sync_rng =
+      Rng.create
+        (Int64.logxor 0xBB67AE8584CAA73BL
+           (Int64.mul (Int64.of_int (config.self + 1)) 0x9E3779B97F4A7C15L));
+    sync_rounds = 0;
+    catch_up_records = 0; catch_up_ck = false;
+    restarts = 0; collected_batches = 0;
     app_snapshot = None; app_restore = None;
     mis_bad_shares = false; mis_refuse_witness = false;
     c_verify =
@@ -121,8 +145,17 @@ let stored_bytes t = t.stored_bytes
 let catching_up t = t.syncing
 let sync_rounds t = t.sync_rounds
 let catch_up_records t = t.catch_up_records
+let catch_up_checkpoint t = t.catch_up_ck
 let restarts t = t.restarts
 let collected_batches t = t.collected_batches
+let membership t = t.membership
+let epoch t = Membership.epoch t.membership
+
+(* Quorum threshold of the *current* epoch's committee. *)
+let quorum t = Membership.quorum t.membership
+
+let broadcast_reconfigure t change ~ms_pk =
+  t.stob_broadcast (Stob_item.Reconfigure { change; ms_pk })
 
 let set_app_hooks t ~snapshot ~restore =
   t.app_snapshot <- Some snapshot;
@@ -161,8 +194,10 @@ let take_checkpoint t s =
              t.delivered_refs []);
       ck_signups =
         sorted (Hashtbl.fold (fun nonce () acc -> nonce :: acc) t.seen_signups []);
-      ck_dir_cards = Directory.size t.dir;
-      ck_app = Option.map (fun snap -> snap ()) t.app_snapshot }
+      ck_cards = Directory.explicit_cards t.dir;
+      ck_app = Option.map (fun snap -> snap ()) t.app_snapshot;
+      ck_epoch = (let e, _ = Membership.snapshot t.membership in e);
+      ck_members = (let _, m = Membership.snapshot t.membership in m) }
   in
   let bytes = Store_wire.checkpoint_bytes ck in
   Store.checkpoint s ~position:t.delivery_counter ~bytes ck;
@@ -197,7 +232,14 @@ let gc_sweep t =
      durable state, once one of our checkpoints covers p: a crashed peer
      then recovers the batch's effects from checkpoint + WAL transfer
      instead of re-fetching the batch itself. *)
-  let gossip = Array.fold_left min max_int t.peer_counters in
+  (* Only active slots vote: a spare slot's counter is pinned at zero and
+     would freeze collection forever. *)
+  let gossip =
+    List.fold_left
+      (fun acc s -> min acc t.peer_counters.(s))
+      max_int
+      (Membership.active_slots t.membership)
+  in
   let horizon =
     match t.store with
     | Some s when t.checkpoint_every > 0 -> max gossip (Store.checkpoint_position s)
@@ -222,7 +264,7 @@ let start t =
       if not t.crashed then begin
         t.peer_counters.(t.cfg.self) <- t.delivery_counter;
         for dst = 0 to t.cfg.n - 1 do
-          if dst <> t.cfg.self then
+          if dst <> t.cfg.self && Membership.is_active t.membership dst then
             t.send_server ~dst ~bytes:(Wire.header_bytes + 8)
               (Gc_status { delivered_counter = t.delivery_counter })
         done;
@@ -231,8 +273,43 @@ let start t =
 
 (* --- witnessing (#9, #10) ------------------------------------------------ *)
 
-let witness_batch t batch =
-  if not t.mis_refuse_witness then begin
+(* A witness request can race ahead of this replica's directory: the broker
+   assigns identifiers from the orderer's view, which runs one delivery hop
+   ahead of everyone else, so a batch may reference a freshly signed-up
+   client whose ordered signup has not been delivered here yet.  The signup
+   always precedes the batch in the total order, so the directory catches
+   up — defer instead of refusing. *)
+let batch_ready t (batch : Batch.t) =
+  let n = Directory.size t.dir in
+  (match batch.Batch.entries with
+   | Batch.Explicit es -> Array.for_all (fun e -> e.Batch.e_id < n) es
+   | Batch.Dense _ -> true)
+  && Array.for_all (fun s -> s.Batch.s_id < n) batch.Batch.stragglers
+
+let rec witness_batch ?(attempt = 0) t batch =
+  (* A syncing (bootstrapping) or inactive server must not witness: its
+     committee share only counts once it is a caught-up active member. *)
+  if (not t.mis_refuse_witness) && (not t.syncing)
+     && Membership.is_active t.membership t.cfg.self
+  then
+  if not (batch_ready t batch) then begin
+    note_instant t "defer_witness"
+      [ ("root", Trace.A_int (Trace.key (Batch.identity_root batch)));
+        ("attempt", Trace.A_int attempt) ];
+    (* 100 × 0.2 s rides out an orderer outage (the signup rank cannot be
+       delivered anywhere while the order itself is stalled). *)
+    if attempt < 100 then
+      Engine.schedule t.engine ~delay:0.2 (fun () ->
+          if not t.crashed then witness_batch ~attempt:(attempt + 1) t batch)
+    else
+      (* Identifiers the order never produced: a Byzantine broker made
+         them up.  Refuse for good. *)
+      reject_instant t "reject_batch"
+        ~id:(Trace.key (Batch.identity_root batch))
+        [ ("broker", Trace.A_int batch.Batch.broker);
+          ("number", Trace.A_int batch.Batch.number) ]
+  end
+  else begin
     let root = Batch.identity_root batch in
     let work = Batch.witness_cpu_work batch in
     let s = tr t in
@@ -359,6 +436,11 @@ let deliver_batch t ~broker ~number stored =
     ~bytes:(Wire.completion_shard_bytes ~exceptions:(List.length exceptions))
     (Completion_shard { root; counter; exceptions; share })
 
+(* Forward reference to {!begin_catch_up} (defined with the state-transfer
+   machinery below): the fetch path escalates to a full re-sync when every
+   peer has garbage-collected a batch body it still needs. *)
+let resync_hook : (t -> unit) ref = ref (fun _ -> ())
+
 let rec drain_order_queue t =
   (* While catching up after a cold restart, live ordered references queue
      but must not deliver: the gap below them is being filled by state
@@ -414,17 +496,38 @@ let rec drain_order_queue t =
        drain_order_queue t
      | None -> fetch_batch t ~broker ~number ~root)
 
-and fetch_batch t ~broker ~number ~root =
-  if not (Hashtbl.mem t.fetching root) then begin
+and fetch_batch ?(rounds = 0) t ~broker ~number ~root =
+  if rounds >= 3 && t.store <> None && not t.syncing then begin
+    (* Every live peer has collected this body: their checkpoints moved
+       past it while we trailed.  That is by design — the GC horizon
+       assumes a laggard recovers the batch's *effects* through state
+       transfer, not the batch itself — so stop fetching and re-enter
+       catch-up (forward reference: catch-up drains this queue). *)
+    note_instant t "refetch_resync"
+      [ ("root", Trace.A_int (Trace.key root));
+        ("position", Trace.A_int t.delivery_counter) ];
+    !resync_hook t
+  end
+  else if not (Hashtbl.mem t.fetching root) then begin
     Hashtbl.add t.fetching root ();
-    let target = (t.cfg.self + 1 + (number mod (t.cfg.n - 1))) mod t.cfg.n in
+    let target =
+      let n = t.cfg.n in
+      let c0 = (t.cfg.self + 1 + (number mod (max 1 (n - 1)))) mod n in
+      (* Advance past spares and departed members. *)
+      let rec hunt c tries =
+        if tries = 0 then c
+        else if c <> t.cfg.self && Membership.is_active t.membership c then c
+        else hunt ((c + 1) mod n) (tries - 1)
+      in
+      hunt c0 n
+    in
     t.send_server ~dst:target ~bytes:Wire.witness_request_bytes
       (Request_batch { root; broker; number });
     (* Retry from another peer if the batch does not show up. *)
     Engine.schedule t.engine ~delay:1.0 (fun () ->
         if (not t.crashed) && Hashtbl.mem t.fetching root then begin
           Hashtbl.remove t.fetching root;
-          fetch_batch t ~broker ~number:(number + 1) ~root
+          fetch_batch ~rounds:(rounds + 1) t ~broker ~number:(number + 1) ~root
         end)
   end
 
@@ -459,6 +562,18 @@ let replay_record t (r : Proto.wal_record) =
       if Directory.size t.dir <= w_id then ignore (Directory.append t.dir w_card);
       true
     end
+  | Proto.Wal_reconfig { w_change; w_ms_pk; w_rpos = _ } ->
+    (* Changes already covered by the restored checkpoint are no-ops
+       thanks to the {!Membership.applies} idempotence guard. *)
+    if Membership.applies t.membership w_change then begin
+      ignore (Membership.apply t.membership w_change);
+      (match w_ms_pk, w_change with
+       | Some pk, (Membership.Join i | Membership.Replace (i, _)) ->
+         t.set_server_pk i pk
+       | _ -> ());
+      true
+    end
+    else false
   | Proto.Wal_batch { w_position; w_broker; w_number; w_root; w_ops } ->
     (* Contiguity: a record applies exactly at its position.  Records below
        the counter are duplicates (already covered by the checkpoint or an
@@ -492,6 +607,17 @@ let restore_checkpoint t (ck : Proto.checkpoint) =
       Hashtbl.replace t.seen_refs (b, n) ())
     ck.Proto.ck_refs;
   List.iter (fun nonce -> Hashtbl.replace t.seen_signups nonce ()) ck.Proto.ck_signups;
+  (* Rebuild the explicit directory from the checkpoint: a joining server
+     restores a *peer's* snapshot, and its signup records live below the
+     checkpoint position, so the cards arrive only this way.  The
+     directory object is append-only and shared with the brokers —
+     existing ranks are left untouched. *)
+  List.iteri
+    (fun i card ->
+      if Directory.size t.dir <= Directory.dense_count t.dir + i then
+        ignore (Directory.append t.dir card))
+    ck.Proto.ck_cards;
+  Membership.restore t.membership (ck.Proto.ck_epoch, ck.Proto.ck_members);
   t.delivery_counter <- ck.Proto.ck_position;
   t.delivered_messages <- ck.Proto.ck_messages;
   match t.app_restore with
@@ -499,23 +625,45 @@ let restore_checkpoint t (ck : Proto.checkpoint) =
   | None -> ()
 
 let rec send_sync_request t =
-  let dst = t.sync_peer in
-  let next = (dst + 1) mod t.cfg.n in
-  t.sync_peer <- (if next = t.cfg.self then (next + 1) mod t.cfg.n else next);
+  let dst =
+    (* Rotate over *active* peers: spares have nothing to serve and a
+       departed member may be gone for good. *)
+    let n = t.cfg.n in
+    let rec hunt c tries =
+      if tries = 0 then c
+      else if c <> t.cfg.self && Membership.is_active t.membership c then c
+      else hunt ((c + 1) mod n) (tries - 1)
+    in
+    hunt t.sync_peer n
+  in
+  t.sync_peer <- (dst + 1) mod t.cfg.n;
   t.send_server ~dst ~bytes:Wire.sync_request_bytes
     (Sync_request { from_position = t.delivery_counter });
+  (* Seeded exponential backoff with a cap, so a restarter cut off from
+     its peers (mid-partition join) does not hammer the network at a
+     fixed period while it waits for the heal. *)
+  let delay = t.sync_backoff *. (0.75 +. Rng.float t.sync_rng 0.5) in
+  t.sync_backoff <- Float.min sync_backoff_cap (t.sync_backoff *. 2.0);
   let epoch = t.restarts in
   t.sync_timer <-
     Some
-      (Engine.timer t.engine ~delay:1.0 (fun () ->
+      (Engine.timer t.engine ~delay (fun () ->
            (* Peer crashed or partitioned: rotate to the next one. *)
-           if t.syncing && (not t.crashed) && t.restarts = epoch then
-             send_sync_request t))
+           if t.syncing && (not t.crashed) && t.restarts = epoch then begin
+             note_instant t "sync_retry"
+               [ ("peer", Trace.A_int dst);
+                 ("delay", Trace.A_float delay);
+                 ("position", Trace.A_int t.delivery_counter) ];
+             send_sync_request t
+           end))
 
 let begin_catch_up t =
   t.syncing <- true;
   t.sync_peer <- (t.cfg.self + 1) mod t.cfg.n;
+  t.sync_backoff <- sync_backoff_base;
   send_sync_request t
+
+let () = resync_hook := begin_catch_up
 
 let finish_catch_up t ~peer_stob_cursor =
   t.syncing <- false;
@@ -540,6 +688,7 @@ let cold_restart t =
     t.restarts <- t.restarts + 1;
     t.syncing <- true; (* gate delivery for the whole recovery window *)
     t.sync_rounds <- 0;
+    t.catch_up_ck <- false;
     (* Wipe every in-memory structure: only the disk state survives. *)
     Hashtbl.reset t.batches;
     t.stored_bytes <- 0;
@@ -552,6 +701,7 @@ let cold_restart t =
     Hashtbl.reset t.delivered_refs;
     t.delivery_counter <- 0;
     t.delivered_messages <- 0;
+    Membership.reset t.membership;
     Array.fill t.peer_counters 0 t.cfg.n 0;
     Hashtbl.reset t.fetching;
     Hashtbl.reset t.seen_signups;
@@ -614,7 +764,7 @@ let receive_broker t ~src_broker msg =
               in
               if
                 Certs.verify ~statement ~server_ms_pk:t.server_ms_pk
-                  ~quorum:(t.f + 1) witness
+                  ~quorum:(quorum t) witness
               then begin
                 t.stob_broadcast
                   (Stob_item.Batch_ref { broker = src_broker; number; root; witness });
@@ -678,12 +828,14 @@ let receive_server t ~src msg =
       if t.syncing then begin
         (match t.sync_timer with Some tm -> Engine.cancel tm | None -> ());
         t.sync_timer <- None;
+        t.sync_backoff <- sync_backoff_base; (* progress: reset the backoff *)
         t.sync_rounds <- t.sync_rounds + 1;
         (match checkpoint with
          | Some ck when ck.Proto.ck_position > t.delivery_counter ->
            (* The peer's snapshot is ahead of everything we have: replace
               our state wholesale and replay its WAL suffix on top. *)
            restore_checkpoint t ck;
+           t.catch_up_ck <- true;
            (match t.store with
             | Some s when Store.checkpoint_position s < ck.Proto.ck_position ->
               Store.checkpoint s ~position:ck.Proto.ck_position
@@ -725,6 +877,33 @@ let on_stob_deliver t item =
         t.send_broker ~broker:reply_broker ~bytes:(Wire.header_bytes + 16)
           (Signup_done { nonce; id })
       end
+    | Stob_item.Reconfigure { change; ms_pk } ->
+      (* Ordered reconfiguration: every correct server applies the change
+         at the same total-order position, so the active set, the multisig
+         committee and the quorum thresholds roll forward in lockstep.
+         A duplicate (rebroadcast, or already learned via state transfer)
+         is a no-op through the idempotence guard. *)
+      if Membership.applies t.membership change then begin
+        ignore (Membership.apply t.membership change);
+        (match ms_pk, change with
+         | Some pk, (Membership.Join i | Membership.Replace (i, _)) ->
+           t.set_server_pk i pk
+         | _ -> ());
+        wal_log t
+          (Proto.Wal_reconfig
+             { w_change = change; w_ms_pk = ms_pk;
+               w_rpos = t.delivery_counter });
+        note_instant t "reconfigure"
+          [ ("epoch", Trace.A_int (Membership.epoch t.membership));
+            ("change", Trace.A_str (Membership.describe change)) ];
+        match change with
+        | Membership.Leave i when i = t.cfg.self ->
+          (* Ordered out: stop participating; the deployment hook tears
+             down this node's network presence. *)
+          t.crashed <- true;
+          t.on_self_leave ()
+        | _ -> ()
+      end
     | Stob_item.Batch_ref { broker; number; root; witness } ->
       if Hashtbl.mem t.seen_refs (broker, number) then
         (* A second batch reference for the same (broker, number) slot:
@@ -738,8 +917,8 @@ let on_stob_deliver t item =
         let statement = Certs.witness_statement ~root ~broker ~number in
         Trace.Counter.incr t.c_verify;
         if
-          Certs.verify ~statement ~server_ms_pk:t.server_ms_pk ~quorum:(t.f + 1)
-            witness
+          Certs.verify ~statement ~server_ms_pk:t.server_ms_pk
+            ~quorum:(quorum t) witness
         then begin
           (let s = tr t in
            if Trace.enabled s then

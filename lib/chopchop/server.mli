@@ -23,7 +23,7 @@ type t
 
 type config = {
   self : int;
-  n : int; (* number of servers; f = (n-1)/3 *)
+  n : int; (* server slot capacity; f follows the active membership *)
   clients : int; (* directory size, for wire arithmetic *)
   gc_period : float; (* GC gossip period, seconds *)
 }
@@ -36,6 +36,9 @@ val create :
   ?checkpoint_every:int ->
   ?stob_cursor:(unit -> int) ->
   ?stob_resume:(int -> unit) ->
+  ?membership:Membership.t ->
+  ?set_server_pk:(int -> Repro_crypto.Multisig.public_key -> unit) ->
+  ?on_self_leave:(unit -> unit) ->
   directory:Directory.t ->
   ms_sk:Repro_crypto.Multisig.secret_key ->
   server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
@@ -48,7 +51,11 @@ val create :
 (** [store] attaches durable state; [checkpoint_every] (deliveries,
     default 0 = never) controls snapshot density.  [stob_cursor] /
     [stob_resume] let cold restart fast-forward the ordering underlay
-    past slots recovered through state transfer. *)
+    past slots recovered through state transfer.  [membership] shares the
+    dynamic server roster (defaults to a static full one);
+    [set_server_pk] publishes a joining/replacing server's multisig key to
+    the deployment; [on_self_leave] fires when an ordered [Leave] of this
+    very slot is delivered. *)
 
 val start : t -> unit
 (** Arm the periodic GC gossip. *)
@@ -126,7 +133,26 @@ val sync_rounds : t -> int
 val catch_up_records : t -> int
 (** WAL records obtained from peers (cumulative across restarts). *)
 
+val catch_up_checkpoint : t -> bool
+(** Whether the last catch-up installed a peer checkpoint (as opposed to
+    covering the gap with WAL records alone). *)
+
 val restarts : t -> int
 (** Cold restarts so far. *)
 
 val directory : t -> Directory.t
+
+(** {2 Dynamic membership} *)
+
+val membership : t -> Membership.t
+
+val epoch : t -> int
+(** Membership epoch (ordered reconfigurations applied so far). *)
+
+val quorum : t -> int
+(** Current witness / completion quorum, [f+1] over the active set. *)
+
+val broadcast_reconfigure :
+  t -> Membership.change -> ms_pk:Repro_crypto.Multisig.public_key option -> unit
+(** Inject a membership change into the ordering underlay; every server
+    applies it at the same delivery rank. *)

@@ -6,7 +6,13 @@ type t =
       witness : Certs.quorum_cert;
     }
   | Signup of { card : Types.keycard; reply_broker : int; nonce : int }
+  | Reconfigure of {
+      change : Membership.change;
+      ms_pk : Repro_crypto.Multisig.public_key option;
+          (* committee key of the joining / replacing server *)
+    }
 
 let wire_bytes = function
   | Batch_ref _ -> Wire.stob_submission_bytes
   | Signup _ -> Wire.header_bytes + (2 * Wire.pk_bytes) + 8
+  | Reconfigure _ -> Wire.header_bytes + 16 + Wire.pk_bytes

@@ -14,5 +14,11 @@ type t =
       witness : Certs.quorum_cert;
     }
   | Signup of { card : Types.keycard; reply_broker : int; nonce : int }
+  | Reconfigure of {
+      change : Membership.change;
+      ms_pk : Repro_crypto.Multisig.public_key option;
+          (* multisig key of the joining / replacing server, [None] for
+             a plain leave *)
+    }
 
 val wire_bytes : t -> int

@@ -11,6 +11,7 @@ let wal_record_bytes (r : Proto.wal_record) =
   | Proto.Wal_batch { w_ops; _ } ->
     Wire.header_bytes + 8 + 8 + Wire.hash_bytes + wal_op_bytes w_ops
   | Proto.Wal_signup _ -> Wire.header_bytes + 8 + Wire.keycard_bytes + 8
+  | Proto.Wal_reconfig _ -> Wire.header_bytes + 16 + Wire.pk_bytes + 8
 
 let checkpoint_bytes (ck : Proto.checkpoint) =
   let last_msg_bytes =
@@ -23,8 +24,10 @@ let checkpoint_bytes (ck : Proto.checkpoint) =
   + (List.length ck.Proto.ck_dense_last * 3 * Wire.seqno_bytes)
   + (List.length ck.Proto.ck_refs * 3 * 8)
   + (List.length ck.Proto.ck_signups * 8)
-  + (ck.Proto.ck_dir_cards * Wire.keycard_bytes)
+  + (List.length ck.Proto.ck_cards * Wire.keycard_bytes)
   + (match ck.Proto.ck_app with Some s -> String.length s | None -> 0)
+  + 8 (* epoch *)
+  + (List.length ck.Proto.ck_members * 9) (* active flag + generation *)
 
 let sync_response_bytes ~checkpoint ~records =
   let ck_bytes =

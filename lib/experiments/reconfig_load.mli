@@ -1,0 +1,22 @@
+(** Reconfiguration under load: the dynamic-membership cost picture.
+
+    A Sequencer deployment with durable stores and one spare slot runs a
+    sustained dense load plus heavy-tailed measurement clients; mid-run a
+    spare joins through an ordered Reconfigure (bootstrapping via state
+    transfer) and a founding member later leaves.  Reports throughput
+    before / across / after the reconfigurations, the join bring-up time,
+    and probe-client latency. *)
+
+type result = {
+  offered : float;
+  tput_before : float; (* steady state, msg/s at server 0 *)
+  tput_reconfig : float; (* join .. leave window *)
+  tput_after : float; (* shrunk committee, post-settling *)
+  join_recovery_s : float; (* join order -> joiner caught up *)
+  final_epoch : int; (* ordered changes applied everywhere *)
+  client_latency_mean : float; (* measurement clients, whole run *)
+}
+
+val metrics : scale:Figures.scale -> result
+
+val print : Format.formatter -> Figures.scale -> unit

@@ -1,0 +1,37 @@
+(** Adversarial client traffic against broker admission control.
+
+    Open-loop floods injected through a raw network node
+    ({!Repro_chopchop.Deployment.add_injector}), bypassing the honest
+    client state machine: a {e sybil} flood under identities the
+    directory never issued (shed as "reject_unknown") and a {e greedy}
+    flood from valid identities exceeding the per-client admission rate
+    (excess shed as "reject_rate"; admitted traffic is properly signed
+    and flows through the normal pipeline). *)
+
+type t
+
+val sent : t -> int
+(** Submissions injected so far. *)
+
+val start_greedy :
+  deployment:Repro_chopchop.Deployment.t ->
+  rng:Repro_sim.Rng.t ->
+  rate:float ->
+  first_id:int ->
+  clients:int ->
+  ?until:float ->
+  unit ->
+  t
+(** Aggregate [rate] submissions/s round-robined over [clients] dense
+    identities starting at [first_id] and over all brokers. *)
+
+val start_sybil :
+  deployment:Repro_chopchop.Deployment.t ->
+  rng:Repro_sim.Rng.t ->
+  rate:float ->
+  first_fake_id:int ->
+  ?until:float ->
+  unit ->
+  t
+(** [rate] submissions/s under ever-fresh unknown identities starting at
+    [first_fake_id] (must exceed the directory size). *)

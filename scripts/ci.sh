@@ -27,6 +27,14 @@ dune exec bin/main.exe -- store
 echo "== trace-enabled bench smoke =="
 CHOPCHOP_BENCH_SCALE=quick dune exec bench/main.exe -- trace
 
+echo "== reconfiguration smoke: ordered membership under adversarial load =="
+# Kitchen-sink reconfiguration: join + leave + rolling restarts with a
+# flash crowd and spam clients in flight; every surviving replica must
+# land on the same epoch and app digest.  The experiment then measures
+# the throughput cost of an ordered join + leave under sustained load.
+dune exec bin/main.exe -- chaos --scenario reconfig-kitchen-sink --scale quick
+dune exec bin/main.exe -- run reconfig-load --scale quick
+
 echo "== broker multi-core scalability smoke =="
 # Sweeps 1/4/16/32 worker lanes on one overloaded broker; the experiment
 # itself fails if throughput is not monotone in lanes or does not
@@ -47,7 +55,7 @@ dune exec bin/main.exe -- sweep --manifest examples/sweep-ci.json \
   --out "$sweep_out" --figures | grep -q "cells, 0 missing" \
   || { echo "sweep smoke: results file invalid or incomplete"; exit 1; }
 dune exec bin/main.exe -- sweep --manifest examples/sweep-ci.json \
-  --out "$sweep_out" --serial | grep -q "0 completed, 3 resumed" \
+  --out "$sweep_out" --serial | grep -q "0 completed, 4 resumed" \
   || { echo "sweep smoke: resume did not engage"; exit 1; }
 rm -rf "$sweep_out"
 

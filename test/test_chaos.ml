@@ -171,6 +171,35 @@ let test_invariant_divergence () =
        (fun v -> String.length v >= 9 && String.sub v 0 9 = "agreement")
        (Chaos.Invariant.violations inv))
 
+(* Regression: a replaced or joined server gets a fresh identity and
+   re-delivers history from an unknown offset; [reset_server] must clear
+   its log/dedup state and mute it, so neither re-observed deliveries nor
+   [check_validity] raise false violations against it.  (Before the fix,
+   a replaced server's stale (client, msg) entries tripped spurious
+   no-duplication and validity failures.) *)
+let test_reset_server_mutes_validity () =
+  let inv = Chaos.Invariant.create ~n_servers:2 in
+  let d = Proto.Ops [| (3, "alpha") |] in
+  Chaos.Invariant.observe inv ~server:0 d;
+  Chaos.Invariant.observe inv ~server:1 d;
+  Chaos.Invariant.reset_server inv 1;
+  checkb "server 1 muted" true (Chaos.Invariant.muted inv 1);
+  checkb "server 0 not muted" false (Chaos.Invariant.muted inv 0);
+  (* Re-delivery under the fresh identity: no false duplicate. *)
+  Chaos.Invariant.observe inv ~server:1 d;
+  checkb "no false duplicate after reset" true (Chaos.Invariant.ok inv);
+  (* Validity holds the muted server to digest equality instead: a
+     payload it never (re-)delivered is not a violation on it, but still
+     is on an unmuted server. *)
+  Chaos.Invariant.check_validity inv
+    ~expected:[ ("beta", "beta") ]
+    ~correct_servers:[ 1 ];
+  checkb "muted server exempt from validity" true (Chaos.Invariant.ok inv);
+  Chaos.Invariant.check_validity inv
+    ~expected:[ ("beta", "beta") ]
+    ~correct_servers:[ 0 ];
+  checkb "unmuted server still checked" false (Chaos.Invariant.ok inv)
+
 (* Same seed, same scale -> structurally identical verdicts, rejections
    and per-server delivery counts included. *)
 let test_scenario_determinism () =
@@ -181,6 +210,24 @@ let test_scenario_determinism () =
     let b = sc.Chaos.sc_run ~seed:7L ~scale:Chaos.Quick in
     checkb "verdicts bit-identical across runs" true (a = b);
     checkb "and they pass" true a.Chaos.v_pass
+
+(* Acceptance for the dynamic-membership work: the kitchen-sink
+   reconfiguration scenario (join + leave + rolling restarts under a
+   flash crowd and spam) passes at quick scale under three different
+   seeds, and each run is bit-deterministic. *)
+let test_kitchen_sink_reconfig_seeds () =
+  match Chaos.find "reconfig-kitchen-sink" with
+  | None -> Alcotest.fail "scenario reconfig-kitchen-sink missing"
+  | Some sc ->
+    List.iter
+      (fun seed ->
+        let a = sc.Chaos.sc_run ~seed ~scale:Chaos.Quick in
+        let b = sc.Chaos.sc_run ~seed ~scale:Chaos.Quick in
+        checkb (Printf.sprintf "deterministic under seed %Ld" seed) true (a = b);
+        if not a.Chaos.v_pass then
+          Alcotest.failf "reconfig-kitchen-sink failed under seed %Ld: %s" seed
+            (String.concat "; " a.Chaos.v_violations))
+      [ 1L; 7L; 42L ]
 
 (* Every named scenario passes at quick scale (the CI contract). *)
 let test_all_scenarios_quick () =
@@ -216,9 +263,13 @@ let () =
        [ Alcotest.test_case "no-duplication fires" `Quick
            test_invariant_duplicate;
          Alcotest.test_case "agreement fires" `Quick
-           test_invariant_divergence ]);
+           test_invariant_divergence;
+         Alcotest.test_case "reset_server mutes fresh identities" `Quick
+           test_reset_server_mutes_validity ]);
       ("scenarios",
        [ Alcotest.test_case "deterministic verdicts" `Quick
            test_scenario_determinism;
+         Alcotest.test_case "reconfig kitchen sink across seeds" `Quick
+           test_kitchen_sink_reconfig_seeds;
          Alcotest.test_case "all pass at quick scale" `Quick
            test_all_scenarios_quick ]) ]
