@@ -298,7 +298,9 @@ let run_bench_json () =
   in
   let bench_config (name, cell) =
     let t0 = Sys.time () in
-    let out = Cell.run cell in
+    (* The profiler is write-only (no events, no RNG reads), so attaching
+       it here does not move any gated metric — proved by test_prof. *)
+    let out = Cell.run ~profile:true cell in
     let wall = Sys.time () -. t0 in
     let metric m =
       match List.assoc_opt m out.Cell.metrics with
@@ -309,6 +311,20 @@ let run_bench_json () =
       { B.value = metric m; tolerance = Some tol; direction }
     in
     let info value = { B.value; tolerance = None; direction = B.Lower_better } in
+    (* Simulator-efficiency metrics.  events_per_delivery is deterministic
+       (engine events per delivered message) and gated: event-count bloat
+       is a real scheduling regression.  minor_words_per_event is also
+       reproducible for a fixed binary but tracks the compiler/allocator,
+       not protocol behaviour — informational. *)
+    let events_per_delivery =
+      float_of_int out.Cell.sim_events /. Float.max 1. (metric "delivered_messages")
+    in
+    let minor_words_per_event =
+      match out.Cell.prof with
+      | Some p when p.Repro_prof.Prof.p_events > 0 ->
+        p.Repro_prof.Prof.p_minor_words /. float_of_int p.Repro_prof.Prof.p_events
+      | _ -> 0.
+    in
     ( name,
       [ ("throughput_ops", gated 0.05 B.Higher_better "throughput_ops");
         ("latency_p50_s", gated 0.10 B.Lower_better "latency_p50_s");
@@ -321,6 +337,10 @@ let run_bench_json () =
           gated 0.10 B.Lower_better "wal_bytes_per_payload_byte" );
         ( "broker_cpu_busy_s_per_payload_byte",
           gated 0.10 B.Lower_better "broker_cpu_busy_s_per_payload_byte" );
+        ( "events_per_delivery",
+          { B.value = events_per_delivery; tolerance = Some 0.05;
+            direction = B.Lower_better } );
+        ("minor_words_per_event", info minor_words_per_event);
         ("wall_time_s", info wall);
         (* Sim-speed self-benchmark: how fast the simulator itself runs on
            this machine.  Machine-dependent, hence ungated. *)
@@ -369,6 +389,13 @@ let run_bench_json () =
           "  behaviour change: regenerate with `dune exec bench/main.exe";
           "  -- json` and commit the new file alongside the change that";
           "  explains it.";
+          "Gated vs informational split for the simulator-efficiency";
+          "  metrics: events_per_delivery (engine events per delivered";
+          "  message) is deterministic for a fixed seed and GATED --";
+          "  event-count bloat is a real scheduling regression.";
+          "  minor_words_per_event (lib/prof GC probe) reproduces for a";
+          "  fixed binary but tracks the OCaml compiler/allocator, not";
+          "  protocol behaviour, so it stays informational.";
           "Compared by scripts/bench_compare (bench/compare.ml), which";
           "  scripts/ci.sh runs against a fresh `bench json` run." ];
       configs = List.map bench_config configs @ [ reconfig_config () ] }

@@ -276,7 +276,7 @@ let chaos_cmd =
         if scenario = "all" then Some (C.run_all ~seed ~scale)
         else
           match C.find scenario with
-          | Some s -> Some [ s.C.sc_run ~seed ~scale ]
+          | Some s -> Some [ s.C.sc_run ~seed ~scale () ]
           | None -> None
       in
       match verdicts with
@@ -474,13 +474,21 @@ let sweep_cmd =
           ~doc:"Skip running: aggregate whatever cell outputs exist and \
                 render the figure tables.")
   in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Attach the engine self-profiler to run cells and embed its \
+                deterministic counters as a $(b,profile) field in each cell \
+                output (wall-time stays in the timings sidecar).")
+  in
   let outcome_word = function
     | S.Pool.Completed -> "ok"
     | S.Pool.Skipped -> "skip"
     | S.Pool.Failed _ -> "FAIL"
     | S.Pool.Timed_out -> "TIMEOUT"
   in
-  let run manifest out workers serial timeout list figures =
+  let run manifest out workers serial timeout list figures profile =
     match S.Manifest.load ~path:manifest with
     | Error e -> `Error (false, e)
     | Ok m ->
@@ -503,7 +511,7 @@ let sweep_cmd =
       end
       else begin
         let reports =
-          S.Pool.run ~workers ~timeout ~serial ~out_dir:out m
+          S.Pool.run ~workers ~timeout ~serial ~profile ~out_dir:out m
             ~on_report:(fun ~done_count ~total r ->
               Printf.printf "[%d/%d] %-7s %s  %s (%.1fs)\n%!" done_count total
                 (outcome_word r.S.Pool.r_outcome)
@@ -547,12 +555,178 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ manifest_arg $ out_arg $ workers_arg $ serial_arg
-        $ timeout_arg $ list_arg $ figures_arg))
+        $ timeout_arg $ list_arg $ figures_arg $ profile_arg))
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a manifest-driven parameter sweep across parallel workers \
              and regenerate the figure grid")
+    term
+
+let profile_cmd =
+  let module Cell = Repro_experiments.Cell in
+  let module Prof = Repro_prof.Prof in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Simulation seed; the deterministic half of the report is \
+                bit-identical for identical seeds.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the profile report as JSON here.")
+  in
+  let no_wall_arg =
+    Arg.(
+      value & flag
+      & info [ "no-wall" ]
+          ~doc:"Omit the machine-dependent wall-time half from the JSON \
+                report — what remains is byte-identical across same-seed \
+                runs (CI compares two runs with $(b,cmp)).")
+  in
+  let cell_of_scale = function
+    | F.Quick -> Cell.default
+    | F.Full ->
+      { Cell.default with
+        Cell.servers = 16; rate = 1_000_000.; batch = 16_384; duration = 12.;
+        warmup = 4.; cooldown = 3.; dense_clients = 10_000_000 }
+  in
+  let run scale seed out no_wall =
+    let c = { (cell_of_scale scale) with Cell.seed } in
+    let o = Cell.run ~profile:true c in
+    match o.Cell.prof with
+    | None -> `Error (false, "profiler produced no report")
+    | Some r ->
+      Format.printf "%a@." Prof.pp_markdown r;
+      Format.printf
+        "run: %d engine events over %.0f simulated seconds \
+         (throughput %.0f op/s)@."
+        o.Cell.sim_events o.Cell.sim_seconds
+        (Option.value ~default:0. (List.assoc_opt "throughput_ops" o.Cell.metrics));
+      (try
+         Option.iter
+           (fun path ->
+             Repro_metrics.Json.to_file ~path
+               (Prof.to_json ~wall:(not no_wall) r);
+             Format.printf "profile json -> %s@." path)
+           out;
+         `Ok ()
+       with Sys_error e -> `Error (false, e))
+  in
+  let term =
+    Term.(ret (const run $ scale_term $ seed_arg $ out_arg $ no_wall_arg))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Self-profile the simulator: per-component handler wall-time, \
+             GC pressure, queue depth/dwell — without perturbing the run")
+    term
+
+let doctor_cmd =
+  let module C = Repro_chaos.Chaos in
+  let module Doctor = Repro_prof.Doctor in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "stall-partition"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Chaos scenario to diagnose (any $(b,chopchop chaos) \
+                scenario, plus diagnostic-only ones like \
+                $(b,stall-partition); see $(b,--list)).")
+  in
+  let chaos_scale_arg =
+    let parse s =
+      match C.scale_of_string s with
+      | Some sc -> Ok sc
+      | None -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|full)" s))
+    in
+    let print fmt s = Format.pp_print_string fmt (C.scale_to_string s) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) C.Quick
+      & info [ "s"; "scale" ] ~docv:"SCALE"
+          ~doc:"Scenario scale: $(b,quick) (4 servers) or $(b,full) (7).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 42L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+  in
+  let kill_at_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "kill-at" ] ~docv:"T"
+          ~doc:"Stop the simulation at $(docv) simulated seconds — a \
+                post-mortem on a run killed before delivery completes.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the diagnosis as JSON here.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List diagnosable scenario names (chaos + diagnostic-only) \
+                and exit.")
+  in
+  let run scenario scale seed kill_at out list =
+    if list then begin
+      List.iter
+        (fun s -> Printf.printf "  %-20s %s\n" s.C.sc_name s.C.sc_summary)
+        (C.scenarios @ C.diagnostics);
+      `Ok ()
+    end
+    else
+      match C.find_any scenario with
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown scenario %S; available: %s" scenario
+              (String.concat ", "
+                 (List.map
+                    (fun s -> s.C.sc_name)
+                    (C.scenarios @ C.diagnostics))) )
+      | Some sc ->
+        let v = sc.C.sc_run ?until:kill_at ~seed ~scale () in
+        Format.printf "%a@." C.pp_verdict v;
+        (match v.C.v_diagnosis with
+         | None ->
+           if v.C.v_pass then begin
+             Format.printf
+               "doctor: run healthy — %d/%d delivered, nothing to diagnose@."
+               v.C.v_completed v.C.v_expected;
+             `Ok ()
+           end
+           else `Error (false, "doctor: run failed but produced no diagnosis")
+         | Some d ->
+           (try
+              Option.iter
+                (fun path ->
+                  Repro_metrics.Json.to_file ~path (Doctor.to_json d);
+                  Format.printf "diagnosis json -> %s@." path)
+                out;
+              `Ok ()
+            with Sys_error e -> `Error (false, e)))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ scenario_arg $ chaos_scale_arg $ seed_arg $ kill_at_arg
+        $ out_arg $ list_arg))
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:"Post-mortem a stalled or killed run: the delivery watchdog's \
+             structured diagnosis (partition, quorum, deepest backlog)")
     term
 
 let list_cmd =
@@ -573,4 +747,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; trace_cmd; metrics_cmd; chaos_cmd;
-            store_cmd; sweep_cmd ]))
+            store_cmd; sweep_cmd; profile_cmd; doctor_cmd ]))

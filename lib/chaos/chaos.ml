@@ -9,6 +9,7 @@ module Payments = Repro_apps.Payments
 module Rng = Repro_sim.Rng
 module Generators = Repro_workload.Generators
 module Spam = Repro_workload.Spam
+module Doctor = Repro_prof.Doctor
 
 (* --- fault schedule ------------------------------------------------------- *)
 
@@ -254,6 +255,9 @@ type verdict = {
   v_delivered : int array; (* per-server delivered message counts *)
   v_rejections : (string * int) list; (* rejection instants, by name *)
   v_notes : string list;
+  v_diagnosis : Doctor.diagnosis option;
+      (* doctor post-mortem, present iff the run stalled, under-completed
+         or violated an invariant *)
 }
 
 let reject_names =
@@ -289,6 +293,9 @@ let pp_verdict ppf v =
        rs);
   List.iter (fun n -> Fmt.pf ppf "  note: %s@," n) v.v_notes;
   List.iter (fun viol -> Fmt.pf ppf "  VIOLATION: %s@," viol) v.v_violations;
+  (match v.v_diagnosis with
+   | None -> ()
+   | Some di -> Fmt.pf ppf "%a" Doctor.pp di);
   Fmt.pf ppf "@]"
 
 (* --- scenario harness -------------------------------------------------------- *)
@@ -296,7 +303,7 @@ let pp_verdict ppf v =
 type scenario = {
   sc_name : string;
   sc_summary : string;
-  sc_run : seed:int64 -> scale:scale -> verdict;
+  sc_run : ?until:float -> seed:int64 -> scale:scale -> unit -> verdict;
 }
 
 (* Scenario dimensions: servers / interactive clients / messages each /
@@ -333,13 +340,17 @@ let dims = function Quick -> (4, 6, 2, 90.) | Full -> (7, 12, 3, 150.)
    correctly-signed over-rate traffic from dense identities and with
    unknown-identity sybil submissions ([dense_clients] > 0 required for
    the former); [duration] overrides the scale's default run length. *)
-let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
+let run_case ?until ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
     ~make_schedule ?(crashed_clients = []) ?(degraded_servers = [])
     ?(expect_rejects = []) ?(store = false) ?(checkpoint_every = 0) ?apps
     ?(spare_servers = 0) ?(dense_clients = 0) ?admission ?surge ?spam
     ?duration ?(post = fun _ _ -> []) () =
   let n_servers, n_clients, msgs_each, base_duration = dims scale in
   let duration = Option.value duration ~default:base_duration in
+  (* [until] kills the run early (doctor post-mortems on a run cut short
+     of delivery); expectations are NOT scaled down, so an early kill
+     surfaces as an under-completion with a diagnosis attached. *)
+  let run_until = match until with Some u -> Float.min u duration | None -> duration in
   let admission_rate, admission_burst =
     Option.value admission ~default:(0., 0.)
   in
@@ -441,7 +452,20 @@ let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
          | _ -> ())
       | _ -> ())
     (make_schedule d clients);
-  Deployment.run d ~until:duration;
+  let completed_now () =
+    (Array.to_list clients
+    |> List.mapi (fun i c -> if List.mem i crashed_clients then 0 else Client.completed c)
+    |> List.fold_left ( + ) 0)
+    + List.fold_left (fun acc c -> acc + Client.completed c) 0 !surge_clients
+  in
+  let static_expected =
+    List.length expected
+    + (match surge with Some (_, count) -> count | None -> 0)
+  in
+  let watchdog =
+    Doctor.watch d ~progress:completed_now ~expected:static_expected ()
+  in
+  Deployment.run d ~until:run_until;
   let expected = expected @ List.rev !surge_expected in
   let correct_servers =
     List.filter
@@ -449,18 +473,13 @@ let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
       (List.init n_servers Fun.id)
   in
   Invariant.check_validity inv ~expected ~correct_servers;
-  let completed =
-    (Array.to_list clients
-    |> List.mapi (fun i c -> if List.mem i crashed_clients then 0 else Client.completed c)
-    |> List.fold_left ( + ) 0)
-    + List.fold_left (fun acc c -> acc + Client.completed c) 0 !surge_clients
-  in
+  let completed = completed_now () in
   let n_expected = List.length expected in
   if completed < n_expected then
     Invariant.violate inv
       (Printf.sprintf
          "liveness: only %d of %d client broadcasts completed within %.0f s"
-         completed n_expected duration);
+         completed n_expected run_until);
   let rejections = rejection_counts trace in
   List.iter
     (fun rn ->
@@ -470,6 +489,19 @@ let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
     expect_rejects;
   List.iter (Invariant.violate inv) (post d inv);
   let violations = Invariant.violations inv in
+  let diagnosis =
+    match Doctor.stalled watchdog with
+    | Some di -> Some di
+    | None ->
+      let post_mortem reason =
+        Some
+          (Doctor.diagnose d ~progress:completed ~expected:n_expected
+             ~last_progress_at:(Doctor.last_progress_at watchdog) ~reason)
+      in
+      if completed < n_expected then post_mortem "incomplete"
+      else if violations <> [] then post_mortem "invariant"
+      else None
+  in
   { v_name = name;
     v_pass = violations = [];
     v_violations = violations;
@@ -478,7 +510,8 @@ let run_case ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
     v_delivered =
       Array.map Server.delivered_messages (Deployment.servers d);
     v_rejections = rejections;
-    v_notes = [] }
+    v_notes = [];
+    v_diagnosis = diagnosis }
 
 (* --- the scenarios ----------------------------------------------------------- *)
 
@@ -488,9 +521,9 @@ let sc_fig11a_crash =
       "crash one PBFT server mid-run; the remaining 2f+1 keep delivering \
        (Fig. 11a)";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
-        run_case ~name:"fig11a-crash" ~seed ~scale ~underlay:Deployment.Pbft
+        run_case ?until ~name:"fig11a-crash" ~seed ~scale ~underlay:Deployment.Pbft
           ~n_brokers:2
           ~make_schedule:(fun _ _ -> [ (15., Crash_server (n_servers - 1)) ])
           ~degraded_servers:[ n_servers - 1 ] ()) }
@@ -502,8 +535,8 @@ let sc_broker_equivocation =
        batches for the same (broker, number) slot; (broker, number) dedup \
        delivers exactly one, orphaned clients fail over (§4.4)";
     sc_run =
-      (fun ~seed ~scale ->
-        run_case ~name:"broker-equivocation" ~seed ~scale
+      (fun ?until ~seed ~scale () ->
+        run_case ?until ~name:"broker-equivocation" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~client_brokers:[ 0; 1 ]
           ~make_schedule:(fun _ _ -> [ (0., Byz_broker_equivocate 0) ])
@@ -516,8 +549,8 @@ let sc_broker_garble =
        tampered payloads); servers refuse to witness and clients complete \
        through the last correct broker (§4.4.2 validity)";
     sc_run =
-      (fun ~seed ~scale ->
-        run_case ~name:"broker-garble" ~seed ~scale
+      (fun ?until ~seed ~scale () ->
+        run_case ?until ~name:"broker-garble" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:3
           ~client_brokers:[ 0; 1; 2 ]
           ~make_schedule:(fun _ _ ->
@@ -531,8 +564,8 @@ let sc_broker_withhold =
        clients resubmit elsewhere and complete via the exceptions path, \
        still delivered exactly once";
     sc_run =
-      (fun ~seed ~scale ->
-        run_case ~name:"broker-withhold" ~seed ~scale
+      (fun ?until ~seed ~scale () ->
+        run_case ?until ~name:"broker-withhold" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~client_brokers:[ 0; 1 ]
           ~make_schedule:(fun _ _ -> [ (0., Byz_broker_withhold 0) ])
@@ -545,8 +578,8 @@ let sc_server_bad_shares =
        witness; brokers reject the bad shards and still assemble f+1 \
        quorums from honest servers";
     sc_run =
-      (fun ~seed ~scale ->
-        run_case ~name:"server-bad-shares" ~seed ~scale
+      (fun ?until ~seed ~scale () ->
+        run_case ?until ~name:"server-bad-shares" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~make_schedule:(fun _ _ ->
             [ (0., Byz_server_bad_shares 1); (0., Byz_server_refuse_witness 2) ])
@@ -559,10 +592,10 @@ let sc_partition_heal =
        majority side keeps delivering, the isolated server stays a \
        correct prefix";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let majority = List.init (n_servers - 1) Fun.id in
-        run_case ~name:"partition-heal" ~seed ~scale ~underlay:Deployment.Pbft
+        run_case ?until ~name:"partition-heal" ~seed ~scale ~underlay:Deployment.Pbft
           ~n_brokers:2
           ~make_schedule:(fun _ _ ->
             [ (12., Partition [ majority; [ n_servers - 1 ] ]); (30., Heal) ])
@@ -575,8 +608,8 @@ let sc_lossy_wan =
        latency; the reliable-UDP layer retransmits and everything still \
        completes";
     sc_run =
-      (fun ~seed ~scale ->
-        run_case ~name:"lossy-wan" ~seed ~scale ~underlay:Deployment.Sequencer
+      (fun ?until ~seed ~scale () ->
+        run_case ?until ~name:"lossy-wan" ~seed ~scale ~underlay:Deployment.Sequencer
           ~n_brokers:2
           ~make_schedule:(fun d clients ->
             let b0 = Deployment.broker_node_id d 0 in
@@ -608,11 +641,11 @@ let sc_kitchen_sink =
        partition, a crash with recovery, and a lossy client link — \
        safety invariants hold and correct clients still complete";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let victim = n_servers - 1 in
         let majority = List.init (n_servers - 1) Fun.id in
-        run_case ~name:"kitchen-sink" ~seed ~scale
+        run_case ?until ~name:"kitchen-sink" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:3
           ~client_brokers:[ 0; 1; 2 ]
           ~make_schedule:(fun d clients ->
@@ -656,12 +689,12 @@ let sc_crash_cold_restart =
        replica — and collection advanced past the crash window because \
        checkpoints stand in for the crashed server's counter";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let victim = n_servers - 1 in
         let apps = Array.init n_servers (fun _ -> Payments.create ()) in
         let collected_mid = ref 0 and collected_late = ref 0 in
-        run_case ~name:"crash-cold-restart" ~seed ~scale
+        run_case ?until ~name:"crash-cold-restart" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~store:true ~checkpoint_every:4 ~apps
           ~make_schedule:(fun d _ ->
@@ -692,12 +725,12 @@ let sc_lagging_restart =
        cannot cover the gap, so the cold restart must pull the peer \
        checkpoint and record tail via state transfer";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let victim = n_servers - 1 in
         let majority = List.init (n_servers - 1) Fun.id in
         let apps = Array.init n_servers (fun _ -> Payments.create ()) in
-        run_case ~name:"lagging-restart" ~seed ~scale ~underlay:Deployment.Pbft
+        run_case ?until ~name:"lagging-restart" ~seed ~scale ~underlay:Deployment.Pbft
           ~n_brokers:2 ~store:true ~checkpoint_every:2 ~apps
           ~make_schedule:(fun _ _ ->
             [ (10., Partition [ majority; [ victim ] ]);
@@ -729,13 +762,13 @@ let sc_checkpoint_partition =
        collection advances past its stalled counter — and a cold restart \
        after the heal installs a peer checkpoint ahead of the local WAL";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let victim = n_servers - 1 in
         let majority = List.init (n_servers - 1) Fun.id in
         let apps = Array.init n_servers (fun _ -> Payments.create ()) in
         let ck_mid = ref 0 and ck_late = ref 0 in
-        run_case ~name:"checkpoint-partition" ~seed ~scale
+        run_case ?until ~name:"checkpoint-partition" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~store:true ~checkpoint_every:2 ~apps
           ~make_schedule:(fun d _ ->
@@ -793,11 +826,11 @@ let sc_reconfig_join =
        the committee forward at the same rank, and the joiner ends with \
        the same app digest as the founding members";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let spare = n_servers in
         let apps = Array.init (n_servers + 1) (fun _ -> Payments.create ()) in
-        run_case ~name:"reconfig-join" ~seed ~scale
+        run_case ?until ~name:"reconfig-join" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~store:true ~checkpoint_every:4 ~spare_servers:1 ~apps
           ~make_schedule:(fun _ _ -> [ (20., Join_server spare) ])
@@ -819,11 +852,11 @@ let sc_reconfig_leave =
        survivors shrink their quorums at the same rank, and traffic keeps \
        completing";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let leaver = n_servers - 1 in
         let apps = Array.init n_servers (fun _ -> Payments.create ()) in
-        run_case ~name:"reconfig-leave" ~seed ~scale
+        run_case ?until ~name:"reconfig-leave" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2 ~apps
           ~make_schedule:(fun _ _ -> [ (20., Leave_server leaver) ])
           ~degraded_servers:[ leaver ]
@@ -844,11 +877,11 @@ let sc_reconfig_replace =
        committee key and the newcomer re-learns the full history through \
        state transfer";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let victim = n_servers - 1 in
         let apps = Array.init n_servers (fun _ -> Payments.create ()) in
-        run_case ~name:"reconfig-replace" ~seed ~scale
+        run_case ?until ~name:"reconfig-replace" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~store:true ~checkpoint_every:4 ~apps
           ~make_schedule:(fun _ _ -> [ (22., Replace_server victim) ])
@@ -874,10 +907,10 @@ let sc_rolling_upgrade =
        node); each one state-transfers its gap and the fleet ends with \
        bit-identical app digests";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, _, _, _ = dims scale in
         let apps = Array.init n_servers (fun _ -> Payments.create ()) in
-        run_case ~name:"rolling-upgrade" ~seed ~scale
+        run_case ?until ~name:"rolling-upgrade" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~store:true ~checkpoint_every:4 ~apps
           ~make_schedule:(fun _ _ ->
@@ -895,9 +928,9 @@ let sc_flash_crowd =
        the steady workload; distillation absorbs the crowd and every \
        surge broadcast still completes";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let _, n_clients, _, _ = dims scale in
-        run_case ~name:"flash-crowd" ~seed ~scale
+        run_case ?until ~name:"flash-crowd" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~surge:(30., 10 * n_clients)
           ~make_schedule:(fun _ _ -> [])
@@ -911,8 +944,8 @@ let sc_spam_sybil =
        at broker intake (reject_unknown / reject_rate) and the honest \
        clients keep completing";
     sc_run =
-      (fun ~seed ~scale ->
-        run_case ~name:"spam-sybil" ~seed ~scale
+      (fun ?until ~seed ~scale () ->
+        run_case ?until ~name:"spam-sybil" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:2
           ~dense_clients:2048
           ~admission:(2., 6.)
@@ -930,7 +963,7 @@ let sc_reconfig_kitchen_sink =
        10x flash crowd plus sybil and over-rate spam — and the epoch \
        rolls forward deterministically with bit-identical app digests";
     sc_run =
-      (fun ~seed ~scale ->
+      (fun ?until ~seed ~scale () ->
         let n_servers, n_clients, _, _ = dims scale in
         let spare = n_servers in
         let leaver = 1 in
@@ -942,7 +975,7 @@ let sc_reconfig_kitchen_sink =
           List.filter (fun s -> s <> leaver) (List.init n_servers Fun.id)
           @ [ spare ]
         in
-        run_case ~name:"reconfig-kitchen-sink" ~seed ~scale
+        run_case ?until ~name:"reconfig-kitchen-sink" ~seed ~scale
           ~underlay:Deployment.Sequencer ~n_brokers:3
           ~client_brokers:[ 0; 1; 2 ]
           ~store:true ~checkpoint_every:4 ~spare_servers:1
@@ -984,5 +1017,36 @@ let scenarios =
 
 let find name = List.find_opt (fun s -> s.sc_name = name) scenarios
 
+(* Deliberately-failing diagnostic scenarios, kept OUT of [scenarios] so
+   `chaos all`, sweeps and CI stay green.  stall-partition cuts every
+   server off from the brokers (and clients) at t = 10 s and never heals:
+   delivery stops dead, the in-run watchdog fires, and the verdict
+   carries a diagnosis naming the partition — the doctor's worked
+   example and the CI doctor smoke target. *)
+let sc_stall_partition =
+  { sc_name = "stall-partition";
+    sc_summary =
+      "DIAGNOSTIC (always fails): full servers-vs-brokers partition at \
+       t = 10 s, never healed; the delivery watchdog must fire and name \
+       the partition";
+    sc_run =
+      (fun ?until ~seed ~scale () ->
+        let n_servers, _, _, _ = dims scale in
+        run_case ?until ~name:"stall-partition" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:2
+          ~make_schedule:(fun _ _ ->
+            (* Group 0 is the implicit rest-of-the-world (brokers and
+               clients); listing the servers as the second group cuts
+               every server<->broker link at once. *)
+            [ (10., Partition [ []; List.init n_servers Fun.id ]) ])
+          ()) }
+
+let diagnostics = [ sc_stall_partition ]
+
+let find_any name =
+  match find name with
+  | Some s -> Some s
+  | None -> List.find_opt (fun s -> s.sc_name = name) diagnostics
+
 let run_all ~seed ~scale =
-  List.map (fun s -> s.sc_run ~seed ~scale) scenarios
+  List.map (fun s -> s.sc_run ~seed ~scale ()) scenarios

@@ -150,14 +150,23 @@ type verdict = {
       (** "reject_*" / "dup_ref" trace instants observed, by name — the
           correct nodes catching the injected misbehavior in the act *)
   v_notes : string list;
+  v_diagnosis : Repro_prof.Doctor.diagnosis option;
+      (** doctor post-mortem: present iff the run stalled (the in-run
+          watchdog fired), completed fewer broadcasts than expected, or
+          violated an invariant — the structured answer to "why did this
+          chaos run fail" ([chopchop doctor]) *)
 }
 
 val pp_verdict : Format.formatter -> verdict -> unit
+(** Includes the doctor diagnosis when one is attached. *)
 
 type scenario = {
   sc_name : string;
   sc_summary : string;
-  sc_run : seed:int64 -> scale:scale -> verdict;
+  sc_run : ?until:float -> seed:int64 -> scale:scale -> unit -> verdict;
+      (** [until] kills the run at that sim time without scaling down the
+          expectations — the hook [chopchop doctor --kill-at] uses to
+          force a post-mortem on a scenario cut short of delivery *)
 }
 
 val scenarios : scenario list
@@ -179,5 +188,15 @@ val scenarios : scenario list
     it in one run. *)
 
 val find : string -> scenario option
+
+val diagnostics : scenario list
+(** Deliberately-failing diagnostic scenarios (currently
+    [stall-partition]: servers cut from brokers at t = 10 s, never
+    healed).  Kept out of {!scenarios} so [chaos all], sweeps and CI stay
+    green; resolvable via {!find_any} for [chopchop doctor] demos and the
+    CI doctor smoke stage. *)
+
+val find_any : string -> scenario option
+(** {!find}, but also searching {!diagnostics}. *)
 
 val run_all : seed:int64 -> scale:scale -> verdict list

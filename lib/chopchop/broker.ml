@@ -92,6 +92,7 @@ type t = {
   mutable mis_garble : bool;
   mutable mis_malform : bool;
   mutable mis_withhold : bool;
+  k_timer : int; (* Engine kind attributing broker timer events *)
   c_verify : Trace.Counter.t; (* signature-verification operations *)
 }
 
@@ -113,6 +114,7 @@ let create ~engine ~cpu ~config ?membership ~directory ~server_ms_pk
     signups_seen = Hashtbl.create 64;
     mis_equivocate = false; mis_garble = false; mis_malform = false;
     mis_withhold = false;
+    k_timer = Engine.kind engine "broker.timer";
     c_verify =
       Trace.Sink.counter (Engine.trace engine) ~cat:"crypto" ~name:"verify_ops" }
 
@@ -346,7 +348,7 @@ and propose t subs =
                 ~bytes:(Wire.inclusion_bytes ~count:(Array.length entries))
                 (Inclusion { root; proof; agg_seq; evidence = t.evidence }))
             entries;
-          Engine.schedule t.engine ~delay:t.cfg.reduce_timeout (fun () ->
+          Engine.schedule ~kind:t.k_timer t.engine ~delay:t.cfg.reduce_timeout (fun () ->
               reduce t root)
         end)
   end
@@ -568,7 +570,7 @@ and launch ?(only = fun _ -> true) ?(force_witness = false) t batch ~on_complete
       end)
 
 and arm_witness_extension t root =
-  Engine.schedule t.engine ~delay:t.cfg.witness_timeout (fun () ->
+  Engine.schedule ~kind:t.k_timer t.engine ~delay:t.cfg.witness_timeout (fun () ->
       match Hashtbl.find_opt t.flight root with
       | Some fl when fl.w_witness = None && not t.crashed ->
         let active = Membership.active_slots t.membership in
@@ -628,7 +630,7 @@ and submit_ref t fl witness =
   let dst = List.nth active (fl.w_submit_target mod n_act) in
   t.send_server ~dst ~bytes:Wire.stob_submission_bytes
     (Submit { root = fl.w_root; number = fl.w_batch.Batch.number; witness });
-  Engine.schedule t.engine ~delay:t.cfg.submit_timeout (fun () ->
+  Engine.schedule ~kind:t.k_timer t.engine ~delay:t.cfg.submit_timeout (fun () ->
       if (not fl.w_acked) && (not fl.w_done) && not t.crashed then begin
         fl.w_submit_target <- (fl.w_submit_target + 1) mod n_act;
         submit_ref t fl witness
@@ -720,7 +722,7 @@ and finish t fl ~counter ~exceptions shards =
 (* --- entry points ---------------------------------------------------------- *)
 
 let start t =
-  Engine.every t.engine ~period:t.cfg.flush_period (fun () ->
+  Engine.every ~kind:t.k_timer t.engine ~period:t.cfg.flush_period (fun () ->
       if not t.crashed then flush t)
 
 let receive_client t msg =

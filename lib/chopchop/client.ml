@@ -48,6 +48,7 @@ type t = {
   mutable bad_share : bool;
   mutable mute_reduction : bool;
   mutable signup_in_progress : bool;
+  k_timer : int; (* Engine kind attributing client timer events *)
   c_verify : Trace.Counter.t; (* signature verifications (certificates) *)
 }
 
@@ -66,6 +67,7 @@ let create ~engine ~config ~keypair ?membership ~server_ms_pk ~send_broker
     completed = 0;
     crashed = false; bad_share = false; mute_reduction = false;
     signup_in_progress = false;
+    k_timer = Engine.kind engine "client.timer";
     c_verify =
       Trace.Sink.counter (Engine.trace engine) ~cat:"crypto" ~name:"verify_ops" }
 
@@ -119,7 +121,7 @@ let rec signup t =
       ~bytes:(Wire.header_bytes + (2 * Wire.pk_bytes) + 8)
       (Signup_request { card = t.kp.card; nonce = t.nonce });
     let epoch = t.epoch in
-    Engine.schedule t.engine ~delay:(resubmit_delay t) (fun () ->
+    Engine.schedule ~kind:t.k_timer t.engine ~delay:(resubmit_delay t) (fun () ->
         if t.id = None && t.epoch = epoch && not t.crashed then begin
           next_broker t;
           signup t
@@ -140,7 +142,7 @@ let rec submit t =
       (Submission
          { id; seq = fl.fl_seq; msg = fl.fl_msg; tsig; evidence = t.evidence; ctx });
     let epoch = t.epoch in
-    Engine.schedule t.engine ~delay:(resubmit_delay t) (fun () ->
+    Engine.schedule ~kind:t.k_timer t.engine ~delay:(resubmit_delay t) (fun () ->
         if t.epoch = epoch && t.flight <> None && not t.crashed then begin
           (* No progress: fall back on a different broker (§4.4.2). *)
           next_broker t;
@@ -198,7 +200,7 @@ let on_inclusion t ~root ~proof ~agg_seq ~evidence =
       in
       (* The BLS share takes [client_multisig_sign] on the t3.small's one
          core; the reduction may not depart before the signing is done. *)
-      Engine.schedule t.engine ~delay:Cost.client_multisig_sign (fun () ->
+      Engine.schedule ~kind:t.k_timer t.engine ~delay:Cost.client_multisig_sign (fun () ->
           match t.flight with
           | Some fl' when fl' == fl && not t.crashed ->
             t.send_broker ~broker:(current_broker t) ~bytes:Wire.reduction_bytes

@@ -240,7 +240,10 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
   (* Broker rows sit at 1000+id in the trace (see Broker.tr_actor); the
      cpu's job_done instants share that actor so the no-send-before-
      completion invariant can be checked per broker. *)
-  let cpu = Cpu.create t.engine ~cores ?capacity ~actor:(1000 + broker_id) () in
+  let cpu =
+    Cpu.create t.engine ~cores ?capacity ~actor:(1000 + broker_id)
+      ~kind:"cpu.broker" ()
+  in
   let cfg_b =
     { Broker.broker_id; n_servers = t.cfg.n_servers;
       clients = max t.cfg.dense_clients 1024;
@@ -285,6 +288,7 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
       ()
   in
   Net.add_node t.net ~id:node ~region ?ingress_bps ?egress_bps
+    ~kind:"net.broker"
     ~handler:(fun ~src m ->
       match m with
       | C2b_udp (Repro_sim.Rudp.Data _ as pkt) ->
@@ -340,7 +344,8 @@ let create cfg =
   let capacity = n + max 0 cfg.spare_servers in
   let server_regions = Array.of_list (Region.server_regions_for capacity) in
   let server_cpus =
-    Array.init capacity (fun i -> Cpu.create engine ~cores:cfg.cores ~actor:i ())
+    Array.init capacity (fun i ->
+        Cpu.create engine ~cores:cfg.cores ~actor:i ~kind:"cpu.server" ())
   in
   let server_identities =
     Array.init capacity (fun i ->
@@ -373,7 +378,7 @@ let create cfg =
   in
   (* Server network nodes dispatch into the (not yet built) instances via t. *)
   for i = 0 to capacity - 1 do
-    Net.add_node net ~id:i ~region:server_regions.(i)
+    Net.add_node net ~id:i ~region:server_regions.(i) ~kind:"net.server"
       ~handler:(fun ~src m ->
         match m with
         | B2s m ->
@@ -493,7 +498,7 @@ let add_client t ?region ?identity ?on_delivered ?brokers () =
   in
   (* t3.small-class client NIC (its traffic is tiny anyway, §6.2). *)
   Net.add_node t.net ~id:node ~region ~ingress_bps:5e9 ~egress_bps:5e9
-    ~handler:(fun ~src m ->
+    ~kind:"net.client" ~handler:(fun ~src m ->
       match m with
       | B2c_udp (Repro_sim.Rudp.Data _ as pkt) ->
         Repro_sim.Rudp.receiver_on_data
@@ -633,7 +638,7 @@ let add_injector t ?region () =
   let node = t.next_node in
   t.next_node <- node + 1;
   Net.add_node t.net ~id:node ~region ~ingress_bps:5e9 ~egress_bps:5e9
-    ~handler:(fun ~src m ->
+    ~kind:"net.client" ~handler:(fun ~src m ->
       match m with
       | C2b_udp (Repro_sim.Rudp.Ack { seq }) ->
         (match Hashtbl.find_opt t.c2b_send (node, src) with
@@ -696,6 +701,9 @@ let crash_client t c =
 
 let partition t groups = Net.partition t.net groups
 let heal t = Net.heal t.net
+let partition_groups t = Net.partition_groups t.net
+let server_connected t i = Net.is_connected t.net i
+let partitioned t = Net.partitioned t.net
 let set_link_loss t ~src ~dst p = Net.set_link_loss t.net ~src ~dst p
 
 let degrade_link t ~src ~dst ~extra_latency =

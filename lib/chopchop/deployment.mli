@@ -172,6 +172,16 @@ val node_of_client : t -> Client.t -> int option
 
 val partition : t -> int list list -> unit
 val heal : t -> unit
+
+val partitioned : t -> bool
+
+(** Active network partition as sorted explicit groups ([None] when the
+    network is whole); see {!Repro_sim.Net.partition_groups}.  The
+    doctor's view of the cut. *)
+val partition_groups : t -> int list list option
+
+(** NIC up/down for server [i] ([Net.is_connected]); false while crashed. *)
+val server_connected : t -> int -> bool
 val set_link_loss : t -> src:int -> dst:int -> float -> unit
 val degrade_link : t -> src:int -> dst:int -> extra_latency:float -> unit
 

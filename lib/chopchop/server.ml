@@ -74,6 +74,7 @@ type t = {
   (* Byzantine fault injection (lib/chaos). *)
   mutable mis_bad_shares : bool;
   mutable mis_refuse_witness : bool;
+  k_timer : int; (* Engine kind attributing server timer events *)
   c_verify : Trace.Counter.t; (* signature-verification operations *)
   c_deliveries : Trace.Counter.t; (* batches delivered (all servers) *)
   c_messages : Trace.Counter.t; (* messages delivered (all servers) *)
@@ -116,6 +117,7 @@ let create ~engine ~cpu ~config ?store ?(checkpoint_every = 0)
     restarts = 0; collected_batches = 0;
     app_snapshot = None; app_restore = None;
     mis_bad_shares = false; mis_refuse_witness = false;
+    k_timer = Engine.kind engine "server.timer";
     c_verify =
       Trace.Sink.counter (Engine.trace engine) ~cat:"crypto" ~name:"verify_ops";
     c_deliveries =
@@ -260,7 +262,7 @@ let gc_sweep t =
     !victims
 
 let start t =
-  Engine.every t.engine ~period:t.cfg.gc_period (fun () ->
+  Engine.every ~kind:t.k_timer t.engine ~period:t.cfg.gc_period (fun () ->
       if not t.crashed then begin
         t.peer_counters.(t.cfg.self) <- t.delivery_counter;
         for dst = 0 to t.cfg.n - 1 do
@@ -299,7 +301,7 @@ let rec witness_batch ?(attempt = 0) t batch =
     (* 100 × 0.2 s rides out an orderer outage (the signup rank cannot be
        delivered anywhere while the order itself is stalled). *)
     if attempt < 100 then
-      Engine.schedule t.engine ~delay:0.2 (fun () ->
+      Engine.schedule ~kind:t.k_timer t.engine ~delay:0.2 (fun () ->
           if not t.crashed then witness_batch ~attempt:(attempt + 1) t batch)
     else
       (* Identifiers the order never produced: a Byzantine broker made
@@ -524,7 +526,7 @@ and fetch_batch ?(rounds = 0) t ~broker ~number ~root =
     t.send_server ~dst:target ~bytes:Wire.witness_request_bytes
       (Request_batch { root; broker; number });
     (* Retry from another peer if the batch does not show up. *)
-    Engine.schedule t.engine ~delay:1.0 (fun () ->
+    Engine.schedule ~kind:t.k_timer t.engine ~delay:1.0 (fun () ->
         if (not t.crashed) && Hashtbl.mem t.fetching root then begin
           Hashtbl.remove t.fetching root;
           fetch_batch ~rounds:(rounds + 1) t ~broker ~number:(number + 1) ~root
@@ -647,7 +649,7 @@ let rec send_sync_request t =
   let epoch = t.restarts in
   t.sync_timer <-
     Some
-      (Engine.timer t.engine ~delay (fun () ->
+      (Engine.timer ~kind:t.k_timer t.engine ~delay (fun () ->
            (* Peer crashed or partitioned: rotate to the next one. *)
            if t.syncing && (not t.crashed) && t.restarts = epoch then begin
              note_instant t "sync_retry"
@@ -857,7 +859,7 @@ let receive_server t ~src msg =
           (* The peer is still ahead (or had deliveries in flight): let it
              advance a little and ask again. *)
           let epoch = t.restarts in
-          Engine.schedule t.engine ~delay:0.25 (fun () ->
+          Engine.schedule ~kind:t.k_timer t.engine ~delay:0.25 (fun () ->
               if t.syncing && (not t.crashed) && t.restarts = epoch then
                 send_sync_request t)
         end

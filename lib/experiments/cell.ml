@@ -192,6 +192,7 @@ type outcome = {
   info : (string * string) list;
   sim_events : int;
   sim_seconds : float;
+  prof : Repro_prof.Prof.report option;
 }
 
 type app_driver = {
@@ -227,7 +228,7 @@ let counter counters cat name =
   | Some (_, _, v) -> v
   | None -> 0
 
-let run c =
+let run ?(profile = false) c =
   (match validate c with Ok () -> () | Error e -> failwith ("Cell: " ^ e));
   let driver = app_driver c.app in
   let params =
@@ -237,6 +238,7 @@ let run c =
       { (params_of c) with
         on_delivery = Some (fun srv del -> if srv = 0 then ignore (d.ad_apply del)) }
   in
+  let params = { params with Chopchop_run.profile } in
   let result, breakdown, sink = Latency_breakdown.capture ~params () in
   let counters = Trace.Sink.counters sink in
   let e2e = Latency_breakdown.e2e breakdown in
@@ -276,4 +278,5 @@ let run c =
   { metrics;
     info;
     sim_events = counter counters "sim" "steps";
-    sim_seconds = params.Chopchop_run.duration +. 15. }
+    sim_seconds = params.Chopchop_run.duration +. 15.;
+    prof = result.Chopchop_run.prof }

@@ -58,12 +58,17 @@ type outcome = {
       (** non-numeric facts (e.g. [app_digest], hex) *)
   sim_events : int;  (** engine steps executed (sim-speed benchmark) *)
   sim_seconds : float;  (** simulated horizon of the run *)
+  prof : Repro_prof.Prof.report option;
+      (** engine self-profile; present iff [run ~profile:true] *)
 }
 
-val run : config -> outcome
+val run : ?profile:bool -> config -> outcome
 (** Executes the cell under a fresh in-memory trace sink.  When [app] is
     not ["none"], the corresponding application state machine consumes
     every server-0 delivery and contributes [app_ops] / [app_digest].
+    [profile] (default false) attaches the engine self-profiler
+    ([lib/prof]); it adds no events, so the outcome's deterministic
+    fields are bit-identical either way.
     @raise Failure on an invalid config. *)
 
 val params_of : config -> Chopchop_run.params

@@ -32,6 +32,7 @@ type params = {
   trace : Repro_trace.Trace.Sink.t;
   metrics : Repro_metrics.Metrics.t option;
   on_delivery : (int -> Repro_chopchop.Proto.delivery -> unit) option;
+  profile : bool; (* attach the engine profiler (lib/prof) for this run *)
 }
 
 let default =
@@ -43,7 +44,7 @@ let default =
     flush_period = 1.0; reduce_timeout = 1.0; witness_margin = None;
     store = false; checkpoint_every = 64;
     trace = Repro_trace.Trace.Sink.null (); metrics = None;
-    on_delivery = None }
+    on_delivery = None; profile = false }
 
 type result = {
   offered : float;
@@ -59,6 +60,7 @@ type result = {
   delivered_messages : int; (* total at server 0, whole run *)
   decisions : int; (* batches delivered at server 0, whole run *)
   wal_bytes : int; (* WAL appended at server 0; 0 when store is off *)
+  prof : Repro_prof.Prof.report option; (* present iff [profile] was set *)
 }
 
 let useful_bytes_per_msg ~clients ~msg_bytes =
@@ -81,6 +83,10 @@ let run p =
   in
   let d = D.create cfg in
   let engine = D.engine d in
+  (* Profiling is write-only observation (lib/prof): attaching it changes
+     no event, no RNG draw, no delivery — proven bit-identical by
+     test_prof. *)
+  let prof = if p.profile then Some (Repro_prof.Prof.attach engine) else None in
   (* Load brokers at OVH, splitting the offered rate evenly.  Each one
      must ship every batch to all servers, so its egress NIC bounds how
      much load it can generate: provision enough of them (the paper uses
@@ -145,16 +151,17 @@ let run p =
         in
         c)
   in
+  let k_pump = Engine.kind engine "exp.pump" in
   let rec pump c () =
     (* Back-to-back: a new message as soon as the previous one completes
        would need a completion callback per message; the client queue does
        it: keep a couple of messages in flight locally. *)
     if Engine.now engine < p.duration then begin
       if Client.pending c < 2 then Client.broadcast c (String.make p.msg_bytes 'x');
-      Engine.schedule engine ~delay:0.5 (pump c)
+      Engine.schedule ~kind:k_pump engine ~delay:0.5 (pump c)
     end
   in
-  List.iter (fun c -> Engine.schedule engine ~delay:0.2 (pump c)) clients;
+  List.iter (fun c -> Engine.schedule ~kind:k_pump engine ~delay:0.2 (pump c)) clients;
   (* Throughput window accounting on server 0 deliveries. *)
   let tp = Stats.Throughput.create engine ~warmup:p.warmup ~cooldown:p.cooldown ~duration:p.duration in
   D.server_deliver_hook d (fun srv del ->
@@ -193,7 +200,8 @@ let run p =
           | None -> ())
         servers_alive;
       List.iter (fun i -> ingress_at_end.(i) <- D.server_ingress_bytes d i) servers_alive);
-  Engine.every engine ~period:1.0 ~until:p.duration (fun () ->
+  let k_sampler = Engine.kind engine "exp.sampler" in
+  Engine.every ~kind:k_sampler engine ~period:1.0 ~until:p.duration (fun () ->
       Array.iter
         (fun sv -> stored_max := max !stored_max (Server.stored_bytes sv))
         (D.servers d));
@@ -287,6 +295,13 @@ let run p =
         is visible in the metrics themselves. *)
      M.probe m "trace.dropped" ~labels:[ ("role", "trace") ] (fun () ->
          float_of_int (Trace.Sink.dropped p.trace));
+     (* Queue pressure inside the engine itself: the live depth plus its
+        all-time high-water mark (pressure between samples is invisible
+        to a periodic gauge; the envelope is not). *)
+     M.probe m "engine.queue_depth" ~labels:[ ("role", "engine") ] (fun () ->
+         float_of_int (Engine.pending engine));
+     M.probe m "engine.max_queue_depth" ~labels:[ ("role", "engine") ]
+       (fun () -> float_of_int (Engine.max_pending engine));
      if p.store then begin
        M.probe m "disk.backlog_s" ~labels:[ ("role", "server") ] (fun () ->
            List.fold_left
@@ -297,8 +312,8 @@ let run p =
        M.probe m "snapshot.bytes" ~labels:[ ("role", "server") ] (fun () ->
            float_of_int (D.server_snapshot_bytes d 0))
      end;
-     Engine.every engine ~period:(M.period m) ~until:p.duration (fun () ->
-         M.sample m ~now:(Engine.now engine)));
+     Engine.every ~kind:k_sampler engine ~period:(M.period m)
+       ~until:p.duration (fun () -> M.sample m ~now:(Engine.now engine)));
   (* Start the load. *)
   List.iteri
     (fun i lb ->
@@ -356,7 +371,14 @@ let run p =
     stored_bytes_max = !stored_max;
     delivered_messages = Server.delivered_messages (D.servers d).(0);
     decisions = Server.delivery_counter (D.servers d).(0);
-    wal_bytes = D.server_wal_bytes d 0 }
+    wal_bytes = D.server_wal_bytes d 0;
+    prof =
+      Option.map
+        (fun pr ->
+          let r = Repro_prof.Prof.report pr in
+          Repro_prof.Prof.detach pr;
+          r)
+        prof }
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -40,6 +40,10 @@ type params = {
       (* observer called on every server delivery (after the runner's own
          throughput accounting) — [Cell] uses it to drive application
          state machines without replacing the deployment's hook *)
+  profile : bool;
+      (* attach the engine self-profiler (lib/prof) for this run; the
+         report lands in [result.prof].  Write-only observation: the sim
+         output is bit-identical either way *)
 }
 
 val default : params
@@ -62,6 +66,7 @@ type result = {
   delivered_messages : int; (* total messages at server 0, whole run *)
   decisions : int; (* batches delivered at server 0, whole run *)
   wal_bytes : int; (* WAL bytes appended at server 0; 0 when store is off *)
+  prof : Repro_prof.Prof.report option; (* present iff [params.profile] *)
 }
 
 val run : params -> result

@@ -1,0 +1,77 @@
+(** Engine self-profiler.
+
+    A write-only observer over {!Repro_sim.Engine} dispatch: per-kind
+    event counts, handler self wall-time, GC minor-allocation deltas, and
+    queue depth / dwell histograms.  Attaching it never schedules events,
+    never reads the engine RNG, and never feeds a reading back into the
+    simulation, so a same-seed run is bit-identical with profiling on or
+    off (proved by [test/test_prof.ml]).
+
+    Wall-time readings are machine-dependent; everything else (event and
+    kind counters, queue/dwell histograms, max depth) is deterministic
+    for a fixed seed.  Minor-word deltas are deterministic across runs of
+    the same binary — the OCaml allocator is — but are reported
+    separately from the gated counters because they track compiler
+    version, not protocol behaviour. *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Monotonic wall clock, seconds ([Monotonic_clock.now] /1e9) — immune
+      to NTP steps. *)
+end
+
+type t
+(** A collector attached to one engine. *)
+
+val attach : Repro_sim.Engine.t -> t
+(** Install the profiler on the engine (replacing any previous one).
+    Collection starts immediately. *)
+
+val detach : t -> unit
+(** Remove the profiler; the collected data remains readable. *)
+
+(** {2 Reports} *)
+
+type row = {
+  r_kind : string;
+  r_events : int;
+  r_wall_s : float;
+  r_minor_words : float;
+}
+
+type hist = {
+  h_count : int;
+  h_mean : float;
+  h_max : float;
+  h_p50 : float;
+  h_p99 : float;
+}
+
+type report = {
+  p_events : int;
+  p_wall_s : float;
+  p_minor_words : float;
+  p_rows : row list; (* per-kind, sorted by kind name *)
+  p_depth : hist; (* queue depth at dispatch *)
+  p_dwell : hist; (* sim-time dwell (scheduling -> execution) *)
+  p_max_pending : int;
+}
+
+val report : t -> report
+
+val attributed_share : report -> float
+(** Fraction of handler wall-time attributed to named kinds (everything
+    but the ["other"] bucket); 1.0 when no wall-time was recorded. *)
+
+val to_json : ?wall:bool -> report -> Repro_metrics.Json.t
+(** [{"deterministic": {...}, "wall": {...}}].  The [deterministic]
+    object is identical across same-seed runs (CI byte-compares it);
+    [wall:false] (default true) omits the machine-dependent half. *)
+
+val deterministic_json : report -> Repro_metrics.Json.t
+(** Just the [deterministic] object of {!to_json} — safe to embed in
+    sweep cell files without breaking byte-identical resume. *)
+
+val pp_markdown : Format.formatter -> report -> unit
+(** Human-readable report: headline totals plus a per-kind table sorted
+    by wall-time (handler top-N). *)

@@ -41,12 +41,16 @@ val total : work -> float
 
 (** {2 Construction} *)
 
-val create : Engine.t -> ?cores:int -> ?capacity:float -> ?actor:int -> unit -> t
+val create :
+  Engine.t -> ?cores:int -> ?capacity:float -> ?actor:int -> ?kind:string ->
+  unit -> t
 (** [cores] worker lanes (default 1).  [capacity] scales per-lane speed:
     a 0.5-capacity lane takes twice the reference time (default 1.0).
     With [actor] set, every job completion emits a ["cpu"]/["job_done"]
     trace instant on that actor's row in the engine's sink — the hook the
-    no-send-before-completion trace invariant is checked against. *)
+    no-send-before-completion trace invariant is checked against.
+    [kind] names the {!Engine.kind} bucket job-completion events are
+    attributed to by the profiler (default ["other"]). *)
 
 val cores : t -> int
 

@@ -1,34 +1,86 @@
-type event = { time : float; seq : int; cell : (unit -> unit) option ref }
+type event = {
+  time : float;
+  seq : int;
+  kind : int;
+  born : float;
+  cell : (unit -> unit) option ref;
+}
+
+type profiler = {
+  prof_clock : unit -> float;
+  prof_record :
+    kind:int -> wall:float -> minor:float -> dwell:float -> depth:int -> unit;
+}
 
 type t = {
   mutable heap : event array;
   mutable size : int;
+  mutable max_pending : int;
   mutable clock : float;
   mutable next_seq : int;
   rng : Rng.t;
   mutable trace : Repro_trace.Trace.Sink.t;
   mutable c_steps : Repro_trace.Trace.Counter.t;
+  kind_ids : (string, int) Hashtbl.t;
+  mutable kind_names : string array;
+  mutable n_kinds : int;
+  mutable profiler : profiler option;
 }
 
 type timer = (unit -> unit) option ref
 
 let create ?(seed = 1L) ?(trace = Repro_trace.Trace.Sink.null ()) () =
-  { heap = Array.make 256 { time = 0.; seq = 0; cell = ref None };
+  let kind_ids = Hashtbl.create 64 in
+  Hashtbl.add kind_ids "other" 0;
+  { heap = Array.make 256 { time = 0.; seq = 0; kind = 0; born = 0.; cell = ref None };
     size = 0;
+    max_pending = 0;
     clock = 0.;
     next_seq = 0;
     rng = Rng.create seed;
     trace;
-    c_steps = Repro_trace.Trace.Sink.counter trace ~cat:"sim" ~name:"steps" }
+    c_steps = Repro_trace.Trace.Sink.counter trace ~cat:"sim" ~name:"steps";
+    kind_ids;
+    kind_names = Array.make 64 "other";
+    n_kinds = 1;
+    profiler = None }
 
 let now t = t.clock
 let rng t = t.rng
 let pending t = t.size
+let max_pending t = t.max_pending
 let trace t = t.trace
 
 let set_trace t sink =
   t.trace <- sink;
   t.c_steps <- Repro_trace.Trace.Sink.counter sink ~cat:"sim" ~name:"steps"
+
+(* Event-kind interning.  Kinds label events for the (optional) profiler;
+   they are plain ints on the hot path so tagging costs nothing when
+   profiling is off.  Kind 0 is the pre-registered "other" bucket. *)
+
+let kind t name =
+  match Hashtbl.find_opt t.kind_ids name with
+  | Some id -> id
+  | None ->
+    let id = t.n_kinds in
+    if id = Array.length t.kind_names then begin
+      let bigger = Array.make (2 * id) "other" in
+      Array.blit t.kind_names 0 bigger 0 id;
+      t.kind_names <- bigger
+    end;
+    t.kind_names.(id) <- name;
+    t.n_kinds <- id + 1;
+    Hashtbl.add t.kind_ids name id;
+    id
+
+let kind_name t id =
+  if id < 0 || id >= t.n_kinds then invalid_arg "Engine.kind_name";
+  t.kind_names.(id)
+
+let kinds t = Array.sub t.kind_names 0 t.n_kinds
+
+let set_profiler t p = t.profiler <- p
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -40,6 +92,7 @@ let push t ev =
   end;
   let i = ref t.size in
   t.size <- t.size + 1;
+  if t.size > t.max_pending then t.max_pending <- t.size;
   t.heap.(!i) <- ev;
   (* Sift up. *)
   let continue = ref true in
@@ -78,33 +131,33 @@ let pop t =
   end;
   top
 
-let schedule_at t ~time f =
+let schedule_at ?(kind = 0) t ~time f =
   let time = if time < t.clock then t.clock else time in
-  let ev = { time; seq = t.next_seq; cell = ref (Some f) } in
+  let ev = { time; seq = t.next_seq; kind; born = t.clock; cell = ref (Some f) } in
   t.next_seq <- t.next_seq + 1;
   push t ev
 
-let schedule t ~delay f =
+let schedule ?kind t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at ?kind t ~time:(t.clock +. delay) f
 
-let timer t ~delay f =
+let timer ?(kind = 0) t ~delay f =
   let cell = ref (Some f) in
   if delay < 0. then invalid_arg "Engine.timer: negative delay";
-  let ev = { time = t.clock +. delay; seq = t.next_seq; cell } in
+  let ev = { time = t.clock +. delay; seq = t.next_seq; kind; born = t.clock; cell } in
   t.next_seq <- t.next_seq + 1;
   push t ev;
   cell
 
 let cancel cell = cell := None
 
-let rec every t ~period ?until f =
-  schedule t ~delay:period (fun () ->
+let rec every ?kind t ~period ?until f =
+  schedule ?kind t ~delay:period (fun () ->
       match until with
       | Some stop when t.clock > stop -> ()
       | _ ->
         f ();
-        every t ~period ?until f)
+        every ?kind t ~period ?until f)
 
 let step t =
   if t.size = 0 then false
@@ -115,7 +168,21 @@ let step t =
      | Some f ->
        ev.cell := None;
        Repro_trace.Trace.Counter.incr t.c_steps;
-       f ()
+       (match t.profiler with
+        | None -> f ()
+        | Some p ->
+          (* Write-only observation: capture wall/GC deltas around the
+             handler.  Nothing here touches the queue, the clock, or the
+             RNG, so a profiled run is bit-identical to an unprofiled
+             one. *)
+          let depth = t.size in
+          let w0 = p.prof_clock () in
+          let m0 = Gc.minor_words () in
+          f ();
+          let m1 = Gc.minor_words () in
+          let w1 = p.prof_clock () in
+          p.prof_record ~kind:ev.kind ~wall:(w1 -. w0) ~minor:(m1 -. m0)
+            ~dwell:(ev.time -. ev.born) ~depth)
      | None -> ());
     true
   end

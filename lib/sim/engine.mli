@@ -26,21 +26,39 @@ val now : t -> float
 val rng : t -> Rng.t
 (** The engine's root generator; [Rng.split] it for per-node streams. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** {2 Event kinds}
+
+    Events carry an interned integer [kind] that attributes them to a
+    named component for the profiler.  Tagging is free when profiling is
+    off (the kind is just an int stored in the event record); untagged
+    events land in the pre-registered kind 0, ["other"]. *)
+
+val kind : t -> string -> int
+(** Intern a kind name, returning its id (stable for the engine's
+    lifetime; repeated calls with the same name return the same id). *)
+
+val kind_name : t -> int -> string
+(** Name for an interned kind id.  Raises [Invalid_argument] on an id
+    never returned by {!kind}. *)
+
+val kinds : t -> string array
+(** All interned kind names, indexed by id ([kinds t).(0) = "other"]). *)
+
+val schedule : ?kind:int -> t -> delay:float -> (unit -> unit) -> unit
 (** Run a callback [delay] seconds from now ([delay >= 0]). *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> unit
+val schedule_at : ?kind:int -> t -> time:float -> (unit -> unit) -> unit
 (** Run a callback at an absolute virtual time (clamped to now). *)
 
 type timer
 
-val timer : t -> delay:float -> (unit -> unit) -> timer
+val timer : ?kind:int -> t -> delay:float -> (unit -> unit) -> timer
 (** A cancellable one-shot timer. *)
 
 val cancel : timer -> unit
 (** Cancelling an expired timer is a no-op. *)
 
-val every : t -> period:float -> ?until:float -> (unit -> unit) -> unit
+val every : ?kind:int -> t -> period:float -> ?until:float -> (unit -> unit) -> unit
 (** Periodic callback starting one period from now. *)
 
 val run : ?until:float -> t -> unit
@@ -53,3 +71,31 @@ val step : t -> bool
 
 val pending : t -> int
 (** Number of queued events (diagnostics). *)
+
+val max_pending : t -> int
+(** High-water mark of {!pending} over the whole run: the deepest the
+    event queue has ever been.  Queue pressure between metric samples is
+    invisible to periodic probes; this is the envelope. *)
+
+(** {2 Profiling}
+
+    The profiler is a write-only observer around handler dispatch: it
+    never schedules events, never reads the RNG, and never feeds back
+    into the simulation, so a same-seed run is bit-identical with
+    profiling on or off.  [lib/sim] deliberately has no dependency on
+    [Unix]; the wall clock is injected by the caller ([Repro_prof.Prof]
+    supplies a monotonic one). *)
+
+type profiler = {
+  prof_clock : unit -> float;
+      (** Monotonic wall clock, seconds.  Called twice per event. *)
+  prof_record :
+    kind:int -> wall:float -> minor:float -> dwell:float -> depth:int -> unit;
+      (** Called after each dispatched event: interned event [kind],
+          handler self wall-time [wall] (s), minor-heap allocation
+          [minor] (words), sim-time queue [dwell] (s, scheduling to
+          execution), and queue [depth] just after the pop. *)
+}
+
+val set_profiler : t -> profiler option -> unit
+(** Install or remove the profiler (normally via [Repro_prof.Prof.attach]). *)

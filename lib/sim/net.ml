@@ -2,6 +2,7 @@ type 'msg node = {
   region : Region.t;
   ingress_bps : float;
   egress_bps : float;
+  kind : int; (* interned Engine kind attributing this node's events *)
   handler : src:int -> 'msg -> unit;
   mutable out_free : float;
   mutable in_free : float;
@@ -48,10 +49,11 @@ let create engine ?(loss = 0.) () =
     c_cut = Repro_trace.Trace.Sink.counter sink ~cat:"net" ~name:"cut" }
 
 let add_node t ~id ~region ?(ingress_bps = server_default_ingress_bps)
-    ?(egress_bps = server_default_egress_bps) ~handler () =
+    ?(egress_bps = server_default_egress_bps) ?kind ~handler () =
   if Hashtbl.mem t.nodes id then invalid_arg "Net.add_node: duplicate id";
+  let kind = match kind with Some k -> Engine.kind t.engine k | None -> 0 in
   Hashtbl.add t.nodes id
-    { region; ingress_bps; egress_bps; handler;
+    { region; ingress_bps; egress_bps; kind; handler;
       out_free = 0.; in_free = 0.; sent = 0; received = 0; connected = true }
 
 let node t id =
@@ -95,14 +97,16 @@ let transmit t ~src ~dst ~bytes msg =
         else 0.
       in
       let arrival = out_end +. Region.latency s.region d.region +. extra in
-      (* Ingress occupancy is decided at arrival time: delay the enqueue. *)
-      Engine.schedule_at t.engine ~time:arrival (fun () ->
+      (* Ingress occupancy is decided at arrival time: delay the enqueue.
+         Both events — the arrival enqueue and the handler dispatch — are
+         work done on behalf of the destination, so both carry its kind. *)
+      Engine.schedule_at ~kind:d.kind t.engine ~time:arrival (fun () ->
           if d.connected then begin
             let in_start = Float.max arrival d.in_free in
             let in_end = in_start +. (float_of_int (8 * bytes) /. d.ingress_bps) in
             d.in_free <- in_end;
             d.received <- d.received + bytes;
-            Engine.schedule_at t.engine ~time:in_end (fun () ->
+            Engine.schedule_at ~kind:d.kind t.engine ~time:in_end (fun () ->
                 if d.connected then d.handler ~src msg)
           end)
     end
@@ -165,6 +169,22 @@ let degrade_link t ~src ~dst ~extra_latency =
   refresh_faults_active t
 
 let partitioned t = t.groups <> None
+
+let partition_groups t =
+  match t.groups with
+  | None -> None
+  | Some tbl ->
+    (* Reconstruct the explicit groups; nodes absent from the table are
+       implicitly in group 0 and are not listed. *)
+    let by_group = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun node g ->
+        let l = Option.value (Hashtbl.find_opt by_group g) ~default:[] in
+        Hashtbl.replace by_group g (node :: l))
+      tbl;
+    let gs = Hashtbl.fold (fun g nodes acc -> (g, nodes) :: acc) by_group [] in
+    let gs = List.sort (fun (a, _) (b, _) -> compare a b) gs in
+    Some (List.map (fun (_, nodes) -> List.sort compare nodes) gs)
 
 let bytes_sent t id = (node t id).sent
 let bytes_received t id = (node t id).received

@@ -32,6 +32,7 @@ val add_node :
   region:Region.t ->
   ?ingress_bps:float ->
   ?egress_bps:float ->
+  ?kind:string ->
   handler:(src:int -> 'msg -> unit) ->
   unit ->
   unit
@@ -40,6 +41,11 @@ val add_node :
     12.5 Gb/s, AWS upload is half of that (§6.4), and sustained long-haul
     TCP recovers only a fraction — calibrated against Fig. 9's peak
     measured server ingress of ~0.5 GB/s.
+
+    [kind] names the {!Engine.kind} bucket that the profiler attributes
+    this node's delivery events to (arrival enqueue and handler dispatch
+    both count as work done for the destination); omitted nodes land in
+    the ["other"] bucket.
     @raise Invalid_argument on duplicate id. *)
 
 val send : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
@@ -83,6 +89,13 @@ val heal : 'msg t -> unit
     across the former cut while it existed is lost for good. *)
 
 val partitioned : 'msg t -> bool
+
+val partition_groups : 'msg t -> int list list option
+(** The active partition, reconstructed as sorted explicit groups (group
+    ids ascending, node ids ascending within each).  Nodes never listed in
+    the {!partition} call belong to the implicit group 0 and are not
+    repeated here.  [None] when the network is whole — the doctor's view
+    of the cut. *)
 
 val set_link_loss : 'msg t -> src:int -> dst:int -> float -> unit
 (** Directed per-link loss probability for {e lossy} sends, composed

@@ -30,6 +30,7 @@ type 'a sender = {
   backlog : (int * 'a) Queue.t; (* (bytes, payload) waiting for a window slot *)
   mutable retransmissions : int;
   mutable gave_up : int;
+  k_retx : int; (* Engine kind for the retransmission timers *)
   c_retx : Repro_trace.Trace.Counter.t;
   c_gave_up : Repro_trace.Trace.Counter.t;
 }
@@ -39,6 +40,7 @@ let sender ~engine ~transmit ?(rto = 0.4) ?(window = 64) ?(max_retries = 25) () 
   { engine; transmit; rto; window; max_retries;
     next_seq = 0; flight = Hashtbl.create 64; backlog = Queue.create ();
     retransmissions = 0; gave_up = 0;
+    k_retx = Engine.kind engine "rudp.retx";
     c_retx = Repro_trace.Trace.Sink.counter sink ~cat:"rudp" ~name:"retransmissions";
     c_gave_up = Repro_trace.Trace.Sink.counter sink ~cat:"rudp" ~name:"gave_up" }
 
@@ -49,7 +51,7 @@ let give_up_count t = t.gave_up
 
 let rec transmit_outstanding t (o : 'a outstanding) =
   t.transmit (Data { seq = o.o_seq; payload = o.o_payload; bytes = o.o_bytes });
-  Engine.schedule t.engine ~delay:t.rto (fun () ->
+  Engine.schedule ~kind:t.k_retx t.engine ~delay:t.rto (fun () ->
       if (not o.o_acked) && Hashtbl.mem t.flight o.o_seq then
         if o.o_retries >= t.max_retries then begin
           (* Give up: the peer is unreachable; higher-level timeouts

@@ -59,6 +59,7 @@ type 'p t = {
   mutable nv_ready : int; (* view entered via a NewView quorum *)
   mutable proposal_deadline : Engine.timer option;
   mutable view_timer : Engine.timer option;
+  k_timer : int; (* Engine kind attributing hotstuff timer events *)
   mutable crashed : bool;
   mutable delivered : int;
 }
@@ -80,6 +81,7 @@ let create ~engine ~self ~n ?cpu ~send ~deliver ~payload_bytes ?(batch_max = 400
     delivered_rids = Hashtbl.create 1024;
     proposed_this_view = false; nv_ready = -1;
     proposal_deadline = None; view_timer = None;
+    k_timer = Engine.kind engine "hotstuff.timer";
     crashed = false; delivered = 0 }
 
 let leader_of ~n v = v mod n
@@ -211,7 +213,7 @@ let rec enter_view t v =
     t.view_timer <- !vt;
     if has_work t then
       t.view_timer <-
-        Some (Engine.timer t.engine ~delay:t.view_timeout (fun () ->
+        Some (Engine.timer ~kind:t.k_timer t.engine ~delay:t.view_timeout (fun () ->
             t.view_timer <- None;
             on_view_timeout t));
     if is_leader t v then maybe_propose t
@@ -285,7 +287,7 @@ and maybe_propose t =
     if t.pool_len >= t.batch_max then propose t
     else if t.proposal_deadline = None then
       t.proposal_deadline <-
-        Some (Engine.timer t.engine ~delay:t.batch_timeout (fun () ->
+        Some (Engine.timer ~kind:t.k_timer t.engine ~delay:t.batch_timeout (fun () ->
             t.proposal_deadline <- None;
             if is_leader t t.view && not t.proposed_this_view then propose t))
 
@@ -382,7 +384,7 @@ let broadcast t p =
     if t.view_timer = None then begin
       (* Bootstrap: arm the pacemaker on first activity. *)
       t.view_timer <-
-        Some (Engine.timer t.engine ~delay:t.view_timeout (fun () ->
+        Some (Engine.timer ~kind:t.k_timer t.engine ~delay:t.view_timeout (fun () ->
             t.view_timer <- None;
             on_view_timeout t))
     end
@@ -398,7 +400,7 @@ let receive t ~src msg =
         if is_leader t t.view then maybe_propose t;
         if t.view_timer = None then
           t.view_timer <-
-            Some (Engine.timer t.engine ~delay:t.view_timeout (fun () ->
+            Some (Engine.timer ~kind:t.k_timer t.engine ~delay:t.view_timeout (fun () ->
                 t.view_timer <- None;
                 on_view_timeout t))
       end

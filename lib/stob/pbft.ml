@@ -54,6 +54,7 @@ type 'p t = {
   mutable queued_rids : (rid, unit) Hashtbl.t;   (* leader-side dedup *)
   mutable view_changes : (int, Iset.t ref * (int, 'p item list) Hashtbl.t) Hashtbl.t;
   mutable progress_timer : Engine.timer option;
+  k_timer : int; (* Engine kind attributing pbft timer events *)
   mutable crashed : bool;
   mutable delivered : int;
 }
@@ -78,7 +79,8 @@ let create ~engine ~self ~n ?cpu ~send ~deliver ~payload_bytes ?(batch_max = 400
     delivered_rids = Hashtbl.create 1024;
     queued_rids = Hashtbl.create 1024;
     view_changes = Hashtbl.create 4;
-    progress_timer = None; crashed = false; delivered = 0 }
+    progress_timer = None; k_timer = Engine.kind engine "pbft.timer";
+    crashed = false; delivered = 0 }
 
 let is_leader t = leader_of_view ~n:t.n t.view = t.self
 
@@ -127,7 +129,7 @@ let cancel_progress t =
 let rec arm_progress t =
   if t.progress_timer = None && not t.crashed then
     t.progress_timer <-
-      Some (Engine.timer t.engine ~delay:t.view_timeout (fun () ->
+      Some (Engine.timer ~kind:t.k_timer t.engine ~delay:t.view_timeout (fun () ->
           t.progress_timer <- None;
           start_view_change t (t.view + 1)))
 
@@ -239,7 +241,7 @@ and flush t =
     t.queue_len <- List.length rest;
     if rest <> [] && not t.flush_armed then begin
       t.flush_armed <- true;
-      Engine.schedule t.engine ~delay:t.batch_timeout (fun () ->
+      Engine.schedule ~kind:t.k_timer t.engine ~delay:t.batch_timeout (fun () ->
           if t.flush_armed then flush t)
     end;
     let seq = t.next_seq in
@@ -263,7 +265,7 @@ and enqueue_leader t it =
     if t.queue_len >= t.batch_max then flush t
     else if not t.flush_armed then begin
       t.flush_armed <- true;
-      Engine.schedule t.engine ~delay:t.batch_timeout (fun () -> if t.flush_armed then flush t)
+      Engine.schedule ~kind:t.k_timer t.engine ~delay:t.batch_timeout (fun () -> if t.flush_armed then flush t)
     end
   end
 

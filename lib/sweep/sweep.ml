@@ -2,6 +2,7 @@ module Json = Repro_metrics.Json
 module Cell = Repro_experiments.Cell
 module Chaos = Repro_chaos.Chaos
 module Sha256 = Repro_crypto.Sha256
+module Clock = Repro_prof.Prof.Clock
 
 let short_hash ?(len = 16) s = String.sub (Sha256.to_hex (Sha256.digest s)) 0 len
 
@@ -323,22 +324,38 @@ module Pool = struct
   let err_path ~out_dir m (cell : Manifest.cell) =
     Filename.concat (cell_dir ~out_dir m) (cell.hash ^ ".err")
 
-  let run_cell (cell : Manifest.cell) =
-    let metrics, info =
+  (* Wall-clock timings live in a sidecar keyed by the manifest hash, NOT
+     in the cell files: cell outputs are part of the byte-identical resume
+     contract, and wall time is the one thing that never reproduces. *)
+  let timings_path ~out_dir (m : Manifest.t) =
+    Filename.concat out_dir ("timings-" ^ m.hash ^ ".json")
+
+  let load_timings ~out_dir m =
+    match Json.of_file ~path:(timings_path ~out_dir m) with
+    | Json.Obj fields ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float v))
+        fields
+    | _ -> []
+    | exception _ -> []
+
+  let run_cell ?(profile = false) (cell : Manifest.cell) =
+    let metrics, info, prof =
       match cell.kind with
       | Manifest.Run c ->
-        let o = Cell.run c in
+        let o = Cell.run ~profile c in
         ( o.Cell.metrics
           @ [ ("sim_events", float_of_int o.Cell.sim_events);
               ("sim_seconds", o.Cell.sim_seconds) ],
-          o.Cell.info )
+          o.Cell.info,
+          o.Cell.prof )
       | Manifest.Chaos cc ->
         let sc =
           match Chaos.find cc.scenario with
           | Some sc -> sc
           | None -> failwith ("Sweep: unknown scenario " ^ cc.scenario)
         in
-        let v = sc.Chaos.sc_run ~seed:cc.seed ~scale:cc.scale in
+        let v = sc.Chaos.sc_run ~seed:cc.seed ~scale:cc.scale () in
         let delivered = Array.fold_left ( + ) 0 v.Chaos.v_delivered in
         let rejections =
           List.fold_left (fun acc (_, n) -> acc + n) 0 v.Chaos.v_rejections
@@ -349,20 +366,29 @@ module Pool = struct
             ("violations", float_of_int (List.length v.Chaos.v_violations));
             ("delivered_total", float_of_int delivered);
             ("rejections_total", float_of_int rejections) ],
-          if v.Chaos.v_violations = [] then []
-          else [ ("violations", String.concat "; " v.Chaos.v_violations) ] )
+          (if v.Chaos.v_violations = [] then []
+           else [ ("violations", String.concat "; " v.Chaos.v_violations) ]),
+          None )
     in
     let base =
       match Manifest.cell_config_json cell with
       | Json.Obj fs -> fs
       | _ -> assert false
     in
+    (* Only the deterministic half of the profile is embedded: the cell
+       file must stay bit-identical across reruns of the same config. *)
+    let prof_field =
+      match prof with
+      | None -> []
+      | Some r -> [ ("profile", Repro_prof.Prof.deterministic_json r) ]
+    in
     Json.Obj
       (base
        @ [ ("hash", Json.Str cell.hash);
            ("label", Json.Str cell.label);
            ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) metrics));
-           ("info", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) info)) ])
+           ("info", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) info)) ]
+       @ prof_field)
 
   (* A cell output counts as complete only if it parses and carries the
      cell's own content hash — a truncated or stale file is re-run. *)
@@ -386,8 +412,8 @@ module Pool = struct
     | s -> String.trim s
     | exception _ -> fallback
 
-  let run ?(workers = 4) ?(timeout = 900.) ?(serial = false) ?on_report ~out_dir
-      (m : Manifest.t) =
+  let run ?(workers = 4) ?(timeout = 900.) ?(serial = false) ?(profile = false)
+      ?on_report ~out_dir (m : Manifest.t) =
     mkdirs (cell_dir ~out_dir m);
     let total = List.length m.cells in
     let reports = Array.make (max 1 total) None in
@@ -411,13 +437,13 @@ module Pool = struct
         m.cells
     in
     let exec_serial cell =
-      let t0 = Unix.gettimeofday () in
-      (match run_cell cell with
+      let t0 = Clock.now () in
+      (match run_cell ~profile cell with
        | doc ->
          Json.to_file ~path:(cell_path ~out_dir m cell) doc;
-         report cell Completed (Unix.gettimeofday () -. t0)
+         report cell Completed (Clock.now () -. t0)
        | exception e ->
-         report cell (Failed (Printexc.to_string e)) (Unix.gettimeofday () -. t0))
+         report cell (Failed (Printexc.to_string e)) (Clock.now () -. t0))
     in
     let spawn cell =
       flush stdout;
@@ -425,7 +451,7 @@ module Pool = struct
       match Unix.fork () with
       | 0 ->
         (try
-           let doc = run_cell cell in
+           let doc = run_cell ~profile cell in
            Json.to_file ~path:(cell_path ~out_dir m cell) doc;
            Unix._exit 0
          with e ->
@@ -450,7 +476,7 @@ module Pool = struct
           pending := List.tl !pending;
           (try Sys.remove (err_path ~out_dir m cell) with Sys_error _ -> ());
           match spawn cell with
-          | Some pid -> running := !running @ [ (pid, cell, Unix.gettimeofday ()) ]
+          | Some pid -> running := !running @ [ (pid, cell, Clock.now ()) ]
           | None -> ()
         done;
         let progressed = ref false in
@@ -459,17 +485,17 @@ module Pool = struct
             (fun (pid, cell, t0) ->
               match Unix.waitpid [ Unix.WNOHANG ] pid with
               | 0, _ ->
-                if Unix.gettimeofday () -. t0 > timeout then begin
+                if Clock.now () -. t0 > timeout then begin
                   (try Unix.kill pid Sys.sigkill
                    with Unix.Unix_error _ -> ());
                   ignore (Unix.waitpid [] pid);
-                  report cell Timed_out (Unix.gettimeofday () -. t0);
+                  report cell Timed_out (Clock.now () -. t0);
                   progressed := true;
                   false
                 end
                 else true
               | _, status ->
-                let wall = Unix.gettimeofday () -. t0 in
+                let wall = Clock.now () -. t0 in
                 let outcome =
                   match status with
                   | Unix.WEXITED 0 ->
@@ -491,8 +517,28 @@ module Pool = struct
         if (not !progressed) && !running <> [] then Unix.sleepf 0.02
       done
     end;
-    List.filteri (fun i _ -> i < total) (Array.to_list reports)
-    |> List.filter_map Fun.id
+    let reports =
+      List.filteri (fun i _ -> i < total) (Array.to_list reports)
+      |> List.filter_map Fun.id
+    in
+    (* Merge this run's wall times over the previous sidecar so skipped
+       (resumed) cells keep the timing from the run that computed them. *)
+    let timings = Hashtbl.create 64 in
+    List.iter (fun (h, w) -> Hashtbl.replace timings h w) (load_timings ~out_dir m);
+    List.iter
+      (fun r ->
+        match r.r_outcome with
+        | Completed -> Hashtbl.replace timings r.r_cell.Manifest.hash r.r_wall
+        | Skipped | Failed _ | Timed_out -> ())
+      reports;
+    let entries =
+      List.filter_map
+        (fun (c : Manifest.cell) ->
+          Option.map (fun w -> (c.hash, Json.Num w)) (Hashtbl.find_opt timings c.hash))
+        m.cells
+    in
+    if entries <> [] then Json.to_file ~path:(timings_path ~out_dir m) (Json.Obj entries);
+    reports
 end
 
 module Aggregate = struct
@@ -500,11 +546,19 @@ module Aggregate = struct
     Filename.concat out_dir ("results-" ^ m.hash ^ ".json")
 
   let collect ~out_dir (m : Manifest.t) =
+    let timings = Pool.load_timings ~out_dir m in
     let docs =
       List.map
         (fun (c : Manifest.cell) ->
-          if Pool.valid_output ~out_dir m c then
-            Json.of_file ~path:(Pool.cell_path ~out_dir m c)
+          if Pool.valid_output ~out_dir m c then begin
+            let doc = Json.of_file ~path:(Pool.cell_path ~out_dir m c) in
+            (* Wall time rides along from the sidecar — it is never in the
+               (byte-identical) cell file itself. *)
+            match (doc, List.assoc_opt c.hash timings) with
+            | Json.Obj fields, Some w ->
+              Json.Obj (fields @ [ ("wall_s", Json.Num w) ])
+            | _ -> doc
+          end
           else
             Json.Obj
               [ ("hash", Json.Str c.hash);
@@ -573,8 +627,8 @@ module Figures = struct
       Format.fprintf fmt "### Throughput / latency grid@.@.";
       Format.fprintf fmt
         "| underlay | servers | cores | payload | rate | app | seed | tput \
-         op/s | p50 s | p99 s | cpu %% |@.";
-      Format.fprintf fmt "|---|---|---|---|---|---|---|---|---|---|---|@.";
+         op/s | p50 s | p99 s | cpu %% | ev/wall-s |@.";
+      Format.fprintf fmt "|---|---|---|---|---|---|---|---|---|---|---|---|@.";
       List.iter
         (fun c ->
           let cfg = config c in
@@ -585,15 +639,24 @@ module Figures = struct
               (Option.value (jstr c "label") ~default:"?")
               (Option.value (jstr c "hash") ~default:"?")
           else
+            (* Simulator speed: engine events over sidecar wall seconds —
+               absent (—) when the sweep has no timing for the cell. *)
+            let ev_per_wall =
+              match (metric c "sim_events", jnum c "wall_s") with
+              | Some ev, Some w when w > 0. -> Some (ev /. w)
+              | _ -> None
+            in
             Format.fprintf fmt
-              "| %s | %.0f | %.0f | %.0f | %a | %s | %.0f | %a | %a | %a | %a |@."
+              "| %s | %.0f | %.0f | %.0f | %a | %s | %.0f | %a | %a | %a | %a \
+               | %a |@."
               (s "underlay") (n "servers") (n "cores") (n "payload") fnum
               (n "rate") (s "app") (n "seed") opt
               (metric c "throughput_ops")
               opt (metric c "latency_p50_s") opt
               (metric c "latency_p99_s")
               opt
-              (Option.map (fun v -> 100. *. v) (metric c "server_cpu")))
+              (Option.map (fun v -> 100. *. v) (metric c "server_cpu"))
+              opt ev_per_wall)
         runs;
       Format.fprintf fmt "@."
     end;

@@ -85,7 +85,9 @@ module Pool : sig
   type report = {
     r_cell : Manifest.cell;
     r_outcome : outcome;
-    r_wall : float;  (** wall seconds spent on the cell this run *)
+    r_wall : float;
+        (** monotonic wall seconds spent on the cell this run
+            ({!Repro_prof.Prof.Clock} — immune to NTP steps) *)
   }
 
   val cell_dir : out_dir:string -> Manifest.t -> string
@@ -93,16 +95,29 @@ module Pool : sig
 
   val cell_path : out_dir:string -> Manifest.t -> Manifest.cell -> string
 
-  val run_cell : Manifest.cell -> Repro_metrics.Json.t
+  val timings_path : out_dir:string -> Manifest.t -> string
+  (** [<out_dir>/timings-<manifest-hash>.json] — sidecar mapping cell
+      hash to wall seconds.  Wall time lives here, never in the cell
+      files, which stay bit-identical across reruns (the resume
+      contract); {!run} merges new timings over old so resumed (skipped)
+      cells keep the timing from the run that computed them. *)
+
+  val load_timings : out_dir:string -> Manifest.t -> (string * float) list
+
+  val run_cell : ?profile:bool -> Manifest.cell -> Repro_metrics.Json.t
   (** Execute one cell in-process and return its output document
       (config + deterministic metrics; no timestamps, so reruns are
       bit-identical).  Runs the {!Repro_experiments.Cell} runner for
-      [Run] cells and the named chaos scenario for [Chaos] cells. *)
+      [Run] cells and the named chaos scenario for [Chaos] cells.
+      [profile] (default false) attaches the engine self-profiler to run
+      cells and embeds its {e deterministic} half as a ["profile"] field
+      — wall-time readings never enter the cell file. *)
 
   val run :
     ?workers:int ->
     ?timeout:float ->
     ?serial:bool ->
+    ?profile:bool ->
     ?on_report:(done_count:int -> total:int -> report -> unit) ->
     out_dir:string ->
     Manifest.t ->
@@ -114,7 +129,9 @@ module Pool : sig
       are captured per-cell and do not abort the sweep.  [serial] (or an
       environment where [Unix.fork] is unavailable — the pool degrades
       automatically) runs cells one by one in-process, without timeout
-      enforcement.  Reports come back in manifest order. *)
+      enforcement.  [profile] is passed to {!run_cell}.  Reports come
+      back in manifest order; completed cells' wall times are merged
+      into the {!timings_path} sidecar. *)
 end
 
 module Aggregate : sig
@@ -123,7 +140,9 @@ module Aggregate : sig
 
   val collect : out_dir:string -> Manifest.t -> Repro_metrics.Json.t
   (** Fold all per-cell outputs into one document (manifest order);
-      cells with no valid output appear as [{"missing": true}] stubs. *)
+      cells with no valid output appear as [{"missing": true}] stubs.
+      Wall seconds from the {!Pool.timings_path} sidecar are attached to
+      each present cell as a [wall_s] field. *)
 
   val write : out_dir:string -> Manifest.t -> string
   (** [collect] then write to {!results_path}; returns the path. *)
@@ -132,7 +151,8 @@ end
 module Figures : sig
   val render : Format.formatter -> Repro_metrics.Json.t -> unit
   (** Render the figure-grid tables from an aggregated results document:
-      the throughput/latency grid over run cells, core-scaling and
-      application tables when those axes vary, and the chaos-outcome
+      the throughput/latency grid over run cells (with a simulator-speed
+      events/wall-second column when timings are available), core-scaling
+      and application tables when those axes vary, and the chaos-outcome
       table over chaos cells. *)
 end

@@ -63,11 +63,11 @@ let accept arrival ~rng ~now =
 
 (* Schedule [fire] once per arrival of the process until [until] (if
    given).  Deterministic for a fixed rng state and engine schedule. *)
-let drive ~engine ~rng ~arrival ?until ~fire () =
+let drive ?kind ~engine ~rng ~arrival ?until ~fire () =
   let stop now = match until with Some u -> now > u | None -> false in
   let rec arm () =
     let delay = gap arrival ~rng in
-    Engine.schedule engine ~delay (fun () ->
+    Engine.schedule ?kind engine ~delay (fun () ->
         let now = Engine.now engine in
         if not (stop now) then begin
           if accept arrival ~rng ~now then fire ();

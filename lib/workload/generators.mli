@@ -30,6 +30,7 @@ val accept : arrival -> rng:Repro_sim.Rng.t -> now:float -> bool
 (** Thinning acceptance for the arrival drawn by {!gap}. *)
 
 val drive :
+  ?kind:int ->
   engine:Repro_sim.Engine.t ->
   rng:Repro_sim.Rng.t ->
   arrival:arrival ->
@@ -39,4 +40,5 @@ val drive :
   unit
 (** Schedule [fire] once per arrival of the process, stopping after
     [until] (simulated seconds) if given.  Deterministic for a fixed rng
-    state. *)
+    state.  [kind] is an interned {!Repro_sim.Engine.kind} attributing the
+    arrival events for the profiler. *)

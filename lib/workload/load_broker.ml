@@ -70,5 +70,6 @@ let inject t =
 let start t ?until ?(phase = 0.) () =
   let engine = D.engine t.deployment in
   let period = 1. /. t.cfg.rate in
-  Engine.schedule engine ~delay:phase (fun () ->
-      Engine.every engine ~period ?until (fun () -> inject t))
+  let kind = Engine.kind engine "load.inject" in
+  Engine.schedule ~kind engine ~delay:phase (fun () ->
+      Engine.every ~kind engine ~period ?until (fun () -> inject t))

@@ -59,6 +59,25 @@ dune exec bin/main.exe -- sweep --manifest examples/sweep-ci.json \
   || { echo "sweep smoke: resume did not engage"; exit 1; }
 rm -rf "$sweep_out"
 
+echo "== profiler / doctor smoke =="
+# The engine self-profiler is a pure observer: two same-seed `chopchop
+# profile` runs must produce byte-identical deterministic JSON (--no-wall
+# strips the machine-dependent half), and the health doctor must produce
+# a non-empty structured diagnosis on a deliberately stalled scenario
+# (an unhealed full partition).
+prof_dir="$(mktemp -d)"
+dune exec bin/main.exe -- profile --no-wall -o "$prof_dir/p1.json" >/dev/null
+dune exec bin/main.exe -- profile --no-wall -o "$prof_dir/p2.json" >/dev/null
+cmp "$prof_dir/p1.json" "$prof_dir/p2.json" \
+  || { echo "profile smoke: deterministic profile JSON differs between runs"; exit 1; }
+dune exec bin/main.exe -- doctor --scenario stall-partition \
+  -o "$prof_dir/diag.json" >"$prof_dir/doctor.out"
+grep -q "Doctor diagnosis" "$prof_dir/doctor.out" \
+  || { echo "doctor smoke: no diagnosis on stalled scenario"; exit 1; }
+grep -q '"phase"' "$prof_dir/diag.json" \
+  || { echo "doctor smoke: diagnosis JSON empty or missing phase"; exit 1; }
+rm -rf "$prof_dir"
+
 echo "== bench baseline regression gate =="
 # Regenerate the machine-readable baseline and diff it against the
 # committed one; the sim is deterministic, so any gated drift is a real

@@ -206,8 +206,8 @@ let test_scenario_determinism () =
   match Chaos.find "broker-equivocation" with
   | None -> Alcotest.fail "scenario broker-equivocation missing"
   | Some sc ->
-    let a = sc.Chaos.sc_run ~seed:7L ~scale:Chaos.Quick in
-    let b = sc.Chaos.sc_run ~seed:7L ~scale:Chaos.Quick in
+    let a = sc.Chaos.sc_run ~seed:7L ~scale:Chaos.Quick () in
+    let b = sc.Chaos.sc_run ~seed:7L ~scale:Chaos.Quick () in
     checkb "verdicts bit-identical across runs" true (a = b);
     checkb "and they pass" true a.Chaos.v_pass
 
@@ -221,8 +221,8 @@ let test_kitchen_sink_reconfig_seeds () =
   | Some sc ->
     List.iter
       (fun seed ->
-        let a = sc.Chaos.sc_run ~seed ~scale:Chaos.Quick in
-        let b = sc.Chaos.sc_run ~seed ~scale:Chaos.Quick in
+        let a = sc.Chaos.sc_run ~seed ~scale:Chaos.Quick () in
+        let b = sc.Chaos.sc_run ~seed ~scale:Chaos.Quick () in
         checkb (Printf.sprintf "deterministic under seed %Ld" seed) true (a = b);
         if not a.Chaos.v_pass then
           Alcotest.failf "reconfig-kitchen-sink failed under seed %Ld: %s" seed

@@ -1,0 +1,153 @@
+(* lib/prof tests: the profiler must be a pure observer — a same-seed run
+   is bit-identical with profiling on or off — and its deterministic
+   counters must reproduce exactly across runs; the health doctor's
+   watchdog must fire on an induced delivery stall (an unhealed full
+   partition) and name the partition in its diagnosis. *)
+
+module Engine = Repro_sim.Engine
+module Prof = Repro_prof.Prof
+module Doctor = Repro_prof.Doctor
+module Cell = Repro_experiments.Cell
+module Chaos = Repro_chaos.Chaos
+module Json = Repro_metrics.Json
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* A cell config small enough for a unit test but exercising every layer
+   (PBFT underlay, store on, real load). *)
+let test_cell =
+  { Cell.default with Cell.duration = 7.; warmup = 2.; cooldown = 1.;
+    rate = 50_000.; dense_clients = 100_000 }
+
+(* --- the profiler is a pure observer ----------------------------------- *)
+
+(* Same seed, profiling off vs on: every deterministic outcome field must
+   be bit-identical (floats compared exactly — the sim is deterministic,
+   so any difference means the profiler perturbed the run). *)
+let test_bit_identical_on_off () =
+  let off = Cell.run ~profile:false test_cell in
+  let on = Cell.run ~profile:true test_cell in
+  checkb "profiler produced a report" true (on.Cell.prof <> None);
+  checkb "no report when off" true (off.Cell.prof = None);
+  checki "sim_events identical" off.Cell.sim_events on.Cell.sim_events;
+  checki "metric count identical"
+    (List.length off.Cell.metrics)
+    (List.length on.Cell.metrics);
+  List.iter2
+    (fun (k0, v0) (k1, v1) ->
+      checks "metric name" k0 k1;
+      checkb (Printf.sprintf "metric %s bit-identical (%.17g vs %.17g)" k0 v0 v1)
+        true (v0 = v1))
+    off.Cell.metrics on.Cell.metrics;
+  checkb "info identical" true (off.Cell.info = on.Cell.info)
+
+(* Two profiled same-seed runs: the deterministic half of the report
+   (event counts per kind, minor words, depth/dwell histograms, max
+   depth) must render to identical bytes.  Wall-time is excluded by
+   construction — [deterministic_json] never contains it. *)
+let test_deterministic_counters () =
+  let r1 = Cell.run ~profile:true test_cell in
+  let r2 = Cell.run ~profile:true test_cell in
+  match (r1.Cell.prof, r2.Cell.prof) with
+  | Some p1, Some p2 ->
+    checks "deterministic profile json identical"
+      (Json.to_string (Prof.deterministic_json p1))
+      (Json.to_string (Prof.deterministic_json p2));
+    checki "events identical" p1.Prof.p_events p2.Prof.p_events;
+    checkb "events observed" true (p1.Prof.p_events > 0);
+    checki "max queue depth identical" p1.Prof.p_max_pending
+      p2.Prof.p_max_pending;
+    (* Wall-time differs between the runs (it is real time), but the
+       attribution share must still be high: the engine's hot paths are
+       all kind-tagged, so the "other" bucket stays tiny. *)
+    checkb ">= 95% of wall attributed to named kinds" true
+      (Prof.attributed_share p1 >= 0.95)
+  | _ -> Alcotest.fail "profiled runs produced no report"
+
+(* Attaching the profiler to a bare engine must not change its RNG stream
+   or event order: drive the same schedule twice and compare execution
+   traces recorded by the handlers themselves. *)
+let engine_trace ~profiled =
+  let e = Engine.create ~seed:7L () in
+  let rng = Repro_sim.Rng.create 7L in
+  let log = ref [] in
+  let p = if profiled then Some (Prof.attach e) else None in
+  let k_a = Engine.kind e "a" and k_b = Engine.kind e "b" in
+  for i = 0 to 9 do
+    Engine.schedule ~kind:(if i mod 2 = 0 then k_a else k_b) e
+      ~delay:(Repro_sim.Rng.float rng 1.0)
+      (fun () -> log := (i, Engine.now e) :: !log)
+  done;
+  Engine.run e ~until:2.0;
+  Option.iter Prof.detach p;
+  List.rev !log
+
+let test_engine_trace_identical () =
+  let plain = engine_trace ~profiled:false in
+  let prof = engine_trace ~profiled:true in
+  checki "same handler count" (List.length plain) (List.length prof);
+  checkb "same order and times" true (plain = prof)
+
+(* --- the doctor -------------------------------------------------------- *)
+
+(* The stall-partition diagnostic scenario fully partitions servers from
+   brokers and never heals: the watchdog must fire mid-run (not just the
+   post-mortem) and the diagnosis must name the partition. *)
+let test_watchdog_fires_on_stall () =
+  let sc =
+    match Chaos.find_any "stall-partition" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "stall-partition diagnostic scenario missing"
+  in
+  let v = sc.Chaos.sc_run ~seed:42L ~scale:Chaos.Quick () in
+  checkb "scenario stalls (does not pass)" false v.Chaos.v_pass;
+  match v.Chaos.v_diagnosis with
+  | None -> Alcotest.fail "no diagnosis on a stalled run"
+  | Some d ->
+    checks "watchdog (not post-mortem) produced it" "stall" d.Doctor.d_reason;
+    checkb "progress below expected" true
+      (d.Doctor.d_progress < d.Doctor.d_expected);
+    (match d.Doctor.d_partition with
+     | None -> Alcotest.fail "diagnosis does not name the partition"
+     | Some groups ->
+       checkb "a non-empty partition group is reported" true
+         (List.exists (fun g -> g <> []) groups));
+    checkb "phase blames the partition" true
+      (let phase = d.Doctor.d_phase in
+       let needle = "partition" in
+       let n = String.length needle in
+       let rec has i =
+         i + n <= String.length phase
+         && (String.sub phase i n = needle || has (i + 1))
+       in
+       has 0)
+
+(* Healthy run: the watchdog must stay silent — chaos scenarios arm it on
+   every run, so any pass proves no spurious firing, but check the verdict
+   field explicitly on one. *)
+let test_watchdog_silent_when_healthy () =
+  let sc =
+    match Chaos.find "partition-heal" with
+    | Some sc -> sc
+    | None -> Alcotest.fail "partition-heal scenario missing"
+  in
+  let v = sc.Chaos.sc_run ~seed:42L ~scale:Chaos.Quick () in
+  checkb "partition-heal passes" true v.Chaos.v_pass;
+  checkb "no diagnosis on a healthy run" true (v.Chaos.v_diagnosis = None)
+
+let () =
+  Alcotest.run "prof"
+    [ ( "profiler",
+        [ Alcotest.test_case "same-seed run bit-identical profiling on/off"
+            `Slow test_bit_identical_on_off;
+          Alcotest.test_case "deterministic counters across two runs" `Slow
+            test_deterministic_counters;
+          Alcotest.test_case "bare-engine trace unchanged by profiler" `Quick
+            test_engine_trace_identical ] );
+      ( "doctor",
+        [ Alcotest.test_case "watchdog fires on induced stall" `Slow
+            test_watchdog_fires_on_stall;
+          Alcotest.test_case "watchdog silent on healthy run" `Slow
+            test_watchdog_silent_when_healthy ] ) ]

@@ -338,7 +338,7 @@ let test_chaos_crash_cold_restart () =
   match Chaos.find "crash-cold-restart" with
   | None -> Alcotest.fail "scenario crash-cold-restart not registered"
   | Some s ->
-    let v = s.Chaos.sc_run ~seed:7L ~scale:Chaos.Quick in
+    let v = s.Chaos.sc_run ~seed:7L ~scale:Chaos.Quick () in
     if not v.Chaos.v_pass then
       Alcotest.failf "crash-cold-restart failed: %s"
         (String.concat "; " v.Chaos.v_violations);
