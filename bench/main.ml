@@ -371,6 +371,25 @@ let run_bench_json () =
         ("final_epoch", gated 0.0 B.Higher_better (float_of_int r.R.final_epoch));
         ("wall_time_s", info wall) ] )
   in
+  (* Broker scale-out (lib/fleet, quick scale): gates the multi-broker
+     extension.  The metric is the 4-broker fleet's delivered throughput
+     over the analytic single-broker NIC ceiling — the "add brokers past
+     the network limit of one" claim in one number.  The tolerance is
+     wide (10%) because the numerator sits at a saturation point: batch
+     boundaries landing on the measurement window edges move it by a few
+     percent across intentional pipeline changes. *)
+  let scaleout_config () =
+    let module S = Repro_experiments.Broker_scaleout in
+    let t0 = Sys.time () in
+    let speedup = S.speedup_4x () in
+    let wall = Sys.time () -. t0 in
+    ( "quick-scaleout",
+      [ ( "scaleout_speedup_4x",
+          { B.value = speedup; tolerance = Some 0.10;
+            direction = B.Higher_better } );
+        ("wall_time_s", { B.value = wall; tolerance = None;
+                          direction = B.Lower_better }) ] )
+  in
   print_endline "=== Bench baseline (quick-scale, deterministic) ===";
   let doc =
     { B.version = 1;
@@ -396,9 +415,18 @@ let run_bench_json () =
           "  minor_words_per_event (lib/prof GC probe) reproduces for a";
           "  fixed binary but tracks the OCaml compiler/allocator, not";
           "  protocol behaviour, so it stays informational.";
+          "quick-scaleout gates the lib/fleet multi-broker extension:";
+          "  scaleout_speedup_4x = 4-broker delivered throughput over the";
+          "  analytic single-broker NIC ceiling (higher_better, tol 10%:";
+          "  the numerator sits at a saturation point, so batch edges on";
+          "  the measurement window move it a few percent across";
+          "  intentional pipeline changes; a drop below tolerance means";
+          "  the fleet no longer scales past one broker's NIC).";
           "Compared by scripts/bench_compare (bench/compare.ml), which";
           "  scripts/ci.sh runs against a fresh `bench json` run." ];
-      configs = List.map bench_config configs @ [ reconfig_config () ] }
+      configs =
+        List.map bench_config configs
+        @ [ reconfig_config (); scaleout_config () ] }
   in
   let out =
     match Sys.getenv_opt "CHOPCHOP_BENCH_OUT" with

@@ -40,6 +40,8 @@ let experiments : (string * string * (Format.formatter -> F.scale -> unit)) list
     ("ablation-loss", "client/broker packet-loss sweep", F.ablation_loss);
     ("broker-cores", "broker worker lanes until the NIC binds",
      Repro_experiments.Broker_cores.print);
+    ("broker-scaleout", "fleet size until the network is the limit",
+     Repro_experiments.Broker_scaleout.print);
     ("reconfig-load", "ordered join + leave under sustained load",
      Repro_experiments.Reconfig_load.print);
     ("future", "§8 extensions: sharding + pk-aggregation offload",

@@ -262,7 +262,8 @@ type verdict = {
 
 let reject_names =
   [ "reject_batch"; "reject_witness"; "reject_shard"; "reject_completion";
-    "reject_cert"; "dup_ref"; "reject_unknown"; "reject_rate" ]
+    "reject_cert"; "dup_ref"; "reject_unknown"; "reject_rate";
+    "reject_admission" ]
 
 let rejection_counts sink =
   let tbl = Hashtbl.create 8 in
@@ -339,12 +340,18 @@ let dims = function Quick -> (4, 6, 2, 90.) | Full -> (7, 12, 3, 150.)
    sybil_rate) floods the brokers between [t0] and [t1] with
    correctly-signed over-rate traffic from dense identities and with
    unknown-identity sybil submissions ([dense_clients] > 0 required for
-   the former); [duration] overrides the scale's default run length. *)
+   the former); [duration] overrides the scale's default run length.
+
+   Fleet knobs (lib/fleet): [fleet] arms the broker-fleet client
+   partitioning policy (clients home by hash instead of nearest-first and
+   signups shard across brokers); [fair_admission] = (rate, burst) arms
+   the servers' per-broker fair-admission token buckets on the order
+   queue ("reject_admission" instants). *)
 let run_case ?until ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
     ~make_schedule ?(crashed_clients = []) ?(degraded_servers = [])
     ?(expect_rejects = []) ?(store = false) ?(checkpoint_every = 0) ?apps
     ?(spare_servers = 0) ?(dense_clients = 0) ?admission ?surge ?spam
-    ?duration ?(post = fun _ _ -> []) () =
+    ?fleet ?fair_admission ?duration ?(post = fun _ _ -> []) () =
   let n_servers, n_clients, msgs_each, base_duration = dims scale in
   let duration = Option.value duration ~default:base_duration in
   (* [until] kills the run early (doctor post-mortems on a run cut short
@@ -354,11 +361,15 @@ let run_case ?until ~name ~seed ~scale ~underlay ~n_brokers ?client_brokers
   let admission_rate, admission_burst =
     Option.value admission ~default:(0., 0.)
   in
+  let fair_admission_rate, fair_admission_burst =
+    Option.value fair_admission ~default:(0., 0.)
+  in
   let trace = Trace.Sink.memory () in
   let cfg =
     { Deployment.default_config with
       n_servers; spare_servers; n_brokers; underlay; seed; trace;
       dense_clients; admission_rate; admission_burst;
+      fleet; fair_admission_rate; fair_admission_burst;
       store_enabled = store; checkpoint_every }
   in
   let d = Deployment.create cfg in
@@ -954,6 +965,83 @@ let sc_spam_sybil =
           ~make_schedule:(fun _ _ -> [])
           ()) }
 
+let sc_fleet_broker_crash =
+  { sc_name = "fleet-broker-crash";
+    sc_summary =
+      "crash the fleet's hottest home broker mid-run: its partition's \
+       clients walk their failover rotation, the signup shard hands off \
+       to the same successor, and every broadcast still completes; on \
+       recovery the partition reshards back";
+    sc_run =
+      (fun ?until ~seed ~scale () ->
+        let victim = ref 0 in
+        run_case ?until ~name:"fleet-broker-crash" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:3
+          ~fleet:Repro_fleet.Fleet.Hash
+          ~make_schedule:(fun d _ ->
+            (* The fleet's client accounting is filled at add_client time,
+               so the hottest partition is already known here. *)
+            (match Deployment.fleet_hottest d with
+             | Some (b, _) -> victim := b
+             | None -> ());
+            [ (15., Crash_broker !victim); (45., Recover_broker !victim) ])
+          ~post:(fun d _ ->
+            let errs = ref [] in
+            (match Deployment.fleet d with
+             | None -> errs := "fleet: no fleet policy armed" :: !errs
+             | Some _ -> ());
+            if Deployment.fleet_handoff_bytes d = 0 then
+              errs :=
+                "fleet: expected shard-handoff bytes on the broker crash, \
+                 saw none"
+                :: !errs;
+            List.rev !errs)
+          ()) }
+
+let sc_fleet_hot_shard =
+  { sc_name = "fleet-hot-shard";
+    sc_summary =
+      "a greedy flood aimed entirely at the fleet's hottest broker; the \
+       servers' per-broker fair-admission budget sheds the hot broker's \
+       excess (reject_admission) while the sibling partitions keep \
+       completing undisturbed";
+    sc_run =
+      (fun ?until ~seed ~scale () ->
+        let hot = ref 0 in
+        run_case ?until ~name:"fleet-hot-shard" ~seed ~scale
+          ~underlay:Deployment.Sequencer ~n_brokers:3
+          ~fleet:Repro_fleet.Fleet.Hash
+          ~dense_clients:2048
+          ~fair_admission:(1., 5.)
+          ~expect_rejects:[ "reject_admission" ]
+          ~make_schedule:(fun d _ ->
+            (match Deployment.fleet_hottest d with
+             | Some (b, _) -> hot := b
+             | None -> ());
+            let engine = Deployment.engine d in
+            let rng = Rng.create (Int64.logxor seed 0xF1EE7F100DL) in
+            Engine.schedule_at engine ~time:10. (fun () ->
+                ignore
+                  (Spam.start_greedy ~deployment:d ~rng ~rate:400.
+                     ~first_id:0 ~clients:64 ~broker:!hot ~until:55. ()));
+            [])
+          ~post:(fun d _ ->
+            match Deployment.admission_rejects d with
+            | [] -> [ "fleet: no per-broker admission rejects recorded" ]
+            | rejects ->
+              let worst, _ =
+                List.fold_left
+                  (fun (wb, wn) (b, n) -> if n > wn then (b, n) else (wb, wn))
+                  (-1, min_int) rejects
+              in
+              if worst <> !hot then
+                [ Printf.sprintf
+                    "fleet: broker %d collected the most admission rejects, \
+                     expected the flooded broker %d"
+                    worst !hot ]
+              else [])
+          ()) }
+
 let sc_reconfig_kitchen_sink =
   { sc_name = "reconfig-kitchen-sink";
     sc_summary =
@@ -1013,7 +1101,7 @@ let scenarios =
     sc_kitchen_sink; sc_crash_cold_restart; sc_lagging_restart;
     sc_checkpoint_partition; sc_reconfig_join; sc_reconfig_leave;
     sc_reconfig_replace; sc_rolling_upgrade; sc_flash_crowd; sc_spam_sybil;
-    sc_reconfig_kitchen_sink ]
+    sc_fleet_broker_crash; sc_fleet_hot_shard; sc_reconfig_kitchen_sink ]
 
 let find name = List.find_opt (fun s -> s.sc_name = name) scenarios
 

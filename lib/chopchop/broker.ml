@@ -66,7 +66,7 @@ type t = {
   cpu : Cpu.t;
   cfg : config;
   membership : Membership.t; (* shared routing view of the active servers *)
-  dir : Directory.t;
+  dir : Directory.view;
   server_ms_pk : int -> Multisig.public_key;
   send_server : dst:int -> bytes:int -> Proto.broker_to_server -> unit;
   send_client : client:Types.client_id -> bytes:int -> Proto.broker_to_client -> unit;
@@ -263,7 +263,7 @@ let rec flush t =
     let to_verify =
       List.map
         (fun s ->
-          ( Directory.sig_pk t.dir s.sub_id,
+          ( Directory.view_sig_pk t.dir s.sub_id,
             Types.message_statement ~id:s.sub_id ~seq:s.sub_seq s.sub_msg,
             s.sub_tsig ))
         subs
@@ -286,7 +286,7 @@ let rec flush t =
                     (List.filter
                        (fun s ->
                          Schnorr.verify
-                           (Directory.sig_pk t.dir s.sub_id)
+                           (Directory.view_sig_pk t.dir s.sub_id)
                            (Types.message_statement ~id:s.sub_id ~seq:s.sub_seq
                               s.sub_msg)
                            s.sub_tsig)
@@ -367,7 +367,7 @@ and reduce t root =
          completes on the sim clock. *)
       let share_list =
         Hashtbl.fold
-          (fun id share acc -> (id, Directory.ms_pk t.dir id, share) :: acc)
+          (fun id share acc -> (id, Directory.view_ms_pk t.dir id, share) :: acc)
           st.r_shares []
       in
       let statement = Types.reduction_statement ~root in
@@ -732,7 +732,7 @@ let receive_client t msg =
       (* Sybil screening before anything else: an identity the directory
          has never issued must not reach the signature pipeline (its
          sig_pk lookup would fail) nor consume pool memory. *)
-      if Directory.find t.dir id = None then
+      if Directory.view_find t.dir id = None then
         reject_instant t "reject_unknown" ~id
       else if not (admit t id) then
         (* Per-client token bucket: spam past the admission rate is shed

@@ -40,7 +40,7 @@ val create :
   cpu:Repro_sim.Cpu.t ->
   config:config ->
   ?membership:Membership.t ->
-  directory:Directory.t ->
+  directory:Directory.view ->
   server_ms_pk:(int -> Repro_crypto.Multisig.public_key) ->
   send_server:(dst:int -> bytes:int -> Proto.broker_to_server -> unit) ->
   send_client:(client:Types.client_id -> bytes:int -> Proto.broker_to_client -> unit) ->

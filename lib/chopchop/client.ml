@@ -97,6 +97,13 @@ let current_broker t = List.nth t.cfg.brokers (t.broker_idx mod List.length t.cf
 
 let next_broker t = t.broker_idx <- t.broker_idx + 1
 
+(* Fleet failover recovery: when this client's home broker comes back,
+   point the rotation at the head of the preference list again and forget
+   the accumulated backoff — the next submission goes home directly. *)
+let rehome t =
+  t.broker_idx <- 0;
+  t.backoff <- t.cfg.resubmit_timeout
+
 let msg_bytes t = match t.flight with Some fl -> String.length fl.fl_msg | None -> 8
 
 (* Exponential backoff with deterministic seeded jitter: each retry draws

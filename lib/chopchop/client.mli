@@ -59,6 +59,11 @@ val broadcast : t -> Types.message -> unit
 
 val receive : t -> Proto.broker_to_client -> unit
 
+val rehome : t -> unit
+(** Point the broker rotation back at the head of the preference list and
+    reset the resubmission backoff — called by the deployment when the
+    client's home broker recovers (lib/fleet failover). *)
+
 val id : t -> Types.client_id option
 val pending : t -> int
 val completed : t -> int

@@ -6,6 +6,7 @@ module Region = Repro_sim.Region
 module Multisig = Repro_crypto.Multisig
 module Store = Repro_store.Store
 module Disk = Repro_store.Disk
+module Fleet = Repro_fleet.Fleet
 
 type underlay = Sequencer | Pbft | Hotstuff
 
@@ -26,6 +27,13 @@ type config = {
   stob_batch_timeout : float; (* underlay leader batching window *)
   admission_rate : float; (* broker per-client token rate; 0 = unlimited *)
   admission_burst : float; (* bucket depth for the above *)
+  fleet : Fleet.mode option;
+      (* lib/fleet scale-out: partition clients across brokers and shard
+         the Rank directory per broker (None = classic deployment) *)
+  fair_admission_rate : float;
+      (* server-side per-broker budget on the order queue, refs/s
+         (0 = unlimited) *)
+  fair_admission_burst : float; (* bucket depth for the above *)
   store_enabled : bool; (* per-server durable state (lib/store) *)
   checkpoint_every : int; (* snapshot every k deliveries (when enabled) *)
   trace : Repro_trace.Trace.Sink.t;
@@ -37,6 +45,7 @@ let default_config =
     gc_period = 0.5; flush_period = 0.2; reduce_timeout = 0.2;
     witness_margin = 1; max_batch = 65_536; net_loss = 0.; seed = 42L;
     stob_batch_timeout = 0.05; admission_rate = 0.; admission_burst = 0.;
+    fleet = None; fair_admission_rate = 0.; fair_admission_burst = 0.;
     store_enabled = false; checkpoint_every = 64;
     trace = Repro_trace.Trace.Sink.null () }
 
@@ -50,6 +59,7 @@ let paper_config ~n_servers ~underlay =
     witness_margin = margin_for_size n_servers; max_batch = 65_536;
     net_loss = 0.; seed = 42L; stob_batch_timeout = 0.1;
     admission_rate = 0.; admission_burst = 0.;
+    fleet = None; fair_admission_rate = 0.; fair_admission_burst = 0.;
     store_enabled = false; checkpoint_every = 1024;
     trace = Repro_trace.Trace.Sink.null () }
 
@@ -72,7 +82,12 @@ type stob_handle = {
   sh_resume : int -> unit; (* fast-forward past state-transferred slots *)
 }
 
-type broker_slot = { br : Broker.t; br_node : int; br_cpu : Cpu.t }
+type broker_slot = {
+  br : Broker.t;
+  br_node : int;
+  br_cpu : Cpu.t;
+  br_shard : Directory.shard option; (* this broker's Rank partition (fleet) *)
+}
 
 type t = {
   cfg : config;
@@ -92,6 +107,11 @@ type t = {
   mutable next_node : int;
   mutable next_client_region : int;
   mutable deliver_hook : int -> Proto.delivery -> unit;
+  (* lib/fleet scale-out (None/unused in a classic deployment). *)
+  fleet : Fleet.t option;
+  shard_home : (Types.client_id, int) Hashtbl.t; (* id -> home broker *)
+  client_home : (int, int) Hashtbl.t; (* client node -> home broker *)
+  mutable fleet_handoff_bytes : int; (* shard bytes moved on crash/recovery *)
   (* Reliable-UDP channels for client<->broker traffic (§5.1): one sender
      and one receiver per directed (origin node, peer node) pair, created
      lazily.  ACKs ride the same union member in the reverse direction. *)
@@ -253,9 +273,22 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
       admission_rate = t.cfg.admission_rate;
       admission_burst = t.cfg.admission_burst }
   in
-  (* Brokers read any server's directory view: all correct servers hold the
-     same one (signups flow through the STOB).  Use server 0's. *)
-  let directory = Server.directory t.servers.(0) in
+  (* Classic deployment: brokers read any server's directory — all correct
+     servers hold the same one (signups flow through the STOB); use server
+     0's.  Fleet deployment: each broker resolves identifiers through its
+     own Rank shard (dense population + the explicit cards it owns). *)
+  let shard =
+    match t.fleet with
+    | Some fl ->
+      ignore (Fleet.register fl ~region);
+      Some (Directory.create_shard ~dense_count:t.cfg.dense_clients ())
+    | None -> None
+  in
+  let directory =
+    match shard with
+    | Some sh -> Directory.Shard sh
+    | None -> Directory.Whole (Server.directory t.servers.(0))
+  in
   let b =
     Broker.create ~engine:t.engine ~cpu ~config:cfg_b ~directory
       ~membership:t.membership
@@ -303,7 +336,9 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
       | B2s _ | S2s _ | Stob_seq _ | Stob_pbft _ | Stob_hs _ -> ())
     ();
   Hashtbl.replace t.broker_of_node node broker_id;
-  t.brokers <- Array.append t.brokers [| { br = b; br_node = node; br_cpu = cpu } |];
+  t.brokers <-
+    Array.append t.brokers
+      [| { br = b; br_node = node; br_cpu = cpu; br_shard = shard } |];
   Broker.start b;
   broker_id
 
@@ -314,10 +349,13 @@ let install_broker t ~region ~flush_period ~reduce_timeout ~max_batch ?cores
    {!replace_server} to install a fresh identity in a vacated slot. *)
 let build_server t ~slot ~ms_sk ~directory ~membership ~stob =
   let sh = stob in
+  let sv =
   Server.create ~engine:t.engine ~cpu:t.server_cpus.(slot)
     ~config:{ Server.self = slot; n = t.capacity;
               clients = max t.cfg.dense_clients 1024;
-              gc_period = t.cfg.gc_period }
+              gc_period = t.cfg.gc_period;
+              fair_rate = t.cfg.fair_admission_rate;
+              fair_burst = t.cfg.fair_admission_burst }
     ?store:t.stores.(slot) ~checkpoint_every:t.cfg.checkpoint_every
     ~stob_cursor:(fun () -> sh.sh_cursor ())
     ~stob_resume:(fun cursor -> sh.sh_resume cursor)
@@ -336,6 +374,28 @@ let build_server t ~slot ~ms_sk ~directory ~membership ~stob =
     ~stob_broadcast:(fun item -> sh.sh_broadcast item)
     ~deliver_app:(fun d -> t.deliver_hook slot d)
     ()
+  in
+  (* Sharded Rank: route each ordered signup's card to the shard of the
+     broker that relayed it (its reply_broker = the client's home broker).
+     Shards are deployment-level objects, so one observer suffices — slot
+     0's, matching the classic "brokers read server 0's directory" idiom. *)
+  (match t.fleet with
+   | Some fl when slot = 0 ->
+     Server.set_on_signup sv (fun ~id ~reply_broker card ->
+         let home =
+           if reply_broker >= 0 && reply_broker < Array.length t.brokers then
+             reply_broker
+           else 0
+         in
+         Hashtbl.replace t.shard_home id home;
+         let owner =
+           if Fleet.alive fl home then home else Fleet.first_alive fl ~key:id ()
+         in
+         match t.brokers.(owner).br_shard with
+         | Some shard -> Directory.shard_insert shard ~id card
+         | None -> ())
+   | _ -> ());
+  sv
 
 let create cfg =
   let engine = Engine.create ~seed:cfg.seed ~trace:cfg.trace () in
@@ -373,6 +433,13 @@ let create cfg =
       next_node = capacity;
       next_client_region = 0;
       deliver_hook = (fun _ _ -> ());
+      fleet =
+        (match cfg.fleet with
+         | Some mode -> Some (Fleet.create ~mode ~seed:cfg.seed ())
+         | None -> None);
+      shard_home = Hashtbl.create 256;
+      client_home = Hashtbl.create 256;
+      fleet_handoff_bytes = 0;
       c2b_send = Hashtbl.create 64; c2b_recv = Hashtbl.create 64;
       b2c_send = Hashtbl.create 64; b2c_recv = Hashtbl.create 64 }
   in
@@ -467,14 +534,26 @@ let add_client t ?region ?identity ?on_delivered ?brokers () =
     match brokers with
     | Some bs -> bs
     | None ->
-      (* Nearest broker first, then the rest. *)
-      let all = List.init (Array.length t.brokers) Fun.id in
-      List.sort
-        (fun a b ->
-          Float.compare
-            (Region.latency region (Net.node_region t.net t.brokers.(a).br_node))
-            (Region.latency region (Net.node_region t.net t.brokers.(b).br_node)))
-        all
+      (match t.fleet with
+       | Some fl when Fleet.size fl > 0 ->
+         (* Fleet partitioning: deterministic home broker plus the ordered
+            failover walk.  Dense identities key by id (stable across
+            runs); anonymous clients key by their node id. *)
+         let key = match identity with Some id -> id | None -> node in
+         let order = Fleet.assignment fl ~key ~region () in
+         let home = List.hd order in
+         Fleet.note_client fl home;
+         Hashtbl.replace t.client_home node home;
+         order
+       | _ ->
+         (* Nearest broker first, then the rest. *)
+         let all = List.init (Array.length t.brokers) Fun.id in
+         List.sort
+           (fun a b ->
+             Float.compare
+               (Region.latency region (Net.node_region t.net t.brokers.(a).br_node))
+               (Region.latency region (Net.node_region t.net t.brokers.(b).br_node)))
+           all)
   in
   let keypair =
     match identity with
@@ -677,13 +756,94 @@ let server_catching_up t i = Server.catching_up t.servers.(i)
 let set_server_app t i ~snapshot ~restore =
   Server.set_app_hooks t.servers.(i) ~snapshot ~restore
 
+(* Move every explicit card of broker [from_]'s shard that [belongs] to a
+   new owner chosen per card; returns the handoff wire bytes accounted. *)
+let reshard t ~from_ ~belongs ~owner_of =
+  match t.brokers.(from_).br_shard with
+  | None -> 0
+  | Some src ->
+    let moved = ref 0 in
+    List.iter
+      (fun (id, card) ->
+        if belongs id then begin
+          let dst = owner_of id in
+          if dst <> from_ then
+            match t.brokers.(dst).br_shard with
+            | Some dshard ->
+              Directory.shard_remove src ~id;
+              Directory.shard_insert dshard ~id card;
+              incr moved
+            | None -> ()
+        end)
+      (Directory.shard_cards src);
+    if !moved > 0 then Wire.shard_handoff_bytes ~cards:!moved else 0
+
 let crash_broker t i =
   Broker.crash t.brokers.(i).br;
-  Net.disconnect t.net t.brokers.(i).br_node
+  Net.disconnect t.net t.brokers.(i).br_node;
+  (* Fleet failover: the crashed partition's cards move to each key's
+     first alive failover broker — the same successor the clients' broker
+     rotation lands on, so re-routed submissions still resolve. *)
+  match t.fleet with
+  | Some fl ->
+    Fleet.mark_down fl i;
+    t.fleet_handoff_bytes <-
+      t.fleet_handoff_bytes
+      + reshard t ~from_:i
+          ~belongs:(fun _ -> true)
+          ~owner_of:(fun id -> Fleet.first_alive fl ~key:id ())
+  | None -> ()
 
 let recover_broker t i =
   Net.reconnect t.net t.brokers.(i).br_node;
-  Broker.recover t.brokers.(i).br
+  Broker.recover t.brokers.(i).br;
+  (* Fleet rebalance: cards homed on the recovered broker move back, and
+     its clients point their rotation at the head of the preference list
+     again (with their backoff forgotten). *)
+  match t.fleet with
+  | Some fl ->
+    Fleet.mark_up fl i;
+    let back = ref 0 in
+    for j = 0 to Array.length t.brokers - 1 do
+      if j <> i then
+        back :=
+          !back
+          + reshard t ~from_:j
+              ~belongs:(fun id -> Hashtbl.find_opt t.shard_home id = Some i)
+              ~owner_of:(fun _ -> i)
+    done;
+    t.fleet_handoff_bytes <- t.fleet_handoff_bytes + !back;
+    Hashtbl.iter
+      (fun node c ->
+        if Hashtbl.find_opt t.client_home node = Some i then Client.rehome c)
+      t.clients_by_node
+  | None -> ()
+
+(* --- fleet introspection (lib/fleet) ------------------------------------- *)
+
+let fleet t = t.fleet
+let broker_shard t i = t.brokers.(i).br_shard
+
+let fleet_loads t =
+  match t.fleet with Some fl -> Fleet.loads fl | None -> [||]
+
+let fleet_hottest t =
+  match t.fleet with Some fl -> Fleet.hottest fl | None -> None
+
+let fleet_handoff_bytes t = t.fleet_handoff_bytes
+
+let admission_rejects t =
+  (* (broker, rejects) summed across every server's fair-admission gate. *)
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun sv ->
+      List.iter
+        (fun (b, n) ->
+          Hashtbl.replace tbl b
+            (n + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+        (Server.admission_rejects sv))
+    t.servers;
+  List.sort compare (Hashtbl.fold (fun b n acc -> (b, n) :: acc) tbl [])
 
 let node_of_client t c =
   Hashtbl.fold

@@ -32,6 +32,14 @@ type config = {
       (* per-client broker admission: token-bucket refill rate,
          submissions/s (0 = unlimited, the default) *)
   admission_burst : float; (* token-bucket depth *)
+  fleet : Repro_fleet.Fleet.mode option;
+      (* lib/fleet scale-out: partition clients across brokers by seeded
+         hash or region affinity and shard the Rank directory per broker;
+         [None] (the default) is the classic single-directory deployment *)
+  fair_admission_rate : float;
+      (* server-side fair admission: per-broker token-bucket budget on the
+         order queue, batch refs/s (0 = unlimited, the default) *)
+  fair_admission_burst : float; (* token-bucket depth *)
   store_enabled : bool;
       (* attach a per-server simulated disk + WAL/checkpoint store
          (lib/store); required for {!restart_server} *)
@@ -153,10 +161,38 @@ val add_injector :
 
 val crash_broker : t -> int -> unit
 (** Crash-stop a broker (by broker id): its state machine and NIC.
-    Clients waiting on it time out and fail over (§4.4.2). *)
+    Clients waiting on it time out and fail over (§4.4.2).  In a fleet
+    deployment the crashed partition's Rank shard moves to each key's
+    first alive failover broker. *)
 
 val recover_broker : t -> int -> unit
-(** Un-crash a broker: it resumes batching from its surviving state. *)
+(** Un-crash a broker: it resumes batching from its surviving state.  In
+    a fleet deployment its shard cards move back and its clients rehome
+    (rotation reset to the head of the preference list). *)
+
+(** {2 Broker fleet (lib/fleet)}
+
+    Populated only when [config.fleet] is set; every probe degrades to
+    the neutral value in a classic deployment. *)
+
+val fleet : t -> Repro_fleet.Fleet.t option
+
+val broker_shard : t -> int -> Directory.shard option
+(** Broker [i]'s Rank partition. *)
+
+val fleet_loads : t -> int array
+(** Clients homed per broker ([[||]] without a fleet). *)
+
+val fleet_hottest : t -> (int * int) option
+(** [(broker, clients)] of the most loaded partition. *)
+
+val fleet_handoff_bytes : t -> int
+(** Cumulative shard-handoff wire bytes moved by broker crash failover
+    and recovery rebalancing. *)
+
+val admission_rejects : t -> (int * int) list
+(** [(broker, rejected submits)] summed across every server's
+    fair-admission gate, sorted by broker id. *)
 
 val crash_client : t -> Client.t -> unit
 (** Crash-stop a client and its network node. *)

@@ -103,3 +103,81 @@ let aggregate_dense_ms_sks_range t ~first ~count =
     invalid_arg "Directory.aggregate_dense_ms_sks_range: outside dense population";
   ensure_prefix (first + count);
   Multisig.diff_secret_keys !sk_prefix.(first + count) !sk_prefix.(first)
+
+(* --- shards (lib/fleet: one Rank partition per broker) ------------------- *)
+
+(* A shard is a broker's partial view of the global directory: the dense
+   population (derived, shared by construction) plus only the explicit
+   cards its partition owns.  Identifiers stay global — they are assigned
+   by the ordered union on the servers — so a shard stores (global id,
+   card) pairs rather than re-ranking, and cards can move between shards
+   on crash failover without renumbering anything. *)
+
+type shard = {
+  sh_dense : int;
+  sh_cards : (int, Types.keycard) Hashtbl.t; (* global id -> card *)
+}
+
+let create_shard ?(dense_count = 0) () =
+  { sh_dense = dense_count; sh_cards = Hashtbl.create 64 }
+
+let shard_dense_count sh = sh.sh_dense
+let shard_size sh = Hashtbl.length sh.sh_cards
+
+let shard_insert sh ~id card =
+  if id < sh.sh_dense then
+    invalid_arg "Directory.shard_insert: dense ids are derived, not stored";
+  Hashtbl.replace sh.sh_cards id card
+
+let shard_remove sh ~id = Hashtbl.remove sh.sh_cards id
+let shard_mem sh id = Hashtbl.mem sh.sh_cards id
+
+let shard_cards sh =
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun id card acc -> (id, card) :: acc) sh.sh_cards [])
+
+let shard_find sh id =
+  if id < 0 then None
+  else if id < sh.sh_dense then Some (dense_keypair id).card
+  else Hashtbl.find_opt sh.sh_cards id
+
+(* Rebuild the monolithic directory from a partitioning: the shards'
+   explicit ids must together cover a contiguous range above the dense
+   population (each ordered signup landed in exactly one shard).  The
+   correctness statement of sharded signups — asserted by test_fleet. *)
+let merge_shards ?(dense_count = 0) shards =
+  let t = create ~dense_count () in
+  let all = List.concat_map shard_cards shards in
+  let all = List.sort (fun (a, _) (b, _) -> Int.compare a b) all in
+  List.iteri
+    (fun i (id, card) ->
+      if id <> dense_count + i then
+        invalid_arg
+          (Printf.sprintf
+             "Directory.merge_shards: ids not a contiguous partition (want %d, got %d)"
+             (dense_count + i) id);
+      ignore (append t card))
+    all;
+  t
+
+(* --- views (whole directory or one shard) -------------------------------- *)
+
+(* Brokers look identifiers up through a [view]: the monolithic directory
+   in a classic deployment, their own shard in a fleet one.  Dispatch is
+   one match — a [Whole] view costs what the bare directory did. *)
+
+type view = Whole of t | Shard of shard
+
+let view_find v id =
+  match v with Whole t -> find t id | Shard sh -> shard_find sh id
+
+let view_sig_pk v id =
+  match view_find v id with
+  | Some c -> c.Types.sig_pk
+  | None -> raise Not_found
+
+let view_ms_pk v id =
+  match view_find v id with
+  | Some c -> c.Types.ms_pk
+  | None -> raise Not_found

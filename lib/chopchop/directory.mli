@@ -54,6 +54,50 @@ val dense_keypair : int -> Types.keypair
     workload generators use it to pre-sign batches, mirroring the paper's
     pre-generated message files). *)
 
+(** {2 Shards (lib/fleet)}
+
+    One Rank partition per broker: the dense population plus the explicit
+    cards the partition owns, keyed by {e global} identifier (ids are
+    assigned by the ordered union on the servers; shards never re-rank).
+    Cards move between shards on crash failover and back on recovery. *)
+
+type shard
+
+val create_shard : ?dense_count:int -> unit -> shard
+val shard_dense_count : shard -> int
+val shard_size : shard -> int
+(** Explicit cards held (dense identities are derived, not stored). *)
+
+val shard_insert : shard -> id:Types.client_id -> Types.keycard -> unit
+(** @raise Invalid_argument for an id inside the dense population. *)
+
+val shard_remove : shard -> id:Types.client_id -> unit
+val shard_mem : shard -> Types.client_id -> bool
+val shard_cards : shard -> (Types.client_id * Types.keycard) list
+(** Explicit (id, card) pairs in id order (the handoff payload). *)
+
+val shard_find : shard -> Types.client_id -> Types.keycard option
+
+val merge_shards : ?dense_count:int -> shard list -> t
+(** Rebuild the monolithic directory from a partitioning.
+    @raise Invalid_argument unless the shards' explicit ids form a
+    contiguous range above the dense population (each ordered signup in
+    exactly one shard). *)
+
+(** {2 Views}
+
+    What a broker resolves identifiers through: the whole directory
+    (classic deployment) or its own shard (fleet deployment). *)
+
+type view = Whole of t | Shard of shard
+
+val view_find : view -> Types.client_id -> Types.keycard option
+
+val view_sig_pk : view -> Types.client_id -> Repro_crypto.Schnorr.public_key
+(** @raise Not_found for unknown ids. *)
+
+val view_ms_pk : view -> Types.client_id -> Repro_crypto.Multisig.public_key
+
 val aggregate_dense_ms_sks_range :
   t -> first:int -> count:int -> Repro_crypto.Multisig.secret_key
 (** Sum of dense secret scalars over a range (prefix sums).  Used only by

@@ -7,9 +7,20 @@ module Multisig = Repro_crypto.Multisig
 module Trace = Repro_trace.Trace
 module Rng = Repro_sim.Rng
 
-type config = { self : int; n : int; clients : int; gc_period : float }
+type config = {
+  self : int;
+  n : int;
+  clients : int;
+  gc_period : float;
+  fair_rate : float;
+      (* per-broker admission budget on the order queue: token-bucket
+         refill in batch references/s (0 = unlimited, the default) *)
+  fair_burst : float; (* token-bucket depth for the above *)
+}
 (* [n] is the machine *capacity* (active servers plus spare slots); the
    active subset and the quorum thresholds live in {!Membership}. *)
+
+type bucket = { mutable tokens : float; mutable stamp : float }
 
 type stored = {
   batch : Batch.t;
@@ -71,6 +82,16 @@ type t = {
   mutable collected_batches : int;
   mutable app_snapshot : (unit -> string) option;
   mutable app_restore : (string option -> unit) option;
+  (* Fair admission across brokers (lib/fleet): per-broker token buckets
+     gating the [Submit] intake, so a hot or flooding broker spends only
+     its own budget on the order queue. *)
+  fair_buckets : (int, bucket) Hashtbl.t;
+  fair_rejects : (int, int) Hashtbl.t;
+  mutable fair_weights : int -> float;
+  (* Sharded Rank (lib/fleet): observer invoked after every ordered
+     signup, so the deployment can route the card to the owning shard. *)
+  mutable on_signup :
+    (id:Types.client_id -> reply_broker:int -> Types.keycard -> unit) option;
   (* Byzantine fault injection (lib/chaos). *)
   mutable mis_bad_shares : bool;
   mutable mis_refuse_witness : bool;
@@ -116,6 +137,8 @@ let create ~engine ~cpu ~config ?store ?(checkpoint_every = 0)
     catch_up_records = 0; catch_up_ck = false;
     restarts = 0; collected_batches = 0;
     app_snapshot = None; app_restore = None;
+    fair_buckets = Hashtbl.create 8; fair_rejects = Hashtbl.create 8;
+    fair_weights = (fun _ -> 1.0); on_signup = None;
     mis_bad_shares = false; mis_refuse_witness = false;
     k_timer = Engine.kind engine "server.timer";
     c_verify =
@@ -140,6 +163,38 @@ let note_instant t name attrs =
       ~name ~id:(Trace.key (string_of_int t.cfg.self)) ~attrs
 
 let directory t = t.dir
+let set_fair_weights t f = t.fair_weights <- f
+let set_on_signup t f = t.on_signup <- Some f
+
+(* Per-broker admission budget on the order queue (lib/fleet).  Mirrors
+   the broker's per-client bucket: refill at [fair_rate * weight], cap at
+   [fair_burst], spend one token per accepted batch reference.  Rate 0
+   (the default) keeps the gate wide open. *)
+let fair_admit t broker =
+  let rate = t.cfg.fair_rate *. t.fair_weights broker in
+  if t.cfg.fair_rate <= 0. || rate <= 0. then true
+  else begin
+    let now = Engine.now t.engine in
+    let b =
+      match Hashtbl.find_opt t.fair_buckets broker with
+      | Some b -> b
+      | None ->
+        let b = { tokens = t.cfg.fair_burst; stamp = now } in
+        Hashtbl.add t.fair_buckets broker b;
+        b
+    in
+    b.tokens <- min t.cfg.fair_burst (b.tokens +. ((now -. b.stamp) *. rate));
+    b.stamp <- now;
+    if b.tokens >= 1.0 then begin
+      b.tokens <- b.tokens -. 1.0;
+      true
+    end
+    else false
+  end
+
+let admission_rejects t =
+  List.sort compare
+    (Hashtbl.fold (fun b n acc -> (b, n) :: acc) t.fair_rejects [])
 let delivery_counter t = t.delivery_counter
 let delivered_messages t = t.delivered_messages
 let stored_batches t = Hashtbl.length t.batches
@@ -755,8 +810,18 @@ let receive_broker t ~src_broker msg =
     | Proto.Relay_signup { card; nonce } ->
       t.stob_broadcast (Stob_item.Signup { card; reply_broker = src_broker; nonce })
     | Proto.Submit { root; number; witness } ->
-      (* #12: relay the batch reference into the server-run STOB, once. *)
-      if not (Hashtbl.mem t.submitted_refs (src_broker, number)) then begin
+      (* #12: relay the batch reference into the server-run STOB, once.
+         Fair admission first: each broker spends its own token budget, so
+         a flooding broker defers itself rather than starving siblings
+         (the broker's submit_timeout rotation retries the reference). *)
+      if not (fair_admit t src_broker) then begin
+        Hashtbl.replace t.fair_rejects src_broker
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.fair_rejects src_broker));
+        reject_instant t "reject_admission" ~id:(Trace.key root)
+          [ ("broker", Trace.A_int src_broker);
+            ("number", Trace.A_int number) ]
+      end
+      else if not (Hashtbl.mem t.submitted_refs (src_broker, number)) then begin
         Hashtbl.add t.submitted_refs (src_broker, number) ();
         Cpu.submit t.cpu ~work:(Cpu.serial Cost.bls_verify) (fun () ->
             if not t.crashed then begin
@@ -872,6 +937,9 @@ let on_stob_deliver t item =
       if not (Hashtbl.mem t.seen_signups nonce) then begin
         Hashtbl.add t.seen_signups nonce ();
         let id = Directory.append t.dir card in
+        (match t.on_signup with
+         | Some f -> f ~id ~reply_broker card
+         | None -> ());
         wal_log t
           (Proto.Wal_signup
              { w_nonce = nonce; w_card = card; w_id = id;

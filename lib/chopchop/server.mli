@@ -26,6 +26,10 @@ type config = {
   n : int; (* server slot capacity; f follows the active membership *)
   clients : int; (* directory size, for wire arithmetic *)
   gc_period : float; (* GC gossip period, seconds *)
+  fair_rate : float;
+      (* per-broker admission budget on the order queue, batch refs/s
+         (0 = unlimited — the classic single-queue server) *)
+  fair_burst : float; (* token-bucket depth for the above *)
 }
 
 val create :
@@ -141,6 +145,22 @@ val restarts : t -> int
 (** Cold restarts so far. *)
 
 val directory : t -> Directory.t
+
+(** {2 Fleet hooks (lib/fleet)} *)
+
+val set_fair_weights : t -> (int -> float) -> unit
+(** Per-broker weight on the fair-admission budget (default: uniform
+    1.0).  Only consulted when [fair_rate > 0]. *)
+
+val admission_rejects : t -> (int * int) list
+(** [(broker, rejected submits)] pairs, sorted by broker — how often each
+    broker exhausted its admission budget ("reject_admission" instants). *)
+
+val set_on_signup :
+  t -> (id:Types.client_id -> reply_broker:int -> Types.keycard -> unit) -> unit
+(** Observer of ordered signups, invoked right after the card is appended
+    to the directory; the deployment uses it to route the card into the
+    owning broker's Rank shard. *)
 
 (** {2 Dynamic membership} *)
 

@@ -1,0 +1,204 @@
+(* Broker fleet scale-out (lib/fleet): N brokers, each behind the same
+   deliberately small NIC, face an offered load ~30% above the fleet's
+   aggregate network ceiling.  One broker saturates at its NIC bound; a
+   fleet of N partitions the client population by seeded hash and carries
+   ~N times that — the "add brokers until the network is the limit" claim
+   of §6.3, measured end to end through the fleet layer (partitioned
+   clients, per-broker Rank shards, shared server-run ordering).
+
+   Load is injected as raw signed [Proto.Submission]s straight into each
+   identity's *home* broker — the same assignment
+   {!Repro_fleet.Fleet.home} gives real clients — at sequence 0 with
+   fresh dense identities, so every message is legitimate by definition.
+   With no clients answering inclusions every reduction times out and
+   batches ship classic (all stragglers): the wire-heaviest, hence
+   NIC-sharpest, operating point. *)
+
+module Engine = Repro_sim.Engine
+module Region = Repro_sim.Region
+module Cost = Repro_sim.Cost
+module Schnorr = Repro_crypto.Schnorr
+module Fleet = Repro_fleet.Fleet
+module D = Repro_chopchop.Deployment
+module Broker = Repro_chopchop.Broker
+module Directory = Repro_chopchop.Directory
+module Types = Repro_chopchop.Types
+module Proto = Repro_chopchop.Proto
+module Wire = Repro_chopchop.Wire
+module Trace = Repro_trace.Trace
+
+type point = {
+  brokers : int;
+  offered : float; (* injected across the fleet, msg/s *)
+  throughput : float; (* delivered at server 0 in the window, msg/s *)
+  nic_bound : float; (* single-broker egress ceiling, msg/s *)
+}
+
+type params = {
+  n_servers : int;
+  dense_clients : int;
+  duration : float;
+  warmup : float;
+  cores : int; (* per-broker worker lanes *)
+  capacity : float; (* broker lane speed, fraction of a reference core *)
+  egress_bps : float; (* per-broker NIC cap *)
+  reduce_timeout : float;
+  max_batch : int;
+}
+
+let params scale =
+  match scale with
+  | Figures.Quick ->
+    { n_servers = 4; dense_clients = 1_000_000; duration = 6.; warmup = 2.;
+      cores = 32; capacity = 0.05; egress_bps = 25e6; reduce_timeout = 0.05;
+      max_batch = 1024 }
+  | Figures.Full ->
+    { n_servers = 8; dense_clients = 2_000_000; duration = 10.; warmup = 3.;
+      cores = 32; capacity = 0.05; egress_bps = 25e6; reduce_timeout = 0.05;
+      max_batch = 1024 }
+
+(* Egress ceiling of one broker at the classic (all-straggler) wire
+   footprint — the bound a single broker cannot exceed no matter how many
+   lanes it has, and the yardstick fleet speedup is measured against. *)
+let nic_bound ~p =
+  let batch_bytes =
+    Wire.distilled_batch_bytes ~clients:p.dense_clients ~count:p.max_batch
+      ~msg_bytes:8 ~stragglers:p.max_batch
+  in
+  let wire_per_msg =
+    float_of_int (batch_bytes * p.n_servers) /. float_of_int p.max_batch
+  in
+  p.egress_bps /. 8. /. wire_per_msg
+
+let run_point ~p ~brokers:n =
+  let d =
+    D.create
+      { D.default_config with
+        n_servers = p.n_servers; n_brokers = 0; underlay = D.Sequencer;
+        dense_clients = p.dense_clients; fleet = Some Fleet.Hash }
+  in
+  let engine = D.engine d in
+  (* Saturate each configuration at its own ceiling (the Fig. 7
+     methodology): ~30% above the fleet's aggregate NIC bound. *)
+  let per_broker = nic_bound ~p in
+  let offered = 1.3 *. float_of_int n *. per_broker in
+  let flush_period = float_of_int p.max_batch /. (1.3 *. per_broker) in
+  let regions = Array.of_list Region.broker_regions in
+  for b = 0 to n - 1 do
+    ignore
+      (D.add_broker d
+         ~region:regions.(b mod Array.length regions)
+         ~flush_period ~reduce_timeout:p.reduce_timeout
+         ~max_batch:p.max_batch ~cores:p.cores ~capacity:p.capacity
+         ~egress_bps:p.egress_bps ())
+  done;
+  let fl = match D.fleet d with Some fl -> fl | None -> assert false in
+  let delivered = ref 0 in
+  D.server_deliver_hook d (fun srv del ->
+      match del with
+      | Proto.Ops ops ->
+        if srv = 0 && Engine.now engine >= p.warmup
+           && Engine.now engine <= p.duration then
+          delivered := !delivered + Array.length ops
+      | Proto.Bulk _ -> ());
+  let period = 0.02 in
+  let per_tick = int_of_float (offered *. period) in
+  let next_id = ref 0 in
+  Engine.every engine ~period ~until:p.duration (fun () ->
+      for _ = 1 to per_tick do
+        let id = !next_id in
+        incr next_id;
+        (* Route by the fleet's own partitioning — exactly where a real
+           client homed on this identity would submit. *)
+        let home = Fleet.home fl ~key:id () in
+        let kp = Directory.dense_keypair id in
+        let msg = Printf.sprintf "%08d" id in
+        let tsig =
+          Schnorr.sign kp.Types.sig_sk (Types.message_statement ~id ~seq:0 msg)
+        in
+        Broker.receive_client (D.broker d home)
+          (Proto.Submission
+             { id; seq = 0; msg; tsig; evidence = None;
+               ctx = Trace.Ctx.make ~root:id })
+      done);
+  (* Let in-flight batches drain so deliveries inside the window are not
+     cut off mid-pipeline. *)
+  D.run d ~until:(p.duration +. 5.);
+  let window = p.duration -. p.warmup in
+  { brokers = n;
+    offered;
+    throughput = float_of_int !delivered /. window;
+    nic_bound = per_broker }
+
+let broker_counts = [ 1; 2; 4; 8 ]
+
+let sweep ~scale =
+  let p = params scale in
+  let points = List.map (fun n -> run_point ~p ~brokers:n) broker_counts in
+  (* The shape this experiment exists to show: more brokers, more
+     delivered throughput, well past what one broker's NIC allows. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      if b.throughput < a.throughput *. 0.98 then
+        failwith
+          (Printf.sprintf
+             "broker-scaleout: throughput fell %d -> %d brokers (%.0f -> %.0f)"
+             a.brokers b.brokers a.throughput b.throughput);
+      monotone rest
+    | _ -> ()
+  in
+  monotone points;
+  List.iter
+    (fun pt ->
+      if pt.throughput > 1.05 *. float_of_int pt.brokers *. pt.nic_bound then
+        failwith
+          (Printf.sprintf
+             "broker-scaleout: %d brokers delivered above the aggregate NIC \
+              bound"
+             pt.brokers))
+    points;
+  (match points with
+   | [ _; two; four; _ ] ->
+     if two.throughput <= two.nic_bound then
+       failwith
+         (Printf.sprintf
+            "broker-scaleout: 2 brokers did not clear the single-broker NIC \
+             bound (%.0f <= %.0f)"
+            two.throughput two.nic_bound);
+     if four.throughput < 2.5 *. four.nic_bound then
+       failwith
+         (Printf.sprintf
+            "broker-scaleout: 4 brokers below 2.5x the single-broker NIC \
+             bound (%.0f < %.0f)"
+            four.throughput (2.5 *. four.nic_bound))
+   | _ -> assert false);
+  points
+
+(* Gated bench metric: 4-broker aggregate delivered throughput over the
+   single-broker NIC ceiling.  The denominator is analytic, so only the
+   4-broker point runs. *)
+let speedup_4x () =
+  let p = params Figures.Quick in
+  (run_point ~p ~brokers:4).throughput /. nic_bound ~p
+
+let print fmt scale =
+  Format.fprintf fmt
+    "@.=== broker scale-out — fleet size until the network is the limit ===@.";
+  let points = sweep ~scale in
+  List.iter
+    (fun pt ->
+      Format.fprintf fmt
+        "  %2d brokers: %8.0f msg/s delivered (offered %.0f, 1-broker nic \
+         bound %.0f, speedup %.2fx)@."
+        pt.brokers pt.throughput pt.offered pt.nic_bound
+        (pt.throughput /. pt.nic_bound))
+    points;
+  match points with
+  | first :: _ ->
+    let last = List.nth points (List.length points - 1) in
+    Format.fprintf fmt
+      "  -> %.1fx from 1 to %d brokers; the single-broker NIC bound is not \
+       the system's limit@."
+      (last.throughput /. first.throughput)
+      last.brokers
+  | [] -> ()

@@ -1,0 +1,24 @@
+(** Broker fleet scale-out sweep (lib/fleet, §6.3).
+
+    N brokers, each behind the same small NIC, under an offered load ~30%
+    above the fleet's aggregate network ceiling; clients are partitioned
+    by the fleet's seeded-hash policy and each identity submits to its
+    home broker.  [sweep] runs N = 1, 2, 4, 8 and fails loudly if
+    delivered throughput is not monotone in fleet size, if 2 brokers do
+    not clear the single-broker NIC bound, or if 4 brokers land below
+    2.5x that bound. *)
+
+type point = {
+  brokers : int;
+  offered : float; (* injected across the fleet, msg/s *)
+  throughput : float; (* delivered at server 0 in the window, msg/s *)
+  nic_bound : float; (* single-broker egress ceiling, msg/s *)
+}
+
+val sweep : scale:Figures.scale -> point list
+
+val speedup_4x : unit -> float
+(** 4-broker aggregate delivered throughput over the single-broker NIC
+    ceiling, at quick scale — the gated bench metric. *)
+
+val print : Format.formatter -> Figures.scale -> unit

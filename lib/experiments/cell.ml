@@ -11,6 +11,7 @@ type config = {
   app : string;
   batch : int;
   load_brokers : int;
+  brokers : int;
   measure_clients : int;
   duration : float;
   warmup : float;
@@ -33,6 +34,7 @@ let default =
     app = "none";
     batch = 4096;
     load_brokers = 1;
+    brokers = 0;
     measure_clients = 4;
     duration = 10.;
     warmup = 4.;
@@ -65,6 +67,9 @@ let validate c =
   let* () = positive "payload" c.payload in
   let* () = positive "batch" c.batch in
   let* () = positive "load_brokers" c.load_brokers in
+  let* () =
+    if c.brokers >= 0 then Ok () else Error "brokers must be >= 0"
+  in
   let* () = positive "measure_clients" c.measure_clients in
   let* () = positive "dense_clients" c.dense_clients in
   let* () = positive "checkpoint_every" c.checkpoint_every in
@@ -87,6 +92,7 @@ let to_json c =
       ("app", Json.Str c.app);
       ("batch", Json.Num (float_of_int c.batch));
       ("load_brokers", Json.Num (float_of_int c.load_brokers));
+      ("brokers", Json.Num (float_of_int c.brokers));
       ("measure_clients", Json.Num (float_of_int c.measure_clients));
       ("duration", Json.Num c.duration);
       ("warmup", Json.Num c.warmup);
@@ -101,7 +107,8 @@ let of_json j =
   | Json.Obj fields ->
     let known =
       [ "underlay"; "servers"; "cores"; "payload"; "rate"; "app"; "batch";
-        "load_brokers"; "measure_clients"; "duration"; "warmup"; "cooldown";
+        "load_brokers"; "brokers"; "measure_clients"; "duration"; "warmup";
+        "cooldown";
         "dense_clients"; "store"; "checkpoint_every"; "seed" ]
     in
     (match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
@@ -147,6 +154,7 @@ let of_json j =
        let* app = str "app" default.app in
        let* batch = int "batch" default.batch in
        let* load_brokers = int "load_brokers" default.load_brokers in
+       let* brokers = int "brokers" default.brokers in
        let* measure_clients = int "measure_clients" default.measure_clients in
        let* duration = num "duration" default.duration in
        let* warmup = num "warmup" default.warmup in
@@ -157,8 +165,8 @@ let of_json j =
        let* seed = int "seed" (Int64.to_int default.seed) in
        let c =
          { underlay; servers; cores; payload; rate; app; batch; load_brokers;
-           measure_clients; duration; warmup; cooldown; dense_clients; store;
-           checkpoint_every; seed = Int64.of_int seed }
+           brokers; measure_clients; duration; warmup; cooldown; dense_clients;
+           store; checkpoint_every; seed = Int64.of_int seed }
        in
        let* () = validate c in
        Ok c)
@@ -178,6 +186,7 @@ let params_of c =
     batch_count = c.batch;
     msg_bytes = c.payload;
     n_load_brokers = c.load_brokers;
+    n_brokers = c.brokers;
     measure_clients = c.measure_clients;
     duration = c.duration;
     warmup = c.warmup;

@@ -19,6 +19,10 @@ type config = {
   app : string;  (** "none" | "payments" | "auction" | "pixelwar" *)
   batch : int;  (** messages per batch *)
   load_brokers : int;
+  brokers : int;
+      (** fleet size: 0 (default) keeps the paper's single broker roster;
+          N > 0 deploys N brokers with the lib/fleet hash-partitioned
+          client policy *)
   measure_clients : int;
   duration : float;
   warmup : float;

@@ -17,6 +17,7 @@ type params = {
   msg_bytes : int;
   distill_fraction : float;
   n_load_brokers : int;
+  n_brokers : int; (* fleet size: 0 keeps the paper roster, no lib/fleet *)
   measure_clients : int;
   duration : float;
   warmup : float;
@@ -38,7 +39,7 @@ type params = {
 let default =
   { n_servers = 64; cores = Repro_sim.Cost.vcpus; underlay = D.Pbft;
     rate = 1_000_000.; batch_count = 65_536;
-    msg_bytes = 8; distill_fraction = 1.0; n_load_brokers = 2;
+    msg_bytes = 8; distill_fraction = 1.0; n_load_brokers = 2; n_brokers = 0;
     measure_clients = 8; duration = 20.; warmup = 6.; cooldown = 4.;
     crash = None; dense_clients = 257_000_000; seed = 42L;
     flush_period = 1.0; reduce_timeout = 1.0; witness_margin = None;
@@ -71,6 +72,9 @@ let run p =
   let cfg =
     { base with
       cores = p.cores;
+      n_brokers = (if p.n_brokers > 0 then p.n_brokers else base.n_brokers);
+      fleet =
+        (if p.n_brokers > 0 then Some Repro_fleet.Fleet.Hash else base.fleet);
       dense_clients = p.dense_clients;
       max_batch = p.batch_count;
       seed = p.seed;

@@ -14,6 +14,10 @@ type params = {
   msg_bytes : int;
   distill_fraction : float;
   n_load_brokers : int;
+  n_brokers : int;
+      (* broker fleet size: 0 (default) keeps the paper's roster with the
+         legacy nearest-first client routing; N > 0 deploys N brokers
+         under the lib/fleet hash-partitioned client policy *)
   measure_clients : int;
   duration : float;
   warmup : float;

@@ -1,0 +1,57 @@
+(** Broker-fleet partitioning policy: deterministic assignment of clients
+    to home brokers with ordered failover, the substrate of multi-broker
+    scale-out.
+
+    Every decision is a pure function of (seed, client key, roster), so
+    clients, servers and observers agree on the partitioning without
+    coordination.  The deployment owns one instance; components query it. *)
+
+type mode =
+  | Hash  (** seeded hash of the client key, uniform across the fleet *)
+  | Region_affinity
+      (** nearest broker by {!Repro_sim.Region.latency}, hash-spread
+          within the nearest equidistant group *)
+
+type t
+
+val create : ?mode:mode -> ?seed:int64 -> unit -> t
+(** Empty fleet; brokers join through {!register} (default mode [Hash],
+    seed 42). *)
+
+val mode : t -> mode
+val size : t -> int
+
+val register : t -> region:Repro_sim.Region.t -> int
+(** Add a broker to the roster; returns its fleet id (= deployment broker
+    id when registered in installation order). *)
+
+val alive : t -> int -> bool
+val mark_down : t -> int -> unit
+val mark_up : t -> int -> unit
+
+val mix : t -> int -> int
+(** The seeded SplitMix64 avalanche of a client key (non-negative).
+    Exposed so tests can assert assignment = mix mod fleet size. *)
+
+val assignment : t -> key:int -> ?region:Repro_sim.Region.t -> unit -> int list
+(** Home broker first, then the ordered failover walk; a permutation of
+    the whole roster.  [region] only matters in {!Region_affinity} mode. *)
+
+val home : t -> key:int -> ?region:Repro_sim.Region.t -> unit -> int
+(** Head of {!assignment}.  @raise Invalid_argument on an empty fleet. *)
+
+val first_alive : t -> key:int -> ?region:Repro_sim.Region.t -> unit -> int
+(** First alive broker of the failover list — where crash failover
+    reroutes this key's traffic and shard.  Falls back to the home broker
+    when every broker is down. *)
+
+val note_client : t -> int -> unit
+(** Record one client homed on broker [b] (partition-load accounting). *)
+
+val move_client : t -> from_:int -> to_:int -> unit
+
+val loads : t -> int array
+(** Clients homed per broker. *)
+
+val hottest : t -> (int * int) option
+(** [(broker, clients)] of the most loaded partition (None when empty). *)

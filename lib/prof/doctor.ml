@@ -22,6 +22,8 @@ type diagnosis = {
   d_active_servers : int;
   d_quorum : int;
   d_backlogs : backlog list; (* deepest first *)
+  d_hottest_broker : (int * int) option; (* (broker, clients homed), fleet only *)
+  d_admission_rejects : (int * int) list; (* per-broker fair-admission rejects *)
 }
 
 (* --- probes --------------------------------------------------------------- *)
@@ -36,7 +38,9 @@ let max_over n f =
 
 let probe_backlogs d =
   let cfg = D.config d in
-  let n_servers = cfg.D.n_servers and n_brokers = cfg.D.n_brokers in
+  (* Live count: fleets grown past the config (add_broker) still get
+     probed in full. *)
+  let n_servers = cfg.D.n_servers and n_brokers = D.n_brokers d in
   let servers = D.servers d in
   let sites =
     [ ( "broker.pool",
@@ -82,6 +86,8 @@ let diagnose d ~progress ~expected ~last_progress_at ~reason =
     done;
     !c
   in
+  let hottest = D.fleet_hottest d in
+  let rejects = D.admission_rejects d in
   let phase =
     match partition with
     | Some groups ->
@@ -94,7 +100,19 @@ let diagnose d ~progress ~expected ~last_progress_at ~reason =
       else begin
         match backlogs with
         | b :: _ when b.b_value > 0. && b.b_site <> "engine.queue" ->
-          Printf.sprintf "deepest backlog at %s (%.1f)" b.b_site b.b_value
+          (* A fleet makes the backlog nameable: say which partition is
+             hot, not just which site is deep. *)
+          let fleet_note =
+            match hottest with
+            | Some (broker, clients)
+              when String.length b.b_site >= 6
+                   && String.sub b.b_site 0 6 = "broker" ->
+              Printf.sprintf "; hottest broker %d (%d clients homed)" broker
+                clients
+            | _ -> ""
+          in
+          Printf.sprintf "deepest backlog at %s (%.1f)%s" b.b_site b.b_value
+            fleet_note
         | _ -> "idle: no backlog anywhere, load never arrived or already drained"
       end
   in
@@ -110,7 +128,9 @@ let diagnose d ~progress ~expected ~last_progress_at ~reason =
     d_epoch = Membership.epoch m;
     d_active_servers = active;
     d_quorum = quorum;
-    d_backlogs = backlogs }
+    d_backlogs = backlogs;
+    d_hottest_broker = hottest;
+    d_admission_rejects = rejects }
 
 (* --- the watchdog --------------------------------------------------------- *)
 
@@ -197,6 +217,16 @@ let pp ppf d =
    | [] -> ()
    | l ->
      pf "- catching up: %s@." (String.concat "," (List.map string_of_int l)));
+  (match d.d_hottest_broker with
+   | Some (broker, clients) ->
+     pf "- fleet: hottest broker %d with %d clients homed@." broker clients
+   | None -> ());
+  (match d.d_admission_rejects with
+   | [] -> ()
+   | l ->
+     pf "- admission rejects (broker:count): %s@."
+       (String.concat " "
+          (List.map (fun (b, n) -> Printf.sprintf "%d:%d" b n) l)));
   pf "- backlogs (deepest first):@.";
   List.iter
     (fun b ->
@@ -237,4 +267,19 @@ let to_json d =
              (fun b ->
                Json.Obj
                  [ ("site", Json.Str b.b_site); ("value", Json.Num b.b_value) ])
-             d.d_backlogs) ) ]
+             d.d_backlogs) );
+      ( "hottest_broker",
+        match d.d_hottest_broker with
+        | None -> Json.Null
+        | Some (broker, clients) ->
+          Json.Obj
+            [ ("broker", Json.Num (float_of_int broker));
+              ("clients", Json.Num (float_of_int clients)) ] );
+      ( "admission_rejects",
+        Json.List
+          (List.map
+             (fun (b, n) ->
+               Json.Obj
+                 [ ("broker", Json.Num (float_of_int b));
+                   ("rejects", Json.Num (float_of_int n)) ])
+             d.d_admission_rejects) ) ]

@@ -29,6 +29,12 @@ type diagnosis = {
   d_active_servers : int;
   d_quorum : int;
   d_backlogs : backlog list; (* deepest first *)
+  d_hottest_broker : (int * int) option;
+      (* (broker, clients homed) — present only when the deployment runs
+         a lib/fleet partitioned broker roster *)
+  d_admission_rejects : (int * int) list;
+      (* per-broker fair-admission rejects summed across servers, sorted
+         by broker; empty when fair admission is off *)
 }
 
 val diagnose :

@@ -33,7 +33,8 @@ module Manifest = struct
 
   let run_fields =
     [ "underlay"; "servers"; "cores"; "payload"; "rate"; "app"; "batch";
-      "load_brokers"; "measure_clients"; "duration"; "warmup"; "cooldown";
+      "load_brokers"; "brokers"; "measure_clients"; "duration"; "warmup";
+      "cooldown";
       "dense_clients"; "store"; "checkpoint_every"; "seed" ]
 
   let chaos_fields = [ "scenario"; "scale"; "seed" ]
@@ -55,8 +56,10 @@ module Manifest = struct
 
   let label_of_kind = function
     | Run c ->
-      Printf.sprintf "run %s s%d c%d p%dB r%g %s seed%Ld" c.Cell.underlay
+      Printf.sprintf "run %s s%d c%d p%dB r%g %s%s seed%Ld" c.Cell.underlay
         c.Cell.servers c.Cell.cores c.Cell.payload c.Cell.rate c.Cell.app
+        (if c.Cell.brokers > 0 then Printf.sprintf " b%d" c.Cell.brokers
+         else "")
         c.Cell.seed
     | Chaos c ->
       Printf.sprintf "chaos %s %s seed%Ld" c.scenario

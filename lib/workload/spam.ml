@@ -35,7 +35,7 @@ let sent t = t.sent
 (* Valid-identity flood: [clients] dense ids starting at [first_id], each
    message properly signed so admitted traffic is indistinguishable from a
    legitimate (if voracious) client's. *)
-let start_greedy ~deployment ~rng ~rate ~first_id ~clients ?until () =
+let start_greedy ~deployment ~rng ~rate ~first_id ~clients ?broker ?until () =
   let engine = Deployment.engine deployment in
   let inject = Deployment.add_injector deployment () in
   let n_brokers = Deployment.n_brokers deployment in
@@ -58,7 +58,10 @@ let start_greedy ~deployment ~rng ~rate ~first_id ~clients ?until () =
         Schnorr.sign kp.Types.sig_sk (Types.message_statement ~id ~seq msg)
       in
       let ctx = Trace.Ctx.make ~root:0 in
-      inject ~broker:(t.sent mod n_brokers)
+      let target =
+        match broker with Some b -> b | None -> t.sent mod n_brokers
+      in
+      inject ~broker:target
         ~bytes:
           (Wire.submission_bytes ~clients:dir_clients
              ~msg_bytes:(String.length msg))

@@ -19,11 +19,13 @@ val start_greedy :
   rate:float ->
   first_id:int ->
   clients:int ->
+  ?broker:int ->
   ?until:float ->
   unit ->
   t
 (** Aggregate [rate] submissions/s round-robined over [clients] dense
-    identities starting at [first_id] and over all brokers. *)
+    identities starting at [first_id] and over all brokers — or aimed
+    entirely at [broker] when given (a hot-shard flood). *)
 
 val start_sybil :
   deployment:Repro_chopchop.Deployment.t ->

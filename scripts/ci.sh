@@ -41,6 +41,22 @@ echo "== broker multi-core scalability smoke =="
 # saturate at the NIC bound.
 dune exec bin/main.exe -- run broker-cores --scale quick
 
+echo "== broker fleet scale-out smoke =="
+# lib/fleet: 1/2/4/8 hash-partitioned brokers under per-point saturation;
+# the experiment itself fails if delivered throughput is not monotone in
+# fleet size, if 2 brokers do not clear the single-broker NIC bound, or
+# if 4 brokers land below 2.5x it.
+dune exec bin/main.exe -- run broker-scaleout --scale quick
+
+echo "== fleet chaos smoke: broker crash failover + hot shard =="
+# fleet-broker-crash: the hottest home broker crashes mid-run; clients
+# walk their failover rotation, the signup shard hands off to the same
+# successor, and every broadcast still completes.  fleet-hot-shard: a
+# greedy flood aimed at one partition is shed by the servers' per-broker
+# fair-admission budget without starving the sibling brokers.
+dune exec bin/main.exe -- chaos --scenario fleet-broker-crash --scale quick
+dune exec bin/main.exe -- chaos --scenario fleet-hot-shard --scale quick
+
 echo "== sweep orchestrator smoke =="
 # Tiny manifest, run serially: the aggregated results file must exist
 # and parse with every cell present (--figures re-reads it through the
