@@ -390,6 +390,37 @@ let run_bench_json () =
         ("wall_time_s", { B.value = wall; tolerance = None;
                           direction = B.Lower_better }) ] )
   in
+  (* Engine self-benchmark (lib/sim hot loop): calendar queue + event pool
+     vs the legacy heap on a pure queue-churn workload.  Dispatch-order
+     equality and pool effectiveness are deterministic and gated at
+     tolerance 0; CPU seconds and the speedup are machine-dependent and
+     informational (the CLI path `chopchop run engine-speed` hard-asserts
+     the 2x separately). *)
+  let engine_speed_config () =
+    let module E = Repro_experiments.Engine_speed in
+    let t0 = Sys.time () in
+    let r = E.measure ~scale:Repro_experiments.Figures.Quick in
+    let wall = Sys.time () -. t0 in
+    let pin direction value =
+      { B.value; tolerance = Some 0.0; direction }
+    in
+    let info value = { B.value; tolerance = None; direction = B.Lower_better } in
+    ( "quick-engine-speed",
+      [ ( "order_match",
+          pin B.Higher_better (if r.E.order_match then 1.0 else 0.0) );
+        ("events", pin B.Higher_better (float_of_int r.E.events));
+        ("allocs_per_event", pin B.Lower_better r.E.allocs_per_event);
+        ( "pool_reuse_ratio",
+          pin B.Higher_better
+            (float_of_int r.E.pool_reused
+            /. Float.max 1. (float_of_int r.E.pool_fresh)) );
+        ("heap_cpu_s", info r.E.heap_cpu_s);
+        ("calendar_cpu_s", info r.E.cal_cpu_s);
+        ("speedup_vs_heap", info r.E.speedup);
+        ( "events_per_cpu_s",
+          info (float_of_int r.E.events /. Float.max 1e-9 r.E.cal_cpu_s) );
+        ("wall_time_s", info wall) ] )
+  in
   print_endline "=== Bench baseline (quick-scale, deterministic) ===";
   let doc =
     { B.version = 1;
@@ -422,11 +453,17 @@ let run_bench_json () =
           "  the measurement window move it a few percent across";
           "  intentional pipeline changes; a drop below tolerance means";
           "  the fleet no longer scales past one broker's NIC).";
+          "quick-engine-speed gates the lib/sim hot loop: order_match,";
+          "  events, allocs_per_event and pool_reuse_ratio are";
+          "  deterministic (tolerance 0) -- the calendar queue must";
+          "  dispatch bit-identically to the legacy heap and keep pooling";
+          "  effective.  CPU seconds / speedup are machine noise, info";
+          "  only; `chopchop run engine-speed` hard-asserts the 2x.";
           "Compared by scripts/bench_compare (bench/compare.ml), which";
           "  scripts/ci.sh runs against a fresh `bench json` run." ];
       configs =
         List.map bench_config configs
-        @ [ reconfig_config (); scaleout_config () ] }
+        @ [ reconfig_config (); scaleout_config (); engine_speed_config () ] }
   in
   let out =
     match Sys.getenv_opt "CHOPCHOP_BENCH_OUT" with

@@ -52,6 +52,14 @@ type t = {
   c_verify : Trace.Counter.t; (* signature verifications (certificates) *)
 }
 
+(* Per-client jitter stream, seeded from the deployment-unique nonce.
+   Shared with [Repro_workload.Cohort] so a cohort member draws exactly
+   the jitter its per-client twin would. *)
+let jitter_rng ~nonce =
+  Rng.create
+    (Int64.logxor 0x6A09E667F3BCC909L
+       (Int64.mul (Int64.of_int (nonce + 1)) 0x9E3779B97F4A7C15L))
+
 let create ~engine ~config ~keypair ?membership ~server_ms_pk ~send_broker
     ?(on_delivered = fun _ ~latency:_ -> ()) ?(nonce = 0) () =
   { engine; cfg = config; kp = keypair; f = (config.n_servers - 1) / 3;
@@ -59,10 +67,7 @@ let create ~engine ~config ~keypair ?membership ~server_ms_pk ~send_broker
     server_ms_pk; send_broker; on_delivered; nonce;
     id = None; broker_idx = 0; seq = 0; evidence = None;
     queue = Queue.create (); flight = None; epoch = 0;
-    rng =
-      Rng.create
-        (Int64.logxor 0x6A09E667F3BCC909L
-           (Int64.mul (Int64.of_int (nonce + 1)) 0x9E3779B97F4A7C15L));
+    rng = jitter_rng ~nonce;
     backoff = config.resubmit_timeout;
     completed = 0;
     crashed = false; bad_share = false; mute_reduction = false;

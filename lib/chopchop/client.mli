@@ -77,3 +77,21 @@ val misbehave_bad_share : t -> unit
 val misbehave_mute_reduction : t -> unit
 (** Fault injection: never answer inclusion proofs (a crashed/slow client
     during distillation, §4.2). *)
+
+(** {2 Cohort support}
+
+    Deterministic per-client ingredients shared with the flat-array
+    cohort model ([Repro_workload.Cohort]), so a cohort member is
+    bit-identical to the per-client state machine it stands in for. *)
+
+val jitter_rng : nonce:int -> Repro_sim.Rng.t
+(** The client's private jitter stream for the deployment-unique [nonce]
+    (the network node id); resubmission jitter never touches engine
+    randomness. *)
+
+val msg_key : id:Types.client_id -> seq:int -> int
+(** Correlation id of one (client, sequence-number) message attempt: the
+    same key is emitted at send time and at delivery-certificate time. *)
+
+val tr_actor : id:Types.client_id -> int
+(** Trace actor id for client [id]. *)

@@ -182,7 +182,9 @@ let watch ?(period = default_period) ?(stall_after = default_stall_after)
      RNG, so deliveries and verdicts are unchanged.  (The *profiler* adds
      no events at all; only the doctor has this footprint.) *)
   let kind = Engine.kind engine "doctor.watch" in
-  Engine.every ~kind engine ~period ?until (fun () -> check w);
+  (* ~inclusive:false: a check firing exactly at [until] would diagnose
+     the torn-down world (watched component already stopped) as a stall. *)
+  Engine.every ~kind ~inclusive:false engine ~period ?until (fun () -> check w);
   w
 
 let stalled w = w.fired

@@ -4,12 +4,25 @@
     broken by insertion order, so a run is fully deterministic given the
     seed.  The engine replaces the paper's tokio runtime: every protocol
     component is written as an event-driven state machine whose timers and
-    message deliveries are engine events. *)
+    message deliveries are engine events.
+
+    The queue is a two-level calendar/ladder structure (near-future slot
+    ring + far-future overflow, heap order inside a bucket) with pooled
+    event records; the original binary heap survives as {!Heap} for
+    dispatch-order equivalence tests and the [engine-speed]
+    self-benchmark.  Both dispatch in (time, seq) order, so a same-seed
+    run is bit-identical across implementations. *)
 
 type t
 
-val create : ?seed:int64 -> ?trace:Repro_trace.Trace.Sink.t -> unit -> t
+type queue =
+  | Heap (** pre-rebuild binary heap, one fresh record per event (baseline) *)
+  | Calendar (** calendar queue + event-record pool (default) *)
+
+val create :
+  ?seed:int64 -> ?queue:queue -> ?trace:Repro_trace.Trace.Sink.t -> unit -> t
 (** Fresh engine with clock at 0.  [seed] (default 1) seeds {!rng};
+    [queue] (default {!Calendar}) picks the event-queue implementation;
     [trace] (default a null sink) receives instrumentation events from
     every component built on this engine. *)
 
@@ -56,10 +69,26 @@ val timer : ?kind:int -> t -> delay:float -> (unit -> unit) -> timer
 (** A cancellable one-shot timer. *)
 
 val cancel : timer -> unit
-(** Cancelling an expired timer is a no-op. *)
+(** Cancel a pending timer: the callback (and everything its closure
+    captures) is released immediately and the event no longer counts as
+    {!pending}, though its queue slot is only reclaimed at the original
+    deadline.  Cancelling an expired or already-cancelled timer is a
+    no-op. *)
 
-val every : ?kind:int -> t -> period:float -> ?until:float -> (unit -> unit) -> unit
-(** Periodic callback starting one period from now. *)
+val every :
+  ?kind:int ->
+  ?inclusive:bool ->
+  t ->
+  period:float ->
+  ?until:float ->
+  (unit -> unit) ->
+  unit
+(** Periodic callback starting one period from now.  Boundary semantics
+    at [until] are explicit: with [inclusive] (the default) a tick
+    landing exactly at [until] still fires; [~inclusive:false] stops
+    strictly before [until].  Either way the chain's final check event
+    one period past the last fire is dispatched (and counted) like any
+    other event. *)
 
 val run : ?until:float -> t -> unit
 (** Process events in time order until the queue is empty, or the clock
@@ -67,15 +96,24 @@ val run : ?until:float -> t -> unit
     to [until]). *)
 
 val step : t -> bool
-(** Process a single event; [false] when the queue is empty. *)
+(** Process a single event; [false] when the queue is empty.  A cancelled
+    timer's dead slot is consumed silently (clock advances, nothing runs,
+    no step is counted) but still returns [true]. *)
 
 val pending : t -> int
-(** Number of queued events (diagnostics). *)
+(** Number of queued {e live} events (diagnostics): cancelled timers
+    awaiting their slot are excluded. *)
 
 val max_pending : t -> int
 (** High-water mark of {!pending} over the whole run: the deepest the
-    event queue has ever been.  Queue pressure between metric samples is
-    invisible to periodic probes; this is the envelope. *)
+    live event queue has ever been.  Queue pressure between metric
+    samples is invisible to periodic probes; this is the envelope. *)
+
+val pool_stats : t -> int * int
+(** [(fresh, reused)] event records: heap allocations vs pool recycles.
+    Deterministic for a fixed seed — the [engine-speed] bench gates
+    fresh-allocations-per-event on it.  In {!Heap} mode everything is
+    fresh. *)
 
 (** {2 Profiling}
 
@@ -94,7 +132,7 @@ type profiler = {
       (** Called after each dispatched event: interned event [kind],
           handler self wall-time [wall] (s), minor-heap allocation
           [minor] (words), sim-time queue [dwell] (s, scheduling to
-          execution), and queue [depth] just after the pop. *)
+          execution), and live queue [depth] just after the pop. *)
 }
 
 val set_profiler : t -> profiler option -> unit

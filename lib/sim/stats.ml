@@ -1,6 +1,9 @@
 module Summary = struct
   type t = {
-    mutable samples : float list;
+    (* Growable flat float array (unboxed): one word per sample, against
+       the three the old cons list paid — latency recording sits on the
+       delivery hot path. *)
+    mutable buf : float array;
     mutable sorted : float array option; (* cache, invalidated by add *)
     mutable count : int;
     mutable sum : float;
@@ -10,11 +13,16 @@ module Summary = struct
   }
 
   let create () =
-    { samples = []; sorted = None; count = 0; sum = 0.; sumsq = 0.;
+    { buf = [||]; sorted = None; count = 0; sum = 0.; sumsq = 0.;
       min = infinity; max = neg_infinity }
 
   let add t x =
-    t.samples <- x :: t.samples;
+    if t.count = Array.length t.buf then begin
+      let bigger = Array.make (Stdlib.max 64 (2 * t.count)) 0. in
+      Array.blit t.buf 0 bigger 0 t.count;
+      t.buf <- bigger
+    end;
+    t.buf.(t.count) <- x;
     t.sorted <- None;
     t.count <- t.count + 1;
     t.sum <- t.sum +. x;
@@ -40,7 +48,7 @@ module Summary = struct
     match t.sorted with
     | Some a -> a
     | None ->
-      let a = Array.of_list t.samples in
+      let a = Array.sub t.buf 0 t.count in
       Array.sort Float.compare a;
       t.sorted <- Some a;
       a
@@ -49,7 +57,9 @@ module Summary = struct
     if t.count = 0 then 0.
     else begin
       let a = sorted t in
-      let idx = int_of_float (q *. float_of_int (Array.length a - 1)) in
+      (* Nearest rank: round to the closest index rather than truncating
+         toward the low sample (the old [int_of_float] bias). *)
+      let idx = int_of_float (Float.round (q *. float_of_int (Array.length a - 1))) in
       a.(Stdlib.max 0 (Stdlib.min (Array.length a - 1) idx))
     end
 end

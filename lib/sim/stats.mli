@@ -18,8 +18,9 @@ module Summary : sig
   val min : t -> float
   val max : t -> float
   val percentile : t -> float -> float
-  (** [percentile t 0.99]; retains all samples (experiments record at most
-      a few hundred thousand). *)
+  (** [percentile t 0.99]: nearest-rank (rounded index into the sorted
+      samples); retains all samples in a flat float array (experiments
+      record at most a few hundred thousand). *)
 end
 
 module Throughput : sig

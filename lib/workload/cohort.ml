@@ -1,0 +1,284 @@
+(* Flat-array client cohort: thousands of thin clients behind one state
+   machine.
+
+   Each member owns a real network node and reliable-UDP channels
+   (through {!Repro_chopchop.Deployment.add_thin_client}), so wire and
+   byte accounting are exactly those of the per-client model; what the
+   cohort replaces is the per-[Client.t] record/closure/queue heap
+   footprint with member-indexed flat arrays.  Every protocol step —
+   submission, resubmission backoff and jitter draws, reduction signing
+   delay, certificate verification order, trace instants and counter
+   increments — mirrors [Repro_chopchop.Client] operation for operation,
+   so a same-seed cohort run is bit-identical to the per-client run it
+   stands in for (pinned by test).  The only dropped state is the
+   client's write-only [fl_signed_roots] log.
+
+   Members carry dense (pre-provisioned) identities and never sign up,
+   crash or misbehave; use {!Deployment.add_client} for fault-injection
+   experiments. *)
+
+module Engine = Repro_sim.Engine
+module Rng = Repro_sim.Rng
+module Cost = Repro_sim.Cost
+module Schnorr = Repro_crypto.Schnorr
+module Multisig = Repro_crypto.Multisig
+module Merkle = Repro_crypto.Merkle
+module Trace = Repro_trace.Trace
+module D = Repro_chopchop.Deployment
+module Client = Repro_chopchop.Client
+module Types = Repro_chopchop.Types
+module Certs = Repro_chopchop.Certs
+module Proto = Repro_chopchop.Proto
+module Wire = Repro_chopchop.Wire
+module Batch = Repro_chopchop.Batch
+module Directory = Repro_chopchop.Directory
+module Membership = Repro_chopchop.Membership
+
+type t = {
+  engine : Engine.t;
+  members : int;
+  resubmit_timeout : float;
+  max_resubmit_timeout : float;
+  wire_clients : int; (* directory size, for wire arithmetic *)
+  membership : Membership.t;
+  server_ms_pk : int -> Multisig.public_key;
+  on_delivered : int -> Types.message -> latency:float -> unit;
+  (* per-member state, member-indexed flat arrays *)
+  ids : int array; (* dense identity *)
+  kps : Types.keypair array;
+  brokers : int array array; (* preference order *)
+  send : (broker:int -> bytes:int -> Proto.client_to_broker -> unit) array;
+  broker_idx : int array;
+  seq : int array; (* next sequence number to use *)
+  epoch : int array; (* invalidates stale resubmit/reduction timers *)
+  backoff : float array; (* current resubmission delay *)
+  rngs : Rng.t array; (* private jitter streams ([Client.jitter_rng]) *)
+  evidence : Certs.delivery_cert option array;
+  queues : Types.message Queue.t array;
+  (* the in-flight record, flattened; [fl_active] gates the rest *)
+  fl_active : bool array;
+  fl_msg : Types.message array;
+  fl_seq : int array;
+  fl_adopted : int array;
+  fl_started : float array;
+  completed : int array;
+  k_timer : int;
+  c_verify : Trace.Counter.t;
+}
+
+let members t = t.members
+let id t m = t.ids.(m)
+
+let pending t m =
+  Queue.length t.queues.(m) + if t.fl_active.(m) then 1 else 0
+
+let completed t m = t.completed.(m)
+
+let completed_total t = Array.fold_left ( + ) 0 t.completed
+
+let quorum t = Membership.quorum t.membership
+
+let current_broker t m =
+  let bs = t.brokers.(m) in
+  bs.(t.broker_idx.(m) mod Array.length bs)
+
+let next_broker t m = t.broker_idx.(m) <- t.broker_idx.(m) + 1
+
+(* Same backoff-and-jitter draw as [Client.resubmit_delay], against the
+   member's private stream. *)
+let resubmit_delay t m =
+  let d = t.backoff.(m) in
+  t.backoff.(m) <- Float.min t.max_resubmit_timeout (t.backoff.(m) *. 2.0);
+  d *. (0.75 +. Rng.float t.rngs.(m) 0.5)
+
+(* --- submission (#2) ------------------------------------------------------- *)
+
+let rec submit t m =
+  if t.fl_active.(m) then begin
+    let id = t.ids.(m) in
+    let fl_seq = t.fl_seq.(m) and fl_msg = t.fl_msg.(m) in
+    let tsig =
+      Schnorr.sign t.kps.(m).Types.sig_sk
+        (Types.message_statement ~id ~seq:fl_seq fl_msg)
+    in
+    let ctx = Trace.Ctx.make ~root:(Client.msg_key ~id ~seq:fl_seq) in
+    t.send.(m) ~broker:(current_broker t m)
+      ~bytes:
+        (Wire.submission_bytes ~clients:t.wire_clients
+           ~msg_bytes:(String.length fl_msg))
+      (Proto.Submission
+         { id; seq = fl_seq; msg = fl_msg; tsig; evidence = t.evidence.(m); ctx });
+    let epoch = t.epoch.(m) in
+    Engine.schedule ~kind:t.k_timer t.engine ~delay:(resubmit_delay t m)
+      (fun () ->
+        if t.epoch.(m) = epoch && t.fl_active.(m) then begin
+          (* No progress: fall back on a different broker (§4.4.2). *)
+          next_broker t m;
+          submit t m
+        end)
+  end
+
+let launch_next t m =
+  if (not t.fl_active.(m)) && not (Queue.is_empty t.queues.(m)) then begin
+    let msg = Queue.pop t.queues.(m) in
+    let seq = t.seq.(m) in
+    t.fl_active.(m) <- true;
+    t.fl_msg.(m) <- msg;
+    t.fl_seq.(m) <- seq;
+    t.fl_adopted.(m) <- seq;
+    t.fl_started.(m) <- Engine.now t.engine;
+    (let s = Engine.trace t.engine in
+     if Trace.enabled s then
+       let id = t.ids.(m) in
+       Trace.instant s ~now:(Engine.now t.engine)
+         ~actor:(Client.tr_actor ~id) ~cat:"client" ~name:"send"
+         ~id:(Client.msg_key ~id ~seq)
+         ~attrs:[ ("seq", Trace.A_int seq) ]);
+    t.epoch.(m) <- t.epoch.(m) + 1;
+    t.backoff.(m) <- t.resubmit_timeout;
+    submit t m
+  end
+
+let broadcast t m msg =
+  Queue.add msg t.queues.(m);
+  launch_next t m
+
+(* --- inclusion & reduction (#4–#6) ----------------------------------------- *)
+
+let on_inclusion t m ~root ~proof ~agg_seq ~evidence =
+  if t.fl_active.(m) then begin
+    let id = t.ids.(m) in
+    let leaf = Batch.leaf ~id ~seq:agg_seq t.fl_msg.(m) in
+    if
+      Merkle.verify root ~leaf proof
+      && agg_seq >= t.fl_seq.(m)
+      && (agg_seq = t.fl_seq.(m) || Certs.legitimizes evidence agg_seq)
+      && (match evidence with
+          | None -> agg_seq = t.fl_seq.(m)
+          | Some e ->
+            Trace.Counter.incr t.c_verify;
+            Certs.verify_delivery ~server_ms_pk:t.server_ms_pk
+              ~quorum:(quorum t) e)
+    then begin
+      if agg_seq > t.fl_adopted.(m) then t.fl_adopted.(m) <- agg_seq;
+      let share = Multisig.sign t.kps.(m).Types.ms_sk (Types.reduction_statement ~root) in
+      (* Same signing-time gate as the per-client model: the reduction
+         may not depart before the BLS share is computed.  The epoch
+         guard replaces [Client]'s physical-equality flight check. *)
+      let epoch = t.epoch.(m) in
+      Engine.schedule ~kind:t.k_timer t.engine ~delay:Cost.client_multisig_sign
+        (fun () ->
+          if t.fl_active.(m) && t.epoch.(m) = epoch then
+            t.send.(m) ~broker:(current_broker t m) ~bytes:Wire.reduction_bytes
+              (Proto.Reduction { id; root; share }))
+    end
+  end
+
+(* --- completion (#18–#19) --------------------------------------------------- *)
+
+let on_deliver_cert t m ~cert ~seq ~proof =
+  if t.fl_active.(m) then begin
+    let id = t.ids.(m) in
+    Trace.Counter.incr t.c_verify;
+    if Certs.verify_delivery ~server_ms_pk:t.server_ms_pk ~quorum:(quorum t) cert
+    then begin
+      (match t.evidence.(m) with
+       | Some e when e.Certs.counter >= cert.Certs.counter -> ()
+       | Some _ | None -> t.evidence.(m) <- Some cert);
+      let ours =
+        match proof with
+        | Some proof ->
+          Merkle.verify cert.Certs.root
+            ~leaf:(Batch.leaf ~id ~seq t.fl_msg.(m))
+            proof
+        | None -> false
+      in
+      let replayed = List.mem_assoc id cert.Certs.exceptions in
+      if ours || replayed then begin
+        let latency = Engine.now t.engine -. t.fl_started.(m) in
+        let fl_msg = t.fl_msg.(m) in
+        (let s = Engine.trace t.engine in
+         if Trace.enabled s then
+           Trace.instant s ~now:(Engine.now t.engine)
+             ~actor:(Client.tr_actor ~id) ~cat:"client" ~name:"deliver"
+             ~id:(Client.msg_key ~id ~seq:t.fl_seq.(m))
+             ~attrs:
+               [ ("root", Trace.A_int (Trace.key cert.Certs.root));
+                 ("latency", Trace.A_float latency) ]);
+        t.seq.(m) <- max t.seq.(m) (max t.fl_adopted.(m) seq) + 1;
+        t.fl_active.(m) <- false;
+        t.epoch.(m) <- t.epoch.(m) + 1;
+        t.completed.(m) <- t.completed.(m) + 1;
+        t.on_delivered m fl_msg ~latency;
+        launch_next t m
+      end
+    end
+    else
+      let s = Engine.trace t.engine in
+      if Trace.enabled s then
+        Trace.instant s ~now:(Engine.now t.engine) ~actor:(Client.tr_actor ~id)
+          ~cat:"client" ~name:"reject_cert"
+          ~id:(Client.msg_key ~id ~seq:t.fl_seq.(m))
+  end
+
+let receive t m msg =
+  match msg with
+  | Proto.Inclusion { root; proof; agg_seq; evidence } ->
+    on_inclusion t m ~root ~proof ~agg_seq ~evidence
+  | Proto.Deliver_cert { cert; seq; proof } -> on_deliver_cert t m ~cert ~seq ~proof
+  | Proto.Signup_response _ -> () (* members are pre-provisioned *)
+
+(* --- assembly -------------------------------------------------------------- *)
+
+let create ~deployment ~members ~identity
+    ?(on_delivered = fun _ _ ~latency:_ -> ()) () =
+  let engine = D.engine deployment in
+  let cfg = D.config deployment in
+  let dummy_kp = Directory.dense_keypair 0 in
+  let t =
+    { engine;
+      members;
+      resubmit_timeout = 8.0;
+      max_resubmit_timeout = 60.0;
+      wire_clients = max cfg.D.dense_clients 1024;
+      membership = D.membership deployment;
+      server_ms_pk = (fun j -> D.server_ms_pk deployment j);
+      on_delivered;
+      ids = Array.make members 0;
+      kps = Array.make members dummy_kp;
+      brokers = Array.make members [||];
+      send = Array.make members (fun ~broker:_ ~bytes:_ _ -> ());
+      broker_idx = Array.make members 0;
+      seq = Array.make members 0;
+      epoch = Array.make members 0;
+      backoff = Array.make members 8.0;
+      rngs = Array.init members (fun _ -> Rng.create 0L);
+      evidence = Array.make members None;
+      queues = Array.init members (fun _ -> Queue.create ());
+      fl_active = Array.make members false;
+      fl_msg = Array.make members "";
+      fl_seq = Array.make members 0;
+      fl_adopted = Array.make members 0;
+      fl_started = Array.make members 0.;
+      completed = Array.make members 0;
+      k_timer = Engine.kind engine "client.timer";
+      c_verify =
+        Trace.Sink.counter (Engine.trace engine) ~cat:"crypto"
+          ~name:"verify_ops" }
+  in
+  for m = 0 to members - 1 do
+    let ident = identity m in
+    let tc =
+      D.add_thin_client deployment ~identity:ident
+        ~receive:(fun msg -> receive t m msg)
+        ()
+    in
+    t.ids.(m) <- ident;
+    t.kps.(m) <- Directory.dense_keypair ident;
+    t.brokers.(m) <- Array.of_list tc.D.tc_brokers;
+    t.send.(m) <- tc.D.tc_send;
+    (* Same per-client jitter stream a [Client.t] would get: the nonce is
+       the network node id. *)
+    t.rngs.(m) <- Client.jitter_rng ~nonce:tc.D.tc_node
+  done;
+  t

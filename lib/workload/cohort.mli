@@ -1,0 +1,45 @@
+(** Flat-array client cohort: thousands of thin clients, one state machine.
+
+    The per-client model ({!Repro_chopchop.Client}) allocates a record,
+    closures and a queue per client; at 10k+ measure clients that heap
+    footprint dominates the hot loop.  A cohort keeps every member's
+    protocol state in member-indexed flat arrays and shares one set of
+    handler code, while each member still owns a real network node and
+    reliable-UDP channels through
+    {!Repro_chopchop.Deployment.add_thin_client} — so byte, CPU and event
+    accounting are {e exactly} those of the per-client deployment, and a
+    same-seed cohort run is bit-identical to its per-client twin (every
+    trace counter, including [sim.steps], matches; pinned by test).
+
+    Divergences from [Client.t], by design: members carry dense
+    (pre-provisioned) identities and never sign up; the write-only
+    [fl_signed_roots] log is dropped; members are invisible to
+    [crash_client]/broker-recovery rehoming and expose no misbehaviour
+    hooks — use {!Deployment.add_client} for fault injection. *)
+
+type t
+
+val create :
+  deployment:Repro_chopchop.Deployment.t ->
+  members:int ->
+  identity:(int -> Repro_chopchop.Types.client_id) ->
+  ?on_delivered:(int -> Repro_chopchop.Types.message -> latency:float -> unit) ->
+  unit ->
+  t
+(** [create ~deployment ~members ~identity ()] registers [members] thin
+    clients; member [m] gets dense identity [identity m] (and its
+    directory keypair).  [on_delivered m msg ~latency] fires per
+    delivery. *)
+
+val members : t -> int
+val id : t -> int -> Repro_chopchop.Types.client_id
+
+val broadcast : t -> int -> Repro_chopchop.Types.message -> unit
+(** Queue a message for atomic broadcast by member [m] (client rule CR1:
+    one in flight, the rest wait). *)
+
+val pending : t -> int -> int
+(** Queued + in-flight messages of member [m] (as {!Client.pending}). *)
+
+val completed : t -> int -> int
+val completed_total : t -> int

@@ -75,6 +75,14 @@ dune exec bin/main.exe -- sweep --manifest examples/sweep-ci.json \
   || { echo "sweep smoke: resume did not engage"; exit 1; }
 rm -rf "$sweep_out"
 
+echo "== engine hot-loop smoke: calendar queue vs legacy heap =="
+# The engine self-benchmark runs the same deterministic queue-churn
+# workload under both event-queue implementations; the experiment itself
+# fails if the calendar's dispatch order diverges from the heap's, if
+# the event pool is ineffective, or if the calendar loop does not clear
+# 2x the heap's events per CPU second at quick scale.
+dune exec bin/main.exe -- run engine-speed --scale quick
+
 echo "== profiler / doctor smoke =="
 # The engine self-profiler is a pure observer: two same-seed `chopchop
 # profile` runs must produce byte-identical deterministic JSON (--no-wall

@@ -137,6 +137,139 @@ let test_engine_heap_stress () =
   Engine.run e;
   checkb "monotone processing" true !ok
 
+let test_engine_pending_live () =
+  (* Cancelled timers stay queued until their deadline but must not count
+     as pending: the [engine.queue_depth] probes report live events. *)
+  let e = Engine.create () in
+  checki "empty" 0 (Engine.pending e);
+  Engine.schedule e ~delay:1.0 (fun () -> ());
+  let tms = List.init 10 (fun _ -> Engine.timer e ~delay:5.0 (fun () -> ())) in
+  checki "all live" 11 (Engine.pending e);
+  checki "high-water tracks live" 11 (Engine.max_pending e);
+  List.iteri (fun i tm -> if i < 6 then Engine.cancel tm) tms;
+  checki "cancelled leave the live count" 5 (Engine.pending e);
+  checki "high-water unchanged by cancel" 11 (Engine.max_pending e);
+  Engine.run e;
+  checkf "dead slots still advance the clock" 5.0 (Engine.now e);
+  checki "drained" 0 (Engine.pending e)
+
+let test_engine_closure_collectable () =
+  (* A cancelled timer's closure (and everything it captures) must be
+     collectable immediately — and a dispatched event's closure once its
+     queue slot is vacated — rather than lingering in the heap array. *)
+  let e = Engine.create () in
+  let w : bytes Weak.t = Weak.create 2 in
+  let mk_cancelled () =
+    let big = Bytes.make 65536 'x' in
+    Weak.set w 0 (Some big);
+    Engine.timer e ~delay:1.0 (fun () -> ignore (Bytes.get big 0))
+  in
+  let mk_dispatched () =
+    let big = Bytes.make 65536 'y' in
+    Weak.set w 1 (Some big);
+    Engine.schedule e ~delay:2.0 (fun () -> ignore (Bytes.get big 0))
+  in
+  let tm = mk_cancelled () in
+  mk_dispatched ();
+  Engine.cancel tm;
+  Gc.full_major ();
+  checkb "cancelled closure collectable before the deadline" true
+    (Weak.get w 0 = None);
+  Engine.run e;
+  Gc.full_major ();
+  checkb "dispatched closure collectable after its slot is vacated" true
+    (Weak.get w 1 = None)
+
+let test_engine_every_boundary () =
+  (* Pin the boundary semantics of [every ~until]: a tick landing exactly
+     at [stop] fires by default (inclusive); [~inclusive:false] stops
+     strictly before. *)
+  let fires inclusive until =
+    let e = Engine.create () in
+    let n = ref 0 in
+    Engine.every ~inclusive e ~period:1.0 ~until (fun () -> incr n);
+    Engine.run e;
+    !n
+  in
+  checki "tick exactly at stop fires (inclusive default)" 5 (fires true 5.0);
+  checki "stop between ticks" 5 (fires true 5.5);
+  checki "exclusive stops strictly before" 4 (fires false 5.0);
+  checki "exclusive with off-grid stop" 5 (fires false 5.5)
+
+(* A randomized schedule/cancel workload whose handlers draw from a
+   private stream and log (tag, now): the log is identical between queue
+   implementations iff the dispatch sequences are identical, since each
+   handler's draws depend on every dispatch before it. *)
+let drive_workload queue seed =
+  let e = Engine.create ~queue () in
+  let r = Rng.create seed in
+  let log = ref [] in
+  let timers = ref [] in
+  let emit tag = log := (tag, Engine.now e) :: !log in
+  for i = 0 to 399 do
+    Engine.schedule_at e ~time:(Rng.float r 60.) (fun () ->
+        emit i;
+        if i mod 3 = 0 then
+          (* dense near-future churn (calendar ring) *)
+          Engine.schedule e ~delay:(Rng.float r 0.01) (fun () -> emit (1000 + i));
+        if i mod 4 = 0 then
+          (* far-future events (overflow heap + migration) *)
+          Engine.schedule e ~delay:(10. +. Rng.float r 50.) (fun () ->
+              emit (2000 + i));
+        if i mod 5 = 0 then
+          timers :=
+            Engine.timer e ~delay:(Rng.float r 20.) (fun () -> emit (3000 + i))
+            :: !timers;
+        if i mod 7 = 0 then (
+          match !timers with
+          | tm :: rest ->
+            Engine.cancel tm;
+            timers := rest
+          | [] -> ()))
+  done;
+  (* Clamped run, then backdated inserts: the calendar cursor has scanned
+     past [until] and must rewind correctly. *)
+  Engine.run ~until:30. e;
+  Engine.schedule e ~delay:0.5 (fun () -> emit 5001);
+  Engine.schedule e ~delay:(Rng.float r 5.) (fun () -> emit 5002);
+  Engine.run e;
+  (List.rev !log, Engine.pending e)
+
+let test_engine_queue_equivalence () =
+  for seed = 1 to 8 do
+    let seed = Int64.of_int seed in
+    let log_h, pend_h = drive_workload Engine.Heap seed in
+    let log_c, pend_c = drive_workload Engine.Calendar seed in
+    checkb "identical dispatch sequence" true (log_h = log_c);
+    checki "both drained" pend_h pend_c
+  done
+
+let test_engine_pool_reuse () =
+  (* Steady-state churn must recycle records: fresh allocations are
+     bounded by the peak live depth, not the event count. *)
+  let e = Engine.create () in
+  let n = ref 0 in
+  let rec self () =
+    incr n;
+    if !n < 10_000 then Engine.schedule e ~delay:0.25 self
+  in
+  for _ = 1 to 8 do
+    Engine.schedule e ~delay:0.1 self
+  done;
+  Engine.run e;
+  let fresh, reused = Engine.pool_stats e in
+  checkb "records recycled" true (reused > 0);
+  checkb "fresh bounded by peak depth" true (fresh <= Engine.max_pending e + 8);
+  (* The legacy heap never pools. *)
+  let eh = Engine.create ~queue:Engine.Heap () in
+  for _ = 1 to 50 do
+    Engine.schedule eh ~delay:1.0 (fun () -> ())
+  done;
+  Engine.run eh;
+  let fresh_h, reused_h = Engine.pool_stats eh in
+  checki "heap mode allocates per event" 50 fresh_h;
+  checki "heap mode never reuses" 0 reused_h
+
 (* --- Region ------------------------------------------------------------- *)
 
 let test_region_symmetric () =
@@ -493,6 +626,27 @@ let test_summary_percentile_cache () =
   checkf "p100 sees new max" 9. (Stats.Summary.percentile s 1.0);
   checkf "repeat query stable" 9. (Stats.Summary.percentile s 1.0)
 
+let test_summary_nearest_rank () =
+  (* Percentile rounds to the nearest rank instead of truncating toward
+     the low sample: p75 of two samples is the upper one, and p90 of
+     [0..3] rounds 2.7 up to index 3. *)
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.; 2. ];
+  checkf "p75 of two rounds up" 2. (Stats.Summary.percentile s 0.75);
+  checkf "p25 of two rounds down" 1. (Stats.Summary.percentile s 0.25);
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 0.; 1.; 2.; 3. ];
+  checkf "p90 rounds 2.7 to rank 3" 3. (Stats.Summary.percentile s 0.9);
+  checkf "p0 is the min" 0. (Stats.Summary.percentile s 0.0);
+  (* Many samples: growth across several buffer doublings keeps every
+     sample. *)
+  let s = Stats.Summary.create () in
+  for i = 1 to 999 do
+    Stats.Summary.add s (float_of_int i)
+  done;
+  checki "all retained" 999 (Stats.Summary.count s);
+  checkf "p50 of 1..999" 500. (Stats.Summary.percentile s 0.5)
+
 let test_throughput_window () =
   let e = Engine.create () in
   let tp = Stats.Throughput.create e ~warmup:2.0 ~cooldown:2.0 ~duration:10.0 in
@@ -607,7 +761,16 @@ let () =
          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
          Alcotest.test_case "every" `Quick test_engine_every;
          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
-         Alcotest.test_case "heap stress" `Quick test_engine_heap_stress ]);
+         Alcotest.test_case "heap stress" `Quick test_engine_heap_stress;
+         Alcotest.test_case "pending excludes cancelled" `Quick
+           test_engine_pending_live;
+         Alcotest.test_case "closures collectable" `Quick
+           test_engine_closure_collectable;
+         Alcotest.test_case "every boundary semantics" `Quick
+           test_engine_every_boundary;
+         Alcotest.test_case "calendar = heap dispatch order" `Quick
+           test_engine_queue_equivalence;
+         Alcotest.test_case "event pool reuse" `Quick test_engine_pool_reuse ]);
       ("region",
        [ Alcotest.test_case "symmetric" `Quick test_region_symmetric;
          Alcotest.test_case "plausible latencies" `Quick test_region_plausible;
@@ -645,6 +808,8 @@ let () =
        :: Alcotest.test_case "summary empty" `Quick test_summary_empty
        :: Alcotest.test_case "summary percentile cache" `Quick
             test_summary_percentile_cache
+       :: Alcotest.test_case "summary nearest rank" `Quick
+            test_summary_nearest_rank
        :: Alcotest.test_case "throughput window" `Quick test_throughput_window
        :: suite_stats_props);
       ("rudp",
